@@ -1,0 +1,189 @@
+//! Shared pieces of the baseline systems: the operation vocabulary, paged
+//! key layout, and a node-side lock cache for the pessimistic baseline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pmp_common::{NodeId, PageId, Result, TableId};
+use pmp_pmfs::{PLockFusion, PLockMode};
+use pmp_rdma::precise_wait_ns;
+
+/// One statement inside a baseline transaction. Baselines store a single
+/// u64 value per key — enough to observe conflict behaviour and verify
+/// invariants; the figures measure throughput shape, not SQL features.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Read { table: TableId, key: u64 },
+    Update { table: TableId, key: u64, value: u64 },
+    Insert { table: TableId, key: u64, value: u64 },
+}
+
+impl Op {
+    pub fn table(&self) -> TableId {
+        match self {
+            Op::Read { table, .. } | Op::Update { table, .. } | Op::Insert { table, .. } => *table,
+        }
+    }
+
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Read { key, .. } | Op::Update { key, .. } | Op::Insert { key, .. } => *key,
+        }
+    }
+
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Read { .. })
+    }
+}
+
+/// Result of one baseline transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    Committed,
+    /// OCC write conflict (Aurora-MM surfaces this as a deadlock error that
+    /// the application must catch and retry, §2.3).
+    Aborted,
+}
+
+/// Fixed-layout paged table: key `k` lives on page `k / rows_per_page`.
+/// Page-granularity conflicts — the unit both Aurora-MM and Taurus-MM
+/// contend on — follow directly.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineTable {
+    pub id: TableId,
+    pub rows_per_page: u64,
+}
+
+impl BaselineTable {
+    pub fn page_of(&self, key: u64) -> u64 {
+        key / self.rows_per_page
+    }
+
+    /// A cluster-unique page id for (table, page-index).
+    pub fn page_id(&self, key: u64) -> PageId {
+        PageId(((self.id.0 as u64) << 40) | self.page_of(key))
+    }
+}
+
+/// Simulate CPU spent replaying one log record (Taurus-MM coherence path).
+/// ~1.5µs per record is in line with physiological redo apply costs.
+pub const REPLAY_NS_PER_RECORD: u64 = 1_500;
+
+pub fn burn_replay_cpu(records: usize, scale: f64) {
+    if records == 0 {
+        return;
+    }
+    precise_wait_ns(((records as u64 * REPLAY_NS_PER_RECORD) as f64 * scale) as u64);
+}
+
+/// A miniature node-side lock cache for the log-replay baseline: Taurus-MM
+/// also avoids re-asking the lock server for locks it still holds, so we
+/// grant it the same courtesy (otherwise the comparison would punish it
+/// for lock traffic rather than for its coherence path).
+pub struct LockCache {
+    node: NodeId,
+    fusion: Arc<PLockFusion>,
+    held: Mutex<HashMap<PageId, PLockMode>>,
+    timeout: Duration,
+}
+
+impl LockCache {
+    pub fn new(node: NodeId, fusion: Arc<PLockFusion>, timeout: Duration) -> Self {
+        LockCache {
+            node,
+            fusion,
+            held: Mutex::new(HashMap::new()),
+            timeout,
+        }
+    }
+
+    /// Acquire (or locally re-grant) `mode` on `page`. Unlike the engine's
+    /// full manager this one is transaction-scoped-simple: locks persist
+    /// until [`release_all`](Self::release_all) and upgrades go back to the
+    /// fusion.
+    pub fn acquire(&self, page: PageId, mode: PLockMode) -> Result<()> {
+        {
+            let held = self.held.lock();
+            if let Some(h) = held.get(&page) {
+                if h.covers(mode) {
+                    return Ok(());
+                }
+            }
+        }
+        self.fusion.acquire(self.node, page, mode, self.timeout)?;
+        self.held.lock().insert(page, mode);
+        Ok(())
+    }
+
+    /// Release everything (end of transaction, eager 2PL release).
+    pub fn release_all(&self) {
+        let pages: Vec<PageId> = self.held.lock().drain().map(|(p, _)| p).collect();
+        for p in pages {
+            self.fusion.release(self.node, p);
+        }
+    }
+
+    pub fn held(&self, page: PageId) -> Option<PLockMode> {
+        self.held.lock().get(&page).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+    use pmp_rdma::Fabric;
+
+    #[test]
+    fn page_layout_is_contiguous() {
+        let t = BaselineTable {
+            id: TableId(3),
+            rows_per_page: 100,
+        };
+        assert_eq!(t.page_of(0), 0);
+        assert_eq!(t.page_of(99), 0);
+        assert_eq!(t.page_of(100), 1);
+        assert_ne!(t.page_id(0), t.page_id(100));
+        let other = BaselineTable {
+            id: TableId(4),
+            rows_per_page: 100,
+        };
+        assert_ne!(t.page_id(0), other.page_id(0), "tables must not collide");
+    }
+
+    #[test]
+    fn op_accessors() {
+        let t = TableId(1);
+        let op = Op::Update {
+            table: t,
+            key: 5,
+            value: 9,
+        };
+        assert_eq!(op.table(), t);
+        assert_eq!(op.key(), 5);
+        assert!(op.is_write());
+        assert!(!Op::Read { table: t, key: 1 }.is_write());
+    }
+
+    #[test]
+    fn lock_cache_regrants_and_releases() {
+        let fusion = Arc::new(PLockFusion::new(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))));
+        let cache = LockCache::new(NodeId(1), Arc::clone(&fusion), Duration::from_secs(1));
+        let p = PageId(9);
+        cache.acquire(p, PLockMode::S).unwrap();
+        cache.acquire(p, PLockMode::S).unwrap(); // local re-grant
+        assert_eq!(fusion.stats().acquires.get(), 1);
+        assert_eq!(cache.held(p), Some(PLockMode::S));
+
+        cache.acquire(p, PLockMode::X).unwrap(); // upgrade goes to fusion
+        assert_eq!(fusion.stats().acquires.get(), 2);
+
+        cache.release_all();
+        assert!(cache.held(p).is_none());
+        assert!(fusion.holders(p).is_empty());
+    }
+}

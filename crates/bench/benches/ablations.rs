@@ -1,0 +1,103 @@
+//! Ablations of PolarDB-MP's design choices (DESIGN.md §7): each run
+//! disables one mechanism and reruns a contended SysBench write workload.
+//!
+//! * **lazy PLock release off** (§4.3.1) — every page access pays a Lock
+//!   Fusion RPC; expect a throughput drop proportional to page locality.
+//! * **Linear Lamport timestamps off** (§4.1) — every statement fetches
+//!   its own snapshot from the TSO; expect extra fabric reads (visible in
+//!   the TSO fetch counters) and lower read throughput.
+//! * **CTS backfill off** (§4.1) — readers must resolve every row's CTS
+//!   through the TIT; expect extra one-sided reads on hot rows.
+//! * **tiny DBP** (§4.2) — a distributed buffer pool too small to hold the
+//!   working set degrades buffer fusion into storage-backed coherence
+//!   (every transfer becomes a storage read), Taurus-style.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster_config, cell, load_suspended, point_config, quick, Report};
+use pmp_common::ClusterConfig;
+use pmp_core::Cluster;
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::spec::Workload;
+use pmp_workloads::sysbench::{Sysbench, SysbenchMode};
+use pmp_workloads::targets::PmpTarget;
+
+const NODES: usize = 4;
+const SHARED_PCT: u32 = 50;
+
+fn run_with(config: ClusterConfig, mode: SysbenchMode) -> (f64, f64) {
+    let cluster = Cluster::builder().config(config).build();
+    let workload = Sysbench::new(mode, NODES, 2, 2_000, SHARED_PCT);
+    let target = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
+    load_suspended(&target, &workload);
+    let tps = run_workload(&target, &workload, point_config(None)).tps();
+    // TSO fetch coalescing ratio (the Linear Lamport effect).
+    let (mut fetches, mut reuses) = (0u64, 0u64);
+    for i in 0..NODES {
+        fetches += cluster.node(i).tso.fetches.get();
+        reuses += cluster.node(i).tso.reuses.get();
+    }
+    let reuse_pct = if fetches + reuses > 0 {
+        100.0 * reuses as f64 / (fetches + reuses) as f64
+    } else {
+        0.0
+    };
+    cluster.shutdown();
+    (tps, reuse_pct)
+}
+
+fn main() {
+    let mut report = Report::new(
+        "ablations",
+        "Ablations — each design mechanism disabled in turn (SysBench, 4 nodes, 50% shared)",
+    );
+    let modes: &[SysbenchMode] = if quick() {
+        &[SysbenchMode::WriteOnly]
+    } else {
+        &[SysbenchMode::ReadWrite, SysbenchMode::WriteOnly]
+    };
+
+    for &mode in modes {
+        report.blank();
+        report.line(format!("## {}", mode.label()));
+        report.line(format!(
+            "{:>28} | {:>18} | {:>14}",
+            "variant", "tps (vs full)", "TSO reuse %"
+        ));
+
+        let (full, full_reuse) = run_with(bench_cluster_config(NODES), mode);
+        report.line(format!(
+            "{:>28} | {:>18} | {:>13.1}%",
+            "full design",
+            cell(full, full),
+            full_reuse
+        ));
+
+        let mut emit = |label: &str, cfg: ClusterConfig| {
+            let (tps, reuse) = run_with(cfg, mode);
+            report.line(format!(
+                "{:>28} | {:>18} | {:>13.1}%",
+                label,
+                cell(tps, full),
+                reuse
+            ));
+        };
+
+        let mut cfg = bench_cluster_config(NODES);
+        cfg.engine.lazy_plock_release = false;
+        emit("lazy PLock release OFF", cfg);
+
+        let mut cfg = bench_cluster_config(NODES);
+        cfg.engine.linear_lamport = false;
+        emit("Linear Lamport TSO OFF", cfg);
+
+        let mut cfg = bench_cluster_config(NODES);
+        cfg.engine.cts_backfill = false;
+        emit("CTS backfill OFF", cfg);
+
+        let mut cfg = bench_cluster_config(NODES);
+        cfg.dbp_capacity = 64; // ≪ working set → constant DBP eviction
+        emit("DBP shrunk to 64 pages", cfg);
+    }
+    report.save();
+}

@@ -1,0 +1,80 @@
+//! Figure 7: SysBench read-only / read-write / write-only throughput on
+//! PolarDB-MP, sweeping cluster size × shared-data percentage.
+//!
+//! Paper shape to reproduce: read-only scales linearly at every sharing
+//! level; read-write and write-only are near-linear at 0% shared and
+//! degrade gracefully as sharing grows — at 100% shared the paper's
+//! 8-node cluster still reaches ~5.4× (read-write) and ~3× (write-only)
+//! a single node.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster, cell, debug_counters, load_suspended, point_config, quick, Report};
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::spec::Workload;
+use pmp_workloads::sysbench::{Sysbench, SysbenchMode};
+use pmp_workloads::targets::PmpTarget;
+
+const TABLES_PER_GROUP: usize = 4;
+const ROWS_PER_TABLE: u64 = 10_000;
+
+fn main() {
+    let mut report = Report::new(
+        "fig07_sysbench",
+        "Fig 7 — SysBench throughput vs nodes × shared-data % (PolarDB-MP)",
+    );
+    let node_counts: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let shared_pcts: &[u32] = if quick() { &[0, 100] } else { &[0, 10, 30, 50, 100] };
+    let modes = [
+        SysbenchMode::ReadOnly,
+        SysbenchMode::ReadWrite,
+        SysbenchMode::WriteOnly,
+    ];
+
+    for mode in modes {
+        report.blank();
+        report.line(format!("## {} (tps, normalized to 1 node)", mode.label()));
+        report.line(format!(
+            "{:>8} | {}",
+            "shared%",
+            node_counts
+                .iter()
+                .map(|n| format!("{n:>7} node(s)      "))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+        let mut base_per_pct = vec![0.0f64; shared_pcts.len()];
+        let mut rows: Vec<Vec<String>> = vec![Vec::new(); shared_pcts.len()];
+        for &nodes in node_counts {
+            // Fresh cluster per node count; all sharing levels and this
+            // mode run against the same loaded data.
+            let cluster = bench_cluster(nodes);
+            let layout = Sysbench::new(mode, nodes, TABLES_PER_GROUP, ROWS_PER_TABLE, 0);
+            let target = PmpTarget::new(Arc::clone(&cluster), &layout.tables());
+            load_suspended(&target, &layout);
+
+            for (i, &pct) in shared_pcts.iter().enumerate() {
+                let workload = Sysbench::new(mode, nodes, TABLES_PER_GROUP, ROWS_PER_TABLE, pct);
+                let result = run_workload(&target, &workload, point_config(None));
+                let tps = result.tps();
+                if nodes == node_counts[0] {
+                    base_per_pct[i] = tps;
+                }
+                rows[i].push(cell(tps, base_per_pct[i]));
+                if std::env::var("PMP_BENCH_DEBUG").is_ok() {
+                    report.line(format!(
+                        "  [point mode={} nodes={nodes} shared={pct} tps={tps:.0} aborts={}]",
+                        mode.label(),
+                        result.aborted
+                    ));
+                    debug_counters(&mut report, &cluster, result.committed, nodes);
+                }
+            }
+            cluster.shutdown();
+        }
+        for (i, &pct) in shared_pcts.iter().enumerate() {
+            report.line(format!("{:>8} | {}", pct, rows[i].join(" | ")));
+        }
+    }
+    report.save();
+}

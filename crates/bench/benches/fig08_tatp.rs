@@ -1,0 +1,62 @@
+//! Figure 8: TATP throughput, 1–8 nodes.
+//!
+//! Paper shape: linear scalability — the workload partitions cleanly by
+//! subscriber id, so each page is only ever touched by one node and the
+//! only cross-node traffic is the (coalesced) TSO fetch.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster, cell, load_suspended, point_config, quick, Report};
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::targets::PmpTarget;
+use pmp_workloads::tatp::Tatp;
+
+const SUBSCRIBERS_PER_NODE: u64 = 5_000;
+
+fn main() {
+    let mut report = Report::new("fig08_tatp", "Fig 8 — TATP throughput vs nodes (PolarDB-MP)");
+    let node_counts: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    report.line(format!("{:>6} | {:>18} | {:>10}", "nodes", "tps (scalability)", "p95 ms"));
+    let mut base = 0.0;
+    for &nodes in node_counts {
+        let cluster = bench_cluster(nodes);
+        let workload = Tatp::new(nodes, SUBSCRIBERS_PER_NODE);
+        let target = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
+        load_suspended(&target, &workload);
+        let result = run_workload(&target, &workload, point_config(None));
+        let tps = result.tps();
+        if base == 0.0 {
+            base = tps;
+        }
+        report.line(format!(
+            "{:>6} | {:>18} | {:>10.2}",
+            nodes,
+            cell(tps, base),
+            result.p95_ms()
+        ));
+        if std::env::var("PMP_BENCH_DEBUG").is_ok() {
+            let sh = cluster.shared();
+            let committed = result.committed.max(1);
+            report.line(format!(
+                "    dbg per-txn: plock_acq {:.2} neg {:.2} | dbp fetch {:.2} push {:.2} inval {:.2} miss {:.2} | storage rd {:.2} sync {:.2} | fab rd {:.2} wr {:.2} at {:.2} rpc {:.2}",
+                sh.pmfs.plock.stats().acquires.get() as f64 / committed as f64,
+                sh.pmfs.plock.stats().negotiations.get() as f64 / committed as f64,
+                sh.pmfs.buffer.stats().fetches.get() as f64 / committed as f64,
+                sh.pmfs.buffer.stats().pushes.get() as f64 / committed as f64,
+                sh.pmfs.buffer.stats().invalidations.get() as f64 / committed as f64,
+                sh.pmfs.buffer.stats().misses.get() as f64 / committed as f64,
+                sh.storage.page_store().stats().page_reads.get() as f64 / committed as f64,
+                (0..nodes).map(|i| cluster.node(i).wal.stream().sync_count()).sum::<u64>() as f64 / committed as f64,
+                sh.fabric.stats().reads.get() as f64 / committed as f64,
+                sh.fabric.stats().writes.get() as f64 / committed as f64,
+                sh.fabric.stats().atomics.get() as f64 / committed as f64,
+                sh.fabric.stats().rpcs.get() as f64 / committed as f64,
+            ));
+        }
+        cluster.shutdown();
+    }
+    report.save();
+}
+
+use pmp_workloads::spec::Workload;

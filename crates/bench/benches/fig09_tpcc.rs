@@ -1,0 +1,54 @@
+//! Figure 9: TPC-C tpmC + P95 latency in a large cluster (paper: 1–32
+//! nodes × 32 vCPUs; here node counts scale the same way at simulator
+//! scale, one worker per node).
+//!
+//! Paper shape: near-linear to 24 nodes, still improving at 32 (≈28× one
+//! node), with P95 latency rising only modestly.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster, cell, load_suspended, point_config, quick, Report};
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::spec::Workload;
+use pmp_workloads::targets::PmpTarget;
+use pmp_workloads::tpcc::Tpcc;
+
+const WAREHOUSES_PER_NODE: u64 = 2;
+const STOCK_PER_WAREHOUSE: u64 = 2_000;
+
+fn main() {
+    let mut report = Report::new(
+        "fig09_tpcc",
+        "Fig 9 — TPC-C tpmC and P95 latency vs cluster size (PolarDB-MP)",
+    );
+    let node_counts: &[usize] = if quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 24, 32]
+    };
+
+    report.line(format!(
+        "{:>6} | {:>22} | {:>10}",
+        "nodes", "tpmC (scalability)", "p95 ms"
+    ));
+    let mut base = 0.0;
+    for &nodes in node_counts {
+        let cluster = bench_cluster(nodes);
+        let workload = Tpcc::new(nodes, WAREHOUSES_PER_NODE, STOCK_PER_WAREHOUSE);
+        let target = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
+        load_suspended(&target, &workload);
+        let result = run_workload(&target, &workload, point_config(Some(1)));
+        let tpmc = result.tps() * 60.0;
+        if base == 0.0 {
+            base = tpmc;
+        }
+        report.line(format!(
+            "{:>6} | {:>22} | {:>10.2}",
+            nodes,
+            cell(tpmc, base),
+            result.p95_ms()
+        ));
+        cluster.shutdown();
+    }
+    report.save();
+}

@@ -1,0 +1,85 @@
+//! Figure 10: Alibaba production trading workload (3:2:5
+//! insert:update:select), online scale-out timeline.
+//!
+//! The paper starts one node and adds nodes at t = 60/120/180 s; being
+//! application-partitioned, throughput steps up near-linearly with every
+//! join. We run the same phases (time-compressed), adding a node between
+//! phases with the cluster online, and print the per-phase throughput
+//! timeline.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster, cell, load_suspended, point_config, quick, Report};
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::production::ProductionMix;
+use pmp_workloads::spec::Workload;
+use pmp_workloads::targets::PmpTarget;
+
+const ROWS_PER_NODE: u64 = 5_000;
+const MAX_NODES: usize = 4;
+
+fn main() {
+    let mut report = Report::new(
+        "fig10_production",
+        "Fig 10 — Alibaba production mix: throughput while scaling out 1→4 nodes online",
+    );
+    let phases = if quick() { 2 } else { MAX_NODES };
+
+    // One cluster, started with a single node; nodes join between phases.
+    let cluster = bench_cluster(1);
+    let workload = ProductionMix::new(MAX_NODES, ROWS_PER_NODE);
+    let target = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
+    load_suspended(&target, &workload);
+
+    report.line(format!(
+        "{:>6} | {:>6} | {:>18}",
+        "phase", "nodes", "tps (vs 1 node)"
+    ));
+    let mut base = 0.0;
+    let mut elapsed_ms = 0u64;
+    let mut timeline: Vec<(u64, f64)> = Vec::new();
+    for phase in 0..phases {
+        if phase > 0 {
+            cluster.add_node(); // online scale-out (§5.2 "Production workload")
+        }
+        let nodes = cluster.node_count();
+        let mut cfg = point_config(None);
+        cfg.active_nodes = Some(nodes);
+        let result = run_workload(&target, &workload, cfg);
+        let tps = result.tps();
+        if base == 0.0 {
+            base = tps;
+        }
+        report.line(format!("{:>6} | {:>6} | {:>18}", phase + 1, nodes, cell(tps, base)));
+        elapsed_ms += result.elapsed.as_millis() as u64;
+        timeline.push((elapsed_ms, tps));
+    }
+    // Beyond the paper: elastic scale-IN — gracefully decommission the
+    // last node and show throughput stepping back down with the cluster
+    // still serving (the elasticity story of §2.1 in the other direction).
+    if !quick() && cluster.node_count() > 1 {
+        let leaving = cluster.node_count() - 1;
+        cluster
+            .remove_node(leaving, std::time::Duration::from_secs(5))
+            .expect("graceful scale-in");
+        let nodes = leaving; // remaining active nodes
+        let mut cfg = point_config(None);
+        cfg.active_nodes = Some(nodes);
+        let result = run_workload(&target, &workload, cfg);
+        let tps = result.tps();
+        report.line(format!(
+            "{:>6} | {:>6} | {:>18}   (scale-in: node {leaving} left)",
+            "in", nodes, cell(tps, base)
+        ));
+        elapsed_ms += result.elapsed.as_millis() as u64;
+        timeline.push((elapsed_ms, tps));
+    }
+
+    report.blank();
+    report.line("timeline (end-of-phase ms, tps):");
+    for (t, tps) in timeline {
+        report.line(format!("  t={t:>6}ms  {tps:>9.0} tps"));
+    }
+    cluster.shutdown();
+    report.save();
+}

@@ -1,0 +1,224 @@
+//! Shared benchmark harness: environment knobs, cluster/target builders and
+//! the report writer used by every figure bench.
+//!
+//! ## How the figures are regenerated
+//!
+//! Every bench target under `benches/` is a `harness = false` binary that
+//! reproduces one figure of the paper's evaluation (§5): it builds the
+//! system(s), loads the workload, sweeps the paper's parameter axes, and
+//! prints the same rows/series the paper plots — absolute throughput plus
+//! the normalized scalability numbers the paper annotates. Results are
+//! also written to `results/<figure>.txt` at the workspace root.
+//!
+//! ## Time scale
+//!
+//! The host this reproduction targets may have a single core, so injected
+//! latencies sleep rather than spin (see `pmp_rdma::clock`), and all
+//! latencies are scaled up by [`bench_scale`] (default 100×) to stay in
+//! the sleepable range. Absolute throughput is therefore "simulator
+//! throughput" ≈ real ÷ scale; *shapes* — scalability curves, crossover
+//! points, who wins by what factor — are preserved because every system
+//! under test (PolarDB-MP and all baselines) pays latency from the same
+//! scaled model.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmp_common::ClusterConfig;
+use pmp_core::Cluster;
+use pmp_workloads::driver::{load_workload, DriverConfig};
+use pmp_workloads::spec::{OltpTarget, Workload};
+
+/// Measured window per data point, seconds (`PMP_BENCH_SECS`, default 1.5).
+pub fn bench_secs() -> f64 {
+    std::env::var("PMP_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
+}
+
+/// Warm-up before each measured window, seconds.
+pub fn warmup_secs() -> f64 {
+    std::env::var("PMP_BENCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5)
+}
+
+/// Latency scale factor (`PMP_BENCH_SCALE`, default 100): all injected
+/// latencies are multiplied by this, keeping ratios intact.
+pub fn bench_scale() -> f64 {
+    std::env::var("PMP_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0)
+}
+
+/// Workers per node (`PMP_BENCH_WORKERS`, default 2).
+pub fn workers_per_node() -> usize {
+    std::env::var("PMP_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Quick mode (`PMP_BENCH_QUICK=1`): trims sweep axes for smoke runs.
+pub fn quick() -> bool {
+    std::env::var("PMP_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Cluster configuration for benches: realistic latency hierarchy at the
+/// bench scale.
+pub fn bench_cluster_config(nodes: usize) -> ClusterConfig {
+    ClusterConfig::bench(nodes, bench_scale())
+}
+
+/// Start a PolarDB-MP cluster at bench scale.
+pub fn bench_cluster(nodes: usize) -> Arc<Cluster> {
+    Cluster::builder().config(bench_cluster_config(nodes)).build()
+}
+
+/// Driver config for one data point.
+pub fn point_config(workers_per_node_override: Option<usize>) -> DriverConfig {
+    DriverConfig {
+        duration: Duration::from_secs_f64(bench_secs()),
+        warmup: Duration::from_secs_f64(warmup_secs()),
+        workers_per_node: workers_per_node_override.unwrap_or_else(workers_per_node),
+        retry_aborts: true,
+        timeline_sample_ms: None,
+        active_nodes: None,
+        seed: 0x5EED,
+    }
+}
+
+/// Bulk-load `workload` into `target` with latency injection suspended —
+/// loading is administrative (a restore), not part of any measured window.
+pub fn load_suspended(target: &dyn OltpTarget, workload: &dyn Workload) {
+    pmp_rdma::set_latency_enabled(false);
+    load_workload(target, workload);
+    pmp_rdma::set_latency_enabled(true);
+}
+
+/// Collects a figure's output, echoes it to stdout, and persists it under
+/// `results/` for EXPERIMENTS.md.
+pub struct Report {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    pub fn new(name: &str, title: &str) -> Self {
+        let mut r = Report {
+            name: name.to_string(),
+            lines: Vec::new(),
+        };
+        r.line(format!("# {title}"));
+        r.line(format!(
+            "# scale={}x, window={}s, workers/node={}",
+            bench_scale(),
+            bench_secs(),
+            workers_per_node()
+        ));
+        r
+    }
+
+    pub fn line(&mut self, s: impl Into<String>) {
+        let s = s.into();
+        println!("{s}");
+        self.lines.push(s);
+    }
+
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Write the accumulated report to `results/<name>.txt` (workspace
+    /// root, best effort).
+    pub fn save(&self) {
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.txt", self.name));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            for l in &self.lines {
+                let _ = writeln!(f, "{l}");
+            }
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+fn results_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Per-transaction PMFS counter dump (enabled with `PMP_BENCH_DEBUG=1`).
+pub fn debug_counters(report: &mut Report, cluster: &Arc<Cluster>, committed: u64, nodes: usize) {
+    if std::env::var("PMP_BENCH_DEBUG").is_err() {
+        return;
+    }
+    let sh = cluster.shared();
+    let c = committed.max(1) as f64;
+    report.line(format!(
+        "    dbg per-txn: plock_acq {:.2} neg {:.2} timeouts {:.2} | dbp fetch {:.2} push {:.2} inval {:.2} miss {:.2} evic {:.2} | storage rd {:.2} sync {:.2} | fab rd {:.2} wr {:.2} at {:.2} rpc {:.2} | lbp hit {:.2} inv {:.2} miss {:.2} evic {:.2}",
+        sh.pmfs.plock.stats().acquires.get() as f64 / c,
+        sh.pmfs.plock.stats().negotiations.get() as f64 / c,
+        sh.pmfs.plock.stats().timeouts.get() as f64 / c,
+        sh.pmfs.buffer.stats().fetches.get() as f64 / c,
+        sh.pmfs.buffer.stats().pushes.get() as f64 / c,
+        sh.pmfs.buffer.stats().invalidations.get() as f64 / c,
+        sh.pmfs.buffer.stats().misses.get() as f64 / c,
+        sh.pmfs.buffer.stats().evictions.get() as f64 / c,
+        sh.storage.page_store().stats().page_reads.get() as f64 / c,
+        (0..nodes).map(|i| cluster.node(i).wal.stream().sync_count()).sum::<u64>() as f64 / c,
+        sh.fabric.stats().reads.get() as f64 / c,
+        sh.fabric.stats().writes.get() as f64 / c,
+        sh.fabric.stats().atomics.get() as f64 / c,
+        sh.fabric.stats().rpcs.get() as f64 / c,
+        (0..nodes).map(|i| cluster.node(i).lbp.stats().hits.get()).sum::<u64>() as f64 / c,
+        (0..nodes).map(|i| cluster.node(i).lbp.stats().invalid_hits.get()).sum::<u64>() as f64 / c,
+        (0..nodes).map(|i| cluster.node(i).lbp.stats().misses.get()).sum::<u64>() as f64 / c,
+        (0..nodes).map(|i| cluster.node(i).lbp.stats().evictions.get()).sum::<u64>() as f64 / c,
+    ));
+}
+
+/// Format a throughput cell: absolute + normalized-to-base scalability.
+pub fn cell(tps: f64, base: f64) -> String {
+    if base > 0.0 {
+        format!("{:>9.0} ({:>4.2}x)", tps, tps / base)
+    } else {
+        format!("{tps:>9.0} (  -  )")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_are_sane() {
+        assert!(bench_secs() > 0.0);
+        assert!(bench_scale() >= 1.0);
+        assert!(workers_per_node() >= 1);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert!(cell(1000.0, 500.0).contains("2.00x"));
+        assert!(cell(1000.0, 0.0).contains("-"));
+    }
+
+    #[test]
+    fn report_accumulates_lines() {
+        let mut r = Report::new("selftest", "Self test");
+        r.line("hello");
+        assert!(r.lines.iter().any(|l| l == "hello"));
+    }
+}

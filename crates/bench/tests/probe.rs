@@ -1,0 +1,54 @@
+//! Diagnostic probe (run explicitly with `cargo test -p pmp-bench --test
+//! probe -- --ignored --nocapture`): fresh cluster per point so PMFS
+//! counters are exact per-phase deltas.
+
+use std::sync::Arc;
+
+use pmp_bench::{bench_cluster, load_suspended, point_config};
+use pmp_workloads::driver::run_workload;
+use pmp_workloads::spec::Workload;
+use pmp_workloads::sysbench::{Sysbench, SysbenchMode};
+use pmp_workloads::targets::PmpTarget;
+
+#[test]
+#[ignore = "diagnostic probe, run with --ignored --nocapture"]
+fn probe_read_only_shared() {
+    for (nodes, pct) in [(1usize, 100u32), (2, 0), (2, 100)] {
+        let cluster = bench_cluster(nodes);
+        let workload = Sysbench::new(SysbenchMode::ReadOnly, nodes, 4, 10_000, pct);
+        let target = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
+        load_suspended(&target, &workload);
+
+        // Snapshot counters after load, before the measured run.
+        let sh = cluster.shared();
+        let base = (
+            sh.pmfs.plock.stats().acquires.get(),
+            sh.pmfs.plock.stats().negotiations.get(),
+            sh.pmfs.buffer.stats().pushes.get(),
+            (0..nodes)
+                .map(|i| cluster.node(i).wal.stream().sync_count())
+                .sum::<u64>(),
+            sh.fabric.stats().reads.get(),
+            sh.fabric.stats().rpcs.get(),
+            sh.storage.page_store().stats().page_reads.get(),
+        );
+        let result = run_workload(&target, &workload, point_config(None));
+        let c = result.committed.max(1) as f64;
+        println!(
+            "nodes={nodes} shared={pct}% tps={:.0} | per txn: plock {:.2} neg {:.3} push {:.2} sync {:.2} fab_rd {:.1} rpc {:.2} storage_rd {:.3}",
+            result.tps(),
+            (sh.pmfs.plock.stats().acquires.get() - base.0) as f64 / c,
+            (sh.pmfs.plock.stats().negotiations.get() - base.1) as f64 / c,
+            (sh.pmfs.buffer.stats().pushes.get() - base.2) as f64 / c,
+            ((0..nodes)
+                .map(|i| cluster.node(i).wal.stream().sync_count())
+                .sum::<u64>()
+                - base.3) as f64
+                / c,
+            (sh.fabric.stats().reads.get() - base.4) as f64 / c,
+            (sh.fabric.stats().rpcs.get() - base.5) as f64 / c,
+            (sh.storage.page_store().stats().page_reads.get() - base.6) as f64 / c,
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,196 @@
+//! Lightweight metrics primitives: a log-bucketed latency histogram (used to
+//! report the paper's P95 latencies, Fig 9/13) and a relaxed atomic counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of logarithmic buckets: bucket `i` covers latencies in
+/// `[2^i, 2^(i+1))` nanoseconds, up to ~9.2 seconds in the last bucket.
+const BUCKETS: usize = 64;
+
+/// A concurrent, fixed-memory latency histogram with logarithmic buckets.
+///
+/// Recording is a single relaxed atomic increment, cheap enough to sit on
+/// every transaction's commit path during benchmarks. Quantiles are
+/// approximate (bucket-resolution) which is ample for the shapes the paper
+/// reports.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+    }
+
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) as the upper bound of the
+    /// bucket containing the q-th sample.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper bound of bucket i is 2^(i+1) - 1.
+                return (1u64 << (i + 1)).saturating_sub(1);
+            }
+        }
+        u64::MAX
+    }
+
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Relaxed atomic counter used all over the metering code.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_for(1), 0);
+        assert_eq!(LatencyHistogram::bucket_for(2), 1);
+        assert_eq!(LatencyHistogram::bucket_for(3), 1);
+        assert_eq!(LatencyHistogram::bucket_for(4), 2);
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), BUCKETS - 1);
+        // Zero is clamped into the first bucket rather than panicking.
+        assert_eq!(LatencyHistogram::bucket_for(0), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        let p95 = h.quantile_ns(0.95);
+        assert!(p50 <= p95);
+        // p95 falls in the bucket of the largest sample.
+        assert!(p95 >= 100_000);
+        assert!(p95 < 262_144, "p95 {p95} should be the 2^18-1 bucket bound");
+    }
+
+    #[test]
+    fn mean_and_reset() {
+        let h = LatencyHistogram::new();
+        h.record_ns(100);
+        h.record_ns(300);
+        assert_eq!(h.mean_ns(), 200);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.95), 0);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 1..=1000u64 {
+                        h.record_ns(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

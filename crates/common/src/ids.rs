@@ -1,0 +1,172 @@
+//! Identifier newtypes.
+//!
+//! The paper identifies a transaction globally by the tuple
+//! `(node_id, trx_id, slot_id, version)` (§4.1). We keep the tuple as a
+//! plain struct (rather than bit-packing) because the row headers in this
+//! reproduction are structured values, but we preserve the exact semantics:
+//! the `slot` locates the transaction's TIT slot on its home node and the
+//! `version` disambiguates reuse of that slot.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a primary node in the cluster (also used for PMFS-internal
+/// bookkeeping such as PLock holder lists).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Identifier of a data page. Pages are allocated from a cluster-global
+/// allocator hosted by the shared storage layer, so a `PageId` is unique
+/// across all tables and nodes.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. absent next-leaf link).
+    pub const NULL: PageId = PageId(0);
+
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page-{}", self.0)
+    }
+}
+
+/// Identifier of a table (primary B-tree).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table-{}", self.0)
+    }
+}
+
+/// Identifier of a (global) secondary index attached to a table.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct IndexId(pub u32);
+
+/// Node-local transaction id, allocated from a per-node counter without any
+/// cross-node coordination (§4.1: "a locally incremental and unique ID").
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct TrxId(pub u64);
+
+/// Index of a slot in a node's Transaction Information Table (TIT).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct SlotId(pub u32);
+
+/// Globally unique transaction identity: `(node_id, trx_id, slot_id, version)`
+/// exactly as in §4.1. With a `GlobalTrxId` any node can locate the owning
+/// node's TIT slot and read the transaction's commit timestamp via a
+/// one-sided RDMA read.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct GlobalTrxId {
+    pub node: NodeId,
+    pub trx: TrxId,
+    pub slot: SlotId,
+    /// Disambiguates transactions that reuse the same TIT slot over time.
+    pub version: u64,
+}
+
+impl GlobalTrxId {
+    /// Sentinel meaning "no transaction" — used e.g. for the embedded row
+    /// lock word when a row is unlocked and for freshly loaded rows.
+    pub const NONE: GlobalTrxId = GlobalTrxId {
+        node: NodeId(u16::MAX),
+        trx: TrxId(0),
+        slot: SlotId(0),
+        version: 0,
+    };
+
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+}
+
+impl Default for GlobalTrxId {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl fmt::Display for GlobalTrxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "trx-none")
+        } else {
+            write!(
+                f,
+                "trx-{}.{}@slot{}v{}",
+                self.node.0, self.trx.0, self.slot.0, self.version
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_trx_id_none_sentinel() {
+        assert!(GlobalTrxId::NONE.is_none());
+        let real = GlobalTrxId {
+            node: NodeId(0),
+            trx: TrxId(1),
+            slot: SlotId(0),
+            version: 1,
+        };
+        assert!(!real.is_none());
+        assert_eq!(GlobalTrxId::default(), GlobalTrxId::NONE);
+    }
+
+    #[test]
+    fn page_id_null() {
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(7).is_null());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(PageId(9).to_string(), "page-9");
+        assert_eq!(TableId(1).to_string(), "table-1");
+        let g = GlobalTrxId {
+            node: NodeId(2),
+            trx: TrxId(40),
+            slot: SlotId(5),
+            version: 3,
+        };
+        assert_eq!(g.to_string(), "trx-2.40@slot5v3");
+        assert_eq!(GlobalTrxId::NONE.to_string(), "trx-none");
+    }
+}

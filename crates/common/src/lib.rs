@@ -1,0 +1,24 @@
+//! Shared primitives for the PolarDB-MP reproduction.
+//!
+//! This crate hosts the vocabulary types used across every layer of the
+//! system: node/page/transaction identifiers, commit timestamps (CTS), log
+//! sequence numbers (LSN) and *logical* log sequence numbers (LLSN, §4.4 of
+//! the paper), the global transaction id (`GlobalTrxId`, §4.1), error types,
+//! cluster configuration, and small metrics utilities (latency histograms and
+//! monotonic counters) used by the benchmark harness.
+//!
+//! Everything here is dependency-light so that all other crates — the
+//! simulated RDMA fabric, shared storage, PMFS and the node engine — can
+//! share one set of definitions without cycles.
+
+pub mod config;
+pub mod error;
+pub mod hist;
+pub mod ids;
+pub mod timestamp;
+
+pub use config::{ClusterConfig, EngineConfig, LatencyConfig, StorageLatencyConfig};
+pub use error::{PmpError, Result};
+pub use hist::{Counter, LatencyHistogram};
+pub use ids::{GlobalTrxId, IndexId, NodeId, PageId, SlotId, TableId, TrxId};
+pub use timestamp::{Cts, Llsn, Lsn, CSN_INIT, CSN_MAX, CSN_MIN};

@@ -1,0 +1,134 @@
+//! Commit timestamps and log sequence numbers.
+//!
+//! * [`Cts`] — commit timestamp allocated by the Timestamp Oracle (TSO) in
+//!   Transaction Fusion (§4.1). `CSN_INIT` marks "not yet committed",
+//!   `CSN_MIN` means "visible to everyone" (returned when a TIT slot has been
+//!   recycled, Algorithm 1 line 15) and `CSN_MAX` means "visible to nobody
+//!   but the owner" (still-active transaction, Algorithm 1 line 19).
+//! * [`Lsn`] — node-local physical log sequence number; doubles as the byte
+//!   offset in that node's redo stream (§4.4).
+//! * [`Llsn`] — the *logical* LSN establishing a partial order across nodes
+//!   for redo records touching the same page (§4.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Commit timestamp (a.k.a. commit sequence number / CSN).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Cts(pub u64);
+
+/// A transaction that has not committed yet carries this CTS in its TIT slot
+/// and in any row versions it wrote.
+pub const CSN_INIT: Cts = Cts(0);
+/// Smaller than every snapshot — the version is visible to all transactions.
+pub const CSN_MIN: Cts = Cts(1);
+/// Larger than every snapshot — the version is visible to no one else.
+pub const CSN_MAX: Cts = Cts(u64::MAX);
+
+impl Cts {
+    pub fn is_init(self) -> bool {
+        self == CSN_INIT
+    }
+
+    /// A version with this CTS is visible to a snapshot taken at `snapshot`
+    /// when it committed at or before the snapshot. The TSO hands out the
+    /// *current* value as read timestamps, and commit timestamps are
+    /// allocated with fetch-add, so commit CTS == snapshot CTS implies the
+    /// commit happened before the snapshot was taken.
+    pub fn visible_at(self, snapshot: Cts) -> bool {
+        debug_assert!(!self.is_init(), "visibility of an unfilled CTS is undefined");
+        self <= snapshot
+    }
+}
+
+impl fmt::Display for Cts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CSN_INIT => write!(f, "cts-init"),
+            CSN_MAX => write!(f, "cts-max"),
+            Cts(v) => write!(f, "cts-{v}"),
+        }
+    }
+}
+
+/// Node-local physical log sequence number (byte offset in the redo stream).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    pub const ZERO: Lsn = Lsn(0);
+
+    pub fn advance(self, bytes: u64) -> Lsn {
+        Lsn(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn-{}", self.0)
+    }
+}
+
+/// Logical log sequence number (§4.4). Each node keeps a local LLSN counter;
+/// reading a page advances the counter to at least the page's LLSN, and each
+/// update stamps `counter + 1` into both the page and the redo record. Redo
+/// records for the *same page* are therefore totally ordered by LLSN across
+/// nodes, while records for different pages are only partially ordered —
+/// which is exactly the order recovery needs.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Llsn(pub u64);
+
+impl Llsn {
+    pub const ZERO: Llsn = Llsn(0);
+}
+
+impl fmt::Display for Llsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "llsn-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cts_sentinels_order() {
+        assert!(CSN_MIN > CSN_INIT);
+        assert!(CSN_MAX > CSN_MIN);
+        assert!(Cts(42) > CSN_MIN);
+        assert!(Cts(42) < CSN_MAX);
+    }
+
+    #[test]
+    fn cts_visibility() {
+        let snapshot = Cts(100);
+        assert!(Cts(99).visible_at(snapshot));
+        assert!(Cts(100).visible_at(snapshot));
+        assert!(!Cts(101).visible_at(snapshot));
+        assert!(CSN_MIN.visible_at(snapshot));
+        assert!(!CSN_MAX.visible_at(snapshot));
+    }
+
+    #[test]
+    fn lsn_advance_is_offset() {
+        let l = Lsn::ZERO.advance(128).advance(64);
+        assert_eq!(l, Lsn(192));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cts(5).to_string(), "cts-5");
+        assert_eq!(CSN_INIT.to_string(), "cts-init");
+        assert_eq!(CSN_MAX.to_string(), "cts-max");
+        assert_eq!(Lsn(7).to_string(), "lsn-7");
+        assert_eq!(Llsn(9).to_string(), "llsn-9");
+    }
+}

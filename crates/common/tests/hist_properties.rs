@@ -1,0 +1,59 @@
+//! Property tests for the latency histogram: bucketed quantiles must
+//! bracket the exact quantiles for arbitrary sample sets.
+
+use pmp_common::LatencyHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantile_upper_bounds_the_exact_quantile(
+        mut samples in proptest::collection::vec(1u64..=1_000_000_000, 1..500),
+        q in 0.01f64..=1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        samples.sort_unstable();
+        let idx = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len()) - 1;
+        let exact = samples[idx];
+        let approx = h.quantile_ns(q);
+        // The bucketed quantile is the upper bound of the bucket holding
+        // the exact quantile: never below it, never more than 2× above.
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        prop_assert!(
+            approx < exact.saturating_mul(2).max(2),
+            "approx {approx} >= 2x exact {exact}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(1u64..=1_000_000, 1..200),
+    ) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile_ns(q);
+            prop_assert!(v >= last, "quantiles must be monotone in q");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn mean_matches_exact_mean(
+        samples in proptest::collection::vec(1u64..=1_000_000, 1..300),
+    ) {
+        let h = LatencyHistogram::new();
+        let mut sum = 0u64;
+        for &s in &samples {
+            h.record_ns(s);
+            sum += s;
+        }
+        prop_assert_eq!(h.mean_ns(), sum / samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+}

@@ -1,0 +1,429 @@
+//! The multi-primary cluster.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pmp_common::{ClusterConfig, NodeId, PmpError, Result, TableId};
+use pmp_engine::recovery::{recover_node, RecoveryStats};
+use pmp_engine::shared::Shared;
+use pmp_engine::NodeEngine;
+
+use crate::session::Session;
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterBuilder {
+    pub fn new() -> Self {
+        ClusterBuilder {
+            config: ClusterConfig::test(1),
+        }
+    }
+
+    /// Number of primary nodes at startup.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.config.nodes = n;
+        self
+    }
+
+    /// Use a full configuration (latency profile, engine knobs, …).
+    pub fn config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn build(self) -> Arc<Cluster> {
+        Cluster::start(self.config)
+    }
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A PolarDB-MP cluster: N primary nodes over one PMFS + shared storage.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    nodes: Mutex<Vec<Arc<NodeEngine>>>,
+    stop: Arc<AtomicBool>,
+    detector: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Start a cluster with `config.nodes` primaries and the Lock Fusion
+    /// deadlock detector running (§4.3.2).
+    pub fn start(config: ClusterConfig) -> Arc<Cluster> {
+        let shared = Shared::new(config);
+        let nodes = (0..config.nodes.max(1))
+            .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i as u16)))
+            .collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let detector = {
+            let rlock = Arc::clone(&shared.pmfs.rlock);
+            let stop = Arc::clone(&stop);
+            let interval = Duration::from_millis(config.deadlock_interval_ms);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    rlock.detect_once();
+                    std::thread::sleep(interval);
+                }
+            })
+        };
+
+        Arc::new(Cluster {
+            shared,
+            nodes: Mutex::new(nodes),
+            stop,
+            detector: Mutex::new(Some(detector)),
+        })
+    }
+
+    /// Cluster-shared services (PMFS, storage, fabric, catalog) — exposed
+    /// for benchmarks, diagnostics and failure injection.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// The engine of node `i` (panics on out-of-range; see
+    /// [`try_node`](Self::try_node)).
+    pub fn node(&self, i: usize) -> Arc<NodeEngine> {
+        Arc::clone(&self.nodes.lock()[i])
+    }
+
+    pub fn try_node(&self, i: usize) -> Option<Arc<NodeEngine>> {
+        self.nodes.lock().get(i).map(Arc::clone)
+    }
+
+    /// Open a session bound to node `i` (sessions are cheap; a workload
+    /// thread typically holds one).
+    pub fn session(&self, i: usize) -> Session {
+        Session::new(self.node(i))
+    }
+
+    /// Online scale-out (Fig 10): start one more primary node against the
+    /// same PMFS + storage. Returns its index.
+    pub fn add_node(&self) -> usize {
+        let mut nodes = self.nodes.lock();
+        let id = NodeId(nodes.len() as u16);
+        nodes.push(NodeEngine::start(Arc::clone(&self.shared), id));
+        nodes.len() - 1
+    }
+
+    /// Create a primary table with `columns` u64 columns and one GSI per
+    /// entry of `gsi_columns`.
+    pub fn create_table(&self, name: &str, columns: usize, gsi_columns: &[usize]) -> Result<TableId> {
+        Ok(self.shared.create_table(name, columns, gsi_columns)?.id)
+    }
+
+    /// Gracefully remove node `i` from the cluster (scale-in): drains its
+    /// transactions, flushes its state, releases all its fusion resources.
+    /// The node slot stays in the roster (dead) so indices stay stable.
+    pub fn remove_node(&self, i: usize, drain: std::time::Duration) -> Result<()> {
+        self.node(i).decommission(drain)
+    }
+
+    /// One-screen operational report: per-node commit counters plus the
+    /// PMFS / storage / fabric meters.
+    pub fn stats_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let sh = &self.shared;
+        let _ = writeln!(out, "nodes: {}", self.node_count());
+        for (i, node) in self.nodes.lock().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  node {i}: alive={} commits={} rollbacks={} deadlocks={} reads={} writes={} lock_waits={}",
+                node.is_alive(),
+                node.stats.commits.get(),
+                node.stats.rollbacks.get(),
+                node.stats.deadlock_aborts.get(),
+                node.stats.reads.get(),
+                node.stats.writes.get(),
+                node.stats.lock_waits.get(),
+            );
+        }
+        let b = sh.pmfs.buffer.stats();
+        let _ = writeln!(
+            out,
+            "buffer fusion: hits={} misses={} fetches={} pushes={} invalidations={} evictions={}",
+            b.hits.get(), b.misses.get(), b.fetches.get(), b.pushes.get(),
+            b.invalidations.get(), b.evictions.get()
+        );
+        let p = sh.pmfs.plock.stats();
+        let _ = writeln!(
+            out,
+            "lock fusion: acquires={} immediate={} queued={} negotiations={} releases={} timeouts={}",
+            p.acquires.get(), p.immediate_grants.get(), p.queued_grants.get(),
+            p.negotiations.get(), p.releases.get(), p.timeouts.get()
+        );
+        let r = sh.pmfs.rlock.stats();
+        let _ = writeln!(
+            out,
+            "row waits: registered={} commit_notifications={} wakeups={} deadlocks={}",
+            r.waits_registered.get(), r.commit_notifications.get(),
+            r.wakeups.get(), r.deadlocks.get()
+        );
+        let st = sh.storage.page_store().stats();
+        let f = sh.fabric.stats();
+        let _ = writeln!(
+            out,
+            "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={}",
+            st.page_reads.get(), st.page_writes.get(),
+            f.reads.get(), f.writes.get(), f.atomics.get(), f.rpcs.get()
+        );
+        out
+    }
+
+    /// Flush every node and take quiesced checkpoints where possible —
+    /// operators run this before planned maintenance so a subsequent
+    /// restart replays only log tails.
+    ///
+    /// ```
+    /// use pmp_core::Cluster;
+    /// use pmp_engine::row::RowValue;
+    /// let cluster = Cluster::builder().nodes(2).build();
+    /// let t = cluster.create_table("t", 1, &[]).unwrap();
+    /// cluster.session(0).insert(t, 1, RowValue::new(vec![9])).unwrap();
+    /// cluster.checkpoint_all();
+    /// // The busy node's checkpoint advanced past the bulk of its log.
+    /// assert!(cluster.node(0).wal.stream().checkpoint().0 > 0);
+    /// ```
+    pub fn checkpoint_all(&self) {
+        for node in self.nodes.lock().iter() {
+            if node.is_alive() {
+                node.flush_tick(); // flush + opportunistic checkpoint
+            }
+        }
+    }
+
+    /// Crash node `i` (volatile state lost, fusion-side locks frozen).
+    pub fn crash_node(&self, i: usize) {
+        self.node(i).crash();
+    }
+
+    /// Recover a crashed node in place. Returns recovery statistics.
+    pub fn recover_node(&self, i: usize) -> Result<RecoveryStats> {
+        let node_id = {
+            let nodes = self.nodes.lock();
+            let engine = nodes
+                .get(i)
+                .ok_or_else(|| PmpError::internal("no such node"))?;
+            if engine.is_alive() {
+                return Err(PmpError::internal("node is not crashed"));
+            }
+            engine.node
+        };
+        let (engine, stats) = recover_node(&self.shared, node_id)?;
+        self.nodes.lock()[i] = engine;
+        Ok(stats)
+    }
+
+    /// Aggregate committed-transaction count across nodes (throughput
+    /// sampling for the timeline figures).
+    pub fn total_commits(&self) -> u64 {
+        self.nodes
+            .lock()
+            .iter()
+            .map(|n| n.stats.commits.get())
+            .sum()
+    }
+
+    /// Per-node committed-transaction counts.
+    pub fn commits_per_node(&self) -> Vec<u64> {
+        self.nodes
+            .lock()
+            .iter()
+            .map(|n| n.stats.commits.get())
+            .collect()
+    }
+
+    /// Stop background machinery (detector + node threads). Nodes stay
+    /// usable for reads but no new background work runs.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.detector.lock().take() {
+            let _ = t.join();
+        }
+        for node in self.nodes.lock().iter() {
+            node.stop_background();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_engine::row::RowValue;
+
+    fn v(cols: &[u64]) -> RowValue {
+        RowValue::new(cols.to_vec())
+    }
+
+    #[test]
+    fn builder_starts_requested_nodes() {
+        let c = Cluster::builder().nodes(3).build();
+        assert_eq!(c.node_count(), 3);
+        assert!(c.try_node(2).is_some());
+        assert!(c.try_node(3).is_none());
+    }
+
+    #[test]
+    fn add_node_scales_out_online() {
+        let c = Cluster::builder().nodes(1).build();
+        let t = c.create_table("t", 2, &[]).unwrap();
+        c.session(0)
+            .with_txn(|txn| txn.insert(t, 1, v(&[5, 0])))
+            .unwrap();
+
+        let idx = c.add_node();
+        assert_eq!(idx, 1);
+        // The new node reads data written before it joined.
+        let row = c.session(1).with_txn(|txn| txn.get(t, 1)).unwrap();
+        assert_eq!(row, Some(v(&[5, 0])));
+    }
+
+    #[test]
+    fn crash_and_recover_roundtrip() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 2, &[]).unwrap();
+        c.session(0)
+            .with_txn(|txn| txn.insert(t, 1, v(&[7, 0])))
+            .unwrap();
+
+        c.crash_node(0);
+        assert!(matches!(
+            c.session(0).with_txn(|txn| txn.get(t, 1)),
+            Err(PmpError::NodeUnavailable { .. })
+        ));
+        assert!(c.recover_node(1).is_err(), "healthy node is not recoverable");
+
+        c.recover_node(0).unwrap();
+        let row = c.session(0).with_txn(|txn| txn.get(t, 1)).unwrap();
+        assert_eq!(row, Some(v(&[7, 0])));
+    }
+
+    #[test]
+    fn remove_node_scales_in_gracefully() {
+        let c = Cluster::builder().nodes(3).build();
+        let t = c.create_table("t", 2, &[]).unwrap();
+        for k in 0..50 {
+            c.session(2).with_txn(|txn| txn.insert(t, k, v(&[k, 0]))).unwrap();
+        }
+        // Node 2 leaves; its data stays reachable from the survivors.
+        c.remove_node(2, std::time::Duration::from_secs(1)).unwrap();
+        assert!(matches!(
+            c.session(2).get(t, 1),
+            Err(PmpError::NodeUnavailable { .. })
+        ));
+        for node in 0..2 {
+            assert_eq!(
+                c.session(node).get(t, 7).unwrap(),
+                Some(v(&[7, 0])),
+                "survivor {node}"
+            );
+        }
+        // And the survivors can write the departed node's former pages.
+        c.session(0)
+            .with_txn(|txn| txn.update(t, 7, v(&[70, 0])))
+            .unwrap();
+        assert_eq!(c.session(1).get(t, 7).unwrap(), Some(v(&[70, 0])));
+    }
+
+    #[test]
+    fn remove_node_refuses_while_transactions_active() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        c.session(0).insert(t, 1, v(&[0])).unwrap();
+        let mut open = c.session(0).begin().unwrap();
+        open.update(t, 1, v(&[1])).unwrap();
+        let err = c
+            .remove_node(0, std::time::Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, PmpError::Aborted { .. }), "{err:?}");
+        // The refusal must leave the node serviceable.
+        open.commit().unwrap();
+        assert_eq!(c.session(0).get(t, 1).unwrap(), Some(v(&[1])));
+    }
+
+    #[test]
+    fn remove_node_lets_in_flight_transactions_finish() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        c.session(0).insert(t, 1, v(&[0])).unwrap();
+
+        // An in-flight transaction commits *during* the drain window.
+        let mut open = c.session(0).begin().unwrap();
+        open.update(t, 1, v(&[7])).unwrap();
+        let c2 = Arc::clone(&c);
+        let decom = std::thread::spawn(move || {
+            c2.remove_node(0, std::time::Duration::from_secs(5))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // New begins are refused while draining …
+        assert!(matches!(
+            c.session(0).begin().map(|_| ()),
+            Err(PmpError::NodeUnavailable { .. })
+        ));
+        // … but the in-flight commit succeeds and unblocks the drain.
+        open.commit().unwrap();
+        decom.join().unwrap().unwrap();
+        assert_eq!(c.session(1).get(t, 1).unwrap(), Some(v(&[7])));
+    }
+
+    #[test]
+    fn stats_report_mentions_every_section() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        c.session(0).insert(t, 1, v(&[1])).unwrap();
+        c.session(1).get(t, 1).unwrap();
+        let report = c.stats_report();
+        for needle in ["nodes: 2", "node 0", "buffer fusion", "lock fusion", "row waits", "storage:"] {
+            assert!(report.contains(needle), "missing {needle} in:
+{report}");
+        }
+    }
+
+    #[test]
+    fn commit_counters_aggregate() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 2, &[]).unwrap();
+        for i in 0..3 {
+            c.session(i % 2)
+                .with_txn(|txn| txn.insert(t, i as u64, v(&[0, 0])))
+                .unwrap();
+        }
+        assert_eq!(c.total_commits(), 3);
+        assert_eq!(c.commits_per_node().len(), 2);
+    }
+}

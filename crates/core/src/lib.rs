@@ -1,0 +1,35 @@
+//! PolarDB-MP public API: cluster assembly, sessions, and transactions.
+//!
+//! A [`Cluster`] owns the shared services (simulated fabric, PMFS, shared
+//! storage, undo store, catalog), the primary node engines, and the Lock
+//! Fusion deadlock detector thread. Nodes can be added online (the Fig 10
+//! scale-out experiment), crashed, and recovered (Fig 15).
+//!
+//! ```
+//! use pmp_core::Cluster;
+//! use pmp_engine::row::RowValue;
+//!
+//! let cluster = Cluster::builder().nodes(2).build();
+//! let orders = cluster.create_table("orders", 2, &[]).unwrap();
+//!
+//! // Write on node 0 …
+//! let s0 = cluster.session(0);
+//! s0.with_txn(|txn| txn.insert(orders, 1, RowValue::new(vec![42, 0])))
+//!     .unwrap();
+//!
+//! // … read the same row on node 1 (moved via Buffer Fusion, not storage).
+//! let s1 = cluster.session(1);
+//! let row = s1.with_txn(|txn| txn.get(orders, 1)).unwrap();
+//! assert_eq!(row, Some(RowValue::new(vec![42, 0])));
+//! ```
+
+pub mod cluster;
+pub mod session;
+
+pub use cluster::{Cluster, ClusterBuilder};
+pub use session::Session;
+
+pub use pmp_common::{ClusterConfig, EngineConfig, LatencyConfig, PmpError, Result};
+pub use pmp_engine::recovery::RecoveryStats;
+pub use pmp_engine::row::RowValue;
+pub use pmp_engine::{Txn, TxnStatus};

@@ -1,0 +1,186 @@
+//! Sessions: a connection to one primary node.
+
+use std::sync::Arc;
+
+use pmp_common::{Result, TableId};
+use pmp_engine::row::RowValue;
+use pmp_engine::{NodeEngine, Txn};
+
+/// A session bound to one primary node (like a client connection). All
+/// statements execute on that node; PolarDB-MP never needs distributed
+/// transactions because every node can reach all data (§1).
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<NodeEngine>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("node", &self.engine.node)
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(engine: Arc<NodeEngine>) -> Self {
+        Session { engine }
+    }
+
+    pub fn engine(&self) -> &Arc<NodeEngine> {
+        &self.engine
+    }
+
+    /// Begin an explicit transaction.
+    pub fn begin(&self) -> Result<Txn> {
+        self.engine.begin()
+    }
+
+    /// Run `f` in a transaction: commit on `Ok`, roll back on `Err`.
+    pub fn with_txn<R>(&self, f: impl FnOnce(&mut Txn) -> Result<R>) -> Result<R> {
+        let mut txn = self.begin()?;
+        match f(&mut txn) {
+            Ok(r) => {
+                txn.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                // A deadlock/timeout already rolled the transaction back;
+                // explicit rollback is a no-op then.
+                let _ = txn.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`with_txn`](Self::with_txn) but retries transactions that
+    /// fail with a retryable error (deadlock victim, lock-wait timeout) up
+    /// to `max_retries` times — the retry loop the paper notes Aurora-MM
+    /// pushes onto applications (§2.3); here it is one call.
+    ///
+    /// ```
+    /// use pmp_core::Cluster;
+    /// use pmp_engine::row::RowValue;
+    /// let cluster = Cluster::builder().nodes(1).build();
+    /// let t = cluster.create_table("counters", 1, &[]).unwrap();
+    /// let s = cluster.session(0);
+    /// s.insert(t, 1, RowValue::new(vec![0])).unwrap();
+    /// // Atomic increment via a locking read; deadlock-safe under retry.
+    /// s.with_txn_retry(8, |txn| {
+    ///     let cur = txn.get_for_update(t, 1)?.unwrap().col(0);
+    ///     txn.update(t, 1, RowValue::new(vec![cur + 1]))
+    /// })
+    /// .unwrap();
+    /// assert_eq!(s.get(t, 1).unwrap().unwrap().col(0), 1);
+    /// ```
+    pub fn with_txn_retry<R>(
+        &self,
+        max_retries: usize,
+        mut f: impl FnMut(&mut Txn) -> Result<R>,
+    ) -> Result<R> {
+        let mut attempt = 0;
+        loop {
+            match self.with_txn(&mut f) {
+                Err(e) if e.is_retryable() && attempt < max_retries => {
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    // -- single-statement conveniences (auto-commit) --
+
+    pub fn get(&self, table: TableId, key: u64) -> Result<Option<RowValue>> {
+        self.with_txn(|txn| txn.get(table, key))
+    }
+
+    pub fn insert(&self, table: TableId, key: u64, value: RowValue) -> Result<()> {
+        self.with_txn(|txn| txn.insert(table, key, value))
+    }
+
+    pub fn update(&self, table: TableId, key: u64, value: RowValue) -> Result<()> {
+        self.with_txn(|txn| txn.update(table, key, value))
+    }
+
+    pub fn delete(&self, table: TableId, key: u64) -> Result<()> {
+        self.with_txn(|txn| txn.delete(table, key))
+    }
+
+    pub fn scan(&self, table: TableId, from: u64, limit: usize) -> Result<Vec<(u64, RowValue)>> {
+        self.with_txn(|txn| txn.scan(table, from, limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Cluster;
+    use pmp_common::PmpError;
+    use pmp_engine::row::RowValue;
+
+    fn v(cols: &[u64]) -> RowValue {
+        RowValue::new(cols.to_vec())
+    }
+
+    #[test]
+    fn with_txn_commits_on_ok() {
+        let c = Cluster::builder().nodes(1).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        let s = c.session(0);
+        s.with_txn(|txn| txn.insert(t, 1, v(&[1]))).unwrap();
+        assert_eq!(s.get(t, 1).unwrap(), Some(v(&[1])));
+    }
+
+    #[test]
+    fn with_txn_rolls_back_on_err() {
+        let c = Cluster::builder().nodes(1).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        let s = c.session(0);
+        let r: crate::Result<()> = s.with_txn(|txn| {
+            txn.insert(t, 1, v(&[1]))?;
+            Err(PmpError::aborted("test abort"))
+        });
+        assert!(r.is_err());
+        assert_eq!(s.get(t, 1).unwrap(), None, "insert must be rolled back");
+    }
+
+    #[test]
+    fn retry_wrapper_retries_only_retryable() {
+        let c = Cluster::builder().nodes(1).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        let s = c.session(0);
+
+        let mut calls = 0;
+        let r = s.with_txn_retry(3, |_txn| {
+            calls += 1;
+            if calls < 3 {
+                Err(PmpError::LockWaitTimeout)
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+
+        let mut calls = 0;
+        let r: crate::Result<()> = s.with_txn_retry(3, |_txn| {
+            calls += 1;
+            Err(PmpError::KeyNotFound)
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "non-retryable errors must not retry");
+        let _ = t;
+    }
+
+    #[test]
+    fn statement_conveniences_autocommit() {
+        let c = Cluster::builder().nodes(1).build();
+        let t = c.create_table("t", 2, &[]).unwrap();
+        let s = c.session(0);
+        s.insert(t, 1, v(&[1, 2])).unwrap();
+        s.update(t, 1, v(&[3, 4])).unwrap();
+        assert_eq!(s.get(t, 1).unwrap(), Some(v(&[3, 4])));
+        assert_eq!(s.scan(t, 0, 10).unwrap().len(), 1);
+        s.delete(t, 1).unwrap();
+        assert_eq!(s.get(t, 1).unwrap(), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal binary codec for log records.
+//!
+//! Little-endian, length-prefixed framing. Deliberately dependency-free:
+//! the only consumers are the redo log (`redo.rs`) and recovery, which need
+//! exact control over framing so that a log chunk can be decoded up to the
+//! last complete record and resumed at a byte offset (§4.4's chunked
+//! recovery).
+
+use pmp_common::PmpError;
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential byte reader over a slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecodeResult<T> = Result<T, PmpError>;
+
+fn truncated() -> PmpError {
+    PmpError::internal("truncated log record")
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(truncated());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> DecodeResult<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    pub fn get_u16(&mut self) -> DecodeResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_u128(&mut self) -> DecodeResult<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn get_bytes(&mut self) -> DecodeResult<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = Writer::new();
+        w.put_u8(0xab);
+        w.put_bool(true);
+        w.put_u16(0x1234);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_u128(u128::MAX - 7);
+        w.put_bytes(b"hello");
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX - 7);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_without_panic() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(r.get_u64().is_err());
+
+        // Truncated length-prefixed bytes.
+        let mut w = Writer::new();
+        w.put_bytes(b"abcdef");
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf[..6]);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.pos(), 0);
+        r.get_u32().unwrap();
+        assert_eq!(r.pos(), 4);
+        assert_eq!(r.remaining(), 4);
+    }
+}

@@ -1,0 +1,377 @@
+//! The local buffer pool (LBP), §4.2 / Figure 4.
+//!
+//! Each frame carries the two extra fields the paper adds to LBP page
+//! metadata: a `valid` flag — registered with Buffer Fusion so a peer's
+//! push can invalidate our copy with a one-sided write — and (implicitly,
+//! via the DBP registration) the page's remote address. Frames also track
+//! dirty state: the newest redo LSN covering the page, which must be forced
+//! to storage before the page may be pushed to the DBP (§4.2's WAL rule).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use pmp_common::{Counter, Llsn, Lsn, PageId};
+
+use crate::page::Page;
+
+/// Dirty bookkeeping for one frame.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirtyState {
+    pub dirty: bool,
+    /// Newest redo LSN whose record touches this page (force-before-push).
+    pub newest_lsn: Lsn,
+    /// LLSN of the newest local modification (push version).
+    pub newest_llsn: Llsn,
+}
+
+/// One buffered page.
+#[derive(Debug)]
+pub struct Frame {
+    pub page: RwLock<Page>,
+    /// Cleared remotely by Buffer Fusion when a peer pushes a newer version.
+    pub valid: Arc<AtomicBool>,
+    dirty: Mutex<DirtyState>,
+    /// Clock-hand reference bit for eviction.
+    referenced: AtomicBool,
+}
+
+impl Frame {
+    fn new(page: Page, valid: Arc<AtomicBool>) -> Arc<Self> {
+        Arc::new(Frame {
+            page: RwLock::new(page),
+            valid,
+            dirty: Mutex::new(DirtyState::default()),
+            referenced: AtomicBool::new(true),
+        })
+    }
+
+    pub fn is_valid(&self) -> bool {
+        self.valid.load(Ordering::Acquire)
+    }
+
+    pub fn set_valid(&self) {
+        self.valid.store(true, Ordering::Release);
+    }
+
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.lock().dirty
+    }
+
+    /// Record a local modification (caller holds the frame write latch).
+    pub fn mark_dirty(&self, lsn: Lsn, llsn: Llsn) {
+        let mut d = self.dirty.lock();
+        d.dirty = true;
+        d.newest_lsn = d.newest_lsn.max(lsn);
+        d.newest_llsn = d.newest_llsn.max(llsn);
+    }
+
+    pub fn dirty_state(&self) -> DirtyState {
+        *self.dirty.lock()
+    }
+
+    /// Clear the dirty bit iff no modification landed after `seen` (the
+    /// state captured before the flush's log force + DBP push).
+    pub fn clear_dirty_if_unchanged(&self, seen: DirtyState) -> bool {
+        let mut d = self.dirty.lock();
+        if d.newest_lsn == seen.newest_lsn {
+            d.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+enum Slot {
+    /// A thread is loading this page (DBP / storage round-trip in flight).
+    Loading,
+    Ready(Arc<Frame>),
+}
+
+/// LBP meters.
+#[derive(Debug, Default)]
+pub struct LbpStats {
+    pub hits: Counter,
+    pub invalid_hits: Counter,
+    pub misses: Counter,
+    pub evictions: Counter,
+}
+
+/// The local buffer pool.
+pub struct Lbp {
+    map: Mutex<HashMap<PageId, Slot>>,
+    load_cv: Condvar,
+    capacity: usize,
+    stats: LbpStats,
+}
+
+impl std::fmt::Debug for Lbp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lbp")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of a frame lookup.
+pub enum Lookup {
+    /// Frame present (valid or not — caller checks and refreshes).
+    Hit(Arc<Frame>),
+    /// Absent; the caller has been appointed the loader and must call
+    /// [`Lbp::finish_load`] or [`Lbp::abort_load`].
+    MustLoad,
+}
+
+impl Lbp {
+    pub fn new(capacity: usize) -> Self {
+        Lbp {
+            map: Mutex::new(HashMap::new()),
+            load_cv: Condvar::new(),
+            capacity,
+            stats: LbpStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &LbpStats {
+        &self.stats
+    }
+
+    /// Look up `page_id`; if absent, appoint the caller as the loader
+    /// (exactly one loader at a time — concurrent requesters block until
+    /// the load completes).
+    pub fn lookup(&self, page_id: PageId) -> Lookup {
+        let mut map = self.map.lock();
+        loop {
+            match map.get(&page_id) {
+                Some(Slot::Ready(frame)) => {
+                    frame.referenced.store(true, Ordering::Relaxed);
+                    if frame.is_valid() {
+                        self.stats.hits.inc();
+                    } else {
+                        self.stats.invalid_hits.inc();
+                    }
+                    return Lookup::Hit(Arc::clone(frame));
+                }
+                Some(Slot::Loading) => {
+                    self.load_cv.wait(&mut map);
+                }
+                None => {
+                    self.stats.misses.inc();
+                    map.insert(page_id, Slot::Loading);
+                    return Lookup::MustLoad;
+                }
+            }
+        }
+    }
+
+    /// Install the loaded page and wake waiting requesters. `valid` is the
+    /// flag the loader registered with Buffer Fusion during the load, so
+    /// invalidations that raced the load are not lost.
+    pub fn finish_load(&self, page_id: PageId, page: Page, valid: Arc<AtomicBool>) -> Arc<Frame> {
+        let frame = Frame::new(page, valid);
+        let mut map = self.map.lock();
+        map.insert(page_id, Slot::Ready(Arc::clone(&frame)));
+        self.load_cv.notify_all();
+        frame
+    }
+
+    /// The load failed; clear the sentinel so others can retry.
+    pub fn abort_load(&self, page_id: PageId) {
+        let mut map = self.map.lock();
+        if matches!(map.get(&page_id), Some(Slot::Loading)) {
+            map.remove(&page_id);
+        }
+        self.load_cv.notify_all();
+    }
+
+    /// Fast peek without load appointment (flusher / diagnostics).
+    pub fn peek(&self, page_id: PageId) -> Option<Arc<Frame>> {
+        match self.map.lock().get(&page_id) {
+            Some(Slot::Ready(f)) => Some(Arc::clone(f)),
+            _ => None,
+        }
+    }
+
+    /// Remove a frame outright (crash simulation / tests).
+    pub fn remove(&self, page_id: PageId) {
+        self.map.lock().remove(&page_id);
+        self.load_cv.notify_all();
+    }
+
+    pub fn clear(&self) {
+        self.map.lock().clear();
+        self.load_cv.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn over_capacity(&self) -> bool {
+        self.len() > self.capacity
+    }
+
+    /// All dirty frames (for the background flusher).
+    pub fn dirty_frames(&self) -> Vec<(PageId, Arc<Frame>)> {
+        self.map
+            .lock()
+            .iter()
+            .filter_map(|(id, slot)| match slot {
+                Slot::Ready(f) if f.is_dirty() => Some((*id, Arc::clone(f))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evict up to `want` clean, unlatched, unreferenced frames (clock
+    /// second-chance). Returns the evicted page ids so the caller can
+    /// unregister them from Buffer Fusion.
+    pub fn evict(&self, want: usize) -> Vec<PageId> {
+        let mut evicted = Vec::new();
+        let mut map = self.map.lock();
+        let candidates: Vec<PageId> = map.keys().copied().collect();
+        for id in candidates {
+            if evicted.len() >= want {
+                break;
+            }
+            let Some(Slot::Ready(frame)) = map.get(&id) else {
+                continue;
+            };
+            if frame.referenced.swap(false, Ordering::Relaxed) {
+                continue; // second chance
+            }
+            if frame.is_dirty() {
+                continue; // flusher's job first
+            }
+            if frame.page.try_write().is_none() {
+                continue; // in active use
+            }
+            map.remove(&id);
+            self.stats.evictions.inc();
+            evicted.push(id);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::PageId;
+
+    fn page(id: u64) -> Page {
+        Page::new_leaf(PageId(id))
+    }
+
+    #[test]
+    fn miss_appoints_single_loader() {
+        let lbp = Lbp::new(10);
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        assert!(frame.is_valid());
+        match lbp.lookup(PageId(1)) {
+            Lookup::Hit(f) => assert!(Arc::ptr_eq(&f, &frame)),
+            Lookup::MustLoad => panic!("second lookup must hit"),
+        }
+        assert_eq!(lbp.stats().misses.get(), 1);
+        assert_eq!(lbp.stats().hits.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_requesters_wait_for_loader() {
+        use std::thread;
+        use std::time::Duration;
+        let lbp = Arc::new(Lbp::new(10));
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+
+        let lbp2 = Arc::clone(&lbp);
+        let waiter = thread::spawn(move || match lbp2.lookup(PageId(1)) {
+            Lookup::Hit(f) => f.page.read().id,
+            Lookup::MustLoad => panic!("waiter must not become a second loader"),
+        });
+        thread::sleep(Duration::from_millis(30));
+        lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        assert_eq!(waiter.join().unwrap(), PageId(1));
+    }
+
+    #[test]
+    fn abort_load_lets_next_requester_retry() {
+        let lbp = Lbp::new(10);
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        lbp.abort_load(PageId(1));
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+    }
+
+    #[test]
+    fn dirty_tracking_and_conditional_clear() {
+        let lbp = Lbp::new(10);
+        lbp.lookup(PageId(1));
+        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        assert!(!frame.is_dirty());
+        frame.mark_dirty(Lsn(100), Llsn(5));
+        let seen = frame.dirty_state();
+        assert!(seen.dirty);
+        assert_eq!(seen.newest_lsn, Lsn(100));
+
+        // A new write lands between capture and clear → clear must fail.
+        frame.mark_dirty(Lsn(200), Llsn(6));
+        assert!(!frame.clear_dirty_if_unchanged(seen));
+        assert!(frame.is_dirty());
+
+        let seen2 = frame.dirty_state();
+        assert!(frame.clear_dirty_if_unchanged(seen2));
+        assert!(!frame.is_dirty());
+    }
+
+    #[test]
+    fn eviction_skips_dirty_referenced_and_latched() {
+        let lbp = Lbp::new(2);
+        for id in 1..=4u64 {
+            lbp.lookup(PageId(id));
+            lbp.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
+        }
+        // Frame 1: dirty. Frame 2: latched. Frames 3, 4: evictable.
+        lbp.peek(PageId(1)).unwrap().mark_dirty(Lsn(1), Llsn(1));
+        let f2 = lbp.peek(PageId(2)).unwrap();
+        let _latch = f2.page.read();
+
+        // First pass only clears reference bits (second chance).
+        assert!(lbp.evict(10).is_empty());
+        let evicted = lbp.evict(10);
+        assert!(evicted.contains(&PageId(3)));
+        assert!(evicted.contains(&PageId(4)));
+        assert!(!evicted.contains(&PageId(1)));
+        assert!(!evicted.contains(&PageId(2)));
+        assert_eq!(lbp.len(), 2);
+    }
+
+    #[test]
+    fn dirty_frames_enumeration() {
+        let lbp = Lbp::new(10);
+        for id in 1..=3u64 {
+            lbp.lookup(PageId(id));
+            lbp.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
+        }
+        lbp.peek(PageId(2)).unwrap().mark_dirty(Lsn(1), Llsn(1));
+        let dirty = lbp.dirty_frames();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, PageId(2));
+    }
+
+    #[test]
+    fn invalid_hit_is_counted_separately() {
+        let lbp = Lbp::new(10);
+        lbp.lookup(PageId(1));
+        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        frame.valid.store(false, Ordering::Release);
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::Hit(_)));
+        assert_eq!(lbp.stats().invalid_hits.get(), 1);
+    }
+}

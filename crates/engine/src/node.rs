@@ -1,0 +1,719 @@
+//! The assembled node engine: page access through PLock + LBP + Buffer
+//! Fusion, transaction bookkeeping, background threads, crash and restart.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use pmp_common::{
+    Counter, Cts, EngineConfig, GlobalTrxId, NodeId, PageId, PmpError, Result, SlotId, TrxId,
+    CSN_MAX,
+};
+use pmp_pmfs::{PLockMode, TitRegion};
+use pmp_rdma::Locality;
+
+use crate::lbp::{Frame, Lbp, Lookup};
+use crate::page::Page;
+use crate::plock_local::{LocalPLocks, NegotiationHandler, PLockGuard, ReleaseHook};
+use crate::shared::Shared;
+use crate::tso_client::TsoClient;
+use crate::txn::Txn;
+use crate::undo::UndoPtr;
+use crate::wal::Wal;
+
+/// Node-level meters surfaced to the benchmark harness.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    pub commits: Counter,
+    pub rollbacks: Counter,
+    pub deadlock_aborts: Counter,
+    pub reads: Counter,
+    pub writes: Counter,
+    pub lock_waits: Counter,
+    pub pages_loaded_storage: Counter,
+    pub pages_loaded_dbp: Counter,
+}
+
+/// One live transaction's bookkeeping entry.
+pub(crate) struct ActiveTrx {
+    /// Current statement snapshot (shared with the `Txn`, updated per
+    /// statement under read committed).
+    pub snapshot: Arc<AtomicU64>,
+}
+
+/// A committed transaction whose TIT slot awaits recycling (§4.1).
+struct FinishedTrx {
+    slot: SlotId,
+    cts: Cts,
+    undo: Vec<UndoPtr>,
+}
+
+/// A primary node of the PolarDB-MP cluster.
+pub struct NodeEngine {
+    pub node: NodeId,
+    pub shared: Arc<Shared>,
+    pub cfg: EngineConfig,
+    pub lbp: Lbp,
+    pub plocks: Arc<LocalPLocks>,
+    pub wal: Wal,
+    pub tit: Arc<TitRegion>,
+    pub tso: TsoClient,
+    pub stats: NodeStats,
+    next_trx: AtomicU64,
+    active: Mutex<HashMap<TrxId, ActiveTrx>>,
+    finished: Mutex<Vec<FinishedTrx>>,
+    /// Cached peers' published min-active transaction ids (§4.3.2).
+    min_active_cache: RwLock<HashMap<NodeId, u64>>,
+    /// Resolved commit timestamps of *finished* transactions. A committed
+    /// CTS never changes and a recycled slot reads as `CSN_MIN` forever,
+    /// so both are safely cacheable; this keeps hot rows with unfilled
+    /// CTS fields from paying a (possibly remote) TIT read on every
+    /// visibility check. Bounded; cleared wholesale when full.
+    cts_cache: RwLock<HashMap<GlobalTrxId, Cts>>,
+    /// Root page hints: is this root currently a leaf? Lets writers acquire
+    /// the X PLock directly instead of S-then-upgrade.
+    root_hints: RwLock<HashMap<PageId, bool>>,
+    alive: AtomicBool,
+    /// Set while a graceful decommission drains: new transactions are
+    /// refused, in-flight ones may finish.
+    draining: AtomicBool,
+    stop: Arc<AtomicBool>,
+    bg: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for NodeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeEngine")
+            .field("node", &self.node)
+            .field("alive", &self.alive.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+struct FlushHook {
+    engine: std::sync::Weak<NodeEngine>,
+}
+
+impl ReleaseHook for FlushHook {
+    fn before_release(&self, page: PageId) {
+        if let Some(engine) = self.engine.upgrade() {
+            if let Some(frame) = engine.lbp.peek(page) {
+                if frame.is_dirty() {
+                    engine.flush_frame(page, &frame);
+                }
+            }
+        }
+    }
+}
+
+impl NodeEngine {
+    /// Start a node: register its TIT region and negotiation handler with
+    /// PMFS, spawn the background min-view/recycler and flusher threads.
+    pub fn start(shared: Arc<Shared>, node: NodeId) -> Arc<NodeEngine> {
+        let engine = Self::build(shared, node);
+        engine.shared.pmfs.txn.register_region(Arc::clone(&engine.tit));
+        engine.spawn_background();
+        engine
+    }
+
+    /// Build a node for crash recovery: the *old* TIT region (if any) stays
+    /// registered so in-doubt transactions keep reading as active until
+    /// their rollback completes; background threads stay parked. The
+    /// recovery driver calls [`complete_recovery`](Self::complete_recovery)
+    /// when done.
+    pub fn start_for_recovery(shared: Arc<Shared>, node: NodeId) -> Arc<NodeEngine> {
+        Self::build(shared, node)
+    }
+
+    /// Finish recovery: swap in the fresh TIT region (stale references to
+    /// pre-crash transactions now resolve as "slot reused ⇒ visible", which
+    /// is correct because every uncommitted change has been rolled back),
+    /// thaw the fusion-side PLocks frozen by the crash, and start the
+    /// background threads.
+    pub fn complete_recovery(self: &Arc<Self>) {
+        self.shared.pmfs.txn.register_region(Arc::clone(&self.tit));
+        self.shared.pmfs.plock.release_all(self.node);
+        // Drop locks recovery itself accumulated via lazy retention.
+        self.plocks.crash_clear();
+        self.shared.pmfs.plock.release_all(self.node);
+        self.spawn_background();
+    }
+
+    fn build(shared: Arc<Shared>, node: NodeId) -> Arc<NodeEngine> {
+        let cfg = shared.config.engine;
+        let tit = Arc::new(TitRegion::new(node, cfg.tit_slots));
+
+        let plocks = LocalPLocks::new(
+            node,
+            Arc::clone(&shared.pmfs.plock),
+            cfg.lazy_plock_release,
+            Duration::from_millis(cfg.lock_wait_timeout_ms),
+        );
+        shared
+            .pmfs
+            .plock
+            .register_node(node, NegotiationHandler::new(Arc::clone(&plocks)));
+
+        let wal = Wal::new(shared.storage.redo_stream(node));
+        let tso = TsoClient::new(Arc::clone(&shared.pmfs.txn), cfg.linear_lamport);
+
+        let engine = Arc::new(NodeEngine {
+            node,
+            cfg,
+            lbp: Lbp::new(cfg.lbp_capacity),
+            plocks: Arc::clone(&plocks),
+            wal,
+            tit,
+            tso,
+            stats: NodeStats::default(),
+            next_trx: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+            finished: Mutex::new(Vec::new()),
+            min_active_cache: RwLock::new(HashMap::new()),
+            cts_cache: RwLock::new(HashMap::new()),
+            root_hints: RwLock::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            stop: Arc::new(AtomicBool::new(false)),
+            bg: Mutex::new(Vec::new()),
+            shared,
+        });
+
+        plocks.set_hook(Arc::new(FlushHook {
+            engine: Arc::downgrade(&engine),
+        }));
+        engine
+    }
+
+    fn spawn_background(self: &Arc<Self>) {
+        let mut bg = self.bg.lock();
+        {
+            let engine = Arc::clone(self);
+            let stop = Arc::clone(&self.stop);
+            let interval = Duration::from_millis(self.cfg.min_view_interval_ms);
+            bg.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    engine.min_view_tick();
+                    std::thread::sleep(interval);
+                }
+            }));
+        }
+        {
+            let engine = Arc::clone(self);
+            let stop = Arc::clone(&self.stop);
+            let interval = Duration::from_millis(self.cfg.flush_interval_ms);
+            bg.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    engine.flush_tick();
+                    std::thread::sleep(interval);
+                }
+            }));
+        }
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    pub fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(PmpError::NodeUnavailable { node: self.node })
+        }
+    }
+
+    // ---- page access -----------------------------------------------------
+
+    /// Acquire a PLock on `page` (node-level, lazy release).
+    pub fn plock(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
+        self.check_alive()?;
+        self.plocks.acquire(page, mode)
+    }
+
+    /// Get the page's frame, loading/refreshing through Buffer Fusion and
+    /// shared storage as needed. Caller must hold a PLock on the page.
+    pub fn frame(&self, page_id: PageId) -> Result<Arc<Frame>> {
+        match self.lbp.lookup(page_id) {
+            Lookup::Hit(frame) => {
+                if !frame.is_valid() {
+                    self.refresh_frame(page_id, &frame)?;
+                }
+                Ok(frame)
+            }
+            Lookup::MustLoad => match self.load_page(page_id) {
+                Ok((page, flag)) => Ok(self.lbp.finish_load(page_id, page, flag)),
+                Err(e) => {
+                    self.lbp.abort_load(page_id);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Load a page we have no frame for: DBP RPC first, then shared
+    /// storage + DBP registration (§4.2 "page access").
+    fn load_page(&self, page_id: PageId) -> Result<(Page, Arc<AtomicBool>)> {
+        let flag = Arc::new(AtomicBool::new(true));
+        let buffer = &self.shared.pmfs.buffer;
+        let (page, llsn) = match buffer.lookup_or_register(self.node, page_id, Arc::clone(&flag)) {
+            Some(hit) => {
+                self.stats.pages_loaded_dbp.inc();
+                hit
+            }
+            None => {
+                let stored = self
+                    .shared
+                    .storage
+                    .page_store()
+                    .read(page_id)?
+                    .ok_or_else(|| {
+                        PmpError::internal(format!("{page_id} missing from shared storage"))
+                    })?;
+                self.stats.pages_loaded_storage.inc();
+                buffer.register_push(
+                    self.node,
+                    page_id,
+                    Arc::clone(&stored),
+                    stored.llsn,
+                    Arc::clone(&flag),
+                )
+            }
+        };
+        self.wal.observe_llsn(llsn);
+        Ok(((*page).clone(), flag))
+    }
+
+    /// Refresh an invalidated frame from the DBP (one-sided fast path,
+    /// falling back to the RPC + storage path).
+    fn refresh_frame(&self, page_id: PageId, frame: &Arc<Frame>) -> Result<()> {
+        if frame.is_dirty() {
+            // Dirty implies we hold the X PLock, so our copy IS the latest;
+            // the invalidation must have come from a DBP failure wiping the
+            // holder directory. Re-register our authoritative copy.
+            let (snapshot, llsn) = {
+                let page = frame.page.read();
+                (page.clone(), page.llsn)
+            };
+            self.shared.pmfs.buffer.register_push(
+                self.node,
+                page_id,
+                Arc::new(snapshot),
+                llsn,
+                Arc::clone(&frame.valid),
+            );
+            frame.set_valid();
+            return Ok(());
+        }
+        let buffer = &self.shared.pmfs.buffer;
+        let (page, llsn) = match buffer.fetch(self.node, page_id) {
+            Some(hit) => {
+                self.stats.pages_loaded_dbp.inc();
+                hit
+            }
+            None => match buffer.lookup_or_register(self.node, page_id, Arc::clone(&frame.valid))
+            {
+                Some(hit) => {
+                    self.stats.pages_loaded_dbp.inc();
+                    hit
+                }
+                None => {
+                    let stored = self
+                        .shared
+                        .storage
+                        .page_store()
+                        .read(page_id)?
+                        .ok_or_else(|| {
+                            PmpError::internal(format!("{page_id} missing from shared storage"))
+                        })?;
+                    self.stats.pages_loaded_storage.inc();
+                    let (p, l) = buffer.register_push(
+                        self.node,
+                        page_id,
+                        Arc::clone(&stored),
+                        stored.llsn,
+                        Arc::clone(&frame.valid),
+                    );
+                    (p, l)
+                }
+            },
+        };
+        self.wal.observe_llsn(llsn);
+        {
+            let mut guard = frame.page.write();
+            if page.llsn >= guard.llsn {
+                *guard = (*page).clone();
+            }
+        }
+        frame.set_valid();
+        Ok(())
+    }
+
+    /// Install a freshly created page (B-tree split) into the LBP and the
+    /// DBP. Logs covering the page must already be durable (WAL rule).
+    pub fn install_new_page(&self, page: Page) -> Arc<Frame> {
+        let page_id = page.id;
+        let flag = Arc::new(AtomicBool::new(true));
+        self.shared.pmfs.buffer.register_push(
+            self.node,
+            page_id,
+            Arc::new(page.clone()),
+            page.llsn,
+            Arc::clone(&flag),
+        );
+        match self.lbp.lookup(page_id) {
+            Lookup::MustLoad => self.lbp.finish_load(page_id, page, flag),
+            Lookup::Hit(frame) => frame, // should not happen for fresh ids
+        }
+    }
+
+    /// Force logs covering the frame, push it to the DBP, clear dirty.
+    /// Dirty implies this node holds the page's X PLock, so the push is
+    /// race-free; stale pushes are rejected by the DBP's LLSN check.
+    pub fn flush_frame(&self, page_id: PageId, frame: &Arc<Frame>) {
+        let (snapshot, seen) = {
+            let page = frame.page.read();
+            (page.clone(), frame.dirty_state())
+        };
+        if !seen.dirty {
+            return;
+        }
+        self.wal.force(seen.newest_lsn);
+        self.shared
+            .pmfs
+            .buffer
+            .push(self.node, page_id, Arc::new(snapshot.clone()), snapshot.llsn);
+        frame.clear_dirty_if_unchanged(seen);
+    }
+
+    pub fn is_full(&self, page: &Page) -> bool {
+        if page.is_leaf() {
+            page.entry_count() >= self.cfg.leaf_capacity
+        } else {
+            page.entry_count() >= self.cfg.internal_capacity
+        }
+    }
+
+    pub fn root_hint(&self, root: PageId) -> bool {
+        *self.root_hints.read().get(&root).unwrap_or(&true)
+    }
+
+    pub fn set_root_hint(&self, root: PageId, is_leaf: bool) {
+        let stale = { self.root_hints.read().get(&root) != Some(&is_leaf) };
+        if stale {
+            self.root_hints.write().insert(root, is_leaf);
+        }
+    }
+
+    // ---- transaction bookkeeping ------------------------------------------
+
+    /// Begin a transaction: allocate a local trx id and a TIT slot (§4.1).
+    pub fn begin(self: &Arc<Self>) -> Result<Txn> {
+        self.check_alive()?;
+        if self.draining.load(Ordering::Acquire) {
+            return Err(PmpError::NodeUnavailable { node: self.node });
+        }
+        let trx_id = TrxId(self.next_trx.fetch_add(1, Ordering::Relaxed));
+        let deadline =
+            std::time::Instant::now() + Duration::from_millis(self.cfg.lock_wait_timeout_ms);
+        let (slot, version) = loop {
+            if let Some(s) = self.tit.allocate() {
+                break s;
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(PmpError::internal("TIT slots exhausted"));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        let gid = GlobalTrxId {
+            node: self.node,
+            trx: trx_id,
+            slot,
+            version,
+        };
+        let snapshot = Arc::new(AtomicU64::new(self.tso.snapshot().0));
+        self.active.lock().insert(
+            trx_id,
+            ActiveTrx {
+                snapshot: Arc::clone(&snapshot),
+            },
+        );
+        Ok(Txn::new(Arc::clone(self), gid, snapshot))
+    }
+
+    /// A committed writer hands its slot to the recycler.
+    pub(crate) fn finish_committed(&self, gid: GlobalTrxId, cts: Cts, undo: Vec<UndoPtr>) {
+        self.active.lock().remove(&gid.trx);
+        self.finished.lock().push(FinishedTrx {
+            slot: gid.slot,
+            cts,
+            undo,
+        });
+        self.stats.commits.inc();
+    }
+
+    /// A read-only transaction finishes: release the slot immediately.
+    pub(crate) fn finish_readonly(&self, gid: GlobalTrxId) {
+        self.active.lock().remove(&gid.trx);
+        self.tit.release(gid.slot);
+        self.stats.commits.inc();
+    }
+
+    /// A rolled-back transaction: slot released (rows were restored first),
+    /// undo purged right away.
+    pub(crate) fn finish_aborted(&self, gid: GlobalTrxId, undo: &[UndoPtr]) {
+        self.active.lock().remove(&gid.trx);
+        self.tit.release(gid.slot);
+        self.shared.undo.purge(undo);
+        self.stats.rollbacks.inc();
+    }
+
+    // ---- visibility helpers -----------------------------------------------
+
+    /// Resolve a transaction's CTS (Algorithm 1, TIT half), caching
+    /// terminal answers. Active transactions (`CSN_MAX`) are never cached.
+    pub fn trx_cts(&self, gid: GlobalTrxId) -> Cts {
+        if let Some(cts) = self.cts_cache.read().get(&gid) {
+            return *cts;
+        }
+        let cts = self.shared.pmfs.txn.trx_cts(self.node, gid);
+        if cts != CSN_MAX {
+            let mut cache = self.cts_cache.write();
+            if cache.len() >= 65_536 {
+                cache.clear();
+            }
+            cache.insert(gid, cts);
+        }
+        cts
+    }
+
+    /// Is the transaction still active (row-lock liveness check)?
+    pub fn trx_is_active(&self, gid: GlobalTrxId) -> bool {
+        if gid.node == self.node {
+            // Local transactions: the active table is authoritative & free.
+            return self.active.lock().contains_key(&gid.trx);
+        }
+        if gid.trx.0 < self.min_active_of(gid.node) {
+            return false;
+        }
+        self.trx_cts(gid) == CSN_MAX
+    }
+
+    /// Cached published min-active transaction id of a peer (0 = unknown).
+    pub fn min_active_of(&self, node: NodeId) -> u64 {
+        if node == self.node {
+            return 0; // local liveness goes through the active table
+        }
+        *self.min_active_cache.read().get(&node).unwrap_or(&0)
+    }
+
+    // ---- background work ---------------------------------------------------
+
+    /// One pass of the min-view protocol (§4.1 "TIT recycle"): report our
+    /// minimal view, recycle finished slots under the broadcast global
+    /// minimum, publish our min-active trx id, refresh peer caches.
+    pub fn min_view_tick(&self) {
+        if !self.is_alive() {
+            return;
+        }
+        let fusion = &self.shared.pmfs.txn;
+
+        // Minimal view among active transactions, else current TSO.
+        let local_min = {
+            let active = self.active.lock();
+            active
+                .values()
+                .map(|a| Cts(a.snapshot.load(Ordering::Acquire)))
+                .min()
+        };
+        let local_min = match local_min {
+            Some(v) => v,
+            None => fusion.current_cts(),
+        };
+        fusion.report_min_view(self.node, local_min);
+
+        // Recycle finished slots whose CTS every view can already see.
+        let global_min = self.tit.load_global_min_view();
+        {
+            let mut fin = self.finished.lock();
+            let undo = &self.shared.undo;
+            let tit = &self.tit;
+            fin.retain(|f| {
+                if f.cts < global_min {
+                    tit.release(f.slot);
+                    undo.purge(&f.undo);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // Publish our min-active transaction id for peers' fast paths.
+        let min_active = self
+            .active
+            .lock()
+            .keys()
+            .map(|t| t.0)
+            .min()
+            .unwrap_or_else(|| self.next_trx.load(Ordering::Relaxed));
+        self.tit.publish_min_active_trx(min_active);
+
+        // Refresh our cache of peers' published values.
+        for peer in fusion.nodes() {
+            if peer == self.node {
+                continue;
+            }
+            if let Some(region) = fusion.region(peer) {
+                let v = region.read_min_active_trx(&self.shared.fabric, Locality::Remote);
+                self.min_active_cache.write().insert(peer, v);
+            }
+        }
+    }
+
+    /// One pass of the background flusher: push dirty pages to the DBP and
+    /// keep the LBP within capacity (§4.2). Also takes opportunistic
+    /// quiesced checkpoints so recovery replays only a log tail.
+    pub fn flush_tick(&self) {
+        if !self.is_alive() {
+            return;
+        }
+        for (page_id, frame) in self.lbp.dirty_frames() {
+            self.flush_frame(page_id, &frame);
+        }
+        while self.lbp.over_capacity() {
+            let evicted = self.lbp.evict(64);
+            if evicted.is_empty() {
+                break;
+            }
+            for page_id in evicted {
+                self.shared.pmfs.buffer.unregister(self.node, page_id);
+            }
+        }
+        self.maybe_checkpoint();
+    }
+
+    /// Flush all dirty frames without the eviction/checkpoint machinery
+    /// (test helper: make an in-flight transaction's footprint durable
+    /// without taking a checkpoint past it).
+    pub fn flush_frame_all_for_test(&self) {
+        for (page_id, frame) in self.lbp.dirty_frames() {
+            self.flush_frame(page_id, &frame);
+        }
+    }
+
+    /// Quiesced checkpoint: when this node has no active transactions, no
+    /// dirty frames and no unsynced log, every outcome at or below the
+    /// durable watermark is resolved and every page effect has been pushed,
+    /// so recovery may skip everything before it. (Transactions spanning a
+    /// checkpoint are impossible by construction — no ARIES active-trx
+    /// table needed.)
+    pub fn maybe_checkpoint(&self) {
+        let stream = self.wal.stream();
+        let durable = stream.durable_lsn();
+        if stream.end_lsn() != durable {
+            return; // unsynced tail
+        }
+        if !self.active.lock().is_empty() {
+            return;
+        }
+        if !self.lbp.dirty_frames().is_empty() {
+            return;
+        }
+        // Re-check the watermark: anything appended since the first read
+        // belongs after this checkpoint anyway.
+        stream.set_checkpoint(durable);
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    /// Quiesce after administrative work: flush dirty pages and hand all
+    /// idle PLocks back to Lock Fusion, so peers' first accesses are plain
+    /// grants instead of negotiations.
+    pub fn quiesce(&self) {
+        self.flush_tick();
+        self.plocks.release_idle();
+    }
+
+    /// Graceful shutdown of background threads (keeps all state intact).
+    pub fn stop_background(&self) {
+        self.stop.store(true, Ordering::Release);
+        let mut bg = self.bg.lock();
+        for t in bg.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful decommission (scale-in): wait for local transactions to
+    /// drain, flush everything, hand back every PLock, release TIT slots
+    /// and leave the cluster. Data remains fully available to the other
+    /// nodes through the DBP and shared storage. Returns an error if
+    /// transactions are still active after `drain` elapses.
+    pub fn decommission(&self, drain: Duration) -> Result<()> {
+        self.check_alive()?;
+        // Refuse new transactions but let in-flight ones run to completion
+        // (commit or rollback) against a fully functional node.
+        self.draining.store(true, Ordering::Release);
+        let deadline = std::time::Instant::now() + drain;
+        while !self.active.lock().is_empty() {
+            if std::time::Instant::now() > deadline {
+                self.draining.store(false, Ordering::Release);
+                return Err(PmpError::aborted(
+                    "active transactions did not drain before decommission",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.alive.store(false, Ordering::Release);
+        self.stop_background();
+        // Flush every dirty page (forces logs first), then give up locks.
+        for (page_id, frame) in self.lbp.dirty_frames() {
+            self.flush_frame(page_id, &frame);
+        }
+        self.plocks.release_idle();
+        self.plocks.crash_clear();
+        self.shared.pmfs.plock.release_all(self.node);
+        self.shared.pmfs.plock.unregister_node(self.node);
+        // Finished slots may still be above the global min view; releasing
+        // them is safe because their row CTS values were backfilled and any
+        // stale reference resolves as "recycled ⇒ visible", which is correct
+        // for committed work.
+        let mut fin = self.finished.lock();
+        for f in fin.drain(..) {
+            self.tit.release(f.slot);
+            self.shared.undo.purge(&f.undo);
+        }
+        drop(fin);
+        self.shared.pmfs.txn.unregister_region(self.node);
+        self.wal.force(self.wal.stream().end_lsn());
+        Ok(())
+    }
+
+    /// Simulate a crash: volatile state vanishes (LBP, local PLock table,
+    /// active transactions, unsynced log tail); the TIT region stays
+    /// registered so peers keep seeing in-doubt transactions as active;
+    /// fusion-side PLocks stay frozen until recovery (§5.5).
+    pub fn crash(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.stop_background();
+        self.shared.pmfs.plock.unregister_node(self.node);
+        self.wal.stream().crash();
+        self.lbp.clear();
+        self.plocks.crash_clear();
+        self.active.lock().clear();
+        self.finished.lock().clear();
+    }
+}
+
+impl Drop for NodeEngine {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let mut bg = self.bg.lock();
+        for t in bg.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Fixed-size data pages: B-link-tree leaves and internal nodes.
+//!
+//! Pages are the unit of PLocking, buffer fusion transfer, and LLSN
+//! stamping. Like InnoDB's, they are fixed-size for transfer accounting
+//! ([`PAGE_BYTES`] = 16 KiB); the in-memory representation is structured
+//! rather than byte-packed, with capacities configured in rows (small by
+//! default so page-level contention is observable at laptop scale).
+//!
+//! The tree is a **B-link tree** (Lehman & Yao): every page carries a high
+//! fence key and a right-sibling pointer, so descent never holds a parent
+//! PLock while acquiring a child's. That matters here more than in a
+//! single-node engine: holding a parent S-PLock while blocking on a child
+//! PLock held by another node would deadlock with that node's negotiation
+//! for the parent. With fences, a traverser that lands on a page no longer
+//! covering its key simply moves right.
+
+use pmp_common::{Llsn, PageId};
+
+use crate::row::{IndexKey, Row};
+
+/// Fixed page transfer size used for fabric and storage accounting.
+pub const PAGE_BYTES: usize = 16 * 1024;
+
+/// Leaf page: rows sorted by key.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LeafPage {
+    pub rows: Vec<Row>,
+}
+
+impl LeafPage {
+    /// Binary-search a key. `Ok(i)` = present at `i`; `Err(i)` = insert
+    /// position.
+    pub fn search(&self, key: IndexKey) -> Result<usize, usize> {
+        self.rows.binary_search_by(|r| r.key.cmp(&key))
+    }
+
+    pub fn get(&self, key: IndexKey) -> Option<&Row> {
+        self.search(key).ok().map(|i| &self.rows[i])
+    }
+
+    pub fn get_mut(&mut self, key: IndexKey) -> Option<&mut Row> {
+        match self.search(key) {
+            Ok(i) => Some(&mut self.rows[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert keeping order. Panics if the key is already present — callers
+    /// resolve duplicates at the row level first.
+    pub fn insert(&mut self, row: Row) {
+        match self.search(row.key) {
+            Ok(_) => panic!("duplicate key insert into leaf"),
+            Err(i) => self.rows.insert(i, row),
+        }
+    }
+
+    /// Split off the upper half. Returns `(separator, upper_rows)`: every
+    /// key ≥ separator moves to the new right sibling.
+    pub fn split_upper(&mut self) -> (IndexKey, Vec<Row>) {
+        debug_assert!(self.rows.len() >= 2);
+        let mid = self.rows.len() / 2;
+        let upper = self.rows.split_off(mid);
+        (upper[0].key, upper)
+    }
+}
+
+/// Internal page: `children[0]` covers keys < `keys[0]`; `children[i+1]`
+/// covers keys in `[keys[i], keys[i+1])`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct InternalPage {
+    pub keys: Vec<IndexKey>,
+    pub children: Vec<PageId>,
+}
+
+impl InternalPage {
+    /// Which child covers `key`?
+    pub fn child_for(&self, key: IndexKey) -> PageId {
+        let idx = match self.keys.binary_search(&key) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.children[idx]
+    }
+
+    /// Index of the child slot covering `key` (for split bookkeeping).
+    pub fn child_index_for(&self, key: IndexKey) -> usize {
+        match self.keys.binary_search(&key) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Register a split of `child_idx`'s child: the new right sibling
+    /// `new_child` covers keys ≥ `separator`.
+    pub fn insert_split(&mut self, child_idx: usize, separator: IndexKey, new_child: PageId) {
+        self.keys.insert(child_idx, separator);
+        self.children.insert(child_idx + 1, new_child);
+    }
+
+    /// Split off the upper half. Returns `(separator_promoted, upper)`.
+    /// The promoted separator moves *up*, not into either half.
+    pub fn split_upper(&mut self) -> (IndexKey, InternalPage) {
+        debug_assert!(self.keys.len() >= 3);
+        let mid = self.keys.len() / 2;
+        let promoted = self.keys[mid];
+        let upper_keys = self.keys.split_off(mid + 1);
+        self.keys.pop(); // drop the promoted separator from the lower half
+        let upper_children = self.children.split_off(mid + 1);
+        (
+            promoted,
+            InternalPage {
+                keys: upper_keys,
+                children: upper_children,
+            },
+        )
+    }
+}
+
+/// Page body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PageKind {
+    Leaf(LeafPage),
+    Internal(InternalPage),
+}
+
+/// A data page: identity, LLSN stamp (§4.4), B-link fence/sibling, level
+/// (0 = leaf), body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Page {
+    pub id: PageId,
+    pub llsn: Llsn,
+    /// Right sibling at the same level (`PageId::NULL` when rightmost).
+    pub next: PageId,
+    /// Upper fence: this page covers keys `< high`; `None` = +∞ (rightmost).
+    pub high: Option<IndexKey>,
+    /// Tree level: 0 for leaves; an internal page's children are at
+    /// `level - 1`. Lets writers lock the leaf in X mode directly.
+    pub level: u16,
+    pub kind: PageKind,
+}
+
+impl Page {
+    pub fn new_leaf(id: PageId) -> Self {
+        Page {
+            id,
+            llsn: Llsn::ZERO,
+            next: PageId::NULL,
+            high: None,
+            level: 0,
+            kind: PageKind::Leaf(LeafPage::default()),
+        }
+    }
+
+    pub fn new_internal(
+        id: PageId,
+        level: u16,
+        keys: Vec<IndexKey>,
+        children: Vec<PageId>,
+    ) -> Self {
+        debug_assert!(level > 0);
+        Page {
+            id,
+            llsn: Llsn::ZERO,
+            next: PageId::NULL,
+            high: None,
+            level,
+            kind: PageKind::Internal(InternalPage { keys, children }),
+        }
+    }
+
+    /// Does this page cover `key` (B-link fence check)? When false, the
+    /// traverser must move right via `next`.
+    pub fn covers(&self, key: IndexKey) -> bool {
+        match self.high {
+            Some(high) => key < high,
+            None => true,
+        }
+    }
+
+    pub fn as_leaf(&self) -> &LeafPage {
+        match &self.kind {
+            PageKind::Leaf(l) => l,
+            PageKind::Internal(_) => panic!("expected leaf page {}", self.id),
+        }
+    }
+
+    pub fn as_leaf_mut(&mut self) -> &mut LeafPage {
+        match &mut self.kind {
+            PageKind::Leaf(l) => l,
+            PageKind::Internal(_) => panic!("expected leaf page {}", self.id),
+        }
+    }
+
+    pub fn as_internal(&self) -> &InternalPage {
+        match &self.kind {
+            PageKind::Internal(i) => i,
+            PageKind::Leaf(_) => panic!("expected internal page {}", self.id),
+        }
+    }
+
+    pub fn as_internal_mut(&mut self) -> &mut InternalPage {
+        match &mut self.kind {
+            PageKind::Internal(i) => i,
+            PageKind::Leaf(_) => panic!("expected internal page {}", self.id),
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, PageKind::Leaf(_))
+    }
+
+    /// Entry count (rows or separators) — drives split decisions.
+    pub fn entry_count(&self) -> usize {
+        match &self.kind {
+            PageKind::Leaf(l) => l.rows.len(),
+            PageKind::Internal(i) => i.keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::RowValue;
+
+    fn row(key: IndexKey) -> Row {
+        Row::bootstrap(key, RowValue::new(vec![key as u64]))
+    }
+
+    #[test]
+    fn leaf_search_and_insert_keep_order() {
+        let mut leaf = LeafPage::default();
+        for k in [5u128, 1, 9, 3, 7] {
+            leaf.insert(row(k));
+        }
+        let keys: Vec<IndexKey> = leaf.rows.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert!(leaf.get(7).is_some());
+        assert!(leaf.get(8).is_none());
+        assert_eq!(leaf.search(4), Err(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn leaf_duplicate_insert_panics() {
+        let mut leaf = LeafPage::default();
+        leaf.insert(row(1));
+        leaf.insert(row(1));
+    }
+
+    #[test]
+    fn leaf_split_moves_upper_half() {
+        let mut leaf = LeafPage::default();
+        for k in 0..6u128 {
+            leaf.insert(row(k));
+        }
+        let (sep, upper) = leaf.split_upper();
+        assert_eq!(sep, 3);
+        assert_eq!(leaf.rows.len(), 3);
+        assert_eq!(upper.len(), 3);
+        assert!(leaf.rows.iter().all(|r| r.key < sep));
+        assert!(upper.iter().all(|r| r.key >= sep));
+    }
+
+    #[test]
+    fn internal_child_routing() {
+        let node = InternalPage {
+            keys: vec![10, 20],
+            children: vec![PageId(1), PageId(2), PageId(3)],
+        };
+        assert_eq!(node.child_for(5), PageId(1));
+        assert_eq!(node.child_for(10), PageId(2));
+        assert_eq!(node.child_for(15), PageId(2));
+        assert_eq!(node.child_for(20), PageId(3));
+        assert_eq!(node.child_for(99), PageId(3));
+    }
+
+    #[test]
+    fn internal_insert_split_keeps_routing() {
+        let mut node = InternalPage {
+            keys: vec![10],
+            children: vec![PageId(1), PageId(2)],
+        };
+        // Child 2 (covering ≥ 10) split at 15 into (2, 5).
+        let idx = node.child_index_for(15);
+        node.insert_split(idx, 15, PageId(5));
+        assert_eq!(node.child_for(12), PageId(2));
+        assert_eq!(node.child_for(15), PageId(5));
+        assert_eq!(node.child_for(9), PageId(1));
+    }
+
+    #[test]
+    fn internal_split_promotes_middle_separator() {
+        let mut node = InternalPage {
+            keys: vec![10, 20, 30, 40],
+            children: vec![PageId(1), PageId(2), PageId(3), PageId(4), PageId(5)],
+        };
+        let (promoted, upper) = node.split_upper();
+        assert_eq!(promoted, 30);
+        assert_eq!(node.keys, vec![10, 20]);
+        assert_eq!(node.children, vec![PageId(1), PageId(2), PageId(3)]);
+        assert_eq!(upper.keys, vec![40]);
+        assert_eq!(upper.children, vec![PageId(4), PageId(5)]);
+        // Routing across both halves stays consistent.
+        assert_eq!(node.child_for(25), PageId(3));
+        assert_eq!(upper.child_for(35), PageId(4));
+        assert_eq!(upper.child_for(45), PageId(5));
+    }
+
+    #[test]
+    fn fence_cover_checks() {
+        let mut p = Page::new_leaf(PageId(1));
+        assert!(p.covers(u128::MAX), "no fence means +infinity");
+        p.high = Some(100);
+        assert!(p.covers(99));
+        assert!(!p.covers(100));
+        assert!(!p.covers(200));
+    }
+
+    #[test]
+    fn page_accessors_and_counts() {
+        let mut p = Page::new_leaf(PageId(1));
+        assert!(p.is_leaf());
+        assert_eq!(p.entry_count(), 0);
+        p.as_leaf_mut().insert(row(1));
+        assert_eq!(p.entry_count(), 1);
+
+        let i = Page::new_internal(PageId(2), 1, vec![10], vec![PageId(1), PageId(3)]);
+        assert!(!i.is_leaf());
+        assert_eq!(i.entry_count(), 1);
+        assert_eq!(i.as_internal().child_for(11), PageId(3));
+    }
+}

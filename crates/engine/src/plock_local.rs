@@ -1,0 +1,476 @@
+//! Node-side PLock management: reference counting, lazy release and
+//! negotiation handling, §4.3.1.
+//!
+//! "Instead of releasing its PLock back to Lock Fusion immediately after
+//! use, a node decreases the reference count for the PLock. The lock
+//! becomes available for release once this count drops to zero, but it is
+//! still temporarily retained by the node. If the same node needs to
+//! acquire the PLock again, and the requested lock type is not stronger
+//! than the currently held type, the PLock can be granted locally."
+//!
+//! When Lock Fusion sends a negotiation message, local re-granting is
+//! disabled for that page ("it cannot autonomously guarantee this PLock for
+//! its internal transactions") and the lock is handed back — after pushing
+//! the page to the DBP if dirty, which the engine performs through the
+//! [`ReleaseHook`] — as soon as the reference count drains.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
+use pmp_pmfs::{PLockFusion, PLockMode, ReleaseRequester};
+
+/// Engine callback run just before a PLock is handed back to Lock Fusion:
+/// force logs + push the page to the DBP if it is dirty (§4.3.1).
+pub trait ReleaseHook: Send + Sync {
+    fn before_release(&self, page: PageId);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// A fusion acquire is in flight on some thread.
+    Acquiring,
+    /// Lock held from fusion's perspective.
+    Held,
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: EntryState,
+    mode: PLockMode,
+    refcount: u32,
+    /// Lock Fusion asked us to give this lock back; no local re-grants.
+    negotiation_pending: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct LocalPLockStats {
+    pub local_grants: Counter,
+    pub fusion_acquires: Counter,
+    pub negotiated_releases: Counter,
+    pub eager_releases: Counter,
+}
+
+/// The node's local PLock table.
+pub struct LocalPLocks {
+    node: NodeId,
+    fusion: Arc<PLockFusion>,
+    entries: Mutex<HashMap<PageId, Entry>>,
+    cv: Condvar,
+    hook: Mutex<Option<Arc<dyn ReleaseHook>>>,
+    /// Lazy release enabled (ablation switch, §4.3.1).
+    lazy: bool,
+    timeout: Duration,
+    stats: LocalPLockStats,
+}
+
+impl std::fmt::Debug for LocalPLocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalPLocks")
+            .field("node", &self.node)
+            .field("lazy", &self.lazy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for one reference on a held PLock.
+pub struct PLockGuard<'a> {
+    owner: &'a LocalPLocks,
+    page: PageId,
+    pub mode: PLockMode,
+}
+
+impl Drop for PLockGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.unref(self.page);
+    }
+}
+
+impl LocalPLocks {
+    pub fn new(
+        node: NodeId,
+        fusion: Arc<PLockFusion>,
+        lazy: bool,
+        timeout: Duration,
+    ) -> Arc<Self> {
+        Arc::new(LocalPLocks {
+            node,
+            fusion,
+            entries: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            hook: Mutex::new(None),
+            lazy,
+            timeout,
+            stats: LocalPLockStats::default(),
+        })
+    }
+
+    pub fn set_hook(&self, hook: Arc<dyn ReleaseHook>) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    pub fn stats(&self) -> &LocalPLockStats {
+        &self.stats
+    }
+
+    /// Acquire `mode` on `page`, blocking as needed. Returns a guard whose
+    /// drop decrements the reference count.
+    pub fn acquire(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        let mut entries = self.entries.lock();
+        loop {
+            match entries.get_mut(&page) {
+                None => {
+                    // Become the acquirer.
+                    entries.insert(
+                        page,
+                        Entry {
+                            state: EntryState::Acquiring,
+                            mode,
+                            refcount: 0,
+                            negotiation_pending: false,
+                        },
+                    );
+                    drop(entries);
+
+                    self.stats.fusion_acquires.inc();
+                    let res = self.fusion.acquire(self.node, page, mode, self.timeout);
+
+                    entries = self.entries.lock();
+                    match res {
+                        Ok(()) => {
+                            let e = entries.get_mut(&page).expect("acquirer entry");
+                            e.state = EntryState::Held;
+                            e.mode = mode;
+                            e.refcount = 1;
+                            self.cv.notify_all();
+                            return Ok(PLockGuard {
+                                owner: self,
+                                page,
+                                mode,
+                            });
+                        }
+                        Err(e) => {
+                            entries.remove(&page);
+                            self.cv.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+                Some(entry) => match entry.state {
+                    EntryState::Acquiring => {
+                        // Someone is talking to fusion; wait for the verdict.
+                        if self.cv.wait_until(&mut entries, deadline).timed_out() {
+                            return Err(PmpError::LockWaitTimeout);
+                        }
+                    }
+                    EntryState::Held => {
+                        let can_local = entry.mode.covers(mode)
+                            && !entry.negotiation_pending
+                            && (self.lazy || entry.refcount > 0);
+                        if can_local {
+                            entry.refcount += 1;
+                            self.stats.local_grants.inc();
+                            return Ok(PLockGuard {
+                                owner: self,
+                                page,
+                                mode,
+                            });
+                        }
+                        // Either a negotiation forbids local grants, or we
+                        // need a stronger mode. Wait for the entry to drain
+                        // and be released, then retry through fusion (FIFO
+                        // fairness, §4.3.1).
+                        if entry.refcount == 0 {
+                            // Drain it ourselves.
+                            let mode_held = entry.mode;
+                            entry.state = EntryState::Acquiring; // block others
+                            drop(entries);
+                            self.hand_back(page, mode_held);
+                            entries = self.entries.lock();
+                            // hand_back removed the entry; retry the loop.
+                            self.cv.notify_all();
+                        } else if self.cv.wait_until(&mut entries, deadline).timed_out() {
+                            return Err(PmpError::LockWaitTimeout);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Drop one reference; if it was the last and a negotiation is pending
+    /// (or lazy release is disabled), hand the lock back to Lock Fusion.
+    fn unref(&self, page: PageId) {
+        let mut entries = self.entries.lock();
+        let Some(entry) = entries.get_mut(&page) else {
+            return;
+        };
+        debug_assert!(entry.refcount > 0, "unref of unreferenced plock");
+        entry.refcount -= 1;
+        if entry.refcount > 0 {
+            return;
+        }
+        let must_release = entry.negotiation_pending || !self.lazy;
+        if !must_release {
+            return; // lazy retention
+        }
+        if !self.lazy {
+            self.stats.eager_releases.inc();
+        }
+        let mode = entry.mode;
+        entry.state = EntryState::Acquiring; // block local grants while we release
+        drop(entries);
+        self.hand_back(page, mode);
+        self.cv.notify_all();
+    }
+
+    /// Push-then-release: run the engine hook (log force + DBP push for
+    /// dirty pages), tell fusion, drop the local entry.
+    fn hand_back(&self, page: PageId, _mode: PLockMode) {
+        let hook = self.hook.lock().clone();
+        if let Some(hook) = &hook {
+            hook.before_release(page);
+        }
+        self.fusion.release(self.node, page);
+        self.entries.lock().remove(&page);
+    }
+
+    /// Number of pages currently held/retained (diagnostics).
+    pub fn held_count(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_retained(&self, page: PageId) -> bool {
+        self.entries.lock().contains_key(&page)
+    }
+
+    /// Hand back every idle (refcount-zero) lock to Lock Fusion — used to
+    /// quiesce a node after administrative work (bulk load) so lazily
+    /// retained locks don't skew the first measured accesses of peers.
+    pub fn release_idle(&self) {
+        loop {
+            let victim = {
+                let mut entries = self.entries.lock();
+                let Some((&page, entry)) = entries
+                    .iter_mut()
+                    .find(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
+                else {
+                    break;
+                };
+                entry.state = EntryState::Acquiring; // block local grants
+                (page, entry.mode)
+            };
+            self.hand_back(victim.0, victim.1);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Drop all local state without telling fusion — crash simulation. The
+    /// fusion-side locks stay frozen until recovery calls
+    /// `PLockFusion::release_all`.
+    pub fn crash_clear(&self) {
+        self.entries.lock().clear();
+        self.cv.notify_all();
+    }
+}
+
+/// The fusion-facing negotiation handler. Separate struct so the engine can
+/// register it while `LocalPLocks` stays behind a plain `Arc`.
+pub struct NegotiationHandler {
+    locks: Arc<LocalPLocks>,
+}
+
+impl NegotiationHandler {
+    pub fn new(locks: Arc<LocalPLocks>) -> Arc<Self> {
+        Arc::new(NegotiationHandler { locks })
+    }
+}
+
+impl ReleaseRequester for NegotiationHandler {
+    fn request_release(&self, page: PageId, _wanted: PLockMode) {
+        let locks = &self.locks;
+        let mut entries = locks.entries.lock();
+        let Some(entry) = entries.get_mut(&page) else {
+            return; // already gone
+        };
+        match entry.state {
+            EntryState::Acquiring => {
+                // We don't actually hold it yet; fusion races are benign.
+                entry.negotiation_pending = true;
+            }
+            EntryState::Held => {
+                entry.negotiation_pending = true;
+                if entry.refcount == 0 {
+                    locks.stats.negotiated_releases.inc();
+                    let mode = entry.mode;
+                    entry.state = EntryState::Acquiring;
+                    drop(entries);
+                    locks.hand_back(page, mode);
+                    locks.cv.notify_all();
+                }
+                // refcount > 0: the final unref will hand it back.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+    use pmp_rdma::Fabric;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn setup(lazy: bool) -> (Arc<PLockFusion>, Arc<LocalPLocks>, Arc<LocalPLocks>) {
+        let fusion = Arc::new(PLockFusion::new(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))));
+        let a = LocalPLocks::new(NodeId(1), Arc::clone(&fusion), lazy, Duration::from_secs(5));
+        let b = LocalPLocks::new(NodeId(2), Arc::clone(&fusion), lazy, Duration::from_secs(5));
+        fusion.register_node(NodeId(1), NegotiationHandler::new(Arc::clone(&a)));
+        fusion.register_node(NodeId(2), NegotiationHandler::new(Arc::clone(&b)));
+        (fusion, a, b)
+    }
+
+    #[test]
+    fn lazy_retention_regrants_locally() {
+        let (fusion, a, _b) = setup(true);
+        let p = PageId(1);
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        assert!(a.is_retained(p), "lazy release must retain the lock");
+        assert_eq!(fusion.stats().releases.get(), 0);
+
+        drop(a.acquire(p, PLockMode::S).unwrap());
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        assert_eq!(a.stats().local_grants.get(), 2);
+        assert_eq!(a.stats().fusion_acquires.get(), 1);
+    }
+
+    #[test]
+    fn eager_mode_releases_immediately() {
+        let (fusion, a, _b) = setup(false);
+        let p = PageId(1);
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        assert!(!a.is_retained(p));
+        assert_eq!(fusion.stats().releases.get(), 1);
+        assert_eq!(a.stats().eager_releases.get(), 1);
+    }
+
+    #[test]
+    fn negotiation_transfers_idle_lock() {
+        let (_fusion, a, b) = setup(true);
+        let p = PageId(2);
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        assert!(a.is_retained(p));
+
+        // B's acquire nudges A, whose refcount is zero → instant transfer.
+        let guard = b.acquire(p, PLockMode::X).unwrap();
+        assert!(!a.is_retained(p));
+        assert!(b.is_retained(p));
+        assert_eq!(a.stats().negotiated_releases.get(), 1);
+        drop(guard);
+    }
+
+    #[test]
+    fn negotiation_waits_for_active_references() {
+        use std::thread;
+        let (_fusion, a, b) = setup(true);
+        let p = PageId(3);
+        let guard = a.acquire(p, PLockMode::X).unwrap();
+
+        let b2 = Arc::clone(&b);
+        let t = thread::spawn(move || b2.acquire(p, PLockMode::X).map(|g| g.mode));
+        thread::sleep(Duration::from_millis(50));
+        assert!(a.is_retained(p), "A must keep the lock while referenced");
+
+        drop(guard); // refcount drains → pending negotiation fires
+        assert_eq!(t.join().unwrap().unwrap(), PLockMode::X);
+        assert!(!a.is_retained(p));
+    }
+
+    #[test]
+    fn negotiated_page_not_regranted_locally() {
+        use std::thread;
+        let (_fusion, a, b) = setup(true);
+        let p = PageId(4);
+        let guard = a.acquire(p, PLockMode::X).unwrap();
+
+        let b2 = Arc::clone(&b);
+        let waiter = thread::spawn(move || {
+            let g = b2.acquire(p, PLockMode::X).unwrap();
+            thread::sleep(Duration::from_millis(50));
+            drop(g);
+        });
+        thread::sleep(Duration::from_millis(50));
+
+        // A tries to re-acquire while the negotiation is pending: it must
+        // go through fusion and wait behind B (FIFO), not self-grant.
+        let a2 = Arc::clone(&a);
+        let local_attempt = thread::spawn(move || {
+            let _g = a2.acquire(p, PLockMode::S).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(guard);
+        waiter.join().unwrap();
+        local_attempt.join().unwrap();
+        assert!(a.stats().local_grants.get() == 0, "no local grant allowed");
+    }
+
+    #[test]
+    fn release_hook_runs_before_fusion_release() {
+        struct CountingHook(AtomicUsize);
+        impl ReleaseHook for CountingHook {
+            fn before_release(&self, _page: PageId) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (_fusion, a, b) = setup(true);
+        let hook = Arc::new(CountingHook(AtomicUsize::new(0)));
+        a.set_hook(Arc::clone(&hook) as Arc<dyn ReleaseHook>);
+
+        let p = PageId(5);
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        drop(b.acquire(p, PLockMode::X).unwrap());
+        assert_eq!(hook.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn crash_clear_leaves_fusion_frozen() {
+        let (fusion, a, _b) = setup(true);
+        let p = PageId(6);
+        drop(a.acquire(p, PLockMode::X).unwrap());
+        a.crash_clear();
+        assert_eq!(a.held_count(), 0);
+        assert_eq!(
+            fusion.holders(p),
+            vec![(NodeId(1), PLockMode::X)],
+            "fusion must still see the crashed node as holder"
+        );
+    }
+
+    #[test]
+    fn concurrent_local_acquires_share_one_fusion_call() {
+        use std::thread;
+        let (_fusion, a, _b) = setup(true);
+        let p = PageId(7);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        drop(a.acquire(p, PLockMode::S).unwrap());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.stats().fusion_acquires.get(), 1);
+        assert_eq!(a.stats().local_grants.get(), 8 * 50 - 1);
+    }
+}

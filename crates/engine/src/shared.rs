@@ -1,0 +1,245 @@
+//! Cluster-shared services: the fabric, PMFS, shared storage, the undo
+//! store, and the table catalog. One `Shared` bundle is created per cluster
+//! and handed (as an `Arc`) to every node engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmp_common::{ClusterConfig, PageId, PmpError, Result, TableId};
+use pmp_pmfs::buffer::EvictionSink;
+use pmp_pmfs::Pmfs;
+use pmp_rdma::Fabric;
+use pmp_storage::SharedStorage;
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::page::{Page, PAGE_BYTES};
+use crate::undo::UndoStore;
+
+/// A (global) secondary index attached to a table: the value column it
+/// indexes and the id of the index tree (registered in the catalog as a
+/// table of kind [`TableKind::Index`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexRef {
+    pub table: TableId,
+    pub column: usize,
+}
+
+/// What a catalog entry describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableKind {
+    /// A user table keyed by primary key, with zero or more GSIs.
+    Primary { indexes: Vec<IndexRef> },
+    /// A secondary-index tree (keys = `(column value, pk)`, empty values).
+    Index { parent: TableId },
+}
+
+/// Catalog entry. The root page id is immutable: root splits copy the root's
+/// contents into two fresh children and turn the root into an internal page
+/// in place, so concurrent traversers never chase a moved root.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    pub id: TableId,
+    pub name: String,
+    pub root: PageId,
+    pub columns: usize,
+    pub kind: TableKind,
+}
+
+/// The cluster-wide table catalog. Table creation is an administrative
+/// operation performed by the cluster API before workloads run; the catalog
+/// itself is replicated metadata and not part of the crash-recovery story.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<TableId, Arc<TableMeta>>>,
+    next_id: AtomicU32,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            next_id: AtomicU32::new(1),
+        }
+    }
+
+    pub fn allocate_id(&self) -> TableId {
+        TableId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub fn register(&self, meta: TableMeta) -> Arc<TableMeta> {
+        let meta = Arc::new(meta);
+        self.tables.write().insert(meta.id, Arc::clone(&meta));
+        meta
+    }
+
+    pub fn get(&self, id: TableId) -> Result<Arc<TableMeta>> {
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(PmpError::UnknownTable { table: id })
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// All registered tables (standby promotion copies the catalog).
+    pub fn all(&self) -> Vec<Arc<TableMeta>> {
+        let mut v: Vec<Arc<TableMeta>> = self.tables.read().values().cloned().collect();
+        v.sort_by_key(|m| m.id.0);
+        v
+    }
+
+    /// Ensure the id allocator stays ahead of an externally imported id.
+    pub fn bump_next_id(&self, seen: TableId) {
+        let _ = self
+            .next_id
+            .fetch_max(seen.0 + 1, Ordering::Relaxed);
+    }
+}
+
+/// Write-back sink wiring DBP evictions to the shared page store.
+struct StorageSink {
+    storage: Arc<SharedStorage<Page>>,
+}
+
+impl EvictionSink<Page> for StorageSink {
+    fn write_back(&self, page_id: PageId, page: Arc<Page>, _llsn: pmp_common::Llsn) {
+        // Eviction write-back failing would be a storage outage; surface
+        // loudly rather than silently dropping the only up-to-date copy.
+        self.storage
+            .page_store()
+            .write(page_id, page)
+            .expect("DBP eviction write-back failed");
+    }
+}
+
+/// Everything shared across the cluster.
+#[derive(Debug)]
+pub struct Shared {
+    pub config: ClusterConfig,
+    pub fabric: Arc<Fabric>,
+    pub pmfs: Pmfs<Page>,
+    pub storage: Arc<SharedStorage<Page>>,
+    pub undo: Arc<UndoStore>,
+    pub catalog: Arc<Catalog>,
+}
+
+impl Shared {
+    pub fn new(config: ClusterConfig) -> Arc<Self> {
+        let fabric = Arc::new(Fabric::new(config.latency));
+        let storage = Arc::new(SharedStorage::new(config.storage_latency));
+        let pmfs = Pmfs::new(Arc::clone(&fabric), config.dbp_capacity, PAGE_BYTES);
+        pmfs.buffer.set_eviction_sink(Arc::new(StorageSink {
+            storage: Arc::clone(&storage),
+        }));
+        Arc::new(Shared {
+            config,
+            fabric,
+            pmfs,
+            storage,
+            undo: Arc::new(UndoStore::new()),
+            catalog: Arc::new(Catalog::new()),
+        })
+    }
+
+    /// Create a primary table with `columns` u64 columns and `gsi_columns`
+    /// global secondary indexes (one per named column). Roots are durable
+    /// in shared storage before the call returns.
+    pub fn create_table(&self, name: &str, columns: usize, gsi_columns: &[usize]) -> Result<Arc<TableMeta>> {
+        let mut indexes = Vec::with_capacity(gsi_columns.len());
+        for &col in gsi_columns {
+            assert!(col < columns, "GSI column out of range");
+            let idx_id = self.catalog.allocate_id();
+            let root = self.storage.page_store().allocate_page_id();
+            self.storage
+                .page_store()
+                .write(root, Arc::new(Page::new_leaf(root)))?;
+            indexes.push(IndexRef {
+                table: idx_id,
+                column: col,
+            });
+            self.catalog.register(TableMeta {
+                id: idx_id,
+                name: format!("{name}.gsi{col}"),
+                root,
+                columns: 0,
+                kind: TableKind::Index {
+                    parent: TableId(0), // patched below once the id is known
+                },
+            });
+        }
+
+        let id = self.catalog.allocate_id();
+        let root = self.storage.page_store().allocate_page_id();
+        self.storage
+            .page_store()
+            .write(root, Arc::new(Page::new_leaf(root)))?;
+        // Re-register indexes with the real parent id.
+        for idx in &indexes {
+            let meta = self.catalog.get(idx.table)?;
+            self.catalog.register(TableMeta {
+                kind: TableKind::Index { parent: id },
+                ..(*meta).clone()
+            });
+        }
+        Ok(self.catalog.register(TableMeta {
+            id,
+            name: name.to_string(),
+            root,
+            columns,
+            kind: TableKind::Primary { indexes },
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_registers_roots() {
+        let shared = Shared::new(ClusterConfig::test(1));
+        let meta = shared.create_table("t", 3, &[]).unwrap();
+        assert_eq!(meta.columns, 3);
+        assert!(matches!(&meta.kind, TableKind::Primary { indexes } if indexes.is_empty()));
+        let stored = shared.storage.page_store().read(meta.root).unwrap();
+        assert!(stored.is_some(), "root page must be durable");
+        assert!(stored.unwrap().is_leaf());
+    }
+
+    #[test]
+    fn create_table_with_gsis_links_both_ways() {
+        let shared = Shared::new(ClusterConfig::test(1));
+        let meta = shared.create_table("orders", 4, &[1, 2]).unwrap();
+        let TableKind::Primary { indexes } = &meta.kind else {
+            panic!("expected primary");
+        };
+        assert_eq!(indexes.len(), 2);
+        for idx in indexes {
+            let imeta = shared.catalog.get(idx.table).unwrap();
+            assert!(
+                matches!(imeta.kind, TableKind::Index { parent } if parent == meta.id),
+                "index must point back at its parent"
+            );
+            assert!(shared
+                .storage
+                .page_store()
+                .read(imeta.root)
+                .unwrap()
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn catalog_lookup_failures() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.get(TableId(99)),
+            Err(PmpError::UnknownTable { .. })
+        ));
+    }
+}

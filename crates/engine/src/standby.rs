@@ -1,0 +1,342 @@
+//! The cross-region standby cluster, §3.
+//!
+//! "PolarDB-MP also incorporates a standby node to ensure high availability
+//! across regions. Changes occurring in the primary cluster are
+//! synchronized to the standby cluster using the write-ahead log."
+//!
+//! The standby continuously consumes every primary node's redo stream
+//! (log shipping), merging the streams with the same chunked `LLSN_bound`
+//! algorithm recovery uses, and maintains its own region-local page set.
+//! It serves **committed-only reads** (a standby has no access to the
+//! primary region's TIT, so visibility is decided by commit records seen in
+//! the shipped log), and it can be **promoted**: in-doubt transactions are
+//! rolled back from the shipped undo records and the page set is written
+//! into a fresh region's shared storage, from which new primaries boot.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmp_common::{
+    ClusterConfig, GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result,
+};
+
+use crate::page::{Page, PageKind};
+use crate::recovery::StreamCursor;
+use crate::redo::{RedoOp, RedoRecord};
+use crate::row::{IndexKey, RowValue};
+use crate::shared::{Shared, TableMeta};
+use crate::undo::{UndoPtr, UndoRecord};
+
+/// Standby replication progress.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StandbyStats {
+    pub records_applied: u64,
+    pub commits_seen: u64,
+    pub apply_rounds: u64,
+    /// Highest commit timestamp shipped so far (the promotion TSO floor).
+    pub max_cts: u64,
+}
+
+struct StandbyState {
+    pages: HashMap<PageId, Page>,
+    cursors: Vec<StreamCursor>,
+    committed: HashSet<GlobalTrxId>,
+    rolled_back: HashSet<GlobalTrxId>,
+    undo: HashMap<UndoPtr, UndoRecord>,
+    undo_of: HashMap<GlobalTrxId, Vec<UndoPtr>>,
+    seen: HashSet<GlobalTrxId>,
+    stats: StandbyStats,
+}
+
+/// A standby region attached to a primary cluster's log streams.
+pub struct Standby {
+    source: Arc<Shared>,
+    chunk_bytes: usize,
+    state: Mutex<StandbyState>,
+}
+
+impl std::fmt::Debug for Standby {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Standby").finish_non_exhaustive()
+    }
+}
+
+impl Standby {
+    /// Attach a standby to the primary cluster, shipping the logs of
+    /// `nodes`. (In production the shipping crosses regions; here the
+    /// standby reads the same durable streams the primaries write.)
+    pub fn attach(source: &Arc<Shared>, nodes: &[NodeId]) -> Self {
+        let cursors = nodes
+            .iter()
+            .map(|&node| StreamCursor {
+                node,
+                stream: source.storage.redo_stream(node),
+                pos: Lsn::ZERO,
+                carry: Vec::new(),
+                pending: VecDeque::new(),
+                exhausted: false,
+            })
+            .collect();
+        Standby {
+            source: Arc::clone(source),
+            chunk_bytes: source.config.engine.recovery_chunk_bytes,
+            state: Mutex::new(StandbyState {
+                pages: HashMap::new(),
+                cursors,
+                committed: HashSet::new(),
+                rolled_back: HashSet::new(),
+                undo: HashMap::new(),
+                undo_of: HashMap::new(),
+                seen: HashSet::new(),
+                stats: StandbyStats::default(),
+            }),
+        }
+    }
+
+    /// Consume whatever durable log is available and apply it. Returns the
+    /// number of records applied this round. Call periodically (a
+    /// production standby would be driven by the shipping pipeline).
+    pub fn catch_up(&self) -> Result<u64> {
+        let mut st = self.state.lock();
+        st.stats.apply_rounds += 1;
+        let before = st.stats.records_applied;
+        loop {
+            // Refill cursors; note non-page records immediately.
+            let st = &mut *st;
+            for c in st.cursors.iter_mut() {
+                // A live stream is never "exhausted" — clear the flag so the
+                // next round re-polls from the current position.
+                c.exhausted = false;
+                let (committed, rolled_back, undo, undo_of, seen, stats) = (
+                    &mut st.committed,
+                    &mut st.rolled_back,
+                    &mut st.undo,
+                    &mut st.undo_of,
+                    &mut st.seen,
+                    &mut st.stats,
+                );
+                c.refill(self.chunk_bytes, |rec| {
+                    stats.records_applied += 1;
+                    if let Some(gid) = rec.row_op_trx() {
+                        if !gid.is_none() {
+                            seen.insert(gid);
+                        }
+                    }
+                    match &rec.op {
+                        RedoOp::Commit { trx, cts } => {
+                            committed.insert(*trx);
+                            stats.commits_seen += 1;
+                            stats.max_cts = stats.max_cts.max(cts.0);
+                        }
+                        RedoOp::Rollback { trx } => {
+                            rolled_back.insert(*trx);
+                        }
+                        RedoOp::UndoWrite { ptr, record } => {
+                            undo.insert(*ptr, record.clone());
+                            undo_of.entry(record.trx).or_default().push(*ptr);
+                            seen.insert(record.trx);
+                        }
+                        _ => {}
+                    }
+                })?;
+            }
+            if st.cursors.iter().all(|c| c.pending.is_empty()) {
+                break;
+            }
+            // LLSN_bound over the live streams: a stream with buffered
+            // records bounds at its last buffered LLSN (more may arrive),
+            // so we only apply what is safely ordered.
+            let bound = st
+                .cursors
+                .iter()
+                .filter_map(|c| c.pending.back().map(|r| r.llsn))
+                .min()
+                .unwrap_or(Llsn(u64::MAX));
+            let mut batch: Vec<RedoRecord> = Vec::new();
+            for c in st.cursors.iter_mut() {
+                while let Some(front) = c.pending.front() {
+                    if front.llsn <= bound {
+                        batch.push(c.pending.pop_front().expect("front exists"));
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if batch.is_empty() {
+                break; // heads all exceed the bound; wait for more log
+            }
+            batch.sort_by_key(|r| r.llsn);
+            for rec in &batch {
+                self.apply_page_record(&mut st.pages, rec)?;
+            }
+        }
+        Ok(st.stats.records_applied - before)
+    }
+
+    fn apply_page_record(&self, pages: &mut HashMap<PageId, Page>, rec: &RedoRecord) -> Result<()> {
+        if !pages.contains_key(&rec.page) {
+            if let RedoOp::PageImage(image) = &rec.op {
+                let mut image = image.clone();
+                image.llsn = rec.llsn;
+                pages.insert(rec.page, image);
+                return Ok(());
+            }
+            // Base image predates the attach point (e.g. a table root
+            // written straight to storage): fetch it from the source
+            // region's storage — the basebackup-on-demand every physical
+            // standby performs.
+            let base = self
+                .source
+                .storage
+                .page_store()
+                .read(rec.page)?
+                .ok_or_else(|| {
+                    PmpError::internal(format!("standby missing base image for {}", rec.page))
+                })?;
+            pages.insert(rec.page, (*base).clone());
+        }
+        let page = pages.get_mut(&rec.page).expect("just ensured");
+        rec.apply_to(page);
+        Ok(())
+    }
+
+    pub fn stats(&self) -> StandbyStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Committed-only read of `key` in `table` at the standby's current
+    /// replication point. Uncommitted (not-yet-commit-record-shipped) row
+    /// versions are skipped via the shipped undo records.
+    pub fn read(&self, table: &TableMeta, key: u64) -> Result<Option<RowValue>> {
+        let st = self.state.lock();
+        let key = key as IndexKey;
+        // Descend the B-link structure in the standby page set.
+        let mut current = table.root;
+        let leaf = loop {
+            let Some(page) = st.pages.get(&current) else {
+                // Nothing replicated for this subtree yet.
+                return Ok(None);
+            };
+            if !page.covers(key) {
+                current = page.next;
+                continue;
+            }
+            match &page.kind {
+                PageKind::Internal(node) => current = node.child_for(key),
+                PageKind::Leaf(_) => break page,
+            }
+        };
+        let Some(row) = leaf.as_leaf().get(key) else {
+            return Ok(None);
+        };
+        // Walk versions until one whose transaction's commit record has
+        // been shipped (bootstrap rows have no transaction).
+        let mut header = row.header;
+        let mut value = row.value.clone();
+        loop {
+            let committed = header.trx.is_none()
+                || st.committed.contains(&header.trx)
+                || (!st.seen.contains(&header.trx) && !header.cts.is_init());
+            if committed && !st.rolled_back.contains(&header.trx) {
+                return Ok((!header.deleted).then_some(value));
+            }
+            let Some(rec) = st.undo.get(&header.undo) else {
+                return Ok(None);
+            };
+            let Some((h, v)) = &rec.prev else {
+                return Ok(None);
+            };
+            header = *h;
+            value = v.clone();
+        }
+    }
+
+    /// Promote the standby into a fresh region: roll back in-doubt
+    /// transactions from the shipped undo, materialize the page set into a
+    /// new `Shared` (new storage, new PMFS), copy the catalog, and return
+    /// it ready for `NodeEngine::start`. The source cluster is untouched.
+    pub fn promote(&self, config: ClusterConfig) -> Result<Arc<Shared>> {
+        let mut st = self.state.lock();
+        // Roll back in-doubt transactions directly on the page set.
+        let st = &mut *st;
+        let in_doubt: Vec<GlobalTrxId> = st
+            .seen
+            .iter()
+            .filter(|g| !st.committed.contains(g) && !st.rolled_back.contains(g))
+            .copied()
+            .collect();
+        for gid in in_doubt {
+            let ptrs = st.undo_of.get(&gid).cloned().unwrap_or_default();
+            for ptr in ptrs.iter().rev() {
+                let Some(rec) = st.undo.get(ptr).cloned() else {
+                    continue;
+                };
+                let meta = self.source.catalog.get(rec.table)?;
+                Self::offline_undo(&mut st.pages, meta.root, gid, &rec)?;
+            }
+        }
+
+        let fresh = Shared::new(config);
+        // The new region's clock must never reissue a shipped timestamp:
+        // every replicated row's CTS has to stay visible to new snapshots.
+        fresh
+            .pmfs
+            .txn
+            .tso()
+            .advance_to(&fresh.fabric, pmp_common::Cts(st.stats.max_cts));
+        for (id, page) in &st.pages {
+            fresh
+                .storage
+                .page_store()
+                .write(*id, Arc::new(page.clone()))?;
+        }
+        // Copy catalog metadata (same table ids and root page ids).
+        for meta in self.source.catalog.all() {
+            fresh.catalog.register((*meta).clone());
+            fresh.catalog.bump_next_id(meta.id);
+        }
+        // Keep the new region's page allocator clear of replicated ids.
+        let max_page = st.pages.keys().map(|p| p.0).max().unwrap_or(0);
+        fresh.storage.page_store().reserve_page_ids(max_page + 1);
+        Ok(fresh)
+    }
+
+    fn offline_undo(
+        pages: &mut HashMap<PageId, Page>,
+        root: PageId,
+        gid: GlobalTrxId,
+        rec: &UndoRecord,
+    ) -> Result<()> {
+        let mut current = root;
+        let leaf_id = loop {
+            let Some(page) = pages.get(&current) else {
+                return Ok(()); // never replicated ⇒ nothing to undo
+            };
+            if !page.covers(rec.key) {
+                current = page.next;
+                continue;
+            }
+            match &page.kind {
+                PageKind::Internal(node) => current = node.child_for(rec.key),
+                PageKind::Leaf(_) => break current,
+            }
+        };
+        let page = pages.get_mut(&leaf_id).expect("leaf just resolved");
+        let leaf = page.as_leaf_mut();
+        if let Ok(i) = leaf.search(rec.key) {
+            if leaf.rows[i].header.trx == gid {
+                match &rec.prev {
+                    Some((header, value)) => {
+                        leaf.rows[i].header = *header;
+                        leaf.rows[i].value = value.clone();
+                    }
+                    None => {
+                        leaf.rows.remove(i);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

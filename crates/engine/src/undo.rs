@@ -1,0 +1,253 @@
+//! The shared undo record store.
+//!
+//! Undo records hold prior row versions for MVCC reconstruction and
+//! transaction rollback. In PolarDB-MP they live in undo tablespaces that —
+//! like everything else — are reachable from every node (a reader on node B
+//! routinely reconstructs a version written on node A). We model the undo
+//! space as one cluster-shared store in disaggregated memory: appends and
+//! same-node reads are local; cross-node reads pay a one-sided fabric read.
+//! Durability is *not* provided here — exactly as in §4.4, "undo logs are
+//! also protected by its redo logs": the engine emits a redo record for
+//! every undo write, and full-cluster recovery rebuilds this store from
+//! redo before rolling back in-doubt transactions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmp_common::{Counter, GlobalTrxId, NodeId, TableId};
+use pmp_rdma::{Fabric, Locality};
+
+use crate::row::{IndexKey, RowHeader, RowValue};
+
+/// Reference to an undo record: `(owning node, per-node sequence)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct UndoPtr {
+    pub node: NodeId,
+    pub seq: u64,
+}
+
+impl UndoPtr {
+    pub const NULL: UndoPtr = UndoPtr {
+        node: NodeId(u16::MAX),
+        seq: 0,
+    };
+
+    pub fn is_null(&self) -> bool {
+        *self == Self::NULL
+    }
+}
+
+/// The prior state of a row captured before an update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UndoRecord {
+    /// Transaction that created this record (the *new* version's writer).
+    pub trx: GlobalTrxId,
+    pub table: TableId,
+    pub key: IndexKey,
+    /// The row image being replaced; `None` when the operation was an
+    /// insert of a previously absent key (rollback removes the row).
+    pub prev: Option<(RowHeader, RowValue)>,
+    /// Next record of the same transaction (for rollback traversal).
+    pub trx_prev: UndoPtr,
+}
+
+const SHARDS: usize = 64;
+
+/// Cluster-shared undo store.
+#[derive(Debug)]
+pub struct UndoStore {
+    shards: Vec<RwLock<HashMap<UndoPtr, Arc<UndoRecord>>>>,
+    next_seq: Vec<AtomicU64>,
+    pub appends: Counter,
+    pub remote_reads: Counter,
+}
+
+/// Maximum number of nodes the per-node sequence table is sized for.
+const MAX_NODES: usize = 64;
+
+/// Approximate wire size of an undo record, for fabric charging.
+fn record_bytes(rec: &UndoRecord) -> usize {
+    48 + rec
+        .prev
+        .as_ref()
+        .map(|(_, v)| 40 + v.encoded_len())
+        .unwrap_or(0)
+}
+
+impl UndoStore {
+    pub fn new() -> Self {
+        UndoStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_seq: (0..MAX_NODES).map(|_| AtomicU64::new(1)).collect(),
+            appends: Counter::new(),
+            remote_reads: Counter::new(),
+        }
+    }
+
+    fn shard(&self, ptr: UndoPtr) -> &RwLock<HashMap<UndoPtr, Arc<UndoRecord>>> {
+        &self.shards[(ptr.seq as usize ^ ptr.node.as_usize()) & (SHARDS - 1)]
+    }
+
+    /// Append a record on behalf of `node` (a local write into the node's
+    /// undo segment). Returns the new pointer.
+    pub fn append(&self, node: NodeId, record: UndoRecord) -> UndoPtr {
+        self.appends.inc();
+        let seq = self.next_seq[node.as_usize()].fetch_add(1, Ordering::Relaxed);
+        let ptr = UndoPtr { node, seq };
+        self.shard(ptr).write().insert(ptr, Arc::new(record));
+        ptr
+    }
+
+    /// Re-insert a record at a known pointer (recovery rebuild path).
+    pub fn restore(&self, ptr: UndoPtr, record: UndoRecord) {
+        let seqs = &self.next_seq[ptr.node.as_usize()];
+        // Keep the allocator ahead of everything restored.
+        seqs.fetch_max(ptr.seq + 1, Ordering::Relaxed);
+        self.shard(ptr).write().insert(ptr, Arc::new(record));
+    }
+
+    /// Read a record. `reader` determines fabric locality: reading another
+    /// node's undo segment pays a one-sided RDMA read.
+    pub fn read(&self, fabric: &Fabric, reader: NodeId, ptr: UndoPtr) -> Option<Arc<UndoRecord>> {
+        if ptr.is_null() {
+            return None;
+        }
+        let rec = self.shard(ptr).read().get(&ptr).cloned();
+        if ptr.node != reader {
+            self.remote_reads.inc();
+            if let Some(rec) = &rec {
+                fabric.bulk_read(record_bytes(rec), Locality::Remote);
+            } else {
+                fabric.bulk_read(8, Locality::Remote);
+            }
+        }
+        rec
+    }
+
+    /// Drop a set of records (purge after the owning transaction's slot is
+    /// recycled — every surviving snapshot can already see the new version).
+    pub fn purge(&self, ptrs: &[UndoPtr]) {
+        for &ptr in ptrs {
+            self.shard(ptr).write().remove(&ptr);
+        }
+    }
+
+    /// Simulate disaggregated-memory loss (full-cluster failure): all
+    /// records vanish; recovery must rebuild them from redo.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for UndoStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::{Cts, LatencyConfig, SlotId, TrxId};
+
+    fn gid(node: u16, trx: u64) -> GlobalTrxId {
+        GlobalTrxId {
+            node: NodeId(node),
+            trx: TrxId(trx),
+            slot: SlotId(0),
+            version: 1,
+        }
+    }
+
+    fn rec(node: u16, key: IndexKey, prev: Option<(RowHeader, RowValue)>) -> UndoRecord {
+        UndoRecord {
+            trx: gid(node, 1),
+            table: TableId(1),
+            key,
+            prev,
+            trx_prev: UndoPtr::NULL,
+        }
+    }
+
+    fn header() -> RowHeader {
+        RowHeader {
+            trx: gid(0, 9),
+            cts: Cts(5),
+            undo: UndoPtr::NULL,
+            deleted: false,
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let fabric = Fabric::new(LatencyConfig::disabled());
+        let store = UndoStore::new();
+        let ptr = store.append(NodeId(0), rec(0, 7, Some((header(), RowValue::new(vec![1])))));
+        let got = store.read(&fabric, NodeId(0), ptr).unwrap();
+        assert_eq!(got.key, 7);
+        assert_eq!(store.remote_reads.get(), 0, "same-node read is local");
+
+        store.read(&fabric, NodeId(1), ptr).unwrap();
+        assert_eq!(store.remote_reads.get(), 1);
+    }
+
+    #[test]
+    fn null_pointer_reads_nothing() {
+        let fabric = Fabric::new(LatencyConfig::disabled());
+        let store = UndoStore::new();
+        assert!(store.read(&fabric, NodeId(0), UndoPtr::NULL).is_none());
+    }
+
+    #[test]
+    fn pointers_are_per_node_sequences() {
+        let store = UndoStore::new();
+        let a = store.append(NodeId(0), rec(0, 1, None));
+        let b = store.append(NodeId(1), rec(1, 2, None));
+        let c = store.append(NodeId(0), rec(0, 3, None));
+        assert_eq!(a.node, NodeId(0));
+        assert_eq!(b.node, NodeId(1));
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 1);
+        assert_eq!(c.seq, 2);
+    }
+
+    #[test]
+    fn purge_removes_records() {
+        let fabric = Fabric::new(LatencyConfig::disabled());
+        let store = UndoStore::new();
+        let a = store.append(NodeId(0), rec(0, 1, None));
+        let b = store.append(NodeId(0), rec(0, 2, None));
+        store.purge(&[a]);
+        assert!(store.read(&fabric, NodeId(0), a).is_none());
+        assert!(store.read(&fabric, NodeId(0), b).is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn restore_keeps_allocator_ahead() {
+        let store = UndoStore::new();
+        store.restore(UndoPtr { node: NodeId(0), seq: 100 }, rec(0, 1, None));
+        let next = store.append(NodeId(0), rec(0, 2, None));
+        assert!(next.seq > 100, "allocator must never reuse restored seqs");
+    }
+
+    #[test]
+    fn clear_models_memory_loss() {
+        let store = UndoStore::new();
+        store.append(NodeId(0), rec(0, 1, None));
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

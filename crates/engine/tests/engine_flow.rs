@@ -1,0 +1,457 @@
+//! End-to-end engine tests: single-node transactions, multi-node buffer
+//! fusion, row-lock conflicts, deadlocks, rollback, and crash recovery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmp_common::{ClusterConfig, NodeId, PmpError, TableId};
+use pmp_engine::recovery::{recover_cluster, recover_node};
+use pmp_engine::row::RowValue;
+use pmp_engine::shared::Shared;
+use pmp_engine::NodeEngine;
+
+fn cluster(nodes: u16) -> (Arc<Shared>, Vec<Arc<NodeEngine>>) {
+    let shared = Shared::new(ClusterConfig::test(nodes as usize));
+    let engines = (0..nodes)
+        .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i)))
+        .collect();
+    (shared, engines)
+}
+
+fn v(cols: &[u64]) -> RowValue {
+    RowValue::new(cols.to_vec())
+}
+
+fn table(shared: &Shared, name: &str) -> TableId {
+    shared.create_table(name, 2, &[]).unwrap().id
+}
+
+#[test]
+fn single_node_crud_roundtrip() {
+    let (shared, engines) = cluster(1);
+    let t = table(&shared, "t");
+    let node = &engines[0];
+
+    let mut txn = node.begin().unwrap();
+    txn.insert(t, 1, v(&[10, 0])).unwrap();
+    txn.insert(t, 2, v(&[20, 0])).unwrap();
+    assert_eq!(txn.get(t, 1).unwrap(), Some(v(&[10, 0])));
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    assert_eq!(txn.get(t, 2).unwrap(), Some(v(&[20, 0])));
+    txn.update(t, 2, v(&[21, 0])).unwrap();
+    txn.delete(t, 1).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    assert_eq!(txn.get(t, 1).unwrap(), None, "deleted row invisible");
+    assert_eq!(txn.get(t, 2).unwrap(), Some(v(&[21, 0])));
+    assert_eq!(txn.get(t, 99).unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn duplicate_and_missing_key_errors() {
+    let (shared, engines) = cluster(1);
+    let t = table(&shared, "t");
+    let mut txn = engines[0].begin().unwrap();
+    txn.insert(t, 1, v(&[1, 1])).unwrap();
+    assert!(matches!(
+        txn.insert(t, 1, v(&[2, 2])),
+        Err(PmpError::DuplicateKey)
+    ));
+    assert!(matches!(
+        txn.update(t, 42, v(&[0, 0])),
+        Err(PmpError::KeyNotFound)
+    ));
+    assert!(matches!(txn.delete(t, 42), Err(PmpError::KeyNotFound)));
+    // Row-level errors leave the transaction usable.
+    txn.insert(t, 2, v(&[2, 2])).unwrap();
+    txn.commit().unwrap();
+}
+
+#[test]
+fn inserts_split_pages_and_scan_sees_all() {
+    let (shared, engines) = cluster(1);
+    let t = table(&shared, "t");
+    let node = &engines[0];
+    // Default leaf capacity is 64; 1000 keys force multi-level splits.
+    let mut txn = node.begin().unwrap();
+    for k in (0..1000u64).rev() {
+        txn.insert(t, k, v(&[k, k * 2])).unwrap();
+    }
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    let rows = txn.scan(t, 0, 2000).unwrap();
+    assert_eq!(rows.len(), 1000);
+    for (i, (k, val)) in rows.iter().enumerate() {
+        assert_eq!(*k, i as u64, "scan must be sorted and complete");
+        assert_eq!(val.col(1), i as u64 * 2);
+    }
+    let mid = txn.scan(t, 500, 10).unwrap();
+    assert_eq!(mid.len(), 10);
+    assert_eq!(mid[0].0, 500);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn rollback_restores_previous_state() {
+    let (shared, engines) = cluster(1);
+    let t = table(&shared, "t");
+    let node = &engines[0];
+
+    let mut txn = node.begin().unwrap();
+    txn.insert(t, 1, v(&[1, 1])).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    txn.update(t, 1, v(&[99, 99])).unwrap();
+    txn.insert(t, 2, v(&[2, 2])).unwrap();
+    txn.delete(t, 1).unwrap();
+    txn.rollback().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    assert_eq!(txn.get(t, 1).unwrap(), Some(v(&[1, 1])));
+    assert_eq!(txn.get(t, 2).unwrap(), None, "rolled-back insert vanishes");
+    txn.commit().unwrap();
+}
+
+#[test]
+fn dropping_active_txn_rolls_back() {
+    let (shared, engines) = cluster(1);
+    let t = table(&shared, "t");
+    {
+        let mut txn = engines[0].begin().unwrap();
+        txn.insert(t, 7, v(&[7, 7])).unwrap();
+        // dropped without commit
+    }
+    let mut txn = engines[0].begin().unwrap();
+    assert_eq!(txn.get(t, 7).unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn uncommitted_changes_invisible_across_nodes() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(&[1, 0])).unwrap();
+    setup.commit().unwrap();
+
+    let mut writer = engines[0].begin().unwrap();
+    writer.update(t, 1, v(&[2, 0])).unwrap();
+
+    // Node 2 must still see the committed version (via undo + TIT).
+    let mut reader = engines[1].begin().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(&[1, 0])));
+    reader.commit().unwrap();
+
+    writer.commit().unwrap();
+    let mut reader = engines[1].begin().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(&[2, 0])));
+    reader.commit().unwrap();
+}
+
+#[test]
+fn cross_node_writes_transfer_through_buffer_fusion() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+    // Node 0 creates the rows.
+    let mut txn = engines[0].begin().unwrap();
+    for k in 0..100 {
+        txn.insert(t, k, v(&[k, 0])).unwrap();
+    }
+    txn.commit().unwrap();
+
+    // Nodes alternate updates on the same rows; each must see the other's
+    // latest committed value.
+    for round in 1..=4u64 {
+        let node = &engines[(round % 2) as usize];
+        let mut txn = node.begin().unwrap();
+        for k in 0..100 {
+            let cur = txn.get(t, k).unwrap().unwrap();
+            assert_eq!(cur.col(1), round - 1, "round {round} key {k}");
+            txn.update(t, k, v(&[k, round])).unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    // Page movements must have used the DBP, not storage re-reads.
+    assert!(shared.pmfs.buffer.stats().pushes.get() > 0);
+    assert!(
+        engines[1].stats.pages_loaded_dbp.get() > 0,
+        "node 1 must have fetched pages from the DBP"
+    );
+}
+
+#[test]
+fn row_conflict_waits_for_commit() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(&[0, 0])).unwrap();
+    setup.commit().unwrap();
+
+    let mut t1 = engines[0].begin().unwrap();
+    t1.update(t, 1, v(&[1, 0])).unwrap();
+
+    let e1 = Arc::clone(&engines[1]);
+    let waiter = std::thread::spawn(move || {
+        let mut t2 = e1.begin().unwrap();
+        t2.update(t, 1, v(&[2, 0])).unwrap();
+        t2.commit().unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!waiter.is_finished(), "t2 must be blocked on t1's row lock");
+    t1.commit().unwrap();
+    waiter.join().unwrap();
+
+    let mut check = engines[0].begin().unwrap();
+    assert_eq!(check.get(t, 1).unwrap(), Some(v(&[2, 0])));
+    check.commit().unwrap();
+}
+
+#[test]
+fn deadlock_is_detected_and_victim_aborted() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(&[0, 0])).unwrap();
+    setup.insert(t, 2, v(&[0, 0])).unwrap();
+    setup.commit().unwrap();
+
+    // Background detector (the cluster crate owns this in production).
+    let rlock = Arc::clone(&shared.pmfs.rlock);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let detector = std::thread::spawn(move || {
+        while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+            rlock.detect_once();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let mut handles = Vec::new();
+    for (i, (first, second)) in [(1u64, 2u64), (2, 1)].iter().enumerate() {
+        let engine = Arc::clone(&engines[i]);
+        let barrier = Arc::clone(&barrier);
+        let (first, second) = (*first, *second);
+        handles.push(std::thread::spawn(move || {
+            let mut txn = engine.begin().unwrap();
+            txn.update(t, first, v(&[first, 0])).unwrap();
+            barrier.wait();
+            match txn.update(t, second, v(&[second, 0])) {
+                Ok(()) => {
+                    txn.commit().unwrap();
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        }));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    detector.join().unwrap();
+
+    let oks = results.iter().filter(|r| r.is_ok()).count();
+    let deadlocks = results
+        .iter()
+        .filter(|r| matches!(r, Err(PmpError::Deadlock { .. })))
+        .count();
+    assert_eq!(oks, 1, "exactly one transaction survives: {results:?}");
+    assert_eq!(deadlocks, 1, "exactly one deadlock victim: {results:?}");
+}
+
+#[test]
+fn single_node_crash_recovery_preserves_committed_and_rolls_back_rest() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+
+    let mut committed = engines[0].begin().unwrap();
+    for k in 0..50 {
+        committed.insert(t, k, v(&[k, 1])).unwrap();
+    }
+    committed.commit().unwrap();
+
+    // An uncommitted transaction is in flight at crash time.
+    let mut doomed = engines[0].begin().unwrap();
+    doomed.update(t, 5, v(&[5, 999])).unwrap();
+    doomed.insert(t, 100, v(&[100, 999])).unwrap();
+    std::mem::forget(doomed); // crash takes it down, no clean rollback
+    // Make the in-flight changes reach the durable log + DBP (as a busy
+    // node's background flusher would) so recovery has work to undo.
+    engines[0].flush_tick();
+
+    engines[0].crash();
+    assert!(matches!(
+        engines[0].begin().map(|_| ()),
+        Err(PmpError::NodeUnavailable { .. })
+    ));
+
+    let (recovered, stats) = recover_node(&shared, NodeId(0)).unwrap();
+    assert_eq!(stats.rolled_back, 1, "the in-flight trx must be rolled back");
+    assert!(stats.committed_seen >= 1);
+
+    let mut check = recovered.begin().unwrap();
+    for k in 0..50 {
+        let expected = Some(v(&[k, 1]));
+        assert_eq!(check.get(t, k).unwrap(), expected, "key {k}");
+    }
+    assert_eq!(check.get(t, 100).unwrap(), None, "uncommitted insert gone");
+    check.commit().unwrap();
+
+    // The survivor node sees the same state.
+    let mut check = engines[1].begin().unwrap();
+    assert_eq!(check.get(t, 5).unwrap(), Some(v(&[5, 1])));
+    check.commit().unwrap();
+
+    // And the recovered node accepts new writes.
+    let mut txn = recovered.begin().unwrap();
+    txn.insert(t, 200, v(&[200, 0])).unwrap();
+    txn.commit().unwrap();
+}
+
+#[test]
+fn survivor_node_unaffected_while_peer_is_down() {
+    let (shared, engines) = cluster(2);
+    let t0 = table(&shared, "t0");
+    let t1 = table(&shared, "t1");
+
+    // Each node works on its own table (the Fig 15 setup).
+    let mut a = engines[0].begin().unwrap();
+    a.insert(t0, 1, v(&[1, 1])).unwrap();
+    a.commit().unwrap();
+    let mut b = engines[1].begin().unwrap();
+    b.insert(t1, 1, v(&[1, 1])).unwrap();
+    b.commit().unwrap();
+
+    engines[0].crash();
+
+    // Node 1 keeps transacting on its disjoint tables.
+    for k in 2..20 {
+        let mut txn = engines[1].begin().unwrap();
+        txn.insert(t1, k, v(&[k, k])).unwrap();
+        txn.commit().unwrap();
+    }
+    let (recovered, _) = recover_node(&shared, NodeId(0)).unwrap();
+    let mut check = recovered.begin().unwrap();
+    assert_eq!(check.get(t0, 1).unwrap(), Some(v(&[1, 1])));
+    assert_eq!(check.get(t1, 19).unwrap(), Some(v(&[19, 19])));
+    check.commit().unwrap();
+}
+
+#[test]
+fn full_cluster_recovery_rebuilds_from_logs_alone() {
+    let (shared, engines) = cluster(2);
+    let t = table(&shared, "t");
+
+    let mut txn = engines[0].begin().unwrap();
+    for k in 0..200 {
+        txn.insert(t, k, v(&[k, 0])).unwrap();
+    }
+    txn.commit().unwrap();
+    let mut txn = engines[1].begin().unwrap();
+    for k in 0..200 {
+        txn.update(t, k, v(&[k, 7])).unwrap();
+    }
+    txn.commit().unwrap();
+    // One in-doubt transaction on node 0.
+    let mut doomed = engines[0].begin().unwrap();
+    doomed.update(t, 3, v(&[3, 666])).unwrap();
+    std::mem::forget(doomed);
+    engines[0].flush_tick();
+
+    // Everything volatile dies: nodes, DBP, undo store.
+    engines[0].crash();
+    engines[1].crash();
+    shared.pmfs.buffer.clear();
+    shared.undo.clear();
+    shared.pmfs.plock.release_all(NodeId(0));
+    shared.pmfs.plock.release_all(NodeId(1));
+    shared.pmfs.txn.unregister_region(NodeId(0));
+    shared.pmfs.txn.unregister_region(NodeId(1));
+
+    let stats = recover_cluster(&shared, &[NodeId(0), NodeId(1)]).unwrap();
+    assert!(stats.records_scanned > 0);
+    assert_eq!(stats.rolled_back, 1);
+
+    let fresh = NodeEngine::start(Arc::clone(&shared), NodeId(0));
+    let mut check = fresh.begin().unwrap();
+    for k in 0..200 {
+        assert_eq!(check.get(t, k).unwrap(), Some(v(&[k, 7])), "key {k}");
+    }
+    check.commit().unwrap();
+}
+
+#[test]
+fn gsi_maintained_across_insert_update_delete() {
+    let (shared, engines) = cluster(1);
+    let meta = shared.create_table("orders", 3, &[1]).unwrap();
+    let t = meta.id;
+    let node = &engines[0];
+
+    let mut txn = node.begin().unwrap();
+    txn.insert(t, 1, v(&[1, 100, 0])).unwrap();
+    txn.insert(t, 2, v(&[2, 100, 0])).unwrap();
+    txn.insert(t, 3, v(&[3, 200, 0])).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    let mut hits = txn.index_lookup(t, 0, 100, 10).unwrap();
+    hits.sort();
+    assert_eq!(hits, vec![1, 2]);
+
+    // Move pk 2 from bucket 100 to 200.
+    txn.update(t, 2, v(&[2, 200, 0])).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = node.begin().unwrap();
+    assert_eq!(txn.index_lookup(t, 0, 100, 10).unwrap(), vec![1]);
+    let mut hits = txn.index_lookup(t, 0, 200, 10).unwrap();
+    hits.sort();
+    assert_eq!(hits, vec![2, 3]);
+
+    txn.delete(t, 3).unwrap();
+    txn.commit().unwrap();
+    let mut txn = node.begin().unwrap();
+    assert_eq!(txn.index_lookup(t, 0, 200, 10).unwrap(), vec![2]);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn concurrent_disjoint_writers_scale_without_errors() {
+    let (shared, engines) = cluster(4);
+    let t = table(&shared, "t");
+    let mut setup = engines[0].begin().unwrap();
+    for k in 0..400 {
+        setup.insert(t, k, v(&[k, 0])).unwrap();
+    }
+    setup.commit().unwrap();
+
+    let handles: Vec<_> = engines
+        .iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            let engine = Arc::clone(engine);
+            std::thread::spawn(move || {
+                for round in 1..=20u64 {
+                    let mut txn = engine.begin().unwrap();
+                    for k in (i as u64 * 100)..(i as u64 * 100 + 100) {
+                        txn.update(t, k, v(&[k, round])).unwrap();
+                    }
+                    txn.commit().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut check = engines[0].begin().unwrap();
+    for k in 0..400 {
+        assert_eq!(check.get(t, k).unwrap(), Some(v(&[k, 20])), "key {k}");
+    }
+    check.commit().unwrap();
+}

@@ -1,0 +1,496 @@
+//! Buffer Fusion and the distributed buffer pool (DBP), §4.2 / Figure 4.
+//!
+//! Nodes push updated pages into the DBP and fetch peers' updates from it
+//! over one-sided RDMA, so a page modified on node A reaches node B in
+//! microseconds instead of a storage round-trip plus log replay (the
+//! Taurus-MM coherence path the paper contrasts against, §2.3).
+//!
+//! For each page the DBP keeps the metadata from Figure 4: the page's
+//! address in disaggregated memory (`r_addr`, modelled by the map entry),
+//! the node ids holding copies, and the registered addresses of their
+//! `valid` flags. When a new version of a page is stored, Buffer Fusion
+//! remotely clears the other holders' flags ("remotely invalidates the
+//! copies on other nodes via the address of the invalid flag").
+//!
+//! Capacity management: the DBP is a cache over shared storage. Evicting an
+//! entry writes the page back through an injected [`EvictionSink`] (so the
+//! latest version is never lost) and invalidates every holder's copy (so no
+//! node can keep trusting a copy whose future invalidations would have no
+//! directory entry to flow through).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmp_common::{Counter, Llsn, NodeId, PageId};
+use pmp_rdma::{Fabric, Locality};
+
+/// Where evicted DBP pages are written back (wired to the shared page store
+/// by the cluster assembly).
+pub trait EvictionSink<P>: Send + Sync {
+    fn write_back(&self, page_id: PageId, page: Arc<P>, llsn: Llsn);
+}
+
+/// No-op sink for tests that never overflow the DBP.
+pub struct DiscardSink;
+
+impl<P> EvictionSink<P> for DiscardSink {
+    fn write_back(&self, _page_id: PageId, _page: Arc<P>, _llsn: Llsn) {}
+}
+
+#[derive(Debug)]
+struct Holder {
+    node: NodeId,
+    valid_flag: Arc<AtomicBool>,
+}
+
+#[derive(Debug)]
+struct DbpEntry<P> {
+    page: Arc<P>,
+    llsn: Llsn,
+    holders: Vec<Holder>,
+}
+
+#[derive(Debug)]
+struct Shard<P> {
+    entries: HashMap<PageId, DbpEntry<P>>,
+    fifo: VecDeque<PageId>,
+}
+
+/// Per-service meters.
+#[derive(Debug, Default)]
+pub struct BufferFusionStats {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub fetches: Counter,
+    pub pushes: Counter,
+    pub invalidations: Counter,
+    pub evictions: Counter,
+}
+
+const SHARDS: usize = 64;
+
+/// The Buffer Fusion service and its distributed buffer pool.
+pub struct BufferFusion<P> {
+    fabric: Arc<Fabric>,
+    shards: Vec<Mutex<Shard<P>>>,
+    per_shard_capacity: usize,
+    page_bytes: usize,
+    stats: BufferFusionStats,
+    sink: Mutex<Option<Arc<dyn EvictionSink<P>>>>,
+}
+
+impl<P> std::fmt::Debug for BufferFusion<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferFusion")
+            .field("stats", &self.stats)
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Send + Sync + 'static> BufferFusion<P> {
+    pub fn new(fabric: Arc<Fabric>, capacity: usize, page_bytes: usize) -> Self {
+        BufferFusion {
+            fabric,
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        fifo: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity: (capacity / SHARDS).max(1),
+            page_bytes,
+            stats: BufferFusionStats::default(),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Install the write-back sink (the shared page store).
+    pub fn set_eviction_sink(&self, sink: Arc<dyn EvictionSink<P>>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    pub fn stats(&self) -> &BufferFusionStats {
+        &self.stats
+    }
+
+    fn shard(&self, id: PageId) -> &Mutex<Shard<P>> {
+        &self.shards[(id.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// RPC: "is page X in the DBP?" On a hit the caller is registered as a
+    /// holder and the page is transferred (RPC + one-sided read). On a miss
+    /// the caller reads shared storage and follows up with
+    /// [`register_push`](Self::register_push).
+    pub fn lookup_or_register(
+        &self,
+        caller: NodeId,
+        page_id: PageId,
+        valid_flag: Arc<AtomicBool>,
+    ) -> Option<(Arc<P>, Llsn)> {
+        self.fabric.rpc(32, || {
+            let mut shard = self.shard(page_id).lock();
+            match shard.entries.get_mut(&page_id) {
+                Some(entry) => {
+                    self.stats.hits.inc();
+                    upsert_holder(entry, caller, valid_flag);
+                    let out = (Arc::clone(&entry.page), entry.llsn);
+                    drop(shard);
+                    self.fabric.bulk_read(self.page_bytes, Locality::Remote);
+                    Some(out)
+                }
+                None => {
+                    self.stats.misses.inc();
+                    None
+                }
+            }
+        })
+    }
+
+    /// After a storage read on a DBP miss, the loading node registers the
+    /// page and writes it into the DBP ("Once loaded by a node, the page is
+    /// registered to the DBP and remotely written to it", §4.2).
+    ///
+    /// If a concurrent loader won the race the existing (same or newer)
+    /// version is kept and returned so the caller adopts it.
+    pub fn register_push(
+        &self,
+        caller: NodeId,
+        page_id: PageId,
+        page: Arc<P>,
+        llsn: Llsn,
+        valid_flag: Arc<AtomicBool>,
+    ) -> (Arc<P>, Llsn) {
+        let result = self.fabric.rpc(32, || {
+            let mut shard = self.shard(page_id).lock();
+            match shard.entries.get_mut(&page_id) {
+                Some(entry) => {
+                    upsert_holder(entry, caller, valid_flag);
+                    if llsn > entry.llsn {
+                        entry.page = Arc::clone(&page);
+                        entry.llsn = llsn;
+                    }
+                    (Arc::clone(&entry.page), entry.llsn)
+                }
+                None => {
+                    shard.entries.insert(
+                        page_id,
+                        DbpEntry {
+                            page: Arc::clone(&page),
+                            llsn,
+                            holders: vec![Holder {
+                                node: caller,
+                                valid_flag,
+                            }],
+                        },
+                    );
+                    shard.fifo.push_back(page_id);
+                    (page, llsn)
+                }
+            }
+        });
+        self.fabric.bulk_write(self.page_bytes, Locality::Remote);
+        self.stats.pushes.inc();
+        self.maybe_evict(page_id);
+        result
+    }
+
+    /// One-sided fetch by a node that is already a registered holder (it
+    /// knows the page's `r_addr`). Returns `None` when the entry has been
+    /// evicted — or the caller is no longer a holder — in which case the
+    /// caller must retry through the RPC path.
+    pub fn fetch(&self, caller: NodeId, page_id: PageId) -> Option<(Arc<P>, Llsn)> {
+        self.stats.fetches.inc();
+        let out = {
+            let shard = self.shard(page_id).lock();
+            let entry = shard.entries.get(&page_id)?;
+            if !entry.holders.iter().any(|h| h.node == caller) {
+                return None;
+            }
+            (Arc::clone(&entry.page), entry.llsn)
+        };
+        self.fabric.bulk_read(self.page_bytes, Locality::Remote);
+        Some(out)
+    }
+
+    /// Push an updated page (one-sided write), after which Buffer Fusion
+    /// invalidates every other holder's copy. The caller must hold the
+    /// page's exclusive PLock, which serializes pushes per page.
+    pub fn push(&self, caller: NodeId, page_id: PageId, page: Arc<P>, llsn: Llsn) {
+        self.fabric.bulk_write(self.page_bytes, Locality::Remote);
+        self.stats.pushes.inc();
+        let flags_to_clear: Vec<Arc<AtomicBool>> = {
+            let mut shard = self.shard(page_id).lock();
+            match shard.entries.get_mut(&page_id) {
+                Some(entry) => {
+                    if llsn <= entry.llsn {
+                        // Stale push (e.g. a background flush racing a
+                        // negotiation-driven push that already won): ignore.
+                        return;
+                    }
+                    entry.page = page;
+                    entry.llsn = llsn;
+                    entry
+                        .holders
+                        .iter()
+                        .filter(|h| h.node != caller)
+                        .map(|h| Arc::clone(&h.valid_flag))
+                        .collect()
+                }
+                None => {
+                    // Entry was evicted since the caller registered;
+                    // re-create it. The caller remains a holder via its
+                    // next lookup (its own copy is the one being pushed, so
+                    // no flag is needed until it re-registers).
+                    shard.entries.insert(
+                        page_id,
+                        DbpEntry {
+                            page,
+                            llsn,
+                            holders: Vec::new(),
+                        },
+                    );
+                    shard.fifo.push_back(page_id);
+                    Vec::new()
+                }
+            }
+        };
+        for flag in flags_to_clear {
+            self.stats.invalidations.inc();
+            self.fabric.write_flag(&flag, false, Locality::Remote);
+        }
+        self.maybe_evict(page_id);
+    }
+
+    /// Drop the caller from a page's holder list (LBP eviction notice).
+    pub fn unregister(&self, caller: NodeId, page_id: PageId) {
+        self.fabric.rpc(16, || {
+            if let Some(entry) = self.shard(page_id).lock().entries.get_mut(&page_id) {
+                entry.holders.retain(|h| h.node != caller);
+            }
+        });
+    }
+
+    /// Current DBP contents for a page without any charge (recovery uses
+    /// this from the PMFS side; also handy in tests).
+    pub fn peek(&self, page_id: PageId) -> Option<(Arc<P>, Llsn)> {
+        let shard = self.shard(page_id).lock();
+        shard
+            .entries
+            .get(&page_id)
+            .map(|e| (Arc::clone(&e.page), e.llsn))
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Simulate DBP memory loss: every cached page vanishes, every holder's
+    /// copy is invalidated. Nodes transparently fall back to shared storage
+    /// (the paper's DBP-failure story: pages "can be recovered from logs in
+    /// the event of a DBP failure" — we additionally write back through the
+    /// sink on *clean* eviction, so only log-recoverable state is ever lost
+    /// here).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for (_, entry) in s.entries.drain() {
+                for h in &entry.holders {
+                    self.stats.invalidations.inc();
+                    self.fabric.write_flag(&h.valid_flag, false, Locality::Remote);
+                }
+            }
+            s.fifo.clear();
+        }
+    }
+
+    /// FIFO eviction keeping each shard within its capacity. Never evicts
+    /// `just_touched`.
+    fn maybe_evict(&self, just_touched: PageId) {
+        let mut victims = Vec::new();
+        {
+            let mut shard = self.shard(just_touched).lock();
+            while shard.entries.len() > self.per_shard_capacity {
+                let Some(candidate) = shard.fifo.pop_front() else {
+                    break;
+                };
+                if candidate == just_touched {
+                    shard.fifo.push_back(candidate);
+                    continue;
+                }
+                if let Some(entry) = shard.entries.remove(&candidate) {
+                    victims.push((candidate, entry));
+                }
+            }
+        }
+        if victims.is_empty() {
+            return;
+        }
+        let sink = self.sink.lock().clone();
+        for (page_id, entry) in victims {
+            self.stats.evictions.inc();
+            for h in &entry.holders {
+                self.stats.invalidations.inc();
+                self.fabric.write_flag(&h.valid_flag, false, Locality::Remote);
+            }
+            if let Some(sink) = &sink {
+                sink.write_back(page_id, entry.page, entry.llsn);
+            }
+        }
+    }
+}
+
+fn upsert_holder<P>(entry: &mut DbpEntry<P>, node: NodeId, valid_flag: Arc<AtomicBool>) {
+    match entry.holders.iter_mut().find(|h| h.node == node) {
+        Some(h) => h.valid_flag = valid_flag,
+        None => entry.holders.push(Holder { node, valid_flag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+    use std::sync::atomic::Ordering;
+
+    type Bf = BufferFusion<String>;
+
+    fn bf(capacity: usize) -> Bf {
+        BufferFusion::new(
+            Arc::new(Fabric::new(LatencyConfig::disabled())),
+            capacity,
+            16 * 1024,
+        )
+    }
+
+    fn flag(v: bool) -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(v))
+    }
+
+    #[test]
+    fn miss_then_register_then_hit() {
+        let bf = bf(1024);
+        let p = PageId(7);
+        let f1 = flag(true);
+        assert!(bf.lookup_or_register(NodeId(1), p, Arc::clone(&f1)).is_none());
+        let (page, llsn) =
+            bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(5), Arc::clone(&f1));
+        assert_eq!(*page, "v1");
+        assert_eq!(llsn, Llsn(5));
+
+        let f2 = flag(true);
+        let (page, llsn) = bf
+            .lookup_or_register(NodeId(2), p, Arc::clone(&f2))
+            .expect("now a hit");
+        assert_eq!(*page, "v1");
+        assert_eq!(llsn, Llsn(5));
+        assert_eq!(bf.stats().hits.get(), 1);
+        assert_eq!(bf.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn push_invalidates_other_holders_only() {
+        let bf = bf(1024);
+        let p = PageId(3);
+        let f1 = flag(true);
+        let f2 = flag(true);
+        bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(1), Arc::clone(&f1));
+        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2)).unwrap();
+
+        bf.push(NodeId(1), p, Arc::new("v2".into()), Llsn(2));
+        assert!(f1.load(Ordering::Acquire), "pusher keeps its copy valid");
+        assert!(!f2.load(Ordering::Acquire), "peer copy must be invalidated");
+        let (page, llsn) = bf.peek(p).unwrap();
+        assert_eq!(*page, "v2");
+        assert_eq!(llsn, Llsn(2));
+    }
+
+    #[test]
+    fn stale_push_is_ignored() {
+        let bf = bf(1024);
+        let p = PageId(3);
+        bf.register_push(NodeId(1), p, Arc::new("v5".into()), Llsn(5), flag(true));
+        bf.push(NodeId(1), p, Arc::new("v3-stale".into()), Llsn(3));
+        assert_eq!(*bf.peek(p).unwrap().0, "v5");
+    }
+
+    #[test]
+    fn one_sided_fetch_requires_registration() {
+        let bf = bf(1024);
+        let p = PageId(9);
+        bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(1), flag(true));
+        assert!(bf.fetch(NodeId(1), p).is_some());
+        assert!(
+            bf.fetch(NodeId(2), p).is_none(),
+            "unregistered node has no r_addr and must take the RPC path"
+        );
+        assert!(bf.fetch(NodeId(1), PageId(999)).is_none());
+    }
+
+    #[test]
+    fn register_push_race_keeps_newest() {
+        let bf = bf(1024);
+        let p = PageId(4);
+        bf.register_push(NodeId(1), p, Arc::new("new".into()), Llsn(9), flag(true));
+        // A slower loader with an older version must adopt the newer page.
+        let (page, llsn) =
+            bf.register_push(NodeId(2), p, Arc::new("old".into()), Llsn(2), flag(true));
+        assert_eq!(*page, "new");
+        assert_eq!(llsn, Llsn(9));
+    }
+
+    #[test]
+    fn unregister_stops_invalidations() {
+        let bf = bf(1024);
+        let p = PageId(5);
+        let f2 = flag(true);
+        bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(1), flag(true));
+        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2)).unwrap();
+        bf.unregister(NodeId(2), p);
+        bf.push(NodeId(1), p, Arc::new("v2".into()), Llsn(2));
+        assert!(f2.load(Ordering::Acquire), "unregistered holder untouched");
+    }
+
+    struct RecordingSink(Mutex<Vec<(PageId, Llsn)>>);
+    impl EvictionSink<String> for RecordingSink {
+        fn write_back(&self, page_id: PageId, _page: Arc<String>, llsn: Llsn) {
+            self.0.lock().push((page_id, llsn));
+        }
+    }
+
+    #[test]
+    fn eviction_writes_back_and_invalidates() {
+        // capacity < SHARDS → per-shard capacity of 1.
+        let bf = bf(1);
+        let sink = Arc::new(RecordingSink(Mutex::new(Vec::new())));
+        bf.set_eviction_sink(Arc::clone(&sink) as Arc<dyn EvictionSink<String>>);
+
+        // Two pages in the same shard (ids differ by SHARDS).
+        let p1 = PageId(2);
+        let p2 = PageId(2 + 64);
+        let f1 = flag(true);
+        bf.register_push(NodeId(1), p1, Arc::new("a".into()), Llsn(1), Arc::clone(&f1));
+        bf.register_push(NodeId(1), p2, Arc::new("b".into()), Llsn(2), flag(true));
+
+        assert_eq!(bf.page_count(), 1, "oldest entry must have been evicted");
+        assert!(bf.peek(p1).is_none());
+        assert!(!f1.load(Ordering::Acquire), "holder of evicted page invalidated");
+        assert_eq!(sink.0.lock().as_slice(), &[(p1, Llsn(1))]);
+    }
+
+    #[test]
+    fn clear_simulates_dbp_loss() {
+        let bf = bf(1024);
+        let f1 = flag(true);
+        bf.register_push(NodeId(1), PageId(1), Arc::new("a".into()), Llsn(1), Arc::clone(&f1));
+        bf.register_push(NodeId(1), PageId(2), Arc::new("b".into()), Llsn(1), flag(true));
+        bf.clear();
+        assert_eq!(bf.page_count(), 0);
+        assert!(!f1.load(Ordering::Acquire));
+        assert!(bf.fetch(NodeId(1), PageId(1)).is_none());
+    }
+}

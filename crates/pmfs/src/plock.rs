@@ -1,0 +1,577 @@
+//! The page-locking (PLock) protocol, §4.3.1 / Figure 5 — Lock Fusion side.
+//!
+//! PLocks serialize *cross-node* page access (within a node ordinary latches
+//! apply). Lock Fusion tracks, per page, the set of holding nodes and a FIFO
+//! queue of waiting requests. When a request conflicts with current holders,
+//! Lock Fusion sends those holders a *negotiation message* asking them to
+//! release the lock once their local reference count drains (lazy release,
+//! handled on the node side). Grants are strictly FIFO to prevent the
+//! starvation the paper calls out.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
+use pmp_rdma::Fabric;
+
+/// Shared (read) or exclusive (write) page lock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PLockMode {
+    S,
+    X,
+}
+
+impl PLockMode {
+    /// Does a holder in `self` mode allow another node to take `other`?
+    fn compatible(self, other: PLockMode) -> bool {
+        matches!((self, other), (PLockMode::S, PLockMode::S))
+    }
+
+    /// Is a lock held in `self` mode sufficient for a request of `other`?
+    pub fn covers(self, other: PLockMode) -> bool {
+        self == PLockMode::X || other == PLockMode::S
+    }
+}
+
+/// Node-side handler for Lock Fusion's negotiation messages ("please release
+/// page P when your reference count reaches zero"). Implemented by the
+/// engine's local PLock manager.
+pub trait ReleaseRequester: Send + Sync {
+    fn request_release(&self, page: PageId, wanted: PLockMode);
+}
+
+#[derive(Debug)]
+enum GrantState {
+    Waiting,
+    Granted,
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct GrantCell {
+    state: Mutex<GrantState>,
+    cv: Condvar,
+}
+
+impl GrantCell {
+    fn new() -> Arc<Self> {
+        Arc::new(GrantCell {
+            state: Mutex::new(GrantState::Waiting),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn grant(&self) {
+        *self.state.lock() = GrantState::Granted;
+        self.cv.notify_all();
+    }
+
+    /// Wait until granted or `timeout`. Returns true when granted.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            match *st {
+                GrantState::Granted => return true,
+                GrantState::Abandoned => return false,
+                GrantState::Waiting => {}
+            }
+            if self.cv.wait_for(&mut st, timeout).timed_out() {
+                // Lost the race check: a grant may have slipped in.
+                if matches!(*st, GrantState::Granted) {
+                    return true;
+                }
+                *st = GrantState::Abandoned;
+                return false;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WaitingReq {
+    node: NodeId,
+    mode: PLockMode,
+    cell: Arc<GrantCell>,
+}
+
+#[derive(Debug, Default)]
+struct PLockState {
+    /// Current holders. Invariant: either any number of distinct S holders,
+    /// or exactly one X holder.
+    holders: Vec<(NodeId, PLockMode)>,
+    queue: VecDeque<WaitingReq>,
+}
+
+impl PLockState {
+    fn holder_mode(&self, node: NodeId) -> Option<PLockMode> {
+        self.holders.iter().find(|(n, _)| *n == node).map(|(_, m)| *m)
+    }
+
+    /// Can `node` be granted `mode` given current holders (ignoring queue)?
+    fn grantable(&self, node: NodeId, mode: PLockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(n, m)| *n == node || m.compatible(mode))
+    }
+
+    fn add_holder(&mut self, node: NodeId, mode: PLockMode) {
+        match self.holders.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, m)) => {
+                if mode == PLockMode::X {
+                    *m = PLockMode::X; // upgrade in place
+                }
+            }
+            None => self.holders.push((node, mode)),
+        }
+    }
+}
+
+/// Lock Fusion meters.
+#[derive(Debug, Default)]
+pub struct PLockStats {
+    pub acquires: Counter,
+    pub immediate_grants: Counter,
+    pub queued_grants: Counter,
+    pub negotiations: Counter,
+    pub releases: Counter,
+    pub timeouts: Counter,
+}
+
+const SHARDS: usize = 64;
+
+/// The Lock Fusion PLock table.
+pub struct PLockFusion {
+    fabric: Arc<Fabric>,
+    shards: Vec<Mutex<HashMap<PageId, PLockState>>>,
+    requesters: RwLock<HashMap<NodeId, Arc<dyn ReleaseRequester>>>,
+    stats: PLockStats,
+}
+
+impl std::fmt::Debug for PLockFusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PLockFusion")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PLockFusion {
+    pub fn new(fabric: Arc<Fabric>) -> Self {
+        PLockFusion {
+            fabric,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            requesters: RwLock::new(HashMap::new()),
+            stats: PLockStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &PLockStats {
+        &self.stats
+    }
+
+    /// Register the node-side negotiation handler (engine local manager).
+    pub fn register_node(&self, node: NodeId, handler: Arc<dyn ReleaseRequester>) {
+        self.requesters.write().insert(node, handler);
+    }
+
+    /// Drop a node's handler. Its held locks stay frozen until
+    /// [`release_all`](Self::release_all) — exactly the crash story: pages
+    /// locked by a crashed node become available only after its recovery.
+    pub fn unregister_node(&self, node: NodeId) {
+        self.requesters.write().remove(&node);
+    }
+
+    fn shard(&self, page: PageId) -> &Mutex<HashMap<PageId, PLockState>> {
+        &self.shards[(page.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Acquire `mode` on `page` for `node`, blocking up to `timeout`.
+    ///
+    /// Called by the engine over RDMA RPC (charged here). The node-side
+    /// cache guarantees at most one in-flight fusion request per (node,
+    /// page), and that a node only re-requests a lock it still holds when a
+    /// negotiation forbade local re-granting — in which case FIFO queueing
+    /// below provides the fairness the paper requires.
+    pub fn acquire(
+        &self,
+        node: NodeId,
+        page: PageId,
+        mode: PLockMode,
+        timeout: Duration,
+    ) -> Result<()> {
+        self.stats.acquires.inc();
+        self.fabric.rpc(32, || ());
+
+        let (cell, conflicting) = {
+            let mut shard = self.shard(page).lock();
+            let state = shard.entry(page).or_default();
+
+            // Already holding a covering lock (e.g. re-request after a
+            // negotiation that was resolved before we got here).
+            if let Some(held) = state.holder_mode(node) {
+                if held.covers(mode) && state.queue.is_empty() {
+                    self.stats.immediate_grants.inc();
+                    return Ok(());
+                }
+            }
+
+            if state.queue.is_empty() && state.grantable(node, mode) {
+                state.add_holder(node, mode);
+                self.stats.immediate_grants.inc();
+                return Ok(());
+            }
+
+            // Conflict: enqueue FIFO and remember whom to negotiate with.
+            let cell = GrantCell::new();
+            state.queue.push_back(WaitingReq {
+                node,
+                mode,
+                cell: Arc::clone(&cell),
+            });
+            let conflicting: Vec<NodeId> = state
+                .holders
+                .iter()
+                .filter(|(n, m)| *n != node && !m.compatible(mode))
+                .map(|(n, _)| *n)
+                .collect();
+            (cell, conflicting)
+        };
+
+        // Send negotiation messages outside the shard lock: the handler may
+        // release immediately, which re-enters this fusion.
+        self.negotiate(page, mode, &conflicting);
+
+        if cell.wait(timeout) {
+            self.stats.queued_grants.inc();
+            return Ok(());
+        }
+
+        // Timed out: remove our queue entry if it is still there.
+        self.stats.timeouts.inc();
+        let mut shard = self.shard(page).lock();
+        if let Some(state) = shard.get_mut(&page) {
+            state
+                .queue
+                .retain(|req| !(req.node == node && Arc::ptr_eq(&req.cell, &cell)));
+            // Our abandoned slot may have been blocking grantable requests.
+            Self::grant_from_queue(&self.stats, state);
+            if state.holders.is_empty() && state.queue.is_empty() {
+                shard.remove(&page);
+            }
+        }
+        Err(PmpError::LockWaitTimeout)
+    }
+
+    fn negotiate(&self, page: PageId, wanted: PLockMode, holders: &[NodeId]) {
+        if holders.is_empty() {
+            return;
+        }
+        let requesters = self.requesters.read();
+        for n in holders {
+            if let Some(handler) = requesters.get(n) {
+                self.stats.negotiations.inc();
+                // Fusion → node nudge: one-way message, no reply needed.
+                self.fabric.one_way_message(32);
+                handler.request_release(page, wanted);
+            }
+        }
+    }
+
+    /// Release `node`'s PLock on `page` and grant to waiters FIFO.
+    pub fn release(&self, node: NodeId, page: PageId) {
+        self.stats.releases.inc();
+        self.fabric.rpc(32, || ());
+        let pending = {
+            let mut shard = self.shard(page).lock();
+            let Some(state) = shard.get_mut(&page) else {
+                return;
+            };
+            state.holders.retain(|(n, _)| *n != node);
+            Self::grant_from_queue(&self.stats, state);
+            let pending = Self::pending_negotiations(state);
+            if state.holders.is_empty() && state.queue.is_empty() {
+                shard.remove(&page);
+            }
+            pending
+        };
+        if let Some((wanted, holders)) = pending {
+            self.negotiate(page, wanted, &holders);
+        }
+    }
+
+    /// Release every lock `node` holds (post-recovery, or decommission).
+    /// Returns the pages that were released.
+    pub fn release_all(&self, node: NodeId) -> Vec<PageId> {
+        let mut released = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let pages: Vec<PageId> = shard
+                .iter()
+                .filter(|(_, st)| st.holder_mode(node).is_some())
+                .map(|(p, _)| *p)
+                .collect();
+            for page in pages {
+                let state = shard.get_mut(&page).expect("listed above");
+                state.holders.retain(|(n, _)| *n != node);
+                Self::grant_from_queue(&self.stats, state);
+                if state.holders.is_empty() && state.queue.is_empty() {
+                    shard.remove(&page);
+                }
+                released.push(page);
+            }
+        }
+        released
+    }
+
+    /// Pop every queue-head request that is compatible with the current
+    /// holders, FIFO. Consecutive S requests are granted together.
+    fn grant_from_queue(stats: &PLockStats, state: &mut PLockState) {
+        while let Some(head) = state.queue.front() {
+            if !state.grantable(head.node, head.mode) {
+                break;
+            }
+            let req = state.queue.pop_front().expect("front exists");
+            state.add_holder(req.node, req.mode);
+            stats.queued_grants.inc();
+            req.cell.grant();
+        }
+    }
+
+    /// If the queue is still blocked, the remaining holders need (another)
+    /// negotiation nudge — e.g. S holders blocking an X request that arrived
+    /// while an unrelated holder was releasing.
+    fn pending_negotiations(state: &PLockState) -> Option<(PLockMode, Vec<NodeId>)> {
+        let head = state.queue.front()?;
+        let conflicting: Vec<NodeId> = state
+            .holders
+            .iter()
+            .filter(|(n, m)| *n != head.node && !m.compatible(head.mode))
+            .map(|(n, _)| *n)
+            .collect();
+        if conflicting.is_empty() {
+            None
+        } else {
+            Some((head.mode, conflicting))
+        }
+    }
+
+    /// Test/diagnostic: current holders of a page.
+    pub fn holders(&self, page: PageId) -> Vec<(NodeId, PLockMode)> {
+        self.shard(page)
+            .lock()
+            .get(&page)
+            .map(|s| s.holders.clone())
+            .unwrap_or_default()
+    }
+
+    pub fn queue_len(&self, page: PageId) -> usize {
+        self.shard(page)
+            .lock()
+            .get(&page)
+            .map(|s| s.queue.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn fusion() -> Arc<PLockFusion> {
+        Arc::new(PLockFusion::new(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))))
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    /// Handler that releases immediately when nudged (refcount always 0).
+    struct InstantRelease {
+        fusion: Mutex<Option<Arc<PLockFusion>>>,
+        node: NodeId,
+        nudges: AtomicUsize,
+    }
+
+    impl ReleaseRequester for InstantRelease {
+        fn request_release(&self, page: PageId, _wanted: PLockMode) {
+            self.nudges.fetch_add(1, Ordering::Relaxed);
+            let fusion = self.fusion.lock().clone().unwrap();
+            fusion.release(self.node, page);
+        }
+    }
+
+    fn instant(fusion: &Arc<PLockFusion>, node: NodeId) -> Arc<InstantRelease> {
+        let h = Arc::new(InstantRelease {
+            fusion: Mutex::new(Some(Arc::clone(fusion))),
+            node,
+            nudges: AtomicUsize::new(0),
+        });
+        fusion.register_node(node, Arc::clone(&h) as Arc<dyn ReleaseRequester>);
+        h
+    }
+
+    #[test]
+    fn mode_compatibility_matrix() {
+        assert!(PLockMode::S.compatible(PLockMode::S));
+        assert!(!PLockMode::S.compatible(PLockMode::X));
+        assert!(!PLockMode::X.compatible(PLockMode::S));
+        assert!(!PLockMode::X.compatible(PLockMode::X));
+        assert!(PLockMode::X.covers(PLockMode::S));
+        assert!(PLockMode::X.covers(PLockMode::X));
+        assert!(PLockMode::S.covers(PLockMode::S));
+        assert!(!PLockMode::S.covers(PLockMode::X));
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let f = fusion();
+        let p = PageId(1);
+        f.acquire(NodeId(1), p, PLockMode::S, T).unwrap();
+        f.acquire(NodeId(2), p, PLockMode::S, T).unwrap();
+        assert_eq!(f.holders(p).len(), 2);
+        f.release(NodeId(1), p);
+        f.release(NodeId(2), p);
+        assert!(f.holders(p).is_empty());
+    }
+
+    #[test]
+    fn exclusive_conflicts_trigger_negotiation_and_transfer() {
+        let f = fusion();
+        let p = PageId(2);
+        let h1 = instant(&f, NodeId(1));
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+
+        // Node 2 wants X; node 1's handler releases on nudge, so this
+        // completes without any other thread.
+        f.acquire(NodeId(2), p, PLockMode::X, T).unwrap();
+        assert_eq!(h1.nudges.load(Ordering::Relaxed), 1);
+        assert_eq!(f.holders(p), vec![(NodeId(2), PLockMode::X)]);
+    }
+
+    #[test]
+    fn blocked_request_times_out_cleanly() {
+        let f = fusion();
+        let p = PageId(3);
+        // Node 1 holds X with *no* handler (models a busy holder that never
+        // drains its refcount).
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+        let err = f
+            .acquire(NodeId(2), p, PLockMode::S, Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, PmpError::LockWaitTimeout);
+        assert_eq!(f.queue_len(p), 0, "timed-out request must leave the queue");
+        assert_eq!(f.holders(p), vec![(NodeId(1), PLockMode::X)]);
+    }
+
+    #[test]
+    fn fifo_grant_order_across_nodes() {
+        let f = fusion();
+        let p = PageId(4);
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for node in [2u16, 3, 4] {
+            let f = Arc::clone(&f);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                f.acquire(NodeId(node), p, PLockMode::X, T).unwrap();
+                order.lock().push(node);
+                f.release(NodeId(node), p);
+            }));
+            // Stagger arrivals so queue order is deterministic.
+            thread::sleep(Duration::from_millis(30));
+        }
+        f.release(NodeId(1), p);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![2, 3, 4], "grants must be FIFO");
+    }
+
+    #[test]
+    fn consecutive_shared_requests_granted_together() {
+        let f = fusion();
+        let p = PageId(5);
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+
+        let granted = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for node in [2u16, 3] {
+            let f = Arc::clone(&f);
+            let granted = Arc::clone(&granted);
+            handles.push(thread::spawn(move || {
+                f.acquire(NodeId(node), p, PLockMode::S, T).unwrap();
+                granted.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(granted.load(Ordering::SeqCst), 0);
+        f.release(NodeId(1), p);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(granted.load(Ordering::SeqCst), 2);
+        assert_eq!(f.holders(p).len(), 2);
+    }
+
+    #[test]
+    fn no_barging_past_a_waiting_x() {
+        let f = fusion();
+        let p = PageId(6);
+        f.acquire(NodeId(1), p, PLockMode::S, T).unwrap();
+
+        // Node 2 queues an X behind node 1's S (no handler → stays queued).
+        let f2 = Arc::clone(&f);
+        let x_waiter = thread::spawn(move || f2.acquire(NodeId(2), p, PLockMode::X, T));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(f.queue_len(p), 1);
+
+        // Node 3's S must queue behind the X, not barge in with node 1.
+        let f3 = Arc::clone(&f);
+        let s_waiter = thread::spawn(move || {
+            f3.acquire(NodeId(3), p, PLockMode::S, T).unwrap();
+            f3.release(NodeId(3), p);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(f.holders(p).len(), 1, "node 3 must not be granted yet");
+
+        f.release(NodeId(1), p);
+        x_waiter.join().unwrap().unwrap();
+        f.release(NodeId(2), p);
+        s_waiter.join().unwrap();
+    }
+
+    #[test]
+    fn release_all_frees_frozen_locks() {
+        let f = fusion();
+        f.acquire(NodeId(1), PageId(10), PLockMode::X, T).unwrap();
+        f.acquire(NodeId(1), PageId(11), PLockMode::S, T).unwrap();
+        f.acquire(NodeId(2), PageId(11), PLockMode::S, T).unwrap();
+
+        let f2 = Arc::clone(&f);
+        let waiter = thread::spawn(move || f2.acquire(NodeId(2), PageId(10), PLockMode::X, T));
+        thread::sleep(Duration::from_millis(30));
+
+        let mut released = f.release_all(NodeId(1));
+        released.sort();
+        assert_eq!(released, vec![PageId(10), PageId(11)]);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(f.holders(PageId(10)), vec![(NodeId(2), PLockMode::X)]);
+        assert_eq!(f.holders(PageId(11)), vec![(NodeId(2), PLockMode::S)]);
+    }
+
+    #[test]
+    fn sole_holder_upgrade_succeeds() {
+        let f = fusion();
+        let p = PageId(12);
+        f.acquire(NodeId(1), p, PLockMode::S, T).unwrap();
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+        assert_eq!(f.holders(p), vec![(NodeId(1), PLockMode::X)]);
+    }
+}

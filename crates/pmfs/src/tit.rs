@@ -1,0 +1,301 @@
+//! The Transaction Information Table (TIT), §4.1 and Figure 3.
+//!
+//! Every node reserves a region of fabric-registered memory holding a
+//! fixed-size array of TIT slots. A slot carries the fields from Figure 3:
+//! the transaction object *pointer* (meaningful only on the owning node — we
+//! keep it in the engine, not here), the *CTS*, the *version* that
+//! disambiguates slot reuse, and the *ref* flag signalling that some
+//! transaction is waiting on this one's row locks (§4.3.2).
+//!
+//! Remote nodes read slots with a single one-sided RDMA READ. In-process we
+//! model the single-verb atomicity with a seqlock-style retry on the version
+//! field, but charge exactly one fabric read per snapshot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pmp_common::{Cts, NodeId, SlotId, CSN_INIT};
+use pmp_rdma::{Fabric, Locality};
+
+#[derive(Debug)]
+struct TitSlot {
+    /// Commit timestamp; `CSN_INIT` while the transaction is active.
+    cts: AtomicU64,
+    /// Incremented on every reuse of the slot.
+    version: AtomicU64,
+    /// Number of transactions waiting for this one to release row locks.
+    refs: AtomicU64,
+}
+
+/// A consistent snapshot of one TIT slot as seen by a (possibly remote)
+/// reader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    pub cts: Cts,
+    pub version: u64,
+    pub refs: u64,
+}
+
+/// One node's TIT region in registered memory.
+#[derive(Debug)]
+pub struct TitRegion {
+    node: NodeId,
+    slots: Vec<TitSlot>,
+    free: Mutex<VecDeque<SlotId>>,
+    /// Broadcast target: the global minimum view CTS, written remotely by
+    /// Transaction Fusion and read locally by the recycler (§4.1 "TIT
+    /// recycle").
+    global_min_view: AtomicU64,
+    /// Published minimum active local transaction id; peers read it remotely
+    /// to short-circuit lock-word liveness checks (§4.3.2).
+    min_active_trx: AtomicU64,
+}
+
+impl TitRegion {
+    pub fn new(node: NodeId, slot_count: usize) -> Self {
+        assert!(slot_count > 0);
+        TitRegion {
+            node,
+            slots: (0..slot_count)
+                .map(|_| TitSlot {
+                    cts: AtomicU64::new(CSN_INIT.0),
+                    version: AtomicU64::new(0),
+                    refs: AtomicU64::new(0),
+                })
+                .collect(),
+            free: Mutex::new((0..slot_count as u32).map(SlotId).collect()),
+            global_min_view: AtomicU64::new(CSN_INIT.0),
+            min_active_trx: AtomicU64::new(0),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn free_slots(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Allocate a free slot for a new local transaction. Returns the slot id
+    /// and the new version. Purely local (no fabric traffic): "The
+    /// transaction ID and TIT slot can be allocated locally without
+    /// communicating with a coordinator" (§4.1).
+    pub fn allocate(&self) -> Option<(SlotId, u64)> {
+        let slot_id = self.free.lock().pop_front()?;
+        let slot = &self.slots[slot_id.0 as usize];
+        // Version bump *before* resetting CTS so a concurrent remote reader
+        // holding the old version never mistakes the new INIT for the old
+        // transaction still being active (seqlock discipline).
+        let version = slot.version.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.refs.store(0, Ordering::Release);
+        slot.cts.store(CSN_INIT.0, Ordering::Release);
+        Some((slot_id, version))
+    }
+
+    /// Record the commit timestamp (owning node, local store).
+    pub fn commit(&self, slot: SlotId, cts: Cts) {
+        debug_assert!(!cts.is_init());
+        self.slots[slot.0 as usize].cts.store(cts.0, Ordering::Release);
+    }
+
+    /// Return a slot to the free list. Called by the background recycler
+    /// once the transaction's changes are visible to every view, or by the
+    /// engine right after a rollback has restored all touched rows.
+    pub fn release(&self, slot: SlotId) {
+        // Bump the version immediately so any stale reference reads as
+        // "slot reused ⇒ transaction finished" (Algorithm 1 line 13-15).
+        self.slots[slot.0 as usize]
+            .version
+            .fetch_add(1, Ordering::AcqRel);
+        self.free.lock().push_back(slot);
+    }
+
+    /// Read a slot, paying exactly one one-sided fabric read when remote.
+    /// The seqlock retry models the single-verb atomicity of real RDMA.
+    pub fn read_slot(&self, fabric: &Fabric, slot: SlotId, locality: Locality) -> SlotSnapshot {
+        let s = &self.slots[slot.0 as usize];
+        // One charged verb per snapshot regardless of internal retries.
+        fabric.bulk_read(24, locality);
+        loop {
+            let v0 = s.version.load(Ordering::Acquire);
+            let cts = s.cts.load(Ordering::Acquire);
+            let refs = s.refs.load(Ordering::Acquire);
+            let v1 = s.version.load(Ordering::Acquire);
+            if v0 == v1 {
+                return SlotSnapshot {
+                    cts: Cts(cts),
+                    version: v0,
+                    refs,
+                };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Atomically raise the ref flag on a slot — the waiter's one-sided
+    /// fetch-and-add announcing "someone is waiting for your locks"
+    /// (Figure 6 step 1). Returns the version observed so the caller can
+    /// detect slot reuse.
+    pub fn add_ref(&self, fabric: &Fabric, slot: SlotId, locality: Locality) -> u64 {
+        let s = &self.slots[slot.0 as usize];
+        fabric.fetch_add_u64(&s.refs, 1, locality);
+        s.version.load(Ordering::Acquire)
+    }
+
+    /// Read and clear the ref flag at commit time (owning node, local).
+    pub fn take_refs(&self, slot: SlotId) -> u64 {
+        self.slots[slot.0 as usize].refs.swap(0, Ordering::AcqRel)
+    }
+
+    /// Write the broadcast global-min-view cell (remote write from
+    /// Transaction Fusion).
+    pub fn store_global_min_view(&self, fabric: &Fabric, cts: Cts) {
+        fabric.write_u64(&self.global_min_view, cts.0, Locality::Remote);
+    }
+
+    /// Read the broadcast global-min-view cell (owning node, local).
+    pub fn load_global_min_view(&self) -> Cts {
+        Cts(self.global_min_view.load(Ordering::Acquire))
+    }
+
+    /// Publish this node's minimum active local transaction id.
+    pub fn publish_min_active_trx(&self, trx_id: u64) {
+        self.min_active_trx.store(trx_id, Ordering::Release);
+    }
+
+    /// Read a peer's published minimum active transaction id.
+    pub fn read_min_active_trx(&self, fabric: &Fabric, locality: Locality) -> u64 {
+        fabric.read_u64(&self.min_active_trx, locality)
+    }
+
+    /// Recycle every in-use slot whose CTS is valid and strictly older than
+    /// `global_min`, returning the freed slot ids. The engine's background
+    /// thread drives this and removes its own bookkeeping for freed slots.
+    pub fn recycle_finished(&self, global_min: Cts, in_use: &[SlotId]) -> Vec<SlotId> {
+        let mut freed = Vec::new();
+        for &slot_id in in_use {
+            let s = &self.slots[slot_id.0 as usize];
+            let cts = Cts(s.cts.load(Ordering::Acquire));
+            if !cts.is_init() && cts < global_min {
+                self.release(slot_id);
+                freed.push(slot_id);
+            }
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+
+    fn region() -> (Fabric, TitRegion) {
+        (
+            Fabric::new(LatencyConfig::disabled()),
+            TitRegion::new(NodeId(0), 8),
+        )
+    }
+
+    #[test]
+    fn allocate_commit_read_roundtrip() {
+        let (fabric, tit) = region();
+        let (slot, version) = tit.allocate().unwrap();
+        let snap = tit.read_slot(&fabric, slot, Locality::Local);
+        assert_eq!(snap.version, version);
+        assert!(snap.cts.is_init(), "fresh slot must read as active");
+
+        tit.commit(slot, Cts(42));
+        let snap = tit.read_slot(&fabric, slot, Locality::Remote);
+        assert_eq!(snap.cts, Cts(42));
+        assert_eq!(snap.version, version);
+    }
+
+    #[test]
+    fn release_bumps_version_for_stale_readers() {
+        let (fabric, tit) = region();
+        let (slot, version) = tit.allocate().unwrap();
+        tit.commit(slot, Cts(10));
+        tit.release(slot);
+        let snap = tit.read_slot(&fabric, slot, Locality::Remote);
+        assert_ne!(
+            snap.version, version,
+            "a reused slot must be detectable via version mismatch"
+        );
+    }
+
+    #[test]
+    fn slots_exhaust_and_recover() {
+        let (_, tit) = region();
+        let mut held = Vec::new();
+        while let Some((slot, _)) = tit.allocate() {
+            held.push(slot);
+        }
+        assert_eq!(held.len(), 8);
+        assert_eq!(tit.free_slots(), 0);
+        tit.release(held.pop().unwrap());
+        assert!(tit.allocate().is_some());
+    }
+
+    #[test]
+    fn ref_flag_accumulates_and_clears() {
+        let (fabric, tit) = region();
+        let (slot, _) = tit.allocate().unwrap();
+        tit.add_ref(&fabric, slot, Locality::Remote);
+        tit.add_ref(&fabric, slot, Locality::Remote);
+        assert_eq!(tit.take_refs(slot), 2);
+        assert_eq!(tit.take_refs(slot), 0, "take must clear");
+    }
+
+    #[test]
+    fn recycle_frees_only_globally_visible_slots() {
+        let (_, tit) = region();
+        let (s1, _) = tit.allocate().unwrap();
+        let (s2, _) = tit.allocate().unwrap();
+        let (s3, _) = tit.allocate().unwrap();
+        tit.commit(s1, Cts(5));
+        tit.commit(s2, Cts(50));
+        // s3 stays active (CSN_INIT).
+        let freed = tit.recycle_finished(Cts(10), &[s1, s2, s3]);
+        assert_eq!(freed, vec![s1]);
+        assert_eq!(tit.free_slots(), 8 - 3 + 1);
+    }
+
+    #[test]
+    fn min_view_broadcast_cells() {
+        let (fabric, tit) = region();
+        tit.store_global_min_view(&fabric, Cts(99));
+        assert_eq!(tit.load_global_min_view(), Cts(99));
+        tit.publish_min_active_trx(1234);
+        assert_eq!(tit.read_min_active_trx(&fabric, Locality::Remote), 1234);
+    }
+
+    #[test]
+    fn concurrent_allocate_release_is_consistent() {
+        use std::sync::Arc;
+        let tit = Arc::new(TitRegion::new(NodeId(1), 64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let tit = Arc::clone(&tit);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        if let Some((slot, _)) = tit.allocate() {
+                            tit.commit(slot, Cts(i + 2));
+                            tit.release(slot);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tit.free_slots(), 64);
+    }
+}

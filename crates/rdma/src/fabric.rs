@@ -1,0 +1,309 @@
+//! The fabric: one-sided verbs over registered atomics, plus RPC.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use pmp_common::{Counter, LatencyConfig};
+
+use crate::clock::precise_wait_ns;
+
+/// Whether a verb targets the caller's own registered memory (an ordinary
+/// load/store — free) or a peer's (pays fabric latency).
+///
+/// In the real system a node knows this by comparing the target node id with
+/// its own before computing the remote TIT address (§4.1); callers here make
+/// the same decision and pass it in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Locality {
+    Local,
+    Remote,
+}
+
+/// Verb classes, used for metering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    Read,
+    Write,
+    Atomic,
+    Rpc,
+}
+
+/// Per-fabric op meters. All counters are relaxed; they feed the benchmark
+/// reports, not any control decision.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    pub reads: Counter,
+    pub writes: Counter,
+    pub atomics: Counter,
+    pub rpcs: Counter,
+    pub bytes_read: Counter,
+    pub bytes_written: Counter,
+}
+
+impl FabricStats {
+    pub fn reset(&self) {
+        self.reads.reset();
+        self.writes.reset();
+        self.atomics.reset();
+        self.rpcs.reset();
+        self.bytes_read.reset();
+        self.bytes_written.reset();
+    }
+
+    fn note(&self, kind: OpKind, bytes: usize) {
+        match kind {
+            OpKind::Read => {
+                self.reads.inc();
+                self.bytes_read.add(bytes as u64);
+            }
+            OpKind::Write => {
+                self.writes.inc();
+                self.bytes_written.add(bytes as u64);
+            }
+            OpKind::Atomic => self.atomics.inc(),
+            OpKind::Rpc => self.rpcs.inc(),
+        }
+    }
+}
+
+/// The simulated RDMA fabric shared by every node and the PMFS.
+///
+/// Registered memory is modelled as ordinary shared atomics owned by the
+/// respective components (TIT slots, invalid flags, the TSO cell); the fabric
+/// provides the verbs that access them with the right latency and metering.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: LatencyConfig,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    pub fn new(cfg: LatencyConfig) -> Self {
+        Fabric {
+            cfg,
+            stats: FabricStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &LatencyConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    fn charge(&self, kind: OpKind, base_ns: u64, bytes: usize, locality: Locality) {
+        self.stats.note(kind, bytes);
+        if locality == Locality::Local {
+            return;
+        }
+        precise_wait_ns(self.cfg.charge_ns(base_ns, bytes));
+    }
+
+    /// One-sided RDMA READ of a 64-bit registered word.
+    pub fn read_u64(&self, cell: &AtomicU64, locality: Locality) -> u64 {
+        self.charge(OpKind::Read, self.cfg.one_sided_read_ns, 8, locality);
+        cell.load(Ordering::Acquire)
+    }
+
+    /// One-sided RDMA WRITE of a 64-bit registered word.
+    pub fn write_u64(&self, cell: &AtomicU64, value: u64, locality: Locality) {
+        self.charge(OpKind::Write, self.cfg.one_sided_write_ns, 8, locality);
+        cell.store(value, Ordering::Release);
+    }
+
+    /// One-sided RDMA compare-and-swap on a registered word.
+    pub fn cas_u64(
+        &self,
+        cell: &AtomicU64,
+        expected: u64,
+        new: u64,
+        locality: Locality,
+    ) -> Result<u64, u64> {
+        self.charge(OpKind::Atomic, self.cfg.atomic_ns, 8, locality);
+        cell.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// One-sided RDMA fetch-and-add on a registered word (the TSO verb).
+    pub fn fetch_add_u64(&self, cell: &AtomicU64, delta: u64, locality: Locality) -> u64 {
+        self.charge(OpKind::Atomic, self.cfg.atomic_ns, 8, locality);
+        cell.fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// One-sided RDMA WRITE of a registered flag (buffer-fusion invalidation
+    /// writes a peer's `valid` flag to false, §4.2).
+    pub fn write_flag(&self, flag: &AtomicBool, value: bool, locality: Locality) {
+        self.charge(OpKind::Write, self.cfg.one_sided_write_ns, 1, locality);
+        flag.store(value, Ordering::Release);
+    }
+
+    pub fn read_flag(&self, flag: &AtomicBool, locality: Locality) -> bool {
+        self.charge(OpKind::Read, self.cfg.one_sided_read_ns, 1, locality);
+        flag.load(Ordering::Acquire)
+    }
+
+    /// Charge for a one-sided bulk READ of `bytes` (page fetch from the DBP).
+    /// The caller performs the actual copy (we move `Arc`s in-process).
+    pub fn bulk_read(&self, bytes: usize, locality: Locality) {
+        self.charge(OpKind::Read, self.cfg.one_sided_read_ns, bytes, locality);
+    }
+
+    /// Charge for a one-sided bulk WRITE of `bytes` (page push to the DBP).
+    pub fn bulk_write(&self, bytes: usize, locality: Locality) {
+        self.charge(OpKind::Write, self.cfg.one_sided_write_ns, bytes, locality);
+    }
+
+    /// Charge the engine-CPU cost of one SQL statement (not fabric traffic,
+    /// but part of the same scaled time model).
+    pub fn charge_statement(&self) {
+        precise_wait_ns(self.cfg.charge_ns(self.cfg.sql_stmt_ns, 0));
+    }
+
+    /// Charge a one-way fusion→node message (half an RPC round trip);
+    /// used for negotiation nudges whose reply is implicit.
+    pub fn one_way_message(&self, bytes: usize) {
+        self.stats.note(OpKind::Rpc, bytes);
+        precise_wait_ns(self.cfg.charge_ns(self.cfg.rpc_ns / 2, bytes));
+    }
+
+    /// RDMA-based RPC: charges the round-trip, then runs the handler inline.
+    ///
+    /// The handler executes on the caller's thread — the real PMFS serves
+    /// RPCs from a polling thread pool with negligible queueing at the scales
+    /// we run, so inline execution plus the round-trip charge is a faithful
+    /// (and deterministic) model. Handlers are allowed to block (e.g. a
+    /// PLock request waiting for a conflicting holder, §4.3.1); the charge is
+    /// applied up front so blocked time is not double-counted.
+    pub fn rpc<R>(&self, request_bytes: usize, handler: impl FnOnce() -> R) -> R {
+        self.charge(
+            OpKind::Rpc,
+            self.cfg.rpc_ns,
+            request_bytes,
+            Locality::Remote,
+        );
+        handler()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::LatencyConfig;
+    use std::time::Instant;
+
+    fn free_fabric() -> Fabric {
+        Fabric::new(LatencyConfig::disabled())
+    }
+
+    #[test]
+    fn verbs_roundtrip_values() {
+        let f = free_fabric();
+        let cell = AtomicU64::new(7);
+        assert_eq!(f.read_u64(&cell, Locality::Remote), 7);
+        f.write_u64(&cell, 9, Locality::Remote);
+        assert_eq!(f.read_u64(&cell, Locality::Local), 9);
+        assert_eq!(f.fetch_add_u64(&cell, 3, Locality::Remote), 9);
+        assert_eq!(cell.load(Ordering::Relaxed), 12);
+        assert_eq!(f.cas_u64(&cell, 12, 20, Locality::Remote), Ok(12));
+        assert_eq!(f.cas_u64(&cell, 12, 30, Locality::Remote), Err(20));
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let f = free_fabric();
+        let flag = AtomicBool::new(true);
+        f.write_flag(&flag, false, Locality::Remote);
+        assert!(!f.read_flag(&flag, Locality::Local));
+    }
+
+    #[test]
+    fn stats_are_metered_even_when_latency_disabled() {
+        let f = free_fabric();
+        let cell = AtomicU64::new(0);
+        f.read_u64(&cell, Locality::Remote);
+        f.read_u64(&cell, Locality::Local);
+        f.write_u64(&cell, 1, Locality::Remote);
+        f.fetch_add_u64(&cell, 1, Locality::Remote);
+        f.bulk_read(16 * 1024, Locality::Remote);
+        let r = f.rpc(64, || 42);
+        assert_eq!(r, 42);
+        assert_eq!(f.stats().reads.get(), 3); // two u64 reads + one bulk
+        assert_eq!(f.stats().writes.get(), 1);
+        assert_eq!(f.stats().atomics.get(), 1);
+        assert_eq!(f.stats().rpcs.get(), 1);
+        assert_eq!(f.stats().bytes_read.get(), 8 + 8 + 16 * 1024);
+        f.stats().reset();
+        assert_eq!(f.stats().reads.get(), 0);
+    }
+
+    #[test]
+    fn local_access_is_free_remote_pays() {
+        let cfg = LatencyConfig {
+            one_sided_read_ns: 50_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let cell = AtomicU64::new(0);
+
+        let t = Instant::now();
+        for _ in 0..10 {
+            f.read_u64(&cell, Locality::Local);
+        }
+        let local = t.elapsed();
+
+        let t = Instant::now();
+        f.read_u64(&cell, Locality::Remote);
+        let remote = t.elapsed();
+
+        assert!(local.as_nanos() < 50_000, "local reads must not be charged");
+        assert!(remote.as_nanos() >= 50_000, "remote read must pay latency");
+    }
+
+    #[test]
+    fn statement_charge_respects_config() {
+        use std::time::Instant;
+        // Disabled → free.
+        let f = free_fabric();
+        let t = Instant::now();
+        f.charge_statement();
+        assert!(t.elapsed().as_micros() < 500);
+
+        // Enabled → pays the configured statement cost.
+        let cfg = LatencyConfig {
+            sql_stmt_ns: 200_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let t = Instant::now();
+        f.charge_statement();
+        assert!(t.elapsed().as_nanos() >= 200_000);
+    }
+
+    #[test]
+    fn one_way_message_is_half_an_rpc_and_metered() {
+        use std::time::Instant;
+        let cfg = LatencyConfig {
+            rpc_ns: 400_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let t = Instant::now();
+        f.one_way_message(32);
+        let one_way = t.elapsed();
+        assert!(one_way.as_nanos() >= 200_000, "one-way = rpc/2");
+        assert!(one_way.as_nanos() < 390_000, "must be under a round trip");
+        assert_eq!(f.stats().rpcs.get(), 1, "one-way messages count as RPCs");
+    }
+
+    #[test]
+    fn rpc_charge_precedes_handler() {
+        let cfg = LatencyConfig {
+            rpc_ns: 30_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let t = Instant::now();
+        let elapsed_at_handler = f.rpc(0, || t.elapsed());
+        assert!(elapsed_at_handler.as_nanos() >= 30_000);
+    }
+}

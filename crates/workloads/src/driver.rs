@@ -1,0 +1,369 @@
+//! The multi-threaded benchmark driver.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pmp_common::LatencyHistogram;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::spec::{OltpTarget, TargetOutcome, WorkerCtx, Workload};
+
+/// Driver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Measured window.
+    pub duration: Duration,
+    /// Unmeasured warm-up before it.
+    pub warmup: Duration,
+    pub workers_per_node: usize,
+    /// Retry aborted (retryable) transactions until they commit — what an
+    /// Aurora-MM application is forced to do (§2.3). Aborts are counted
+    /// either way.
+    pub retry_aborts: bool,
+    /// When set, sample per-node committed counts every `ms` (timeline
+    /// figures 10 and 15).
+    pub timeline_sample_ms: Option<u64>,
+    /// Restrict the run to the first `n` nodes (scale-out sweeps reuse one
+    /// cluster). `None` = all nodes.
+    pub active_nodes: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            duration: Duration::from_millis(500),
+            warmup: Duration::from_millis(100),
+            workers_per_node: 2,
+            retry_aborts: true,
+            timeline_sample_ms: None,
+            active_nodes: None,
+            seed: 0xB0BA,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    pub committed: u64,
+    /// Committed transactions flagged `counts_for_metric` (tpmC-style).
+    pub metric_commits: u64,
+    pub aborted: u64,
+    pub elapsed: Duration,
+    pub latency: LatencyHistogram,
+    /// `(millis since start, per-node committed count)` samples.
+    pub timeline: Vec<(u64, Vec<u64>)>,
+}
+
+impl RunResult {
+    /// Transactions per second over the measured window (metric commits).
+    pub fn tps(&self) -> f64 {
+        self.metric_commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+
+    pub fn p95_ms(&self) -> f64 {
+        self.latency.p95_ns() as f64 / 1e6
+    }
+}
+
+/// Load every table of `workload` into `target`, placing each key range on
+/// its home node.
+pub fn load_workload(target: &dyn OltpTarget, workload: &dyn Workload) {
+    let nodes = target.node_count();
+    for (i, table) in workload.tables().iter().enumerate() {
+        // Keys are contiguous per home node in every workload here, so
+        // chunk the range by home-node transitions.
+        let mut start = 0u64;
+        while start < table.rows {
+            let home = workload.home_node(i, start, nodes).min(nodes - 1);
+            let mut end = start + 1;
+            while end < table.rows && workload.home_node(i, end, nodes).min(nodes - 1) == home {
+                end += 1;
+            }
+            target.bulk_load(home, i, &mut (start..end));
+            start = end;
+        }
+    }
+    target.finish_load();
+}
+
+/// Run `workload` against `target` with `cfg`. Tables must already be
+/// loaded (see [`load_workload`]).
+pub fn run_workload(
+    target: &(impl OltpTarget + ?Sized),
+    workload: &(impl Workload + ?Sized),
+    cfg: DriverConfig,
+) -> RunResult
+where
+{
+    let nodes = cfg
+        .active_nodes
+        .unwrap_or_else(|| target.node_count())
+        .min(target.node_count())
+        .max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let committed = AtomicU64::new(0);
+    let metric_commits = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let per_node_commits: Vec<AtomicU64> = (0..nodes).map(|_| AtomicU64::new(0)).collect();
+    let latency = LatencyHistogram::new();
+
+    let result = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for w in 0..nodes * cfg.workers_per_node {
+            let node = w % nodes;
+            let stop = Arc::clone(&stop);
+            let measuring = Arc::clone(&measuring);
+            let committed = &committed;
+            let metric = &metric_commits;
+            let aborted = &aborted;
+            let per_node = &per_node_commits;
+            let latency = &latency;
+            let target = &target;
+            let workload = &workload;
+            workers.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (w as u64) << 17);
+                let ctx = WorkerCtx {
+                    node,
+                    nodes,
+                    worker: w,
+                };
+                while !stop.load(Ordering::Acquire) {
+                    let spec = workload.next_txn(&mut rng, ctx);
+                    let t0 = Instant::now();
+                    let mut outcome = target.run_txn(node, &spec);
+                    let mut retries = 0;
+                    while outcome == TargetOutcome::Aborted && cfg.retry_aborts && retries < 64 {
+                        if measuring.load(Ordering::Acquire) {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        retries += 1;
+                        outcome = target.run_txn(node, &spec);
+                    }
+                    let record = measuring.load(Ordering::Acquire);
+                    match outcome {
+                        TargetOutcome::Committed => {
+                            if record {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                if spec.counts_for_metric {
+                                    metric.fetch_add(1, Ordering::Relaxed);
+                                }
+                                per_node[node].fetch_add(1, Ordering::Relaxed);
+                                latency.record(t0.elapsed());
+                            }
+                        }
+                        TargetOutcome::Aborted => {
+                            if record {
+                                aborted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        TargetOutcome::Failed => break,
+                    }
+                }
+            }));
+        }
+
+        std::thread::sleep(cfg.warmup);
+        measuring.store(true, Ordering::Release);
+        let start = Instant::now();
+
+        let mut timeline = Vec::new();
+        if let Some(ms) = cfg.timeline_sample_ms {
+            let interval = Duration::from_millis(ms);
+            while start.elapsed() < cfg.duration {
+                std::thread::sleep(interval.min(cfg.duration - start.elapsed().min(cfg.duration)));
+                timeline.push((
+                    start.elapsed().as_millis() as u64,
+                    per_node_commits
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                ));
+            }
+        } else {
+            std::thread::sleep(cfg.duration);
+        }
+        let elapsed = start.elapsed();
+        measuring.store(false, Ordering::Release);
+        stop.store(true, Ordering::Release);
+        for w in workers {
+            let _ = w.join();
+        }
+        (elapsed, timeline)
+    });
+    let (elapsed, timeline) = result;
+
+    RunResult {
+        committed: committed.load(Ordering::Relaxed),
+        metric_commits: metric_commits.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        elapsed,
+        latency,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SpecOp, TableSpec, TxnSpec};
+    use parking_lot::Mutex;
+    use rand::RngExt;
+
+    /// A trivial in-memory target for driver unit tests.
+    struct FakeTarget {
+        nodes: usize,
+        fail_after: Option<u64>,
+        calls: AtomicU64,
+        loaded: Mutex<Vec<u64>>,
+    }
+
+    impl OltpTarget for FakeTarget {
+        fn node_count(&self) -> usize {
+            self.nodes
+        }
+        fn bulk_load(&self, _node: usize, _table: usize, keys: &mut dyn Iterator<Item = u64>) {
+            self.loaded.lock().extend(keys);
+        }
+        fn run_txn(&self, _node: usize, _spec: &TxnSpec) -> TargetOutcome {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            match self.fail_after {
+                Some(limit) if n >= limit => TargetOutcome::Failed,
+                _ => {
+                    if n % 10 == 3 {
+                        TargetOutcome::Aborted
+                    } else {
+                        TargetOutcome::Committed
+                    }
+                }
+            }
+        }
+    }
+
+    struct FakeWorkload;
+    impl Workload for FakeWorkload {
+        fn tables(&self) -> Vec<TableSpec> {
+            vec![TableSpec::new("t", 50, 1)]
+        }
+        fn next_txn(&self, rng: &mut SmallRng, _ctx: WorkerCtx) -> TxnSpec {
+            TxnSpec::new(vec![SpecOp::PointRead {
+                table: 0,
+                key: rng.random_range(0..50),
+            }])
+        }
+        fn name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn driver_collects_commits_and_aborts() {
+        let target = FakeTarget {
+            nodes: 2,
+            fail_after: None,
+            calls: AtomicU64::new(0),
+            loaded: Mutex::new(Vec::new()),
+        };
+        load_workload(&target, &FakeWorkload);
+        assert_eq!(target.loaded.lock().len(), 50);
+        let result = run_workload(
+            &target,
+            &FakeWorkload,
+            DriverConfig {
+                duration: Duration::from_millis(100),
+                warmup: Duration::from_millis(20),
+                workers_per_node: 2,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(result.committed > 0);
+        assert!(result.tps() > 0.0);
+        assert!(result.latency.count() > 0);
+    }
+
+    #[test]
+    fn failed_target_stops_workers() {
+        let target = FakeTarget {
+            nodes: 1,
+            fail_after: Some(5),
+            calls: AtomicU64::new(0),
+            loaded: Mutex::new(Vec::new()),
+        };
+        let result = run_workload(
+            &target,
+            &FakeWorkload,
+            DriverConfig {
+                duration: Duration::from_millis(80),
+                warmup: Duration::ZERO,
+                workers_per_node: 1,
+                retry_aborts: false,
+                ..DriverConfig::default()
+            },
+        );
+        // The worker died early; calls stop at the failure point.
+        assert!(target.calls.load(Ordering::Relaxed) <= 6);
+        let _ = result;
+    }
+
+    #[test]
+    fn timeline_sampling_produces_monotone_counts() {
+        let target = FakeTarget {
+            nodes: 2,
+            fail_after: None,
+            calls: AtomicU64::new(0),
+            loaded: Mutex::new(Vec::new()),
+        };
+        let result = run_workload(
+            &target,
+            &FakeWorkload,
+            DriverConfig {
+                duration: Duration::from_millis(120),
+                warmup: Duration::ZERO,
+                timeline_sample_ms: Some(20),
+                ..DriverConfig::default()
+            },
+        );
+        assert!(result.timeline.len() >= 3);
+        for pair in result.timeline.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            for (a, b) in pair[0].1.iter().zip(&pair[1].1) {
+                assert!(a <= b, "per-node counts must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn active_nodes_limits_placement() {
+        let target = FakeTarget {
+            nodes: 4,
+            fail_after: None,
+            calls: AtomicU64::new(0),
+            loaded: Mutex::new(Vec::new()),
+        };
+        let result = run_workload(
+            &target,
+            &FakeWorkload,
+            DriverConfig {
+                duration: Duration::from_millis(60),
+                warmup: Duration::ZERO,
+                active_nodes: Some(2),
+                timeline_sample_ms: Some(30),
+                ..DriverConfig::default()
+            },
+        );
+        assert_eq!(result.timeline.last().unwrap().1.len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload generators and the multi-threaded benchmark driver (§5.1).
+//!
+//! * [`spec`] — the system-agnostic transaction vocabulary
+//!   ([`spec::TxnSpec`]) plus table declarations, so one workload drives
+//!   PolarDB-MP and every baseline identically.
+//! * [`targets`] — adapters implementing [`spec::OltpTarget`] for the
+//!   PolarDB-MP cluster and the three baselines.
+//! * [`sysbench`] — SysBench OLTP read-only / read-write / write-only with
+//!   the Taurus-MM shared-tables scheme: N private table groups + 1 shared
+//!   group, X% of queries hitting the shared group.
+//! * [`tpcc`] — a TPC-C kernel (New-Order / Payment / Order-Status) with
+//!   warehouse partitioning and ~11% cross-warehouse transactions, zero
+//!   think time.
+//! * [`tatp`] — TATP partitioned by subscriber id.
+//! * [`production`] — the Alibaba trading-service mix
+//!   (3:2:5 insert:update:select), application-partitioned.
+//! * [`gsi`] — random-insert pressure against a table with K global
+//!   secondary indexes (Fig 13).
+//! * [`zipf`] — optional Zipfian key skew for contention studies.
+//! * [`driver`] — spawns workers bound round-robin to nodes, runs for a
+//!   wall-clock window, collects throughput, P95 latency, abort counts and
+//!   optional per-node timelines (Figs 10 and 15).
+
+pub mod driver;
+pub mod gsi;
+pub mod production;
+pub mod spec;
+pub mod sysbench;
+pub mod targets;
+pub mod tatp;
+pub mod tpcc;
+pub mod zipf;
+
+pub use driver::{run_workload, DriverConfig, RunResult};
+pub use spec::{OltpTarget, SpecOp, TableSpec, TargetOutcome, TxnSpec, Workload};
+pub use targets::{LogReplayTarget, OccTarget, PmpTarget, ShardedTarget};

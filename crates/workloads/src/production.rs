@@ -1,0 +1,131 @@
+//! The Alibaba trading-service production mix (Fig 10): memory-intensive,
+//! write-heavy, "with a profiled mix of 3:2:5 insert:update:select",
+//! well-partitioned at the application level.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::spec::{SpecOp, TableSpec, TxnSpec, WorkerCtx, Workload};
+
+const T_TRADES: usize = 0;
+
+/// The production workload generator.
+pub struct ProductionMix {
+    /// Base rows per node partition.
+    pub rows_per_node: u64,
+    /// Maximum nodes the key space is laid out for (the Fig 10 run adds
+    /// nodes over time, so the partitioning is fixed up front).
+    pub max_nodes: usize,
+    insert_seq: AtomicU64,
+    name: String,
+}
+
+impl ProductionMix {
+    pub fn new(max_nodes: usize, rows_per_node: u64) -> Self {
+        ProductionMix {
+            rows_per_node,
+            max_nodes,
+            insert_seq: AtomicU64::new(0),
+            name: "alibaba-production".to_string(),
+        }
+    }
+
+    fn existing_key(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> u64 {
+        ctx.node as u64 * self.rows_per_node + rng.random_range(0..self.rows_per_node)
+    }
+}
+
+impl Workload for ProductionMix {
+    fn tables(&self) -> Vec<TableSpec> {
+        vec![TableSpec::new(
+            "trades",
+            self.rows_per_node * self.max_nodes as u64,
+            6,
+        )]
+    }
+
+    fn next_txn(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> TxnSpec {
+        // 3:2:5 insert:update:select.
+        let ops = match rng.random_range(0..10u32) {
+            0..3 => {
+                // Inserts land in a per-worker fresh key range above the
+                // loaded rows (application-partitioned: no cross-node
+                // conflicts).
+                let seq = self.insert_seq.fetch_add(1, Ordering::Relaxed);
+                let key = (1 << 48) | (ctx.worker as u64) << 32 | seq;
+                vec![SpecOp::Insert {
+                    table: T_TRADES,
+                    key,
+                }]
+            }
+            3..5 => vec![SpecOp::Update {
+                table: T_TRADES,
+                key: self.existing_key(rng, ctx),
+            }],
+            _ => vec![SpecOp::PointRead {
+                table: T_TRADES,
+                key: self.existing_key(rng, ctx),
+            }],
+        };
+        TxnSpec::new(ops)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn home_node(&self, _table: usize, key: u64, _nodes: usize) -> usize {
+        ((key / self.rows_per_node) as usize).min(self.max_nodes - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_matches_3_2_5() {
+        let w = ProductionMix::new(4, 1000);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let ctx = WorkerCtx {
+            node: 0,
+            nodes: 4,
+            worker: 0,
+        };
+        let (mut ins, mut upd, mut sel) = (0, 0, 0);
+        for _ in 0..2000 {
+            let txn = w.next_txn(&mut rng, ctx);
+            match txn.ops[0] {
+                SpecOp::Insert { .. } => ins += 1,
+                SpecOp::Update { .. } => upd += 1,
+                SpecOp::PointRead { .. } => sel += 1,
+                _ => panic!("unexpected op"),
+            }
+        }
+        let total = 2000.0;
+        assert!((ins as f64 / total - 0.3).abs() < 0.05);
+        assert!((upd as f64 / total - 0.2).abs() < 0.05);
+        assert!((sel as f64 / total - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn inserted_keys_never_collide_with_loaded_rows() {
+        let w = ProductionMix::new(2, 1000);
+        let loaded_max = w.tables()[0].rows;
+        let mut rng = SmallRng::seed_from_u64(14);
+        let ctx = WorkerCtx {
+            node: 1,
+            nodes: 2,
+            worker: 3,
+        };
+        for _ in 0..200 {
+            let txn = w.next_txn(&mut rng, ctx);
+            if let SpecOp::Insert { key, .. } = txn.ops[0] {
+                assert!(key >= loaded_max);
+            }
+        }
+    }
+}

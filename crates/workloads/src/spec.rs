@@ -1,0 +1,160 @@
+//! System-agnostic workload vocabulary.
+
+use rand::rngs::SmallRng;
+
+/// One statement inside a workload transaction. Tables are workload-level
+/// indexes; targets map them to their own handles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecOp {
+    PointRead { table: usize, key: u64 },
+    /// Range read of up to `len` rows starting at `key`.
+    RangeRead { table: usize, key: u64, len: usize },
+    Update { table: usize, key: u64 },
+    Insert { table: usize, key: u64 },
+    Delete { table: usize, key: u64 },
+}
+
+impl SpecOp {
+    pub fn is_write(&self) -> bool {
+        !matches!(self, SpecOp::PointRead { .. } | SpecOp::RangeRead { .. })
+    }
+}
+
+/// One transaction.
+#[derive(Clone, Debug, Default)]
+pub struct TxnSpec {
+    pub ops: Vec<SpecOp>,
+    /// Counted toward the headline metric (e.g. TPC-C counts only
+    /// New-Order transactions in tpmC).
+    pub counts_for_metric: bool,
+}
+
+impl TxnSpec {
+    pub fn new(ops: Vec<SpecOp>) -> Self {
+        TxnSpec {
+            ops,
+            counts_for_metric: true,
+        }
+    }
+}
+
+/// Declares one table a workload needs.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    pub name: String,
+    /// Initially loaded keys `0..rows` (targets synthesize the values).
+    pub rows: u64,
+    pub columns: usize,
+    /// Columns carrying a global secondary index.
+    pub gsi_columns: Vec<usize>,
+}
+
+impl TableSpec {
+    pub fn new(name: impl Into<String>, rows: u64, columns: usize) -> Self {
+        TableSpec {
+            name: name.into(),
+            rows,
+            columns,
+            gsi_columns: Vec::new(),
+        }
+    }
+
+    pub fn with_gsi(mut self, columns: Vec<usize>) -> Self {
+        self.gsi_columns = columns;
+        self
+    }
+}
+
+/// Synthesize deterministic column values for (table, key). Updates mix a
+/// version counter in so successive writes differ.
+pub fn synth_value(key: u64, version: u64, columns: usize) -> Vec<u64> {
+    (0..columns)
+        .map(|c| {
+            key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(version)
+                .rotate_left(c as u32 * 7 + 1)
+        })
+        .collect()
+}
+
+/// Outcome of running one transaction against a target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetOutcome {
+    Committed,
+    /// Retryable failure (OCC conflict, deadlock victim, lock timeout).
+    Aborted,
+    /// Non-retryable failure (node down, internal error) — the driver
+    /// stops the worker and surfaces it.
+    Failed,
+}
+
+/// Anything the driver can push transactions into.
+pub trait OltpTarget: Send + Sync {
+    fn node_count(&self) -> usize;
+    /// Administrative bulk load of a table's initial keys (no latency
+    /// model, no transactions — like a restore). `node` is the key range's
+    /// home node, so lazily-retained page locks start out where the
+    /// workload will touch them — matching the paper's setups, where data
+    /// is loaded and warmed before measurement.
+    fn bulk_load(&self, node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>);
+    /// Run one transaction on `node`.
+    fn run_txn(&self, node: usize, spec: &TxnSpec) -> TargetOutcome;
+    /// Called once after all tables are loaded (quiesce hooks).
+    fn finish_load(&self) {}
+}
+
+/// Context handed to a workload when generating the next transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerCtx {
+    /// The node this worker is bound to.
+    pub node: usize,
+    /// Total nodes participating in the run.
+    pub nodes: usize,
+    /// Unique worker index (across all nodes).
+    pub worker: usize,
+}
+
+/// A workload: table layout plus a transaction generator.
+pub trait Workload: Send + Sync {
+    fn tables(&self) -> Vec<TableSpec>;
+    fn next_txn(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> TxnSpec;
+    /// Name used in reports.
+    fn name(&self) -> &str;
+    /// Which node primarily works on `(table, key)` — used by the loader
+    /// to place initial data (and its page locks) where the workload will
+    /// use it. Defaults to node 0 (unpartitioned).
+    fn home_node(&self, _table: usize, _key: u64, _nodes: usize) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_values_are_deterministic_and_version_sensitive() {
+        let a = synth_value(5, 0, 4);
+        let b = synth_value(5, 0, 4);
+        let c = synth_value(5, 1, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn op_write_classification() {
+        assert!(SpecOp::Update { table: 0, key: 1 }.is_write());
+        assert!(SpecOp::Insert { table: 0, key: 1 }.is_write());
+        assert!(SpecOp::Delete { table: 0, key: 1 }.is_write());
+        assert!(!SpecOp::PointRead { table: 0, key: 1 }.is_write());
+        assert!(!SpecOp::RangeRead { table: 0, key: 1, len: 10 }.is_write());
+    }
+
+    #[test]
+    fn table_spec_builder() {
+        let t = TableSpec::new("t", 100, 4).with_gsi(vec![1, 2]);
+        assert_eq!(t.rows, 100);
+        assert_eq!(t.gsi_columns, vec![1, 2]);
+    }
+}

@@ -1,0 +1,264 @@
+//! SysBench OLTP with the Taurus-MM shared-tables scheme (§5.1).
+//!
+//! "Tables were logically divided into N + 1 groups, where N represents
+//! the number of nodes. The first N groups of tables were designated as
+//! private, with each node being assigned to a specific group … The last
+//! group was shared … The degree of sharing was controlled by specifying
+//! a percentage X, where X% of queries targeted the shared tables."
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::spec::{SpecOp, TableSpec, TxnSpec, WorkerCtx, Workload};
+use crate::zipf::Zipf;
+
+/// Which SysBench OLTP flavour to run (Fig 7 sweeps all three).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SysbenchMode {
+    ReadOnly,
+    ReadWrite,
+    WriteOnly,
+}
+
+impl SysbenchMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            SysbenchMode::ReadOnly => "read-only",
+            SysbenchMode::ReadWrite => "read-write",
+            SysbenchMode::WriteOnly => "write-only",
+        }
+    }
+}
+
+/// The SysBench workload generator.
+#[derive(Clone, Debug)]
+pub struct Sysbench {
+    pub mode: SysbenchMode,
+    /// Number of nodes N (→ N private groups + 1 shared).
+    pub nodes: usize,
+    pub tables_per_group: usize,
+    pub rows_per_table: u64,
+    /// Percentage (0–100) of queries targeting the shared group.
+    pub shared_pct: u32,
+    /// Optional Zipfian key skew (None = uniform, the paper's setting).
+    zipf: Option<Zipf>,
+    name: String,
+}
+
+impl Sysbench {
+    pub fn new(
+        mode: SysbenchMode,
+        nodes: usize,
+        tables_per_group: usize,
+        rows_per_table: u64,
+        shared_pct: u32,
+    ) -> Self {
+        assert!(shared_pct <= 100);
+        Sysbench {
+            mode,
+            nodes,
+            tables_per_group,
+            rows_per_table,
+            shared_pct,
+            zipf: None,
+            name: format!("sysbench-{}-{}pct", mode.label(), shared_pct),
+        }
+    }
+
+    /// Switch key selection to Zipf(θ) — hot-spot contention studies.
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.name = format!("{}-zipf{theta}", self.name);
+        self.zipf = Some(Zipf::new(self.rows_per_table, theta));
+        self
+    }
+
+    /// Table index for (group, slot).
+    fn table_index(&self, group: usize, slot: usize) -> usize {
+        group * self.tables_per_group + slot
+    }
+
+    /// Pick the table for one query: the worker's private group, or the
+    /// shared group (group == nodes) with probability `shared_pct`%.
+    fn pick_table(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> usize {
+        let group = if rng.random_range(0..100u32) < self.shared_pct {
+            self.nodes // shared group
+        } else {
+            ctx.node
+        };
+        self.table_index(group, rng.random_range(0..self.tables_per_group))
+    }
+
+    fn pick_key(&self, rng: &mut SmallRng) -> u64 {
+        match &self.zipf {
+            // Scramble ranks so hot keys spread across leaves (YCSB-style).
+            Some(z) => z.sample(rng).wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.rows_per_table,
+            None => rng.random_range(0..self.rows_per_table),
+        }
+    }
+}
+
+impl Workload for Sysbench {
+    fn tables(&self) -> Vec<TableSpec> {
+        // N private groups + 1 shared group.
+        (0..(self.nodes + 1) * self.tables_per_group)
+            .map(|i| TableSpec::new(format!("sbtest{i}"), self.rows_per_table, 4))
+            .collect()
+    }
+
+    fn next_txn(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> TxnSpec {
+        let mut ops = Vec::new();
+        match self.mode {
+            SysbenchMode::ReadOnly => {
+                // 10 point selects + 1 range select, classic oltp_read_only.
+                for _ in 0..10 {
+                    let table = self.pick_table(rng, ctx);
+                    ops.push(SpecOp::PointRead {
+                        table,
+                        key: self.pick_key(rng),
+                    });
+                }
+                let table = self.pick_table(rng, ctx);
+                ops.push(SpecOp::RangeRead {
+                    table,
+                    key: self.pick_key(rng).saturating_sub(100),
+                    len: 100,
+                });
+            }
+            SysbenchMode::ReadWrite => {
+                for _ in 0..10 {
+                    let table = self.pick_table(rng, ctx);
+                    ops.push(SpecOp::PointRead {
+                        table,
+                        key: self.pick_key(rng),
+                    });
+                }
+                let table = self.pick_table(rng, ctx);
+                ops.push(SpecOp::RangeRead {
+                    table,
+                    key: self.pick_key(rng).saturating_sub(100),
+                    len: 100,
+                });
+                for _ in 0..2 {
+                    let table = self.pick_table(rng, ctx);
+                    ops.push(SpecOp::Update {
+                        table,
+                        key: self.pick_key(rng),
+                    });
+                }
+                let table = self.pick_table(rng, ctx);
+                let key = self.pick_key(rng);
+                ops.push(SpecOp::Delete { table, key });
+                ops.push(SpecOp::Insert { table, key });
+            }
+            SysbenchMode::WriteOnly => {
+                for _ in 0..2 {
+                    let table = self.pick_table(rng, ctx);
+                    ops.push(SpecOp::Update {
+                        table,
+                        key: self.pick_key(rng),
+                    });
+                }
+                let table = self.pick_table(rng, ctx);
+                let key = self.pick_key(rng);
+                ops.push(SpecOp::Delete { table, key });
+                ops.push(SpecOp::Insert { table, key });
+            }
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn home_node(&self, table: usize, key: u64, nodes: usize) -> usize {
+        let group = table / self.tables_per_group;
+        if group < nodes.min(self.nodes) {
+            group // private group: owned by its node
+        } else {
+            // Shared group: split the key range evenly so initial page
+            // ownership is spread (any node touches any of it at runtime).
+            ((key * nodes as u64) / self.rows_per_table.max(1)) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx(node: usize, nodes: usize) -> WorkerCtx {
+        WorkerCtx {
+            node,
+            nodes,
+            worker: node,
+        }
+    }
+
+    #[test]
+    fn table_layout_has_private_and_shared_groups() {
+        let w = Sysbench::new(SysbenchMode::ReadWrite, 4, 10, 1000, 30);
+        assert_eq!(w.tables().len(), 5 * 10);
+    }
+
+    #[test]
+    fn zero_sharing_stays_in_private_group() {
+        let w = Sysbench::new(SysbenchMode::WriteOnly, 4, 5, 1000, 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let txn = w.next_txn(&mut rng, ctx(2, 4));
+            for op in &txn.ops {
+                let table = match op {
+                    SpecOp::PointRead { table, .. }
+                    | SpecOp::RangeRead { table, .. }
+                    | SpecOp::Update { table, .. }
+                    | SpecOp::Insert { table, .. }
+                    | SpecOp::Delete { table, .. } => *table,
+                };
+                assert!(
+                    (10..15).contains(&table),
+                    "node 2's private group spans tables 10..15, got {table}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_sharing_hits_only_shared_group() {
+        let w = Sysbench::new(SysbenchMode::WriteOnly, 2, 5, 1000, 100);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for node in 0..2 {
+            let txn = w.next_txn(&mut rng, ctx(node, 2));
+            for op in &txn.ops {
+                let table = match op {
+                    SpecOp::PointRead { table, .. }
+                    | SpecOp::RangeRead { table, .. }
+                    | SpecOp::Update { table, .. }
+                    | SpecOp::Insert { table, .. }
+                    | SpecOp::Delete { table, .. } => *table,
+                };
+                assert!((10..15).contains(&table), "shared group is tables 10..15");
+            }
+        }
+    }
+
+    #[test]
+    fn modes_have_expected_op_mix() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ro = Sysbench::new(SysbenchMode::ReadOnly, 1, 1, 100, 0)
+            .next_txn(&mut rng, ctx(0, 1));
+        assert!(ro.ops.iter().all(|o| !o.is_write()));
+        assert_eq!(ro.ops.len(), 11);
+
+        let wo = Sysbench::new(SysbenchMode::WriteOnly, 1, 1, 100, 0)
+            .next_txn(&mut rng, ctx(0, 1));
+        assert!(wo.ops.iter().all(|o| o.is_write()));
+        assert_eq!(wo.ops.len(), 4);
+
+        let rw = Sysbench::new(SysbenchMode::ReadWrite, 1, 1, 100, 0)
+            .next_txn(&mut rng, ctx(0, 1));
+        assert_eq!(rw.ops.len(), 15);
+        assert_eq!(rw.ops.iter().filter(|o| o.is_write()).count(), 4);
+    }
+}

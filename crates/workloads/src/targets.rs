@@ -1,0 +1,400 @@
+//! [`OltpTarget`] adapters for PolarDB-MP and the baselines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmp_baselines::{LogReplayCluster, OccCluster, Op, ShardedCluster, TxnOutcome};
+use pmp_common::{PmpError, TableId};
+use pmp_core::Cluster;
+use pmp_core::RowValue;
+
+use crate::spec::{synth_value, OltpTarget, SpecOp, TableSpec, TargetOutcome, TxnSpec};
+
+/// How many rows one baseline "page" holds; matches the engine's default
+/// leaf capacity so page-level conflict granularity is comparable.
+const BASELINE_ROWS_PER_PAGE: u64 = 64;
+
+fn version_stamp(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---- PolarDB-MP -------------------------------------------------------------
+
+/// The system under test: a real PolarDB-MP cluster.
+pub struct PmpTarget {
+    cluster: Arc<Cluster>,
+    tables: Vec<(TableId, usize)>, // (handle, columns)
+    version: AtomicU64,
+}
+
+impl PmpTarget {
+    pub fn new(cluster: Arc<Cluster>, specs: &[TableSpec]) -> Self {
+        let tables = specs
+            .iter()
+            .map(|s| {
+                let id = cluster
+                    .create_table(&s.name, s.columns, &s.gsi_columns)
+                    .expect("table creation");
+                (id, s.columns)
+            })
+            .collect();
+        PmpTarget {
+            cluster,
+            tables,
+            version: AtomicU64::new(1),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+}
+
+impl OltpTarget for PmpTarget {
+    fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn bulk_load(&self, node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>) {
+        let (id, columns) = self.tables[table];
+        let session = self.cluster.session(node.min(self.cluster.node_count() - 1));
+        let mut batch: Vec<u64> = Vec::with_capacity(256);
+        loop {
+            batch.clear();
+            while batch.len() < 256 {
+                match keys.next() {
+                    Some(k) => batch.push(k),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            session
+                .with_txn(|txn| {
+                    for &k in &batch {
+                        txn.insert(id, k, RowValue::new(synth_value(k, 0, columns)))?;
+                    }
+                    Ok(())
+                })
+                .expect("bulk load");
+        }
+    }
+
+    fn finish_load(&self) {
+        for i in 0..self.cluster.node_count() {
+            self.cluster.node(i).quiesce();
+        }
+    }
+
+    fn run_txn(&self, node: usize, spec: &TxnSpec) -> TargetOutcome {
+        let session = self.cluster.session(node);
+        let result = session.with_txn(|txn| {
+            for op in &spec.ops {
+                match *op {
+                    SpecOp::PointRead { table, key } => {
+                        let (id, _) = self.tables[table];
+                        txn.get(id, key)?;
+                    }
+                    SpecOp::RangeRead { table, key, len } => {
+                        let (id, _) = self.tables[table];
+                        txn.scan(id, key, len)?;
+                    }
+                    SpecOp::Update { table, key } => {
+                        let (id, columns) = self.tables[table];
+                        let v = synth_value(key, version_stamp(&self.version), columns);
+                        match txn.update(id, key, RowValue::new(v)) {
+                            Ok(()) | Err(PmpError::KeyNotFound) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    SpecOp::Insert { table, key } => {
+                        let (id, columns) = self.tables[table];
+                        let v = synth_value(key, version_stamp(&self.version), columns);
+                        match txn.insert(id, key, RowValue::new(v)) {
+                            Ok(()) | Err(PmpError::DuplicateKey) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    SpecOp::Delete { table, key } => {
+                        let (id, _) = self.tables[table];
+                        match txn.delete(id, key) {
+                            Ok(()) | Err(PmpError::KeyNotFound) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => TargetOutcome::Committed,
+            Err(e) if e.is_retryable() => TargetOutcome::Aborted,
+            Err(_) => TargetOutcome::Failed,
+        }
+    }
+}
+
+// ---- baseline adapters ------------------------------------------------------
+
+fn to_baseline_ops(spec: &TxnSpec, tables: &[TableId], version: &AtomicU64) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        match *op {
+            SpecOp::PointRead { table, key } => ops.push(Op::Read {
+                table: tables[table],
+                key,
+            }),
+            SpecOp::RangeRead { table, key, len } => {
+                // Baselines model a range read as `len` point reads within
+                // the page-contiguous key space.
+                for i in 0..(len as u64).min(16) {
+                    ops.push(Op::Read {
+                        table: tables[table],
+                        key: key + i,
+                    });
+                }
+            }
+            SpecOp::Update { table, key } => ops.push(Op::Update {
+                table: tables[table],
+                key,
+                value: version_stamp(version),
+            }),
+            SpecOp::Insert { table, key } | SpecOp::Delete { table, key } => {
+                // Baselines are single-value stores: deletes write a
+                // tombstone value; both are page-dirtying writes.
+                ops.push(Op::Insert {
+                    table: tables[table],
+                    key,
+                    value: version_stamp(version),
+                });
+            }
+        }
+    }
+    ops
+}
+
+/// Aurora-MM-style OCC target.
+pub struct OccTarget {
+    cluster: Arc<OccCluster>,
+    tables: Vec<TableId>,
+    version: AtomicU64,
+}
+
+impl OccTarget {
+    pub fn new(cluster: Arc<OccCluster>, specs: &[TableSpec]) -> Self {
+        let tables = specs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let id = TableId(i as u32 + 1);
+                cluster.create_table(id, BASELINE_ROWS_PER_PAGE);
+                id
+            })
+            .collect();
+        OccTarget {
+            cluster,
+            tables,
+            version: AtomicU64::new(1),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<OccCluster> {
+        &self.cluster
+    }
+}
+
+impl OltpTarget for OccTarget {
+    fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn bulk_load(&self, _node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>) {
+        self.cluster.load(self.tables[table], keys.map(|k| (k, 0)));
+    }
+
+    fn run_txn(&self, node: usize, spec: &TxnSpec) -> TargetOutcome {
+        let ops = to_baseline_ops(spec, &self.tables, &self.version);
+        match self.cluster.execute(node, &ops) {
+            Ok(TxnOutcome::Committed) => TargetOutcome::Committed,
+            Ok(TxnOutcome::Aborted) => TargetOutcome::Aborted,
+            Err(_) => TargetOutcome::Failed,
+        }
+    }
+}
+
+/// Taurus-MM-style log-replay target.
+pub struct LogReplayTarget {
+    cluster: Arc<LogReplayCluster>,
+    tables: Vec<TableId>,
+    version: AtomicU64,
+}
+
+impl LogReplayTarget {
+    pub fn new(cluster: Arc<LogReplayCluster>, specs: &[TableSpec]) -> Self {
+        let tables = specs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let id = TableId(i as u32 + 1);
+                cluster.create_table(id, BASELINE_ROWS_PER_PAGE);
+                id
+            })
+            .collect();
+        LogReplayTarget {
+            cluster,
+            tables,
+            version: AtomicU64::new(1),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<LogReplayCluster> {
+        &self.cluster
+    }
+}
+
+impl OltpTarget for LogReplayTarget {
+    fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn bulk_load(&self, _node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>) {
+        self.cluster.load(self.tables[table], keys.map(|k| (k, 0)));
+    }
+
+    fn run_txn(&self, node: usize, spec: &TxnSpec) -> TargetOutcome {
+        let ops = to_baseline_ops(spec, &self.tables, &self.version);
+        match self.cluster.execute(node, &ops) {
+            Ok(TxnOutcome::Committed) => TargetOutcome::Committed,
+            Ok(TxnOutcome::Aborted) => TargetOutcome::Aborted,
+            Err(e) if e.is_retryable() => TargetOutcome::Aborted,
+            Err(_) => TargetOutcome::Failed,
+        }
+    }
+}
+
+/// Shared-nothing 2PC target (Fig 13).
+pub struct ShardedTarget {
+    cluster: Arc<ShardedCluster>,
+    tables: Vec<TableId>,
+    version: AtomicU64,
+}
+
+impl ShardedTarget {
+    pub fn new(cluster: Arc<ShardedCluster>, specs: &[TableSpec]) -> Self {
+        let tables = specs
+            .iter()
+            .map(|s| cluster.create_table(s.gsi_columns.len()))
+            .collect();
+        ShardedTarget {
+            cluster,
+            tables,
+            version: AtomicU64::new(1),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<ShardedCluster> {
+        &self.cluster
+    }
+}
+
+impl OltpTarget for ShardedTarget {
+    fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn bulk_load(&self, _node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>) {
+        self.cluster.load(self.tables[table], keys.map(|k| (k, 0)));
+    }
+
+    fn run_txn(&self, node: usize, spec: &TxnSpec) -> TargetOutcome {
+        let ops = to_baseline_ops(spec, &self.tables, &self.version);
+        match self.cluster.execute(node, &ops) {
+            Ok(TxnOutcome::Committed) => TargetOutcome::Committed,
+            Ok(TxnOutcome::Aborted) => TargetOutcome::Aborted,
+            Err(_) => TargetOutcome::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::{ClusterConfig, LatencyConfig, StorageLatencyConfig};
+
+    fn spec_tables() -> Vec<TableSpec> {
+        vec![TableSpec::new("t0", 100, 2)]
+    }
+
+    fn simple_txn() -> TxnSpec {
+        TxnSpec::new(vec![
+            SpecOp::PointRead { table: 0, key: 5 },
+            SpecOp::Update { table: 0, key: 5 },
+        ])
+    }
+
+    #[test]
+    fn pmp_target_runs_workload_ops() {
+        let cluster = Cluster::builder().config(ClusterConfig::test(2)).build();
+        let target = PmpTarget::new(cluster, &spec_tables());
+        target.bulk_load(0, 0, &mut (0..100));
+        assert_eq!(target.node_count(), 2);
+        assert_eq!(target.run_txn(0, &simple_txn()), TargetOutcome::Committed);
+        assert_eq!(target.run_txn(1, &simple_txn()), TargetOutcome::Committed);
+        // Inserts of existing keys and deletes of missing keys are benign.
+        let quirky = TxnSpec::new(vec![
+            SpecOp::Insert { table: 0, key: 5 },
+            SpecOp::Delete { table: 0, key: 99_999 },
+        ]);
+        assert_eq!(target.run_txn(0, &quirky), TargetOutcome::Committed);
+    }
+
+    #[test]
+    fn baseline_targets_run_workload_ops() {
+        let specs = spec_tables();
+        let occ = OccTarget::new(
+            Arc::new(OccCluster::new(
+                2,
+                LatencyConfig::disabled(),
+                StorageLatencyConfig::disabled(),
+            )),
+            &specs,
+        );
+        occ.bulk_load(0, 0, &mut (0..100));
+        assert_eq!(occ.run_txn(0, &simple_txn()), TargetOutcome::Committed);
+
+        let lr = LogReplayTarget::new(
+            Arc::new(LogReplayCluster::new(
+                2,
+                LatencyConfig::disabled(),
+                StorageLatencyConfig::disabled(),
+            )),
+            &specs,
+        );
+        lr.bulk_load(0, 0, &mut (0..100));
+        assert_eq!(lr.run_txn(1, &simple_txn()), TargetOutcome::Committed);
+
+        let sn = ShardedTarget::new(
+            Arc::new(ShardedCluster::new(
+                2,
+                LatencyConfig::disabled(),
+                StorageLatencyConfig::disabled(),
+            )),
+            &specs,
+        );
+        sn.bulk_load(0, 0, &mut (0..100));
+        assert_eq!(sn.run_txn(0, &simple_txn()), TargetOutcome::Committed);
+    }
+
+    #[test]
+    fn range_reads_cap_baseline_fanout() {
+        let version = AtomicU64::new(1);
+        let spec = TxnSpec::new(vec![SpecOp::RangeRead {
+            table: 0,
+            key: 0,
+            len: 100,
+        }]);
+        let ops = to_baseline_ops(&spec, &[TableId(1)], &version);
+        assert_eq!(ops.len(), 16, "range reads are capped at 16 point reads");
+    }
+}

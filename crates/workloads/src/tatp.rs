@@ -1,0 +1,176 @@
+//! TATP (Fig 8): telecom workload keyed by subscriber id, 80% reads / 20%
+//! writes, partitioned by subscriber so nodes rarely contend — the paper's
+//! linear-scalability showcase.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::spec::{SpecOp, TableSpec, TxnSpec, WorkerCtx, Workload};
+
+const T_SUBSCRIBER: usize = 0;
+const T_ACCESS_INFO: usize = 1;
+const T_SPECIAL_FACILITY: usize = 2;
+const T_CALL_FORWARDING: usize = 3;
+
+/// The TATP workload generator.
+pub struct Tatp {
+    /// Subscribers per node ("we configure TATP with 20 million
+    /// subscribers per node" — scaled down for laptop runs).
+    pub subscribers_per_node: u64,
+    pub nodes: usize,
+    name: String,
+}
+
+impl Tatp {
+    pub fn new(nodes: usize, subscribers_per_node: u64) -> Self {
+        Tatp {
+            subscribers_per_node,
+            nodes,
+            name: "tatp".to_string(),
+        }
+    }
+
+    fn subscriber(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> u64 {
+        // Partitioned by subscriber id: each node works its own range.
+        ctx.node as u64 * self.subscribers_per_node
+            + rng.random_range(0..self.subscribers_per_node)
+    }
+}
+
+impl Workload for Tatp {
+    fn tables(&self) -> Vec<TableSpec> {
+        let total = self.subscribers_per_node * self.nodes as u64;
+        vec![
+            TableSpec::new("subscriber", total, 4),
+            TableSpec::new("access_info", total, 2),
+            TableSpec::new("special_facility", total, 2),
+            TableSpec::new("call_forwarding", total, 2),
+        ]
+    }
+
+    fn next_txn(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> TxnSpec {
+        let s = self.subscriber(rng, ctx);
+        // The standard TATP mix: 35% GetSubscriberData, 10%
+        // GetNewDestination, 35% GetAccessData, 2% UpdateSubscriberData,
+        // 14% UpdateLocation, 2% Insert / 2% DeleteCallForwarding.
+        let ops = match rng.random_range(0..100u32) {
+            0..35 => vec![SpecOp::PointRead {
+                table: T_SUBSCRIBER,
+                key: s,
+            }],
+            35..45 => vec![
+                SpecOp::PointRead {
+                    table: T_SPECIAL_FACILITY,
+                    key: s,
+                },
+                SpecOp::PointRead {
+                    table: T_CALL_FORWARDING,
+                    key: s,
+                },
+            ],
+            45..80 => vec![SpecOp::PointRead {
+                table: T_ACCESS_INFO,
+                key: s,
+            }],
+            80..82 => vec![
+                SpecOp::Update {
+                    table: T_SUBSCRIBER,
+                    key: s,
+                },
+                SpecOp::Update {
+                    table: T_SPECIAL_FACILITY,
+                    key: s,
+                },
+            ],
+            82..96 => vec![SpecOp::Update {
+                table: T_SUBSCRIBER,
+                key: s,
+            }],
+            96..98 => vec![
+                SpecOp::PointRead {
+                    table: T_SPECIAL_FACILITY,
+                    key: s,
+                },
+                SpecOp::Insert {
+                    table: T_CALL_FORWARDING,
+                    key: s,
+                },
+            ],
+            _ => vec![SpecOp::Delete {
+                table: T_CALL_FORWARDING,
+                key: s,
+            }],
+        };
+        TxnSpec::new(ops)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn home_node(&self, _table: usize, key: u64, _nodes: usize) -> usize {
+        (key / self.subscribers_per_node) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subscribers_are_node_partitioned() {
+        let w = Tatp::new(4, 1000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for node in 0..4usize {
+            let ctx = WorkerCtx {
+                node,
+                nodes: 4,
+                worker: node,
+            };
+            for _ in 0..50 {
+                let txn = w.next_txn(&mut rng, ctx);
+                for op in &txn.ops {
+                    let key = match op {
+                        SpecOp::PointRead { key, .. }
+                        | SpecOp::RangeRead { key, .. }
+                        | SpecOp::Update { key, .. }
+                        | SpecOp::Insert { key, .. }
+                        | SpecOp::Delete { key, .. } => *key,
+                    };
+                    let lo = node as u64 * 1000;
+                    assert!(
+                        (lo..lo + 1000).contains(&key),
+                        "node {node} key {key} out of partition"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_is_read_heavy() {
+        let w = Tatp::new(1, 1000);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let ctx = WorkerCtx {
+            node: 0,
+            nodes: 1,
+            worker: 0,
+        };
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..1000 {
+            let txn = w.next_txn(&mut rng, ctx);
+            if txn.ops.iter().any(|o| o.is_write()) {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+        }
+        let read_frac = reads as f64 / (reads + writes) as f64;
+        assert!(
+            (0.7..0.9).contains(&read_frac),
+            "TATP is ~80% reads, got {read_frac}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Zipfian key sampling (optional hot-spot skew for SysBench).
+//!
+//! The paper's SysBench runs use the default (uniform) distribution, but
+//! skewed access is the standard way to study contention sensitivity, so
+//! the generator is available as a knob (`Sysbench::with_zipf`).
+//!
+//! Implementation: the rejection-inversion sampler of Hörmann & Derflinger
+//! (the same algorithm behind most benchmark suites' Zipf generators),
+//! which needs no O(n) precomputation and supports arbitrary exponents.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// A Zipf(θ) distribution over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// `theta` in `(0, 1) ∪ (1, ∞)`; ~0.99 is the YCSB default. `theta`
+    /// very close to 1.0 is nudged off the singularity.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(theta > 0.0);
+        let theta = if (theta - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { theta };
+        let h_integral = |x: f64| -> f64 {
+            let log_x = x.ln();
+            (((1.0 - theta) * log_x).exp_m1()) / (1.0 - theta)
+        };
+        let h = |x: f64| -> f64 { (-theta * x.ln()).exp() };
+        let h_integral_x1 = h_integral(1.5) - 1.0;
+        Zipf {
+            n,
+            theta,
+            h_x1: h(1.5) - (-(theta) * 2.5f64.ln()).exp(),
+            h_integral_x1,
+            h_integral_n: h_integral(n as f64 + 0.5),
+            s: 2.0 - {
+                // h_integral_inverse(h_integral(2.5) - h(2.5)) as in the
+                // reference implementation.
+                let t = h_integral(2.5) - h(2.5);
+                (((1.0 - theta) * t).ln_1p() / (1.0 - theta)).exp()
+            },
+        }
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        (((1.0 - self.theta) * x.ln()).exp_m1()) / (1.0 - self.theta)
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (-self.theta * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.theta);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (t.ln_1p() / (1.0 - self.theta)).exp()
+    }
+
+    /// Sample a rank in `0..n` (0 = hottest key).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let _ = (self.h_x1, self.h_integral_x1); // kept for readability/debugging
+        loop {
+            let u = self.h_integral_n + rng.random::<f64>() * (self.h_integral(1.5) - 1.0 - self.h_integral_n);
+            let x = self.h_integral_inverse(u);
+            let mut k = (x + 0.5) as i64;
+            if k < 1 {
+                k = 1;
+            } else if k as u64 > self.n {
+                k = self.n as i64;
+            }
+            let kf = k as f64;
+            if kf - x <= self.s
+                || u >= self.h_integral(kf + 0.5) - self.h(kf)
+            {
+                return (k - 1) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut top_decile = 0;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 1_000 {
+                top_decile += 1;
+            }
+        }
+        let frac = top_decile as f64 / samples as f64;
+        assert!(
+            frac > 0.5,
+            "Zipf(0.99): top 10% of keys should draw >50% of accesses, got {frac}"
+        );
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let hot = Zipf::new(1000, 1.3);
+        let mild = Zipf::new(1000, 0.5);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let count_hot = |z: &Zipf, rng: &mut SmallRng| {
+            (0..5000).filter(|_| z.sample(rng) == 0).count()
+        };
+        let h = count_hot(&hot, &mut rng);
+        let m = count_hot(&mild, &mut rng);
+        assert!(
+            h > m,
+            "higher theta must concentrate more mass on the hottest key ({h} vs {m})"
+        );
+    }
+
+    #[test]
+    fn tiny_domain_works() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SmallRng::seed_from_u64(10);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

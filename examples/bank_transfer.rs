@@ -1,0 +1,118 @@
+//! Concurrent bank transfers across all primaries — the classic OLTP
+//! correctness stressor.
+//!
+//! Many workers on different nodes move money between random accounts.
+//! Every transfer is a multi-row transaction protected by the embedded row
+//! locks (§4.3.2); deadlocks (two transfers locking the same pair in
+//! opposite order) are detected by Lock Fusion and retried. At the end the
+//! total balance must be exactly what we started with — on every node.
+//!
+//! Run with: `cargo run --example bank_transfer`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use polardb_mp::common::{ClusterConfig, PmpError};
+use polardb_mp::core_api::RowValue;
+use polardb_mp::Cluster;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+const ACCOUNTS: u64 = 200;
+const INITIAL_BALANCE: u64 = 1_000;
+const NODES: usize = 3;
+const WORKERS_PER_NODE: usize = 2;
+const TRANSFERS_PER_WORKER: usize = 300;
+
+fn main() -> polardb_mp::common::Result<()> {
+    let cluster = Cluster::builder()
+        .config(ClusterConfig::test(NODES))
+        .build();
+    let accounts = cluster.create_table("accounts", 1, &[])?;
+
+    // Seed the accounts from node 0.
+    cluster.session(0).with_txn(|txn| {
+        for id in 0..ACCOUNTS {
+            txn.insert(accounts, id, RowValue::new(vec![INITIAL_BALANCE]))?;
+        }
+        Ok(())
+    })?;
+
+    let deadlocks = Arc::new(AtomicU64::new(0));
+    let transferred = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for worker in 0..NODES * WORKERS_PER_NODE {
+            let cluster = Arc::clone(&cluster);
+            let deadlocks = Arc::clone(&deadlocks);
+            let transferred = Arc::clone(&transferred);
+            scope.spawn(move || {
+                let session = cluster.session(worker % NODES);
+                let mut rng = SmallRng::seed_from_u64(worker as u64);
+                for _ in 0..TRANSFERS_PER_WORKER {
+                    let from = rng.random_range(0..ACCOUNTS);
+                    let mut to = rng.random_range(0..ACCOUNTS);
+                    if to == from {
+                        to = (to + 1) % ACCOUNTS;
+                    }
+                    let amount = rng.random_range(1..20u64);
+
+                    // Retry loop around deadlock victims / lock timeouts —
+                    // with_txn_retry counts as the application-side retry
+                    // the paper says OCC systems push onto users; here it
+                    // only fires on genuine deadlocks.
+                    let result = session.with_txn_retry(16, |txn| {
+                        // Locking reads (SELECT ... FOR UPDATE): a plain
+                        // read-then-write at read committed would lose
+                        // concurrent updates.
+                        let from_balance = txn
+                            .get_for_update(accounts, from)?
+                            .ok_or(PmpError::KeyNotFound)?
+                            .col(0);
+                        if from_balance < amount {
+                            return Ok(false); // insufficient funds, no-op
+                        }
+                        let to_balance = txn
+                            .get_for_update(accounts, to)?
+                            .ok_or(PmpError::KeyNotFound)?
+                            .col(0);
+                        txn.update(accounts, from, RowValue::new(vec![from_balance - amount]))?;
+                        txn.update(accounts, to, RowValue::new(vec![to_balance + amount]))?;
+                        Ok(true)
+                    });
+                    match result {
+                        Ok(true) => {
+                            transferred.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(false) => {}
+                        Err(e) if e.is_retryable() => {
+                            deadlocks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Audit from *every* node: totals must be conserved everywhere.
+    let expected_total = ACCOUNTS * INITIAL_BALANCE;
+    for node in 0..NODES {
+        let rows = cluster
+            .session(node)
+            .with_txn(|txn| txn.scan(accounts, 0, ACCOUNTS as usize + 10))?;
+        let total: u64 = rows.iter().map(|(_, v)| v.col(0)).sum();
+        println!(
+            "node {node}: {} accounts, total balance {total}",
+            rows.len()
+        );
+        assert_eq!(rows.len() as u64, ACCOUNTS);
+        assert_eq!(total, expected_total, "money must be conserved");
+    }
+    println!(
+        "{} transfers committed, {} gave up after repeated deadlocks — invariant holds ✓",
+        transferred.load(Ordering::Relaxed),
+        deadlocks.load(Ordering::Relaxed)
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: a two-primary PolarDB-MP cluster in one process.
+//!
+//! Shows the core promise of the paper: every node can read AND write every
+//! row — no sharding, no distributed transactions — with changes moving
+//! between nodes through the disaggregated shared memory (Buffer Fusion)
+//! instead of shared storage.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use polardb_mp::common::ClusterConfig;
+use polardb_mp::core_api::RowValue;
+use polardb_mp::Cluster;
+
+fn main() -> polardb_mp::common::Result<()> {
+    // A two-primary cluster. `ClusterConfig::test` disables the simulated
+    // fabric/storage latencies so the example runs instantly; use
+    // `ClusterConfig::bench(2, scale)` to feel the real cost hierarchy.
+    let cluster = Cluster::builder().config(ClusterConfig::test(2)).build();
+
+    // DDL is cluster-wide: a table with three u64 columns.
+    let accounts = cluster.create_table("accounts", 3, &[])?;
+
+    // Sessions are bound to a primary node, like client connections.
+    let on_node_0 = cluster.session(0);
+    let on_node_1 = cluster.session(1);
+
+    // Write through node 0 ...
+    on_node_0.with_txn(|txn| {
+        txn.insert(accounts, 1, RowValue::new(vec![100, 0, 0]))?;
+        txn.insert(accounts, 2, RowValue::new(vec![250, 0, 0]))?;
+        Ok(())
+    })?;
+
+    // ... and read the same rows through node 1. The pages arrive via the
+    // distributed buffer pool (one-sided RDMA in the real system), not via
+    // shared storage.
+    let balance = on_node_1.with_txn(|txn| txn.get(accounts, 1))?;
+    println!("node 1 sees account 1 = {balance:?}");
+    assert_eq!(balance, Some(RowValue::new(vec![100, 0, 0])));
+
+    // Both nodes can write; row locks (embedded in the rows, §4.3.2 of the
+    // paper) coordinate them.
+    on_node_1.with_txn(|txn| txn.update(accounts, 1, RowValue::new(vec![80, 1, 0])))?;
+    on_node_0.with_txn(|txn| txn.update(accounts, 2, RowValue::new(vec![270, 1, 0])))?;
+
+    // MVCC visibility: a transaction sees a consistent snapshot; uncommitted
+    // peers are invisible.
+    let mut writer = on_node_0.begin()?;
+    writer.update(accounts, 1, RowValue::new(vec![9999, 2, 0]))?;
+
+    let reader_view = on_node_1.with_txn(|txn| txn.get(accounts, 1))?;
+    println!("node 1 during node 0's open txn = {reader_view:?}");
+    assert_eq!(
+        reader_view,
+        Some(RowValue::new(vec![80, 1, 0])),
+        "uncommitted changes must stay invisible"
+    );
+    writer.rollback()?;
+
+    // Scans work across everything, wherever it was written.
+    let all = on_node_1.with_txn(|txn| txn.scan(accounts, 0, 10))?;
+    println!("final table contents:");
+    for (key, value) in &all {
+        println!("  account {key}: balance {}", value.col(0));
+    }
+    assert_eq!(all.len(), 2);
+
+    // How much cross-node traffic did all that cost?
+    let stats = cluster.shared().fabric.stats();
+    println!(
+        "fabric ops: {} reads, {} writes, {} RPCs",
+        stats.reads.get(),
+        stats.writes.get(),
+        stats.rpcs.get()
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PolarDB-MP reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! downstream users can depend on a single `polardb-mp` crate.
+
+pub use pmp_baselines as baselines;
+pub use pmp_common as common;
+pub use pmp_core as core_api;
+pub use pmp_engine as engine;
+pub use pmp_pmfs as pmfs;
+pub use pmp_rdma as rdma;
+pub use pmp_storage as storage;
+pub use pmp_workloads as workloads;
+
+
+pub use pmp_core::{Cluster, ClusterBuilder, Session};

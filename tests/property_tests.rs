@@ -1,0 +1,255 @@
+//! Property-based tests: the multi-primary engine against a reference
+//! model under randomized operation sequences, crash points and recovery
+//! chunk sizes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use polardb_mp::common::{ClusterConfig, NodeId, PmpError};
+use polardb_mp::core_api::RowValue;
+use polardb_mp::engine::recovery::recover_cluster;
+use polardb_mp::Cluster;
+use proptest::prelude::*;
+
+/// One randomized operation, routed to a node.
+#[derive(Clone, Debug)]
+enum ModelOp {
+    Insert { node: usize, key: u64, val: u64 },
+    Update { node: usize, key: u64, val: u64 },
+    Delete { node: usize, key: u64 },
+    Get { node: usize, key: u64 },
+    Scan { node: usize, from: u64, limit: usize },
+}
+
+fn op_strategy(nodes: usize) -> impl Strategy<Value = ModelOp> {
+    // Small key space so deletes/updates actually hit existing rows.
+    let key = 0..60u64;
+    let node = 0..nodes;
+    prop_oneof![
+        (node.clone(), key.clone(), any::<u64>())
+            .prop_map(|(node, key, val)| ModelOp::Insert { node, key, val }),
+        (node.clone(), key.clone(), any::<u64>())
+            .prop_map(|(node, key, val)| ModelOp::Update { node, key, val }),
+        (node.clone(), key.clone()).prop_map(|(node, key)| ModelOp::Delete { node, key }),
+        (node.clone(), key.clone()).prop_map(|(node, key)| ModelOp::Get { node, key }),
+        (node, key, 1..20usize)
+            .prop_map(|(node, from, limit)| ModelOp::Scan { node, from, limit }),
+    ]
+}
+
+fn v(x: u64) -> RowValue {
+    RowValue::new(vec![x])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Sequential operations routed to random nodes behave exactly like a
+    /// single ordered map: multi-primary coherence (buffer fusion, TIT
+    /// visibility, lock words) must be invisible to a serial client.
+    #[test]
+    fn multi_node_serial_ops_match_model(
+        ops in proptest::collection::vec(op_strategy(3), 1..120)
+    ) {
+        let cluster = Cluster::builder().config(ClusterConfig::test(3)).build();
+        let table = cluster.create_table("t", 1, &[]).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                ModelOp::Insert { node, key, val } => {
+                    let got = cluster.session(node).insert(table, key, v(val));
+                    match got {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&key), "insert succeeded over live row");
+                            model.insert(key, val);
+                        }
+                        Err(PmpError::DuplicateKey) => {
+                            prop_assert!(model.contains_key(&key));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                    }
+                }
+                ModelOp::Update { node, key, val } => {
+                    match cluster.session(node).update(table, key, v(val)) {
+                        Ok(()) => {
+                            prop_assert!(model.contains_key(&key), "update succeeded on absent row");
+                            model.insert(key, val);
+                        }
+                        Err(PmpError::KeyNotFound) => prop_assert!(!model.contains_key(&key)),
+                        Err(e) => return Err(TestCaseError::fail(format!("update: {e}"))),
+                    }
+                }
+                ModelOp::Delete { node, key } => {
+                    match cluster.session(node).delete(table, key) {
+                        Ok(()) => {
+                            prop_assert!(model.remove(&key).is_some(), "delete succeeded on absent row");
+                        }
+                        Err(PmpError::KeyNotFound) => prop_assert!(!model.contains_key(&key)),
+                        Err(e) => return Err(TestCaseError::fail(format!("delete: {e}"))),
+                    }
+                }
+                ModelOp::Get { node, key } => {
+                    let got = cluster.session(node).get(table, key).unwrap();
+                    prop_assert_eq!(got.map(|r| r.col(0)), model.get(&key).copied(), "get {}", key);
+                }
+                ModelOp::Scan { node, from, limit } => {
+                    let got = cluster.session(node).scan(table, from, limit).unwrap();
+                    let want: Vec<(u64, u64)> = model
+                        .range(from..)
+                        .take(limit)
+                        .map(|(k, val)| (*k, *val))
+                        .collect();
+                    let got: Vec<(u64, u64)> = got.iter().map(|(k, r)| (*k, r.col(0))).collect();
+                    prop_assert_eq!(got, want, "scan from {}", from);
+                }
+            }
+        }
+
+        // Final full audit from every node.
+        for node in 0..3 {
+            let rows = cluster.session(node).scan(table, 0, 1000).unwrap();
+            let got: Vec<(u64, u64)> = rows.iter().map(|(k, r)| (*k, r.col(0))).collect();
+            let want: Vec<(u64, u64)> = model.iter().map(|(k, val)| (*k, *val)).collect();
+            prop_assert_eq!(got, want, "final audit on node {}", node);
+        }
+    }
+
+    /// Full-cluster crash at a random point with random recovery chunk
+    /// sizes: everything committed survives, the in-flight transaction is
+    /// rolled back, regardless of where the crash fell or how the log is
+    /// chunked during the LLSN_bound merge.
+    #[test]
+    fn full_cluster_recovery_preserves_exactly_committed_state(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0..80u64, any::<u64>()), 1..12),
+            1..10
+        ),
+        doomed_writes in proptest::collection::vec((0..80u64, any::<u64>()), 1..6),
+        chunk in prop_oneof![Just(128usize), Just(777), Just(4096), Just(64 * 1024)],
+    ) {
+        let mut config = ClusterConfig::test(2);
+        config.engine.recovery_chunk_bytes = chunk;
+        let cluster = Cluster::builder().config(config).build();
+        let table = cluster.create_table("t", 1, &[]).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        // Committed batches alternate between nodes (upsert semantics).
+        for (i, batch) in batches.iter().enumerate() {
+            let session = cluster.session(i % 2);
+            session.with_txn(|txn| {
+                for &(key, val) in batch {
+                    match txn.update(table, key, v(val)) {
+                        Ok(()) => {}
+                        Err(PmpError::KeyNotFound) => txn.insert(table, key, v(val))?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }).unwrap();
+            for &(key, val) in batch {
+                model.insert(key, val);
+            }
+        }
+
+        // One in-flight transaction on node 0 at crash time.
+        let mut doomed = cluster.session(0).begin().unwrap();
+        for &(key, val) in &doomed_writes {
+            match doomed.update(table, key, v(val)) {
+                Ok(()) | Err(PmpError::KeyNotFound) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("doomed: {e}"))),
+            }
+            if !model.contains_key(&key) {
+                let _ = doomed.insert(table, key, v(val));
+            }
+        }
+        cluster.node(0).flush_tick(); // its log + DBP footprint is durable
+        std::mem::forget(doomed);
+
+        // Total failure: nodes, DBP, undo store.
+        let shared = Arc::clone(cluster.shared());
+        cluster.crash_node(0);
+        cluster.crash_node(1);
+        shared.pmfs.buffer.clear();
+        shared.undo.clear();
+        shared.pmfs.plock.release_all(NodeId(0));
+        shared.pmfs.plock.release_all(NodeId(1));
+        shared.pmfs.txn.unregister_region(NodeId(0));
+        shared.pmfs.txn.unregister_region(NodeId(1));
+
+        recover_cluster(&shared, &[NodeId(0), NodeId(1)]).unwrap();
+
+        let fresh = polardb_mp::engine::NodeEngine::start(Arc::clone(&shared), NodeId(0));
+        let mut txn = fresh.begin().unwrap();
+        let rows = txn.scan(table, 0, 1000).unwrap();
+        let got: Vec<(u64, u64)> = rows.iter().map(|(k, r)| (*k, r.col(0))).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, val)| (*k, *val)).collect();
+        prop_assert_eq!(got, want, "recovered state must be exactly the committed state");
+        txn.commit().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// Redo records of every shape survive encode/decode byte-exactly,
+    /// including through arbitrary truncation (partial record ⇒ None, never
+    /// a panic or a wrong record).
+    #[test]
+    fn redo_codec_roundtrips_and_rejects_truncation(
+        key in any::<u128>(),
+        cols in proptest::collection::vec(any::<u64>(), 0..6),
+        llsn in 1..u64::MAX,
+        cut in 0..200usize,
+    ) {
+        use polardb_mp::engine::redo::{RedoOp, RedoRecord};
+        use polardb_mp::engine::row::{Row, RowHeader};
+        use polardb_mp::common::{Cts, GlobalTrxId, Llsn, PageId, SlotId, TableId, TrxId};
+        use polardb_mp::engine::undo::UndoPtr;
+
+        let rec = RedoRecord {
+            llsn: Llsn(llsn),
+            page: PageId(9),
+            table: TableId(3),
+            op: RedoOp::InsertRow(Row {
+                key,
+                header: RowHeader {
+                    trx: GlobalTrxId {
+                        node: NodeId(2),
+                        trx: TrxId(llsn),
+                        slot: SlotId(7),
+                        version: 3,
+                    },
+                    cts: Cts(llsn ^ 0xABCD),
+                    undo: UndoPtr { node: NodeId(2), seq: 11 },
+                    deleted: llsn % 2 == 0,
+                },
+                value: polardb_mp::engine::row::RowValue(cols),
+            }),
+        };
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        let (decoded, used) = RedoRecord::decode_from(&buf).unwrap().unwrap();
+        prop_assert_eq!(&decoded, &rec);
+        prop_assert_eq!(used, buf.len());
+
+        // Any strict prefix is "partial", never an error or a bogus record.
+        let cut = cut.min(buf.len().saturating_sub(1));
+        prop_assert!(RedoRecord::decode_from(&buf[..cut]).unwrap().is_none());
+    }
+
+    /// Arbitrary garbage bytes must never panic the decoder: it returns
+    /// `Ok(None)` (partial), `Err` (malformed), or a record whose encoded
+    /// length fits the claimed frame — all safe outcomes for recovery.
+    #[test]
+    fn redo_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        use polardb_mp::engine::redo::RedoRecord;
+        let _ = RedoRecord::decode_from(&bytes); // must not panic
+    }
+}
