@@ -15,9 +15,20 @@ use pmp_rdma::precise_wait_ns;
 /// invariants; the figures measure throughput shape, not SQL features.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
-    Read { table: TableId, key: u64 },
-    Update { table: TableId, key: u64, value: u64 },
-    Insert { table: TableId, key: u64, value: u64 },
+    Read {
+        table: TableId,
+        key: u64,
+    },
+    Update {
+        table: TableId,
+        key: u64,
+        value: u64,
+    },
+    Insert {
+        table: TableId,
+        key: u64,
+        value: u64,
+    },
 }
 
 impl Op {

@@ -20,9 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use pmp_common::{
-    Counter, LatencyConfig, NodeId, Result, StorageLatencyConfig, TableId,
-};
+use pmp_common::{Counter, LatencyConfig, NodeId, Result, StorageLatencyConfig, TableId};
 use pmp_pmfs::{PLockFusion, PLockMode};
 use pmp_rdma::{precise_wait_ns, Fabric, Locality};
 
@@ -197,7 +195,7 @@ impl LogReplayCluster {
             self.service
                 .write()
                 .entry((table, page_no))
-                .or_insert_with(|| Arc::new(Mutex::new(ServicePage::default())))
+                .or_insert_with(|| Arc::new(Mutex::new(ServicePage::default()))),
         )
     }
 
@@ -359,8 +357,15 @@ mod tests {
         c.create_table(t(), 10);
         c.load(t(), (0..100).map(|k| (k, 0)));
 
-        c.execute(0, &[Op::Update { table: t(), key: 5, value: 7 }])
-            .unwrap();
+        c.execute(
+            0,
+            &[Op::Update {
+                table: t(),
+                key: 5,
+                value: 7,
+            }],
+        )
+        .unwrap();
         // Node 1 reads through the coherence path.
         c.execute(1, &[Op::Read { table: t(), key: 5 }]).unwrap();
         let cached = self_read(&c, 1, 5);
@@ -388,7 +393,14 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..100u64 {
                         let out = c
-                            .execute(n, &[Op::Update { table: TableId(1), key: i % 16, value: i }])
+                            .execute(
+                                n,
+                                &[Op::Update {
+                                    table: TableId(1),
+                                    key: i % 16,
+                                    value: i,
+                                }],
+                            )
                             .unwrap();
                         assert_eq!(out, TxnOutcome::Committed);
                     }
@@ -407,8 +419,15 @@ mod tests {
         c.create_table(t(), 1000);
         c.load(t(), [(1, 0)].into_iter());
         for i in 0..(COMPACT_THRESHOLD as u64 + 10) {
-            c.execute(0, &[Op::Update { table: t(), key: 1, value: i }])
-                .unwrap();
+            c.execute(
+                0,
+                &[Op::Update {
+                    table: t(),
+                    key: 1,
+                    value: i,
+                }],
+            )
+            .unwrap();
         }
         assert_eq!(c.service_value(t(), 1), Some(COMPACT_THRESHOLD as u64 + 9));
         let page = c.service_page(t(), 0);
@@ -425,8 +444,15 @@ mod tests {
         c.load(t(), (0..10).map(|k| (k, 0)));
         // Node 0 writes 20 records to one page; node 1 then reads it once.
         for i in 0..20 {
-            c.execute(0, &[Op::Update { table: t(), key: i % 10, value: i }])
-                .unwrap();
+            c.execute(
+                0,
+                &[Op::Update {
+                    table: t(),
+                    key: i % 10,
+                    value: i,
+                }],
+            )
+            .unwrap();
         }
         c.execute(1, &[Op::Read { table: t(), key: 0 }]).unwrap();
         assert!(

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use pmp_common::{
-    Counter, LatencyConfig, NodeId, Result, StorageLatencyConfig, TableId,
-};
+use pmp_common::{Counter, LatencyConfig, NodeId, Result, StorageLatencyConfig, TableId};
 use pmp_rdma::{precise_wait_ns, Fabric};
 
 use crate::common::{BaselineTable, Op, TxnOutcome};
@@ -168,10 +166,8 @@ impl OccCluster {
 
         // Validation + write phase at storage: lock written pages in a
         // canonical order, compare versions, then apply atomically.
-        let mut written_pages: Vec<(TableId, u64)> = local_writes
-            .iter()
-            .map(|(t, p, _, _)| (*t, *p))
-            .collect();
+        let mut written_pages: Vec<(TableId, u64)> =
+            local_writes.iter().map(|(t, p, _, _)| (*t, *p)).collect();
         written_pages.sort();
         written_pages.dedup();
 
@@ -297,21 +293,42 @@ mod tests {
 
         // Node 0 commits a write to page 0 → version bump.
         assert_eq!(
-            c.execute(0, &[Op::Update { table: t(), key: 1, value: 1 }])
-                .unwrap(),
+            c.execute(
+                0,
+                &[Op::Update {
+                    table: t(),
+                    key: 1,
+                    value: 1
+                }]
+            )
+            .unwrap(),
             TxnOutcome::Committed
         );
         // Node 1's write to the *same page* (different row!) must abort —
         // exactly the page-level false sharing the paper highlights.
         assert_eq!(
-            c.execute(1, &[Op::Update { table: t(), key: 2, value: 2 }])
-                .unwrap(),
+            c.execute(
+                1,
+                &[Op::Update {
+                    table: t(),
+                    key: 2,
+                    value: 2
+                }]
+            )
+            .unwrap(),
             TxnOutcome::Aborted
         );
         // After the abort the cache was invalidated; the retry succeeds.
         assert_eq!(
-            c.execute(1, &[Op::Update { table: t(), key: 2, value: 2 }])
-                .unwrap(),
+            c.execute(
+                1,
+                &[Op::Update {
+                    table: t(),
+                    key: 2,
+                    value: 2
+                }]
+            )
+            .unwrap(),
             TxnOutcome::Committed
         );
         assert!(c.abort_rate() > 0.0);
@@ -324,13 +341,27 @@ mod tests {
         c.load(t(), (0..100).map(|k| (k, 0)));
         for round in 0..20 {
             assert_eq!(
-                c.execute(0, &[Op::Update { table: t(), key: 5, value: round }])
-                    .unwrap(),
+                c.execute(
+                    0,
+                    &[Op::Update {
+                        table: t(),
+                        key: 5,
+                        value: round
+                    }]
+                )
+                .unwrap(),
                 TxnOutcome::Committed
             );
             assert_eq!(
-                c.execute(1, &[Op::Update { table: t(), key: 55, value: round }])
-                    .unwrap(),
+                c.execute(
+                    1,
+                    &[Op::Update {
+                        table: t(),
+                        key: 55,
+                        value: round
+                    }]
+                )
+                .unwrap(),
                 TxnOutcome::Committed
             );
         }
@@ -343,19 +374,43 @@ mod tests {
         c.create_table(t(), 10);
         c.load(t(), (0..100).map(|k| (k, 0)));
         // Node 0 stages a cross-page txn.
-        c.execute(0, &[Op::Read { table: t(), key: 5 }, Op::Read { table: t(), key: 55 }])
-            .unwrap();
+        c.execute(
+            0,
+            &[
+                Op::Read { table: t(), key: 5 },
+                Op::Read {
+                    table: t(),
+                    key: 55,
+                },
+            ],
+        )
+        .unwrap();
         // Node 1 invalidates one of the two pages.
-        c.execute(1, &[Op::Update { table: t(), key: 55, value: 9 }])
-            .unwrap();
+        c.execute(
+            1,
+            &[Op::Update {
+                table: t(),
+                key: 55,
+                value: 9,
+            }],
+        )
+        .unwrap();
         // Node 0's cross-page write must abort wholesale; neither write
         // lands.
         let out = c
             .execute(
                 0,
                 &[
-                    Op::Update { table: t(), key: 5, value: 1 },
-                    Op::Update { table: t(), key: 56, value: 1 },
+                    Op::Update {
+                        table: t(),
+                        key: 5,
+                        value: 1,
+                    },
+                    Op::Update {
+                        table: t(),
+                        key: 56,
+                        value: 1,
+                    },
                 ],
             )
             .unwrap();
@@ -377,8 +432,15 @@ mod tests {
                     let mut commits = 0;
                     for i in 0..200u64 {
                         let key = i % 64;
-                        if c.execute(n, &[Op::Update { table: TableId(1), key, value: i }])
-                            .unwrap()
+                        if c.execute(
+                            n,
+                            &[Op::Update {
+                                table: TableId(1),
+                                key,
+                                value: i,
+                            }],
+                        )
+                        .unwrap()
                             == TxnOutcome::Committed
                         {
                             commits += 1;

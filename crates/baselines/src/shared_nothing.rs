@@ -17,9 +17,7 @@
 use std::collections::HashMap;
 
 use parking_lot::{Mutex, RwLock};
-use pmp_common::{
-    Counter, LatencyConfig, Result, StorageLatencyConfig, TableId,
-};
+use pmp_common::{Counter, LatencyConfig, Result, StorageLatencyConfig, TableId};
 use pmp_rdma::{precise_wait_ns, Fabric};
 
 use crate::common::{Op, TxnOutcome};
@@ -119,7 +117,10 @@ impl ShardedCluster {
 
     fn force_log(&self) {
         self.stats.log_forces.inc();
-        precise_wait_ns(self.storage_cfg.charge_ns(self.storage_cfg.sync_ns * Self::CONSENSUS_FACTOR));
+        precise_wait_ns(
+            self.storage_cfg
+                .charge_ns(self.storage_cfg.sync_ns * Self::CONSENSUS_FACTOR),
+        );
     }
 
     /// Execute a transaction coordinated by `node`. Write ops fan out to
@@ -169,7 +170,10 @@ impl ShardedCluster {
                 self.fabric.rpc(96, || ());
             }
             for (p, table, key, value) in &writes {
-                self.partitions[*p].rows.lock().insert((*table, *key), *value);
+                self.partitions[*p]
+                    .rows
+                    .lock()
+                    .insert((*table, *key), *value);
             }
             self.force_log();
             self.stats.single_partition.inc();
@@ -198,7 +202,10 @@ impl ShardedCluster {
             }
         }
         for (p, table, key, value) in &writes {
-            self.partitions[*p].rows.lock().insert((*table, *key), *value);
+            self.partitions[*p]
+                .rows
+                .lock()
+                .insert((*table, *key), *value);
         }
         self.stats.commits.inc();
         Ok(TxnOutcome::Committed)
@@ -248,8 +255,15 @@ mod tests {
         let key = (0..1000u64)
             .find(|k| c.partition_of(t, *k) == 0)
             .expect("some key maps to partition 0");
-        c.execute(0, &[Op::Insert { table: t, key, value: 7 }])
-            .unwrap();
+        c.execute(
+            0,
+            &[Op::Insert {
+                table: t,
+                key,
+                value: 7,
+            }],
+        )
+        .unwrap();
         assert_eq!(c.stats.single_partition.get(), 1);
         assert_eq!(c.stats.multi_partition.get(), 0);
         assert_eq!(c.value(t, key), Some(7));
@@ -259,8 +273,15 @@ mod tests {
     fn gsi_inserts_require_2pc() {
         let c = cluster(4);
         let t = c.create_table(2);
-        c.execute(0, &[Op::Insert { table: t, key: 1, value: 99 }])
-            .unwrap();
+        c.execute(
+            0,
+            &[Op::Insert {
+                table: t,
+                key: 1,
+                value: 99,
+            }],
+        )
+        .unwrap();
         // Primary row and both GSI entries landed.
         assert_eq!(c.value(t, 1), Some(99));
         assert_eq!(c.gsi_value(t, 0, secondary_of(99, 0)), Some(1));
@@ -279,14 +300,28 @@ mod tests {
         let few = cluster(8);
         let t_few = few.create_table(1);
         for k in 0..50 {
-            few.execute(0, &[Op::Insert { table: t_few, key: k, value: k * 31 }])
-                .unwrap();
+            few.execute(
+                0,
+                &[Op::Insert {
+                    table: t_few,
+                    key: k,
+                    value: k * 31,
+                }],
+            )
+            .unwrap();
         }
         let many = cluster(8);
         let t_many = many.create_table(8);
         for k in 0..50 {
-            many.execute(0, &[Op::Insert { table: t_many, key: k, value: k * 31 }])
-                .unwrap();
+            many.execute(
+                0,
+                &[Op::Insert {
+                    table: t_many,
+                    key: k,
+                    value: k * 31,
+                }],
+            )
+            .unwrap();
         }
         assert!(
             many.stats.prepare_messages.get() > few.stats.prepare_messages.get(),
@@ -315,8 +350,15 @@ mod tests {
                 std::thread::spawn(move || {
                     for k in 0..100u64 {
                         let key = n as u64 * 1000 + k;
-                        c.execute(n, &[Op::Insert { table: t, key, value: key }])
-                            .unwrap();
+                        c.execute(
+                            n,
+                            &[Op::Insert {
+                                table: t,
+                                key,
+                                value: key,
+                            }],
+                        )
+                        .unwrap();
                     }
                 })
             })

@@ -24,7 +24,11 @@ fn main() {
         "Fig 7 — SysBench throughput vs nodes × shared-data % (PolarDB-MP)",
     );
     let node_counts: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
-    let shared_pcts: &[u32] = if quick() { &[0, 100] } else { &[0, 10, 30, 50, 100] };
+    let shared_pcts: &[u32] = if quick() {
+        &[0, 100]
+    } else {
+        &[0, 10, 30, 50, 100]
+    };
     let modes = [
         SysbenchMode::ReadOnly,
         SysbenchMode::ReadWrite,

@@ -14,10 +14,16 @@ use pmp_workloads::tatp::Tatp;
 const SUBSCRIBERS_PER_NODE: u64 = 5_000;
 
 fn main() {
-    let mut report = Report::new("fig08_tatp", "Fig 8 — TATP throughput vs nodes (PolarDB-MP)");
+    let mut report = Report::new(
+        "fig08_tatp",
+        "Fig 8 — TATP throughput vs nodes (PolarDB-MP)",
+    );
     let node_counts: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
 
-    report.line(format!("{:>6} | {:>18} | {:>10}", "nodes", "tps (scalability)", "p95 ms"));
+    report.line(format!(
+        "{:>6} | {:>18} | {:>10}",
+        "nodes", "tps (scalability)", "p95 ms"
+    ));
     let mut base = 0.0;
     for &nodes in node_counts {
         let cluster = bench_cluster(nodes);

@@ -50,7 +50,12 @@ fn main() {
         if base == 0.0 {
             base = tps;
         }
-        report.line(format!("{:>6} | {:>6} | {:>18}", phase + 1, nodes, cell(tps, base)));
+        report.line(format!(
+            "{:>6} | {:>6} | {:>18}",
+            phase + 1,
+            nodes,
+            cell(tps, base)
+        ));
         elapsed_ms += result.elapsed.as_millis() as u64;
         timeline.push((elapsed_ms, tps));
     }
@@ -69,7 +74,9 @@ fn main() {
         let tps = result.tps();
         report.line(format!(
             "{:>6} | {:>6} | {:>18}   (scale-in: node {leaving} left)",
-            "in", nodes, cell(tps, base)
+            "in",
+            nodes,
+            cell(tps, base)
         ));
         elapsed_ms += result.elapsed.as_millis() as u64;
         timeline.push((elapsed_ms, tps));

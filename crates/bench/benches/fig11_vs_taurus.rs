@@ -50,7 +50,11 @@ fn main() {
             cluster.shutdown();
 
             let cfg = bench_cluster_config(nodes);
-            let lr_cluster = Arc::new(LogReplayCluster::new(nodes, cfg.latency, cfg.storage_latency));
+            let lr_cluster = Arc::new(LogReplayCluster::new(
+                nodes,
+                cfg.latency,
+                cfg.storage_latency,
+            ));
             let lr = LogReplayTarget::new(lr_cluster, &workload.tables());
             load_suspended(&lr, &workload);
             let lr_tps = run_workload(&lr, &workload, point_config(None)).tps();

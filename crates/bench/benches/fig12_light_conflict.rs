@@ -39,8 +39,7 @@ fn main() {
         ));
         let (mut pmp_base, mut occ_base, mut lr_base) = (0.0, 0.0, 0.0);
         for &nodes in node_counts {
-            let workload =
-                Sysbench::new(mode, nodes, TABLES_PER_GROUP, ROWS_PER_TABLE, SHARED_PCT);
+            let workload = Sysbench::new(mode, nodes, TABLES_PER_GROUP, ROWS_PER_TABLE, SHARED_PCT);
 
             let cluster = bench_cluster(nodes);
             let pmp = PmpTarget::new(Arc::clone(&cluster), &workload.tables());
@@ -64,8 +63,11 @@ fn main() {
                 format!("{:>24}", "— (max 4 nodes)")
             };
 
-            let lr_cluster =
-                Arc::new(LogReplayCluster::new(nodes, cfg.latency, cfg.storage_latency));
+            let lr_cluster = Arc::new(LogReplayCluster::new(
+                nodes,
+                cfg.latency,
+                cfg.storage_latency,
+            ));
             let lr = LogReplayTarget::new(lr_cluster, &workload.tables());
             load_suspended(&lr, &workload);
             let lr_tps = run_workload(&lr, &workload, point_config(None)).tps();

@@ -12,9 +12,7 @@
 use std::sync::Arc;
 
 use pmp_baselines::ShardedCluster;
-use pmp_bench::{
-    bench_cluster, bench_cluster_config, load_suspended, point_config, quick, Report,
-};
+use pmp_bench::{bench_cluster, bench_cluster_config, load_suspended, point_config, quick, Report};
 use pmp_workloads::driver::run_workload;
 use pmp_workloads::gsi::GsiInserts;
 use pmp_workloads::spec::Workload;
@@ -38,7 +36,11 @@ fn run_point(gsi: usize, single_thread: bool) -> (f64, f64, f64, f64) {
     cluster.shutdown();
 
     let ccfg = bench_cluster_config(NODES);
-    let sn_cluster = Arc::new(ShardedCluster::new(NODES, ccfg.latency, ccfg.storage_latency));
+    let sn_cluster = Arc::new(ShardedCluster::new(
+        NODES,
+        ccfg.latency,
+        ccfg.storage_latency,
+    ));
     let sn = ShardedTarget::new(sn_cluster, &workload.tables());
     load_suspended(&sn, &workload);
     let mut cfg = point_config(workers);

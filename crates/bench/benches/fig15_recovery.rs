@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pmp_bench::{bench_cluster, load_suspended, quick, Report};
-use pmp_workloads::spec::{OltpTarget, TargetOutcome, Workload, WorkerCtx};
+use pmp_workloads::spec::{OltpTarget, TargetOutcome, WorkerCtx, Workload};
 use pmp_workloads::sysbench::{Sysbench, SysbenchMode};
 use pmp_workloads::targets::PmpTarget;
 use rand::rngs::SmallRng;
@@ -144,7 +144,12 @@ fn main() {
     report.blank();
     report.line(format!(
         "survivor commits/sample before crash ≈ {:.0}, during outage ≈ {:.0} (paper: undisturbed)",
-        before as f64 / samples.iter().filter(|(t, ..)| *t < crash_at_ms).count().max(1) as f64,
+        before as f64
+            / samples
+                .iter()
+                .filter(|(t, ..)| *t < crash_at_ms)
+                .count()
+                .max(1) as f64,
         during as f64
             / samples
                 .iter()

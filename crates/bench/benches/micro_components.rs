@@ -65,7 +65,12 @@ fn bench_plock(c: &mut Criterion) {
         b.iter(|| drop(lazy.acquire(PageId(1), PLockMode::S).unwrap()))
     });
 
-    let eager = LocalPLocks::new(NodeId(2), Arc::clone(&fusion), false, Duration::from_secs(1));
+    let eager = LocalPLocks::new(
+        NodeId(2),
+        Arc::clone(&fusion),
+        false,
+        Duration::from_secs(1),
+    );
     fusion.register_node(NodeId(2), NegotiationHandler::new(Arc::clone(&eager)));
     c.bench_function("plock/fusion acquire+release (RPC)", |b| {
         b.iter(|| drop(eager.acquire(PageId(2), PLockMode::S).unwrap()))
@@ -215,6 +220,184 @@ fn bench_llsn_recovery(c: &mut Criterion) {
     });
 }
 
+/// LBP lookup under contention (the fast path sharded in PR 1): K threads
+/// hammer Zipf-distributed lookups — finishing loads on misses, evicting
+/// under capacity pressure — against the sharded pool and against a
+/// faithful replica of the pre-sharding pool (one mutex-protected map,
+/// one pool-wide condvar, one clock hand).
+fn bench_lbp_contention(c: &mut Criterion) {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::thread;
+
+    use parking_lot::{Condvar, Mutex};
+    use pmp_engine::lbp::{Lbp, Lookup};
+
+    const WORKING_SET: usize = 2048;
+    const CAPACITY: usize = 1024;
+    const OPS_PER_THREAD: usize = 2000;
+    const EVICT_EVERY: usize = 256;
+    const ZIPF_THETA: f64 = 0.99;
+
+    fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        weights
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn sample(cdf: &[f64], state: &mut u64) -> usize {
+        let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64;
+        cdf.partition_point(|&c| c < u)
+    }
+
+    /// The pre-sharding pool, minimally replicated: every lookup, load
+    /// completion and eviction scan serializes on one mutex, and every
+    /// load completion wakes every waiter in the pool.
+    struct MutexLbp {
+        map: Mutex<HashMap<PageId, MutexSlot>>,
+        load_cv: Condvar,
+        evict_cursor: AtomicUsize,
+        capacity: usize,
+    }
+
+    enum MutexSlot {
+        Loading,
+        Ready { referenced: AtomicBool },
+    }
+
+    impl MutexLbp {
+        fn new(capacity: usize) -> Self {
+            MutexLbp {
+                map: Mutex::new(HashMap::new()),
+                load_cv: Condvar::new(),
+                evict_cursor: AtomicUsize::new(0),
+                capacity,
+            }
+        }
+
+        fn lookup_or_load(&self, id: PageId) {
+            let mut map = self.map.lock();
+            loop {
+                match map.get(&id) {
+                    Some(MutexSlot::Ready { referenced }) => {
+                        referenced.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    Some(MutexSlot::Loading) => self.load_cv.wait(&mut map),
+                    None => {
+                        map.insert(id, MutexSlot::Loading);
+                        drop(map);
+                        // The storage round-trip would happen here.
+                        map = self.map.lock();
+                        map.insert(
+                            id,
+                            MutexSlot::Ready {
+                                referenced: AtomicBool::new(true),
+                            },
+                        );
+                        self.load_cv.notify_all();
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn maybe_evict(&self, want: usize) {
+            let mut map = self.map.lock();
+            if map.len() <= self.capacity {
+                return;
+            }
+            let keys: Vec<PageId> = map.keys().copied().collect();
+            if keys.is_empty() {
+                return;
+            }
+            let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % keys.len();
+            let mut evicted = 0;
+            for i in 0..keys.len() {
+                if evicted >= want {
+                    break;
+                }
+                let key = keys[(start + i) % keys.len()];
+                if let Some(MutexSlot::Ready { referenced }) = map.get(&key) {
+                    if referenced.swap(false, Ordering::Relaxed) {
+                        continue; // second chance
+                    }
+                    map.remove(&key);
+                    evicted += 1;
+                }
+            }
+        }
+    }
+
+    fn run_round(threads: usize, op: &(impl Fn(PageId) + Sync), evict: &(impl Fn() + Sync)) {
+        let cdf = zipf_cdf(WORKING_SET, ZIPF_THETA);
+        thread::scope(|s| {
+            for t in 0..threads {
+                let cdf = &cdf;
+                s.spawn(move || {
+                    let mut rng = 0x9E37_79B9u64.wrapping_add(t as u64 * 0x517C_C1B7);
+                    for i in 0..OPS_PER_THREAD {
+                        let id = PageId(1 + sample(cdf, &mut rng) as u64);
+                        op(id);
+                        if i % EVICT_EVERY == EVICT_EVERY - 1 {
+                            evict();
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    for &threads in &[1usize, 2, 4, 8] {
+        c.bench_function(&format!("lbp/sharded lookup {threads} threads"), |b| {
+            let pool = Lbp::new(CAPACITY);
+            b.iter(|| {
+                run_round(
+                    threads,
+                    &|id| match pool.lookup(id) {
+                        Lookup::Hit(frame) => {
+                            std::hint::black_box(frame.is_valid());
+                        }
+                        Lookup::MustLoad => {
+                            pool.finish_load(
+                                id,
+                                Page::new_leaf(id),
+                                Arc::new(AtomicBool::new(true)),
+                            );
+                        }
+                    },
+                    &|| {
+                        if pool.over_capacity() {
+                            pool.evict(8);
+                        }
+                    },
+                )
+            })
+        });
+
+        c.bench_function(&format!("lbp/single-mutex lookup {threads} threads"), |b| {
+            let pool = MutexLbp::new(CAPACITY);
+            b.iter(|| {
+                run_round(threads, &|id| pool.lookup_or_load(id), &|| {
+                    pool.maybe_evict(8)
+                })
+            })
+        });
+    }
+}
+
 fn bench_visibility(c: &mut Criterion) {
     use pmp_core::Cluster;
     use pmp_engine::row::RowValue;
@@ -243,6 +426,7 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(200))
         .sample_size(20);
     targets = bench_tso, bench_tit, bench_plock, bench_page_transfer,
-              bench_undo, bench_ref_flag, bench_llsn_recovery, bench_visibility
+              bench_undo, bench_ref_flag, bench_llsn_recovery,
+              bench_lbp_contention, bench_visibility
 }
 criterion_main!(benches);

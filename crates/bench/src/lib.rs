@@ -65,7 +65,9 @@ pub fn workers_per_node() -> usize {
 
 /// Quick mode (`PMP_BENCH_QUICK=1`): trims sweep axes for smoke runs.
 pub fn quick() -> bool {
-    std::env::var("PMP_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PMP_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Cluster configuration for benches: realistic latency hierarchy at the
@@ -76,7 +78,9 @@ pub fn bench_cluster_config(nodes: usize) -> ClusterConfig {
 
 /// Start a PolarDB-MP cluster at bench scale.
 pub fn bench_cluster(nodes: usize) -> Arc<Cluster> {
-    Cluster::builder().config(bench_cluster_config(nodes)).build()
+    Cluster::builder()
+        .config(bench_cluster_config(nodes))
+        .build()
 }
 
 /// Driver config for one data point.

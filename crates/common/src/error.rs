@@ -60,9 +60,7 @@ impl PmpError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            PmpError::Deadlock { .. }
-                | PmpError::WriteConflict { .. }
-                | PmpError::LockWaitTimeout
+            PmpError::Deadlock { .. } | PmpError::WriteConflict { .. } | PmpError::LockWaitTimeout
         )
     }
 }

@@ -39,7 +39,10 @@ impl Cts {
     /// allocated with fetch-add, so commit CTS == snapshot CTS implies the
     /// commit happened before the snapshot was taken.
     pub fn visible_at(self, snapshot: Cts) -> bool {
-        debug_assert!(!self.is_init(), "visibility of an unfilled CTS is undefined");
+        debug_assert!(
+            !self.is_init(),
+            "visibility of an unfilled CTS is undefined"
+        );
         self <= snapshot
     }
 }

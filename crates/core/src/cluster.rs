@@ -136,7 +136,12 @@ impl Cluster {
 
     /// Create a primary table with `columns` u64 columns and one GSI per
     /// entry of `gsi_columns`.
-    pub fn create_table(&self, name: &str, columns: usize, gsi_columns: &[usize]) -> Result<TableId> {
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: usize,
+        gsi_columns: &[usize],
+    ) -> Result<TableId> {
         Ok(self.shared.create_table(name, columns, gsi_columns)?.id)
     }
 
@@ -168,7 +173,8 @@ impl Cluster {
             );
         }
         let b = sh.pmfs.buffer.stats();
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "buffer fusion: hits={} misses={} fetches={} pushes={} invalidations={} evictions={}",
             b.hits.get(), b.misses.get(), b.fetches.get(), b.pushes.get(),
@@ -185,12 +191,15 @@ impl Cluster {
         let _ = writeln!(
             out,
             "row waits: registered={} commit_notifications={} wakeups={} deadlocks={}",
-            r.waits_registered.get(), r.commit_notifications.get(),
-            r.wakeups.get(), r.deadlocks.get()
+            r.waits_registered.get(),
+            r.commit_notifications.get(),
+            r.wakeups.get(),
+            r.deadlocks.get()
         );
         let st = sh.storage.page_store().stats();
         let f = sh.fabric.stats();
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={}",
             st.page_reads.get(), st.page_writes.get(),
@@ -326,7 +335,10 @@ mod tests {
             c.session(0).with_txn(|txn| txn.get(t, 1)),
             Err(PmpError::NodeUnavailable { .. })
         ));
-        assert!(c.recover_node(1).is_err(), "healthy node is not recoverable");
+        assert!(
+            c.recover_node(1).is_err(),
+            "healthy node is not recoverable"
+        );
 
         c.recover_node(0).unwrap();
         let row = c.session(0).with_txn(|txn| txn.get(t, 1)).unwrap();
@@ -338,7 +350,9 @@ mod tests {
         let c = Cluster::builder().nodes(3).build();
         let t = c.create_table("t", 2, &[]).unwrap();
         for k in 0..50 {
-            c.session(2).with_txn(|txn| txn.insert(t, k, v(&[k, 0]))).unwrap();
+            c.session(2)
+                .with_txn(|txn| txn.insert(t, k, v(&[k, 0])))
+                .unwrap();
         }
         // Node 2 leaves; its data stays reachable from the survivors.
         c.remove_node(2, std::time::Duration::from_secs(1)).unwrap();
@@ -386,9 +400,8 @@ mod tests {
         let mut open = c.session(0).begin().unwrap();
         open.update(t, 1, v(&[7])).unwrap();
         let c2 = Arc::clone(&c);
-        let decom = std::thread::spawn(move || {
-            c2.remove_node(0, std::time::Duration::from_secs(5))
-        });
+        let decom =
+            std::thread::spawn(move || c2.remove_node(0, std::time::Duration::from_secs(5)));
         std::thread::sleep(std::time::Duration::from_millis(100));
         // New begins are refused while draining …
         assert!(matches!(
@@ -408,9 +421,19 @@ mod tests {
         c.session(0).insert(t, 1, v(&[1])).unwrap();
         c.session(1).get(t, 1).unwrap();
         let report = c.stats_report();
-        for needle in ["nodes: 2", "node 0", "buffer fusion", "lock fusion", "row waits", "storage:"] {
-            assert!(report.contains(needle), "missing {needle} in:
-{report}");
+        for needle in [
+            "nodes: 2",
+            "node 0",
+            "buffer fusion",
+            "lock fusion",
+            "row waits",
+            "storage:",
+        ] {
+            assert!(
+                report.contains(needle),
+                "missing {needle} in:
+{report}"
+            );
         }
     }
 

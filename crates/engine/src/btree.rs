@@ -184,7 +184,10 @@ pub fn leaf_modify<R>(
             // `_guard`, `frame` and all latches drop here.
         };
         match step {
-            Step::Goto { page, expect_leaf: e } => {
+            Step::Goto {
+                page,
+                expect_leaf: e,
+            } => {
                 current = page;
                 expect_leaf = e;
             }
@@ -338,7 +341,15 @@ fn split_page(
     };
 
     let (separator, new_id, parent_level) = split_out;
-    insert_separator(engine, table, root, ancestors, parent_level, separator, new_id)
+    insert_separator(
+        engine,
+        table,
+        root,
+        ancestors,
+        parent_level,
+        separator,
+        new_id,
+    )
 }
 
 /// Physically remove every tombstone in a full leaf whose delete is
@@ -427,7 +438,12 @@ fn root_split(
 
     let child_level = page.level;
     let root_id = page.id;
-    *page = Page::new_internal(root_id, child_level + 1, vec![separator], vec![left_id, right_id]);
+    *page = Page::new_internal(
+        root_id,
+        child_level + 1,
+        vec![separator],
+        vec![left_id, right_id],
+    );
 
     let left_ref = &mut left;
     let right_ref = &mut right;

@@ -1,0 +1,202 @@
+//! Sharded visibility-side caches (§4.1).
+//!
+//! Two node-local caches sit on the visibility-check fast path and used to
+//! be process-wide serialization points:
+//!
+//! * [`CtsCache`] — resolved commit timestamps of *finished* transactions.
+//!   A committed CTS never changes and a recycled slot reads as `CSN_MIN`
+//!   forever, so both are safely cacheable; this keeps hot rows with
+//!   unfilled CTS fields from paying a (possibly remote) TIT read on every
+//!   visibility check. The cache is sharded and bounded per shard: an
+//!   overflow evicts one segment, not the whole cache, so a burst of new
+//!   transaction ids no longer wipes every hot entry at once and triggers a
+//!   remote-TIT read storm.
+//! * [`MinActiveTable`] — peers' published min-active transaction ids
+//!   (§4.3.2), a flat array of `AtomicU64` indexed by the dense `NodeId`,
+//!   so the row-lock liveness fast path is a single atomic load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use pmp_common::{Cts, GlobalTrxId, NodeId};
+
+/// Number of segments. Power of two so the hash can mask.
+const SEGMENTS: usize = 16;
+
+/// Fibonacci multiplier for spreading (sequential) transaction ids.
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn segment_index(gid: &GlobalTrxId) -> usize {
+    // Transaction ids are per-node sequential; fold the node in so two
+    // nodes' id streams do not collide onto the same segments in lockstep.
+    let key = gid.trx.0 ^ ((gid.node.0 as u64) << 56);
+    (key.wrapping_mul(HASH_MULT) >> 32) as usize & (SEGMENTS - 1)
+}
+
+/// Sharded bounded map from transaction identity to resolved CTS.
+pub struct CtsCache {
+    segments: Box<[RwLock<HashMap<GlobalTrxId, Cts>>]>,
+    /// Per-segment entry bound; reaching it clears only that segment.
+    segment_capacity: usize,
+}
+
+impl std::fmt::Debug for CtsCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtsCache")
+            .field("segments", &self.segments.len())
+            .field("segment_capacity", &self.segment_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CtsCache {
+    /// A cache bounded at roughly `total_capacity` entries overall.
+    pub fn new(total_capacity: usize) -> Self {
+        CtsCache {
+            segments: (0..SEGMENTS).map(|_| RwLock::new(HashMap::new())).collect(),
+            segment_capacity: (total_capacity / SEGMENTS).max(1),
+        }
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn get(&self, gid: &GlobalTrxId) -> Option<Cts> {
+        self.segments[segment_index(gid)].read().get(gid).copied()
+    }
+
+    /// Insert a terminal (never-changing) answer. On overflow only the
+    /// target segment is cleared — segment-level, not global, eviction.
+    pub fn insert(&self, gid: GlobalTrxId, cts: Cts) {
+        let mut seg = self.segments[segment_index(&gid)].write();
+        if seg.len() >= self.segment_capacity {
+            seg.clear();
+        }
+        seg.insert(gid, cts);
+    }
+
+    /// Total entries across all segments (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Flat per-peer min-active transaction id table. `get` on an unknown or
+/// out-of-range node returns 0 ("unknown"), which callers already treat as
+/// "no fast path — consult the TIT", so growth past the preallocated size
+/// degrades gracefully instead of breaking correctness.
+#[derive(Debug)]
+pub struct MinActiveTable {
+    slots: Box<[AtomicU64]>,
+}
+
+impl MinActiveTable {
+    pub fn new(max_nodes: usize) -> Self {
+        MinActiveTable {
+            slots: (0..max_nodes.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn get(&self, node: NodeId) -> u64 {
+        match self.slots.get(node.as_usize()) {
+            Some(slot) => slot.load(Ordering::Acquire),
+            None => 0,
+        }
+    }
+
+    pub fn set(&self, node: NodeId, min_active_trx: u64) {
+        if let Some(slot) = self.slots.get(node.as_usize()) {
+            slot.store(min_active_trx, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::{SlotId, TrxId};
+
+    fn gid(node: u16, trx: u64) -> GlobalTrxId {
+        GlobalTrxId {
+            node: NodeId(node),
+            trx: TrxId(trx),
+            slot: SlotId(trx as u32),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let cache = CtsCache::new(1024);
+        assert_eq!(cache.get(&gid(1, 1)), None);
+        cache.insert(gid(1, 1), Cts(42));
+        assert_eq!(cache.get(&gid(1, 1)), Some(Cts(42)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn overflow_clears_only_one_segment() {
+        // Tiny bound: 1 entry per segment. Place exactly one entry in each
+        // segment, then overflow one — the other segments must survive.
+        let cache = CtsCache::new(SEGMENTS);
+        let mut chosen: Vec<Option<GlobalTrxId>> = vec![None; SEGMENTS];
+        let mut trx = 0u64;
+        while chosen.iter().any(|c| c.is_none()) {
+            trx += 1;
+            let g = gid(1, trx);
+            let idx = segment_index(&g);
+            if chosen[idx].is_none() {
+                chosen[idx] = Some(g);
+                cache.insert(g, Cts(trx));
+            }
+        }
+        assert_eq!(cache.len(), SEGMENTS);
+        // One more insert overflows exactly one segment; the rest survive.
+        trx += 1;
+        cache.insert(gid(1, trx), Cts(trx));
+        let survivors = chosen
+            .iter()
+            .flatten()
+            .filter(|g| cache.get(g).is_some())
+            .count();
+        assert_eq!(
+            survivors,
+            SEGMENTS - 1,
+            "an overflow must evict exactly one segment"
+        );
+    }
+
+    #[test]
+    fn nodes_hash_to_distinct_streams() {
+        let cache = CtsCache::new(1 << 16);
+        for n in 0..4u16 {
+            for t in 1..=100u64 {
+                cache.insert(gid(n, t), Cts(t));
+            }
+        }
+        assert_eq!(cache.len(), 400);
+        for n in 0..4u16 {
+            for t in 1..=100u64 {
+                assert_eq!(cache.get(&gid(n, t)), Some(Cts(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn min_active_table_basic() {
+        let t = MinActiveTable::new(4);
+        assert_eq!(t.get(NodeId(0)), 0);
+        t.set(NodeId(2), 77);
+        assert_eq!(t.get(NodeId(2)), 77);
+        // Out of range: set is dropped, get reads as unknown.
+        t.set(NodeId(9), 123);
+        assert_eq!(t.get(NodeId(9)), 0);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`llsn`] — the node-local logical LSN clock.
 //! * [`tso_client`] — snapshot timestamps with the Linear Lamport
 //!   optimisation from PolarDB-SCC.
+//! * [`cts_cache`] — sharded node-local caches on the visibility fast
+//!   path: resolved CTS values and peers' min-active transaction ids.
 //! * [`lbp`] — the local buffer pool (LBP) with remotely-invalidatable
 //!   frames.
 //! * [`plock_local`] — the node-side PLock cache: reference counts, lazy
@@ -36,6 +38,7 @@
 
 pub mod btree;
 pub mod codec;
+pub mod cts_cache;
 pub mod lbp;
 pub mod llsn;
 pub mod node;

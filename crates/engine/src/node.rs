@@ -15,6 +15,7 @@ use pmp_common::{
 use pmp_pmfs::{PLockMode, TitRegion};
 use pmp_rdma::Locality;
 
+use crate::cts_cache::{CtsCache, MinActiveTable};
 use crate::lbp::{Frame, Lbp, Lookup};
 use crate::page::Page;
 use crate::plock_local::{LocalPLocks, NegotiationHandler, PLockGuard, ReleaseHook};
@@ -23,6 +24,11 @@ use crate::tso_client::TsoClient;
 use crate::txn::Txn;
 use crate::undo::UndoPtr;
 use crate::wal::Wal;
+
+/// Total bound of the node's commit-timestamp cache (split evenly across
+/// the cache's segments; an overflow evicts one segment, not the whole
+/// cache).
+const CTS_CACHE_CAPACITY: usize = 65_536;
 
 /// Node-level meters surfaced to the benchmark harness.
 #[derive(Debug, Default)]
@@ -65,14 +71,13 @@ pub struct NodeEngine {
     next_trx: AtomicU64,
     active: Mutex<HashMap<TrxId, ActiveTrx>>,
     finished: Mutex<Vec<FinishedTrx>>,
-    /// Cached peers' published min-active transaction ids (§4.3.2).
-    min_active_cache: RwLock<HashMap<NodeId, u64>>,
-    /// Resolved commit timestamps of *finished* transactions. A committed
-    /// CTS never changes and a recycled slot reads as `CSN_MIN` forever,
-    /// so both are safely cacheable; this keeps hot rows with unfilled
-    /// CTS fields from paying a (possibly remote) TIT read on every
-    /// visibility check. Bounded; cleared wholesale when full.
-    cts_cache: RwLock<HashMap<GlobalTrxId, Cts>>,
+    /// Cached peers' published min-active transaction ids (§4.3.2): a flat
+    /// atomic array, so the liveness fast path is one atomic load.
+    min_active_cache: MinActiveTable,
+    /// Resolved commit timestamps of *finished* transactions (sharded,
+    /// bounded per segment — see [`CtsCache`] for why terminal answers are
+    /// safely cacheable and why eviction is segment-local).
+    cts_cache: CtsCache,
     /// Root page hints: is this root currently a leaf? Lets writers acquire
     /// the X PLock directly instead of S-then-upgrade.
     root_hints: RwLock<HashMap<PageId, bool>>,
@@ -114,7 +119,11 @@ impl NodeEngine {
     /// PMFS, spawn the background min-view/recycler and flusher threads.
     pub fn start(shared: Arc<Shared>, node: NodeId) -> Arc<NodeEngine> {
         let engine = Self::build(shared, node);
-        engine.shared.pmfs.txn.register_region(Arc::clone(&engine.tit));
+        engine
+            .shared
+            .pmfs
+            .txn
+            .register_region(Arc::clone(&engine.tit));
         engine.spawn_background();
         engine
     }
@@ -172,8 +181,8 @@ impl NodeEngine {
             next_trx: AtomicU64::new(1),
             active: Mutex::new(HashMap::new()),
             finished: Mutex::new(Vec::new()),
-            min_active_cache: RwLock::new(HashMap::new()),
-            cts_cache: RwLock::new(HashMap::new()),
+            min_active_cache: MinActiveTable::new(shared.config.nodes.max(64)),
+            cts_cache: CtsCache::new(CTS_CACHE_CAPACITY),
             root_hints: RwLock::new(HashMap::new()),
             alive: AtomicBool::new(true),
             draining: AtomicBool::new(false),
@@ -314,21 +323,20 @@ impl NodeEngine {
                 self.stats.pages_loaded_dbp.inc();
                 hit
             }
-            None => match buffer.lookup_or_register(self.node, page_id, Arc::clone(&frame.valid))
-            {
+            None => match buffer.lookup_or_register(self.node, page_id, Arc::clone(&frame.valid)) {
                 Some(hit) => {
                     self.stats.pages_loaded_dbp.inc();
                     hit
                 }
                 None => {
-                    let stored = self
-                        .shared
-                        .storage
-                        .page_store()
-                        .read(page_id)?
-                        .ok_or_else(|| {
-                            PmpError::internal(format!("{page_id} missing from shared storage"))
-                        })?;
+                    let stored =
+                        self.shared
+                            .storage
+                            .page_store()
+                            .read(page_id)?
+                            .ok_or_else(|| {
+                                PmpError::internal(format!("{page_id} missing from shared storage"))
+                            })?;
                     self.stats.pages_loaded_storage.inc();
                     let (p, l) = buffer.register_push(
                         self.node,
@@ -382,10 +390,12 @@ impl NodeEngine {
             return;
         }
         self.wal.force(seen.newest_lsn);
-        self.shared
-            .pmfs
-            .buffer
-            .push(self.node, page_id, Arc::new(snapshot.clone()), snapshot.llsn);
+        self.shared.pmfs.buffer.push(
+            self.node,
+            page_id,
+            Arc::new(snapshot.clone()),
+            snapshot.llsn,
+        );
         frame.clear_dirty_if_unchanged(seen);
     }
 
@@ -476,16 +486,12 @@ impl NodeEngine {
     /// Resolve a transaction's CTS (Algorithm 1, TIT half), caching
     /// terminal answers. Active transactions (`CSN_MAX`) are never cached.
     pub fn trx_cts(&self, gid: GlobalTrxId) -> Cts {
-        if let Some(cts) = self.cts_cache.read().get(&gid) {
-            return *cts;
+        if let Some(cts) = self.cts_cache.get(&gid) {
+            return cts;
         }
         let cts = self.shared.pmfs.txn.trx_cts(self.node, gid);
         if cts != CSN_MAX {
-            let mut cache = self.cts_cache.write();
-            if cache.len() >= 65_536 {
-                cache.clear();
-            }
-            cache.insert(gid, cts);
+            self.cts_cache.insert(gid, cts);
         }
         cts
     }
@@ -507,7 +513,7 @@ impl NodeEngine {
         if node == self.node {
             return 0; // local liveness goes through the active table
         }
-        *self.min_active_cache.read().get(&node).unwrap_or(&0)
+        self.min_active_cache.get(node)
     }
 
     // ---- background work ---------------------------------------------------
@@ -569,7 +575,7 @@ impl NodeEngine {
             }
             if let Some(region) = fusion.region(peer) {
                 let v = region.read_min_active_trx(&self.shared.fabric, Locality::Remote);
-                self.min_active_cache.write().insert(peer, v);
+                self.min_active_cache.set(peer, v);
             }
         }
     }

@@ -90,12 +90,7 @@ impl Drop for PLockGuard<'_> {
 }
 
 impl LocalPLocks {
-    pub fn new(
-        node: NodeId,
-        fusion: Arc<PLockFusion>,
-        lazy: bool,
-        timeout: Duration,
-    ) -> Arc<Self> {
+    pub fn new(node: NodeId, fusion: Arc<PLockFusion>, lazy: bool, timeout: Duration) -> Arc<Self> {
         Arc::new(LocalPLocks {
             node,
             fusion,

@@ -98,7 +98,10 @@ impl TrxOutcomes {
 /// Recover a crashed node and return its restarted engine. The caller must
 /// have invoked [`NodeEngine::crash`] on the old engine (or be recovering
 /// from a real process loss where that is implicit).
-pub fn recover_node(shared: &Arc<Shared>, node: NodeId) -> Result<(Arc<NodeEngine>, RecoveryStats)> {
+pub fn recover_node(
+    shared: &Arc<Shared>,
+    node: NodeId,
+) -> Result<(Arc<NodeEngine>, RecoveryStats)> {
     let engine = NodeEngine::start_for_recovery(Arc::clone(shared), node);
     let mut stats = RecoveryStats::default();
     let mut outcomes = TrxOutcomes::default();

@@ -11,7 +11,9 @@
 //! page.llsn`, which both makes replay idempotent and implements the LLSN
 //! partial order across nodes.
 
-use pmp_common::{Cts, GlobalTrxId, Llsn, NodeId, PageId, PmpError, Result, SlotId, TableId, TrxId};
+use pmp_common::{
+    Cts, GlobalTrxId, Llsn, NodeId, PageId, PmpError, Result, SlotId, TableId, TrxId,
+};
 
 use crate::codec::{Reader, Writer};
 use crate::page::{InternalPage, LeafPage, Page, PageKind};
@@ -231,10 +233,74 @@ fn get_page(r: &mut Reader<'_>) -> Result<Page> {
     })
 }
 
+// Encoded sizes of the fixed-width building blocks (kept next to the
+// `put_*` helpers above; `encoded_len` must mirror `encode_into` exactly —
+// a debug assertion in `encode_into` pins the two together).
+const GID_LEN: usize = 2 + 8 + 4 + 8;
+const UNDO_PTR_LEN: usize = 2 + 8;
+const HEADER_LEN: usize = GID_LEN + 8 + UNDO_PTR_LEN + 1;
+
+fn value_len(v: &RowValue) -> usize {
+    4 + 8 * v.0.len()
+}
+
+fn row_len(row: &Row) -> usize {
+    16 + HEADER_LEN + value_len(&row.value)
+}
+
+fn page_len(page: &Page) -> usize {
+    let mut n = 8 + 8 + 8 + 2; // id, llsn, next, level
+    n += 1 + if page.high.is_some() { 16 } else { 0 };
+    n += 1; // kind tag
+    match &page.kind {
+        PageKind::Leaf(leaf) => {
+            n += 4;
+            for row in &leaf.rows {
+                n += row_len(row);
+            }
+        }
+        PageKind::Internal(node) => {
+            n += 4 + 16 * node.keys.len();
+            n += 4 + 8 * node.children.len();
+        }
+    }
+    n
+}
+
 impl RedoRecord {
+    /// Exact number of bytes [`encode_into`](Self::encode_into) appends
+    /// (length prefix included). Lets the WAL reserve its byte range in the
+    /// log stream under the append lock and move the actual encoding
+    /// outside it.
+    pub fn encoded_len(&self) -> usize {
+        let body = 8 + 8 + 4 + 1 // llsn, page, table, tag
+            + match &self.op {
+                RedoOp::PageImage(p) => page_len(p),
+                RedoOp::InsertRow(row) => row_len(row),
+                RedoOp::UpdateRow { value, .. } => 16 + HEADER_LEN + value_len(value),
+                RedoOp::RemoveRow { .. } => 16,
+                RedoOp::Commit { .. } => GID_LEN + 8,
+                RedoOp::Rollback { .. } => GID_LEN,
+                RedoOp::UndoWrite { record, .. } => {
+                    UNDO_PTR_LEN
+                        + GID_LEN
+                        + 4
+                        + 16
+                        + 1
+                        + match &record.prev {
+                            Some((_, v)) => HEADER_LEN + value_len(v),
+                            None => 0,
+                        }
+                        + UNDO_PTR_LEN
+                }
+            };
+        4 + body
+    }
+
     /// Encode with a `u32` length prefix so streams can be decoded
     /// incrementally.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
         let mut w = Writer::new();
         w.put_u64(self.llsn.0);
         w.put_u64(self.page.0);
@@ -287,6 +353,11 @@ impl RedoRecord {
         let body = w.into_vec();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
         out.extend_from_slice(&body);
+        debug_assert_eq!(
+            out.len() - start,
+            self.encoded_len(),
+            "encoded_len must mirror encode_into"
+        );
     }
 
     /// Decode one record from `buf`. Returns the record and bytes consumed,
@@ -317,7 +388,9 @@ impl RedoRecord {
                 trx: get_gid(&mut r)?,
                 cts: Cts(r.get_u64()?),
             },
-            TAG_ROLLBACK => RedoOp::Rollback { trx: get_gid(&mut r)? },
+            TAG_ROLLBACK => RedoOp::Rollback {
+                trx: get_gid(&mut r)?,
+            },
             TAG_UNDO_WRITE => {
                 let ptr = get_undo_ptr(&mut r)?;
                 let trx = get_gid(&mut r)?;
@@ -430,6 +503,7 @@ mod tests {
     fn roundtrip(rec: &RedoRecord) -> RedoRecord {
         let mut buf = Vec::new();
         rec.encode_into(&mut buf);
+        assert_eq!(buf.len(), rec.encoded_len(), "encoded_len must be exact");
         let (out, consumed) = RedoRecord::decode_from(&buf).unwrap().unwrap();
         assert_eq!(consumed, buf.len());
         out

@@ -95,9 +95,7 @@ impl Catalog {
 
     /// Ensure the id allocator stays ahead of an externally imported id.
     pub fn bump_next_id(&self, seen: TableId) {
-        let _ = self
-            .next_id
-            .fetch_max(seen.0 + 1, Ordering::Relaxed);
+        let _ = self.next_id.fetch_max(seen.0 + 1, Ordering::Relaxed);
     }
 }
 
@@ -149,7 +147,12 @@ impl Shared {
     /// Create a primary table with `columns` u64 columns and `gsi_columns`
     /// global secondary indexes (one per named column). Roots are durable
     /// in shared storage before the call returns.
-    pub fn create_table(&self, name: &str, columns: usize, gsi_columns: &[usize]) -> Result<Arc<TableMeta>> {
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: usize,
+        gsi_columns: &[usize],
+    ) -> Result<Arc<TableMeta>> {
         let mut indexes = Vec::with_capacity(gsi_columns.len());
         for &col in gsi_columns {
             assert!(col < columns, "GSI column out of range");

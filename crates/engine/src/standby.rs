@@ -17,9 +17,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmp_common::{
-    ClusterConfig, GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result,
-};
+use pmp_common::{ClusterConfig, GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result};
 
 use crate::page::{Page, PageKind};
 use crate::recovery::StreamCursor;

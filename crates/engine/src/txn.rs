@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pmp_common::{
-    Cts, GlobalTrxId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN,
-};
+use pmp_common::{Cts, GlobalTrxId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN};
 use pmp_pmfs::WaitOutcome;
 use pmp_rdma::Locality;
 
@@ -69,11 +67,7 @@ enum LockState {
 }
 
 impl Txn {
-    pub(crate) fn new(
-        engine: Arc<NodeEngine>,
-        gid: GlobalTrxId,
-        snapshot: Arc<AtomicU64>,
-    ) -> Self {
+    pub(crate) fn new(engine: Arc<NodeEngine>, gid: GlobalTrxId, snapshot: Arc<AtomicU64>) -> Self {
         Txn {
             engine,
             gid,
@@ -132,11 +126,7 @@ impl Txn {
     /// Batched point lookups: one statement (one snapshot fetch, one
     /// statement charge) serving many keys — the engine-side equivalent of
     /// `SELECT … WHERE pk IN (…)`. Results align with the input keys.
-    pub fn multi_get(
-        &mut self,
-        table: TableId,
-        keys: &[u64],
-    ) -> Result<Vec<Option<RowValue>>> {
+    pub fn multi_get(&mut self, table: TableId, keys: &[u64]) -> Result<Vec<Option<RowValue>>> {
         self.ensure_active()?;
         self.statement_begin();
         self.engine.stats.reads.inc();
@@ -159,7 +149,12 @@ impl Txn {
 
     /// Range scan from `from` (inclusive) on the primary key, up to `limit`
     /// visible rows.
-    pub fn scan(&mut self, table: TableId, from: u64, limit: usize) -> Result<Vec<(u64, RowValue)>> {
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        from: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, RowValue)>> {
         self.ensure_active()?;
         self.statement_begin();
         self.engine.stats.reads.inc();
@@ -334,12 +329,7 @@ impl Txn {
                 continue;
             }
             let idx_meta = self.engine.shared.catalog.get(idx.table)?;
-            self.write_row(
-                &idx_meta,
-                index_key(old_sec, key),
-                None,
-                WriteOp::Delete,
-            )??;
+            self.write_row(&idx_meta, index_key(old_sec, key), None, WriteOp::Delete)??;
             self.write_row(
                 &idx_meta,
                 index_key(new_sec, key),
@@ -364,7 +354,12 @@ impl Txn {
         };
         for idx in indexes.clone() {
             let idx_meta = self.engine.shared.catalog.get(idx.table)?;
-            self.write_row(&idx_meta, index_key(old.col(idx.column), key), None, WriteOp::Delete)??;
+            self.write_row(
+                &idx_meta,
+                index_key(old.col(idx.column), key),
+                None,
+                WriteOp::Delete,
+            )??;
         }
         Ok(())
     }
@@ -655,7 +650,10 @@ impl Txn {
         let engine = Arc::clone(&self.engine);
         let gid = self.gid;
         for &ptr in self.undo_all.iter().rev() {
-            let Some(rec) = engine.shared.undo.read(&engine.shared.fabric, engine.node, ptr)
+            let Some(rec) = engine
+                .shared
+                .undo
+                .read(&engine.shared.fabric, engine.node, ptr)
             else {
                 continue;
             };
@@ -753,9 +751,9 @@ pub(crate) fn apply_undo(
     })?;
     match result {
         WriteResult::Done(()) => Ok(()),
-        WriteResult::Conflict(_) => {
-            Err(PmpError::internal("rollback hit a lock conflict on own row"))
-        }
+        WriteResult::Conflict(_) => Err(PmpError::internal(
+            "rollback hit a lock conflict on own row",
+        )),
     }
 }
 
@@ -770,8 +768,7 @@ fn row_lock_state(engine: &NodeEngine, me: GlobalTrxId, header: &RowHeader) -> L
     if !header.cts.is_init() {
         return LockState::Free; // committed (CTS backfilled)
     }
-    if header.trx.trx.0 < engine.min_active_of(header.trx.node) && header.trx.node != engine.node
-    {
+    if header.trx.trx.0 < engine.min_active_of(header.trx.node) && header.trx.node != engine.node {
         return LockState::Free; // below the published min-active id
     }
     if engine.trx_is_active(header.trx) {

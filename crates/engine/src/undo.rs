@@ -194,7 +194,10 @@ mod tests {
     fn append_read_roundtrip() {
         let fabric = Fabric::new(LatencyConfig::disabled());
         let store = UndoStore::new();
-        let ptr = store.append(NodeId(0), rec(0, 7, Some((header(), RowValue::new(vec![1])))));
+        let ptr = store.append(
+            NodeId(0),
+            rec(0, 7, Some((header(), RowValue::new(vec![1])))),
+        );
         let got = store.read(&fabric, NodeId(0), ptr).unwrap();
         assert_eq!(got.key, 7);
         assert_eq!(store.remote_reads.get(), 0, "same-node read is local");
@@ -238,7 +241,13 @@ mod tests {
     #[test]
     fn restore_keeps_allocator_ahead() {
         let store = UndoStore::new();
-        store.restore(UndoPtr { node: NodeId(0), seq: 100 }, rec(0, 1, None));
+        store.restore(
+            UndoPtr {
+                node: NodeId(0),
+                seq: 100,
+            },
+            rec(0, 1, None),
+        );
         let next = store.append(NodeId(0), rec(0, 2, None));
         assert!(next.seq > 100, "allocator must never reuse restored seqs");
     }

@@ -4,12 +4,16 @@
 //! Two invariants the recovery design depends on are enforced here:
 //!
 //! 1. **Per-file LLSN monotonicity** — "LLSNs within a single log file are
-//!    always incremental". LLSN allocation and the log append happen under
-//!    one mutex, so record order in the stream matches LLSN order.
+//!    always incremental". LLSN allocation and the *byte-range reservation*
+//!    in the stream happen under one mutex, so record order in the stream
+//!    matches LLSN order. The actual encoding of the records into bytes is
+//!    done outside that mutex (into the reserved range), keeping the
+//!    critical section to an LLSN bump plus a stream-offset bump.
 //! 2. **Mini-transaction atomicity** — all records of one mini-transaction
-//!    (e.g. the three page images of a split) are appended as a single
-//!    `LogStream::append`, which is atomic with respect to the durability
-//!    watermark: a crash either persists the whole group or none of it.
+//!    (e.g. the three page images of a split) occupy a single
+//!    `LogStream` reservation, and the stream's durability watermark never
+//!    advances into an unfilled reservation: a crash either persists the
+//!    whole group or none of it.
 
 use std::sync::Arc;
 
@@ -24,7 +28,7 @@ use crate::redo::RedoRecord;
 #[derive(Debug)]
 pub struct Wal {
     stream: Arc<LogStream>,
-    /// Serializes LLSN allocation + append (invariant 1).
+    /// Serializes LLSN allocation + byte-range reservation (invariant 1).
     log_mutex: Mutex<()>,
     /// Serializes fsyncs so concurrent committers batch (group commit).
     sync_mutex: Mutex<()>,
@@ -54,28 +58,42 @@ impl Wal {
     /// caller holds those pages' write latches) it allocates `clock.next()`,
     /// stamps the page, and returns the finished records. Returns the byte
     /// LSN one past the group (the force target for commit durability).
+    ///
+    /// Only LLSN allocation and the byte-range reservation run under
+    /// `log_mutex`; the records are encoded into the reserved range
+    /// *outside* the lock, so concurrent groups serialize on two counter
+    /// bumps instead of on each other's serialization work.
     pub fn log_atomic(&self, build: impl FnOnce(&LlsnClock) -> Vec<RedoRecord>) -> Lsn {
-        let _g = self.log_mutex.lock();
-        let records = build(&self.llsn);
-        debug_assert!(!records.is_empty(), "empty log group");
-        let mut buf = Vec::with_capacity(records.len() * 96);
+        let (records, reservation) = {
+            let _g = self.log_mutex.lock();
+            let records = build(&self.llsn);
+            debug_assert!(!records.is_empty(), "empty log group");
+            let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+            (records, self.stream.reserve(bytes))
+        };
+        // Encode outside the log mutex, directly into the reserved range.
+        let mut buf = Vec::with_capacity(reservation.len());
         for rec in &records {
             rec.encode_into(&mut buf);
         }
-        let start = self.stream.append(&buf);
-        start.advance(buf.len() as u64)
+        let end = reservation.end();
+        self.stream.fill(reservation, &buf);
+        end
     }
 
     /// Group commit: make everything up to `target` durable. If another
     /// committer's fsync already covered us this returns without I/O;
     /// otherwise exactly one fsync runs at a time and late arrivals ride on
-    /// the leader's barrier.
+    /// the leader's barrier (`sync_to` itself waits out any fills still in
+    /// flight below `target`).
     pub fn force(&self, target: Lsn) {
-        if self.stream.durable_lsn() >= target {
-            return;
+        while self.stream.durable_lsn() < target {
+            let _g = self.sync_mutex.lock();
+            if self.stream.durable_lsn() >= target {
+                return;
+            }
+            self.stream.sync_to(target);
         }
-        let _g = self.sync_mutex.lock();
-        self.stream.sync_to(target);
     }
 
     /// Rule 2 of §4.4: observing a fetched page advances the LLSN clock.
@@ -87,8 +105,8 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmp_common::{GlobalTrxId, PageId, StorageLatencyConfig, TableId};
     use crate::redo::RedoOp;
+    use pmp_common::{GlobalTrxId, PageId, StorageLatencyConfig, TableId};
 
     fn wal() -> Wal {
         Wal::new(Arc::new(LogStream::new(StorageLatencyConfig::disabled())))
@@ -161,9 +179,7 @@ mod tests {
                 let w = Arc::clone(&w);
                 thread::spawn(move || {
                     for _ in 0..200 {
-                        w.log_atomic(|c| {
-                            vec![remove_rec(c.next(), 0), remove_rec(c.next(), 1)]
-                        });
+                        w.log_atomic(|c| vec![remove_rec(c.next(), 0), remove_rec(c.next(), 1)]);
                     }
                 })
             })

@@ -126,10 +126,8 @@ fn random_inserts_from_all_nodes_keep_invariants() {
                 // Interleaved random-ish keys so splits happen everywhere
                 // and separators propagate concurrently.
                 for j in 0..800u64 {
-                    let key = j
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(i as u64)
-                        % 1_000_000;
+                    let key =
+                        j.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64) % 1_000_000;
                     let mut txn = engine.begin().unwrap();
                     // Collisions across the hash are possible: upsert.
                     match txn.insert(table, key, RowValue::new(vec![key])) {

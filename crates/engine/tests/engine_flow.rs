@@ -280,8 +280,8 @@ fn single_node_crash_recovery_preserves_committed_and_rolls_back_rest() {
     doomed.update(t, 5, v(&[5, 999])).unwrap();
     doomed.insert(t, 100, v(&[100, 999])).unwrap();
     std::mem::forget(doomed); // crash takes it down, no clean rollback
-    // Make the in-flight changes reach the durable log + DBP (as a busy
-    // node's background flusher would) so recovery has work to undo.
+                              // Make the in-flight changes reach the durable log + DBP (as a busy
+                              // node's background flusher would) so recovery has work to undo.
     engines[0].flush_tick();
 
     engines[0].crash();
@@ -291,7 +291,10 @@ fn single_node_crash_recovery_preserves_committed_and_rolls_back_rest() {
     ));
 
     let (recovered, stats) = recover_node(&shared, NodeId(0)).unwrap();
-    assert_eq!(stats.rolled_back, 1, "the in-flight trx must be rolled back");
+    assert_eq!(
+        stats.rolled_back, 1,
+        "the in-flight trx must be rolled back"
+    );
     assert!(stats.committed_seen >= 1);
 
     let mut check = recovered.begin().unwrap();

@@ -58,7 +58,10 @@ fn crash_with_mixed_outcomes_recovers_exact_state() {
 
     engines[0].crash();
     let (recovered, stats) = recover_node(&shared, NodeId(0)).unwrap();
-    assert_eq!(stats.rolled_back, 1, "only d is in doubt (b self-rolled-back)");
+    assert_eq!(
+        stats.rolled_back, 1,
+        "only d is in doubt (b self-rolled-back)"
+    );
 
     let mut check = recovered.begin().unwrap();
     assert_eq!(check.get(t, 1).unwrap(), Some(v(10)));
@@ -215,7 +218,10 @@ fn rollback_restores_gsi_entries() {
 
     let mut check = engines[0].begin().unwrap();
     assert_eq!(check.index_lookup(t, 0, 100, 10).unwrap(), vec![1]);
-    assert_eq!(check.index_lookup(t, 0, 200, 10).unwrap(), Vec::<u64>::new());
+    assert_eq!(
+        check.index_lookup(t, 0, 200, 10).unwrap(),
+        Vec::<u64>::new()
+    );
     check.commit().unwrap();
 }
 

@@ -94,7 +94,11 @@ fn cross_node_exclusion_holds_under_stress() {
                     for _ in 0..OPS {
                         let page = rng.random_range(0..PAGES);
                         let exclusive = rng.random_range(0..100u32) < 30;
-                        let mode = if exclusive { PLockMode::X } else { PLockMode::S };
+                        let mode = if exclusive {
+                            PLockMode::X
+                        } else {
+                            PLockMode::S
+                        };
                         let guard = local.acquire(PageId(page as u64 + 1), mode).unwrap();
                         let ghost = &ghosts[page];
                         if exclusive {
@@ -132,7 +136,11 @@ fn cross_node_exclusion_holds_under_stress() {
         );
         assert_eq!(fusion.queue_len(PageId(page as u64 + 1)), 0);
     }
-    assert_eq!(fusion.stats().timeouts.get(), 0, "no stress op may time out");
+    assert_eq!(
+        fusion.stats().timeouts.get(),
+        0,
+        "no stress op may time out"
+    );
 }
 
 #[test]

@@ -183,7 +183,10 @@ fn standby_catches_up_while_primaries_write_concurrently() {
     stop.store(true, Ordering::Release);
     let rounds: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     shipping.join().unwrap();
-    assert!(rounds.iter().all(|r| *r > 2), "writers must have progressed");
+    assert!(
+        rounds.iter().all(|r| *r > 2),
+        "writers must have progressed"
+    );
 
     // Final ship + catch-up, then the standby must agree with the primary
     // on every committed row.

@@ -301,7 +301,8 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             for (_, entry) in s.entries.drain() {
                 for h in &entry.holders {
                     self.stats.invalidations.inc();
-                    self.fabric.write_flag(&h.valid_flag, false, Locality::Remote);
+                    self.fabric
+                        .write_flag(&h.valid_flag, false, Locality::Remote);
                 }
             }
             s.fifo.clear();
@@ -335,7 +336,8 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             self.stats.evictions.inc();
             for h in &entry.holders {
                 self.stats.invalidations.inc();
-                self.fabric.write_flag(&h.valid_flag, false, Locality::Remote);
+                self.fabric
+                    .write_flag(&h.valid_flag, false, Locality::Remote);
             }
             if let Some(sink) = &sink {
                 sink.write_back(page_id, entry.page, entry.llsn);
@@ -376,9 +378,16 @@ mod tests {
         let bf = bf(1024);
         let p = PageId(7);
         let f1 = flag(true);
-        assert!(bf.lookup_or_register(NodeId(1), p, Arc::clone(&f1)).is_none());
-        let (page, llsn) =
-            bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(5), Arc::clone(&f1));
+        assert!(bf
+            .lookup_or_register(NodeId(1), p, Arc::clone(&f1))
+            .is_none());
+        let (page, llsn) = bf.register_push(
+            NodeId(1),
+            p,
+            Arc::new("v1".into()),
+            Llsn(5),
+            Arc::clone(&f1),
+        );
         assert_eq!(*page, "v1");
         assert_eq!(llsn, Llsn(5));
 
@@ -398,8 +407,15 @@ mod tests {
         let p = PageId(3);
         let f1 = flag(true);
         let f2 = flag(true);
-        bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(1), Arc::clone(&f1));
-        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2)).unwrap();
+        bf.register_push(
+            NodeId(1),
+            p,
+            Arc::new("v1".into()),
+            Llsn(1),
+            Arc::clone(&f1),
+        );
+        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2))
+            .unwrap();
 
         bf.push(NodeId(1), p, Arc::new("v2".into()), Llsn(2));
         assert!(f1.load(Ordering::Acquire), "pusher keeps its copy valid");
@@ -449,7 +465,8 @@ mod tests {
         let p = PageId(5);
         let f2 = flag(true);
         bf.register_push(NodeId(1), p, Arc::new("v1".into()), Llsn(1), flag(true));
-        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2)).unwrap();
+        bf.lookup_or_register(NodeId(2), p, Arc::clone(&f2))
+            .unwrap();
         bf.unregister(NodeId(2), p);
         bf.push(NodeId(1), p, Arc::new("v2".into()), Llsn(2));
         assert!(f2.load(Ordering::Acquire), "unregistered holder untouched");
@@ -473,12 +490,21 @@ mod tests {
         let p1 = PageId(2);
         let p2 = PageId(2 + 64);
         let f1 = flag(true);
-        bf.register_push(NodeId(1), p1, Arc::new("a".into()), Llsn(1), Arc::clone(&f1));
+        bf.register_push(
+            NodeId(1),
+            p1,
+            Arc::new("a".into()),
+            Llsn(1),
+            Arc::clone(&f1),
+        );
         bf.register_push(NodeId(1), p2, Arc::new("b".into()), Llsn(2), flag(true));
 
         assert_eq!(bf.page_count(), 1, "oldest entry must have been evicted");
         assert!(bf.peek(p1).is_none());
-        assert!(!f1.load(Ordering::Acquire), "holder of evicted page invalidated");
+        assert!(
+            !f1.load(Ordering::Acquire),
+            "holder of evicted page invalidated"
+        );
         assert_eq!(sink.0.lock().as_slice(), &[(p1, Llsn(1))]);
     }
 
@@ -486,8 +512,20 @@ mod tests {
     fn clear_simulates_dbp_loss() {
         let bf = bf(1024);
         let f1 = flag(true);
-        bf.register_push(NodeId(1), PageId(1), Arc::new("a".into()), Llsn(1), Arc::clone(&f1));
-        bf.register_push(NodeId(1), PageId(2), Arc::new("b".into()), Llsn(1), flag(true));
+        bf.register_push(
+            NodeId(1),
+            PageId(1),
+            Arc::new("a".into()),
+            Llsn(1),
+            Arc::clone(&f1),
+        );
+        bf.register_push(
+            NodeId(1),
+            PageId(2),
+            Arc::new("b".into()),
+            Llsn(1),
+            flag(true),
+        );
         bf.clear();
         assert_eq!(bf.page_count(), 0);
         assert!(!f1.load(Ordering::Acquire));

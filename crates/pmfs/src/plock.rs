@@ -106,7 +106,10 @@ struct PLockState {
 
 impl PLockState {
     fn holder_mode(&self, node: NodeId) -> Option<PLockMode> {
-        self.holders.iter().find(|(n, _)| *n == node).map(|(_, m)| *m)
+        self.holders
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, m)| *m)
     }
 
     /// Can `node` be granted `mode` given current holders (ignoring queue)?

@@ -132,14 +132,10 @@ impl RLockFusion {
         self.stats.waits_registered.inc();
         self.fabric.rpc(64, || {
             let cell = WaitCell::new();
-            self.waits
-                .lock()
-                .entry(holder)
-                .or_default()
-                .push(Waiter {
-                    trx: waiter,
-                    cell: Arc::clone(&cell),
-                });
+            self.waits.lock().entry(holder).or_default().push(Waiter {
+                trx: waiter,
+                cell: Arc::clone(&cell),
+            });
             self.edges.lock().insert(waiter, holder);
             cell
         })

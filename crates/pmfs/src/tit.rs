@@ -101,7 +101,9 @@ impl TitRegion {
     /// Record the commit timestamp (owning node, local store).
     pub fn commit(&self, slot: SlotId, cts: Cts) {
         debug_assert!(!cts.is_init());
-        self.slots[slot.0 as usize].cts.store(cts.0, Ordering::Release);
+        self.slots[slot.0 as usize]
+            .cts
+            .store(cts.0, Ordering::Release);
     }
 
     /// Return a slot to the free list. Called by the background recycler

@@ -4,8 +4,18 @@
 //! the byte offset in the stream ("this LSN also serves as the offset within
 //! the redo log file"). Data becomes durable only when [`LogStream::sync`]
 //! (or [`LogStream::sync_to`]) returns; a crash discards the unsynced tail.
+//!
+//! Besides plain [`LogStream::append`], writers can split position
+//! assignment from the byte copy: [`LogStream::reserve`] assigns a byte
+//! range (cheap, done under the caller's ordering lock) and
+//! [`LogStream::fill`] copies the encoded bytes in later, outside that
+//! lock. The durability watermark never advances into an unfilled
+//! reservation, so a crash still persists whole reservations or nothing —
+//! the same atomic-group contract appenders had before.
 
-use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+use parking_lot::{Condvar, Mutex};
 use pmp_common::{Counter, Lsn, StorageLatencyConfig};
 use pmp_rdma::precise_wait_ns;
 
@@ -16,6 +26,56 @@ struct LogInner {
     /// Recovery may start scanning here (durable metadata, survives
     /// crashes like the log itself).
     checkpoint: u64,
+    /// Start offsets of reserved-but-not-yet-filled ranges. The completed
+    /// prefix of the stream ends at the smallest entry (or `data.len()`
+    /// when empty); only the completed prefix may become durable.
+    pending: BTreeSet<u64>,
+    /// Bumped by `crash()`; fills carrying an older epoch are dead — their
+    /// reservation was truncated away, and a fresh reservation may already
+    /// occupy the same offsets.
+    epoch: u64,
+}
+
+impl LogInner {
+    /// End of the completed prefix: every byte below it is filled.
+    fn completed(&self) -> u64 {
+        self.pending
+            .iter()
+            .next()
+            .copied()
+            .unwrap_or(self.data.len() as u64)
+    }
+}
+
+/// A byte range assigned by [`LogStream::reserve`], to be completed by
+/// exactly one [`LogStream::fill`].
+#[derive(Debug)]
+#[must_use = "an unfilled reservation blocks the durability watermark"]
+pub struct LogReservation {
+    start: Lsn,
+    len: usize,
+    epoch: u64,
+}
+
+impl LogReservation {
+    /// Byte offset where the reserved range begins.
+    pub fn start(&self) -> Lsn {
+        self.start
+    }
+
+    /// Reserved length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the reserved range (the group's force target).
+    pub fn end(&self) -> Lsn {
+        self.start.advance(self.len as u64)
+    }
 }
 
 /// A chunk of durable log data returned by [`LogStream::read_chunk`].
@@ -38,6 +98,9 @@ impl ReadChunk {
 #[derive(Debug)]
 pub struct LogStream {
     inner: Mutex<LogInner>,
+    /// Signalled by [`LogStream::fill`]; [`LogStream::sync_to`] waits here
+    /// for in-flight fills below its target (encoding is microseconds).
+    fill_cv: Condvar,
     cfg: StorageLatencyConfig,
     appends: Counter,
     syncs: Counter,
@@ -47,6 +110,7 @@ impl LogStream {
     pub fn new(cfg: StorageLatencyConfig) -> Self {
         LogStream {
             inner: Mutex::new(LogInner::default()),
+            fill_cv: Condvar::new(),
             cfg,
             appends: Counter::new(),
             syncs: Counter::new(),
@@ -63,7 +127,43 @@ impl LogStream {
         lsn
     }
 
-    /// Current end of the stream (next append position).
+    /// Assign the next `len` bytes of the stream to the caller without
+    /// writing them yet. The caller completes the range with
+    /// [`fill`](Self::fill); until then the durability watermark stops
+    /// before it.
+    pub fn reserve(&self, len: usize) -> LogReservation {
+        self.appends.inc();
+        let mut g = self.inner.lock();
+        let start = g.data.len() as u64;
+        let end = g.data.len() + len;
+        g.data.resize(end, 0);
+        g.pending.insert(start);
+        LogReservation {
+            start: Lsn(start),
+            len,
+            epoch: g.epoch,
+        }
+    }
+
+    /// Copy the encoded bytes of a reservation into place and release the
+    /// durability watermark past it. `bytes` must be exactly the reserved
+    /// length. If the owning node crashed between reserve and fill (the
+    /// simulator truncates the stream), the bytes are dropped — exactly as
+    /// an unsynced tail would be.
+    pub fn fill(&self, res: LogReservation, bytes: &[u8]) {
+        assert_eq!(bytes.len(), res.len, "fill must match the reserved length");
+        let mut g = self.inner.lock();
+        if res.epoch != g.epoch {
+            return; // reservation died in a crash; a new one may own the range
+        }
+        let start = res.start.0 as usize;
+        g.data[start..start + res.len].copy_from_slice(bytes);
+        g.pending.remove(&res.start.0);
+        drop(g);
+        self.fill_cv.notify_all();
+    }
+
+    /// Current end of the stream (next append/reserve position).
     pub fn end_lsn(&self) -> Lsn {
         Lsn(self.inner.lock().data.len() as u64)
     }
@@ -72,24 +172,37 @@ impl LogStream {
         Lsn(self.inner.lock().durable)
     }
 
-    /// Force everything appended so far to storage. Returns the new durable
-    /// watermark. Always charges one sync latency (the fsync round-trip).
+    /// Force the completed prefix of the stream to storage. Returns the new
+    /// durable watermark. Always charges one sync latency (the fsync
+    /// round-trip).
     pub fn sync(&self) -> Lsn {
         self.syncs.inc();
         precise_wait_ns(self.cfg.charge_ns(self.cfg.sync_ns));
         let mut g = self.inner.lock();
-        g.durable = g.data.len() as u64;
+        g.durable = g.durable.max(g.completed());
         Lsn(g.durable)
     }
 
     /// Group-commit-friendly sync: if `target` is already durable (some
     /// other committer's sync covered us) return immediately without paying
-    /// the fsync cost; otherwise sync everything.
+    /// the fsync cost; otherwise wait out any fills still in flight below
+    /// `target` and sync everything completed.
     pub fn sync_to(&self, target: Lsn) -> Lsn {
         {
-            let g = self.inner.lock();
+            let mut g = self.inner.lock();
             if g.durable >= target.0 {
                 return Lsn(g.durable);
+            }
+            // A fill below `target` is a memcpy already in progress on
+            // another thread; wait for it rather than syncing short. The
+            // bound through `data.len()` keeps a crash-truncated stream
+            // from waiting forever.
+            loop {
+                let reachable = target.0.min(g.data.len() as u64);
+                if g.completed() >= reachable {
+                    break;
+                }
+                self.fill_cv.wait(&mut g);
             }
         }
         self.sync()
@@ -101,6 +214,12 @@ impl LogStream {
         let mut g = self.inner.lock();
         let durable = g.durable as usize;
         g.data.truncate(durable);
+        // Reservations live strictly above the durable watermark; they died
+        // with the tail. The epoch bump makes their late fills inert.
+        g.pending.clear();
+        g.epoch += 1;
+        drop(g);
+        self.fill_cv.notify_all();
     }
 
     /// Record a checkpoint: recovery of the owning node may start its scan
@@ -230,5 +349,86 @@ mod tests {
         for rec in c.data.chunks(16) {
             assert!(rec.iter().all(|b| *b == rec[0]));
         }
+    }
+
+    #[test]
+    fn reserve_fill_roundtrip() {
+        let s = stream();
+        let r1 = s.reserve(4);
+        let r2 = s.reserve(2);
+        assert_eq!(r1.start(), Lsn(0));
+        assert_eq!(r2.start(), Lsn(4));
+        assert_eq!(r1.end(), Lsn(4));
+        assert_eq!(s.end_lsn(), Lsn(6));
+        // Fill out of order: the watermark only opens once the prefix is in.
+        s.fill(r2, b"EF");
+        s.fill(r1, b"ABCD");
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(6));
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCDEF");
+    }
+
+    #[test]
+    fn sync_stops_before_unfilled_reservation() {
+        let s = stream();
+        let r1 = s.reserve(4);
+        s.fill(r1, b"ABCD");
+        let _r2 = s.reserve(8); // never filled
+        let r3 = s.reserve(2);
+        s.fill(r3, b"YZ");
+        s.sync();
+        assert_eq!(
+            s.durable_lsn(),
+            Lsn(4),
+            "durability must stop at the first unfilled reservation"
+        );
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCD");
+    }
+
+    #[test]
+    fn sync_to_waits_for_inflight_fill() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let s = Arc::new(stream());
+        let r = s.reserve(4);
+        let s2 = Arc::clone(&s);
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            s2.fill(r, b"ABCD");
+        });
+        // sync_to must block until the fill lands, then cover it.
+        assert_eq!(s.sync_to(Lsn(4)), Lsn(4));
+        filler.join().unwrap();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCD");
+    }
+
+    #[test]
+    fn crash_drops_unfilled_reservations_and_late_fills_are_ignored() {
+        let s = stream();
+        s.append(b"durable!");
+        s.sync();
+        let r = s.reserve(4);
+        s.crash();
+        assert_eq!(s.end_lsn(), Lsn(8));
+        // The reservation died with the tail; a late fill is a no-op.
+        s.fill(r, b"WXYZ");
+        assert_eq!(s.end_lsn(), Lsn(8));
+        s.sync();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"durable!");
+    }
+
+    #[test]
+    fn reservation_after_crash_restarts_at_truncated_end() {
+        let s = stream();
+        s.append(b"abcd");
+        s.sync();
+        let dead = s.reserve(4);
+        s.crash();
+        let fresh = s.reserve(2);
+        assert_eq!(fresh.start(), Lsn(4), "reservations restart at the cut");
+        s.fill(fresh, b"ef");
+        s.fill(dead, b"WXYZ"); // overlaps the dead range; must be ignored
+        s.sync();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"abcdef");
     }
 }

@@ -177,10 +177,7 @@ mod tests {
         let s = store();
         let id = s.allocate_page_id();
         s.set_fail_io(true);
-        assert!(matches!(
-            s.read(id),
-            Err(PmpError::StorageIo { .. })
-        ));
+        assert!(matches!(s.read(id), Err(PmpError::StorageIo { .. })));
         assert!(s.write(id, Arc::new("x".into())).is_err());
         s.set_fail_io(false);
         assert!(s.write(id, Arc::new("x".into())).is_ok());

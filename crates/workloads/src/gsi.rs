@@ -38,8 +38,7 @@ impl Workload for GsiInserts {
         // Random-looking unique keys: a per-run sequence spread with a hash
         // so B-tree inserts hit random leaves (high random pressure).
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let key = (seq ^ (ctx.worker as u64) << 40)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let key = (seq ^ (ctx.worker as u64) << 40).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ rng.random_range(0..1u64 << 20);
         TxnSpec::new(vec![SpecOp::Insert { table: 0, key }])
     }

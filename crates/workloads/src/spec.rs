@@ -6,12 +6,28 @@ use rand::rngs::SmallRng;
 /// indexes; targets map them to their own handles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SpecOp {
-    PointRead { table: usize, key: u64 },
+    PointRead {
+        table: usize,
+        key: u64,
+    },
     /// Range read of up to `len` rows starting at `key`.
-    RangeRead { table: usize, key: u64, len: usize },
-    Update { table: usize, key: u64 },
-    Insert { table: usize, key: u64 },
-    Delete { table: usize, key: u64 },
+    RangeRead {
+        table: usize,
+        key: u64,
+        len: usize,
+    },
+    Update {
+        table: usize,
+        key: u64,
+    },
+    Insert {
+        table: usize,
+        key: u64,
+    },
+    Delete {
+        table: usize,
+        key: u64,
+    },
 }
 
 impl SpecOp {
@@ -148,7 +164,12 @@ mod tests {
         assert!(SpecOp::Insert { table: 0, key: 1 }.is_write());
         assert!(SpecOp::Delete { table: 0, key: 1 }.is_write());
         assert!(!SpecOp::PointRead { table: 0, key: 1 }.is_write());
-        assert!(!SpecOp::RangeRead { table: 0, key: 1, len: 10 }.is_write());
+        assert!(!SpecOp::RangeRead {
+            table: 0,
+            key: 1,
+            len: 10
+        }
+        .is_write());
     }
 
     #[test]

@@ -246,18 +246,15 @@ mod tests {
     #[test]
     fn modes_have_expected_op_mix() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let ro = Sysbench::new(SysbenchMode::ReadOnly, 1, 1, 100, 0)
-            .next_txn(&mut rng, ctx(0, 1));
+        let ro = Sysbench::new(SysbenchMode::ReadOnly, 1, 1, 100, 0).next_txn(&mut rng, ctx(0, 1));
         assert!(ro.ops.iter().all(|o| !o.is_write()));
         assert_eq!(ro.ops.len(), 11);
 
-        let wo = Sysbench::new(SysbenchMode::WriteOnly, 1, 1, 100, 0)
-            .next_txn(&mut rng, ctx(0, 1));
+        let wo = Sysbench::new(SysbenchMode::WriteOnly, 1, 1, 100, 0).next_txn(&mut rng, ctx(0, 1));
         assert!(wo.ops.iter().all(|o| o.is_write()));
         assert_eq!(wo.ops.len(), 4);
 
-        let rw = Sysbench::new(SysbenchMode::ReadWrite, 1, 1, 100, 0)
-            .next_txn(&mut rng, ctx(0, 1));
+        let rw = Sysbench::new(SysbenchMode::ReadWrite, 1, 1, 100, 0).next_txn(&mut rng, ctx(0, 1));
         assert_eq!(rw.ops.len(), 15);
         assert_eq!(rw.ops.iter().filter(|o| o.is_write()).count(), 4);
     }

@@ -57,7 +57,9 @@ impl OltpTarget for PmpTarget {
 
     fn bulk_load(&self, node: usize, table: usize, keys: &mut dyn Iterator<Item = u64>) {
         let (id, columns) = self.tables[table];
-        let session = self.cluster.session(node.min(self.cluster.node_count() - 1));
+        let session = self
+            .cluster
+            .session(node.min(self.cluster.node_count() - 1));
         let mut batch: Vec<u64> = Vec::with_capacity(256);
         loop {
             batch.clear();
@@ -344,7 +346,10 @@ mod tests {
         // Inserts of existing keys and deletes of missing keys are benign.
         let quirky = TxnSpec::new(vec![
             SpecOp::Insert { table: 0, key: 5 },
-            SpecOp::Delete { table: 0, key: 99_999 },
+            SpecOp::Delete {
+                table: 0,
+                key: 99_999,
+            },
         ]);
         assert_eq!(target.run_txn(0, &quirky), TargetOutcome::Committed);
     }

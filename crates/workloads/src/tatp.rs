@@ -32,8 +32,7 @@ impl Tatp {
 
     fn subscriber(&self, rng: &mut SmallRng, ctx: WorkerCtx) -> u64 {
         // Partitioned by subscriber id: each node works its own range.
-        ctx.node as u64 * self.subscribers_per_node
-            + rng.random_range(0..self.subscribers_per_node)
+        ctx.node as u64 * self.subscribers_per_node + rng.random_range(0..self.subscribers_per_node)
     }
 }
 

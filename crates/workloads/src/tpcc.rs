@@ -244,8 +244,16 @@ impl Workload for Tpcc {
         let w = self.warehouses();
         vec![
             TableSpec::new("warehouse", w * WAREHOUSE_ROW_SPACING, 3),
-            TableSpec::new("district", w * DISTRICTS_PER_WAREHOUSE * DISTRICT_ROW_SPACING, 3),
-            TableSpec::new("customer", w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT, 4),
+            TableSpec::new(
+                "district",
+                w * DISTRICTS_PER_WAREHOUSE * DISTRICT_ROW_SPACING,
+                3,
+            ),
+            TableSpec::new(
+                "customer",
+                w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT,
+                4,
+            ),
             TableSpec::new("stock", w * self.stock_per_warehouse, 3),
             TableSpec::new("orders", 0, 3),
         ]

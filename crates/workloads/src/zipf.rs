@@ -28,7 +28,11 @@ impl Zipf {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0);
         assert!(theta > 0.0);
-        let theta = if (theta - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { theta };
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            1.0 + 1e-9
+        } else {
+            theta
+        };
         let h_integral = |x: f64| -> f64 {
             let log_x = x.ln();
             (((1.0 - theta) * log_x).exp_m1()) / (1.0 - theta)
@@ -70,7 +74,8 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
         let _ = (self.h_x1, self.h_integral_x1); // kept for readability/debugging
         loop {
-            let u = self.h_integral_n + rng.random::<f64>() * (self.h_integral(1.5) - 1.0 - self.h_integral_n);
+            let u = self.h_integral_n
+                + rng.random::<f64>() * (self.h_integral(1.5) - 1.0 - self.h_integral_n);
             let x = self.h_integral_inverse(u);
             let mut k = (x + 0.5) as i64;
             if k < 1 {
@@ -79,9 +84,7 @@ impl Zipf {
                 k = self.n as i64;
             }
             let kf = k as f64;
-            if kf - x <= self.s
-                || u >= self.h_integral(kf + 0.5) - self.h(kf)
-            {
+            if kf - x <= self.s || u >= self.h_integral(kf + 0.5) - self.h(kf) {
                 return (k - 1) as u64;
             }
         }
@@ -125,9 +128,8 @@ mod tests {
         let hot = Zipf::new(1000, 1.3);
         let mild = Zipf::new(1000, 0.5);
         let mut rng = SmallRng::seed_from_u64(9);
-        let count_hot = |z: &Zipf, rng: &mut SmallRng| {
-            (0..5000).filter(|_| z.sample(rng) == 0).count()
-        };
+        let count_hot =
+            |z: &Zipf, rng: &mut SmallRng| (0..5000).filter(|_| z.sample(rng) == 0).count();
         let h = count_hot(&hot, &mut rng);
         let m = count_hot(&mild, &mut rng);
         assert!(

@@ -71,7 +71,11 @@ fn main() -> polardb_mp::common::Result<()> {
 
     // The in-doubt update is gone; committed data is intact.
     let row = cluster.session(0).with_txn(|txn| txn.get(tenant_a, 5))?;
-    assert_eq!(row, Some(RowValue::new(vec![5, 0])), "rollback restored row");
+    assert_eq!(
+        row,
+        Some(RowValue::new(vec![5, 0])),
+        "rollback restored row"
+    );
 
     // And node 0 is writable again.
     cluster

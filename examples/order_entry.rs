@@ -80,7 +80,10 @@ fn main() -> polardb_mp::common::Result<()> {
     let product = 21u64;
     let by_product = txn.index_lookup(orders, 1, product, 1000)?;
     let by_scan = all.iter().filter(|(_, v)| v.col(1) == product).count();
-    println!("product {product} appears in {} orders (via GSI #1)", by_product.len());
+    println!(
+        "product {product} appears in {} orders (via GSI #1)",
+        by_product.len()
+    );
     assert_eq!(by_product.len(), by_scan);
     txn.commit()?;
 
@@ -88,10 +91,16 @@ fn main() -> polardb_mp::common::Result<()> {
     // transactionally.
     let victim = *want.first().expect("customer 7 has orders");
     session.with_txn(|txn| {
-        txn.update(orders, victim, RowValue::new(vec![customer + 1, product, 55]))
+        txn.update(
+            orders,
+            victim,
+            RowValue::new(vec![customer + 1, product, 55]),
+        )
     })?;
     let mut txn = session.begin()?;
-    assert!(!txn.index_lookup(orders, 0, customer, 1000)?.contains(&victim));
+    assert!(!txn
+        .index_lookup(orders, 0, customer, 1000)?
+        .contains(&victim));
     assert!(txn
         .index_lookup(orders, 0, customer + 1, 1000)?
         .contains(&victim));

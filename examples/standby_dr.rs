@@ -56,7 +56,10 @@ fn main() -> polardb_mp::common::Result<()> {
     // Disaster: the primary region is lost with a transaction in flight.
     let mut doomed = primary.session(0).begin()?;
     doomed.update(trades, 101, v(999_999))?;
-    primary.node(0).wal.force(primary.node(0).wal.stream().end_lsn());
+    primary
+        .node(0)
+        .wal
+        .force(primary.node(0).wal.stream().end_lsn());
     std::mem::forget(doomed);
     standby.catch_up()?;
     primary.crash_node(0);

@@ -12,5 +12,4 @@ pub use pmp_rdma as rdma;
 pub use pmp_storage as storage;
 pub use pmp_workloads as workloads;
 
-
 pub use pmp_core::{Cluster, ClusterBuilder, Session};

@@ -46,7 +46,10 @@ fn four_nodes_interleave_reads_and_writes() {
             .with_txn(|txn| txn.update(t, node * 100, v(&[99, node])))
             .unwrap();
     }
-    let rows = cluster.session(0).with_txn(|txn| txn.scan(t, 0, 1000)).unwrap();
+    let rows = cluster
+        .session(0)
+        .with_txn(|txn| txn.scan(t, 0, 1000))
+        .unwrap();
     assert_eq!(rows.iter().filter(|(_, val)| val.col(0) == 99).count(), 4);
 }
 
@@ -138,9 +141,7 @@ fn gsi_stays_consistent_under_concurrent_mutation() {
                 if i % 3 == 0 {
                     // Move between buckets.
                     session
-                        .with_txn(|txn| {
-                            txn.update(t, key, RowValue::new(vec![(key + 1) % 10, i]))
-                        })
+                        .with_txn(|txn| txn.update(t, key, RowValue::new(vec![(key + 1) % 10, i])))
                         .unwrap();
                 }
                 if i % 7 == 0 {
@@ -240,10 +241,13 @@ fn dbp_loss_is_transparent_to_applications() {
     // copy is invalidated. Pages that lived only in the DBP must be
     // rebuilt from redo (§4.2) before storage fallback is trustworthy.
     cluster.shared().pmfs.buffer.clear();
-    use polardb_mp::engine::recovery::recover_dbp;
     use polardb_mp::common::NodeId;
+    use polardb_mp::engine::recovery::recover_dbp;
     let stats = recover_dbp(cluster.shared(), &[NodeId(0), NodeId(1)]).unwrap();
-    assert!(stats.page_records_applied > 0, "DBP-only pages must be rebuilt");
+    assert!(
+        stats.page_records_applied > 0,
+        "DBP-only pages must be rebuilt"
+    );
 
     // Reads now fall back to (rebuilt) shared storage on both nodes.
     for node in 0..2 {
@@ -287,8 +291,8 @@ fn lock_wait_timeout_surfaces_and_rolls_back() {
 #[test]
 fn workload_driver_runs_against_real_cluster() {
     use polardb_mp::workloads::driver::{load_workload, run_workload, DriverConfig};
-    use polardb_mp::workloads::sysbench::{Sysbench, SysbenchMode};
     use polardb_mp::workloads::spec::Workload;
+    use polardb_mp::workloads::sysbench::{Sysbench, SysbenchMode};
     use polardb_mp::workloads::targets::PmpTarget;
 
     let cluster = Cluster::builder().config(ClusterConfig::test(2)).build();
@@ -366,9 +370,7 @@ fn zipf_skewed_sysbench_runs_hot_but_correct() {
     assert!(result.tps() > 0.0);
     // Row-lock waits should actually have happened under Zipf(1.1) + 100%
     // sharing — otherwise the knob isn't biting.
-    let waits: u64 = (0..2)
-        .map(|i| cluster.node(i).stats.lock_waits.get())
-        .sum();
+    let waits: u64 = (0..2).map(|i| cluster.node(i).stats.lock_waits.get()).sum();
     let _ = waits; // informational: skew level is probabilistic per run
 }
 
@@ -400,6 +402,10 @@ fn multi_get_matches_individual_gets_and_shares_a_snapshot() {
     let _ = pinned.get(t, 1).unwrap(); // pin SI snapshot
     cluster.session(0).update(t, 2, v(&[999])).unwrap();
     let batch = pinned.multi_get(t, &[1, 2]).unwrap();
-    assert_eq!(batch[1], Some(v(&[1])), "pinned snapshot must not see the rewrite");
+    assert_eq!(
+        batch[1],
+        Some(v(&[1])),
+        "pinned snapshot must not see the rewrite"
+    );
     pinned.commit().unwrap();
 }

@@ -14,11 +14,29 @@ use proptest::prelude::*;
 /// One randomized operation, routed to a node.
 #[derive(Clone, Debug)]
 enum ModelOp {
-    Insert { node: usize, key: u64, val: u64 },
-    Update { node: usize, key: u64, val: u64 },
-    Delete { node: usize, key: u64 },
-    Get { node: usize, key: u64 },
-    Scan { node: usize, from: u64, limit: usize },
+    Insert {
+        node: usize,
+        key: u64,
+        val: u64,
+    },
+    Update {
+        node: usize,
+        key: u64,
+        val: u64,
+    },
+    Delete {
+        node: usize,
+        key: u64,
+    },
+    Get {
+        node: usize,
+        key: u64,
+    },
+    Scan {
+        node: usize,
+        from: u64,
+        limit: usize,
+    },
 }
 
 fn op_strategy(nodes: usize) -> impl Strategy<Value = ModelOp> {
@@ -26,14 +44,19 @@ fn op_strategy(nodes: usize) -> impl Strategy<Value = ModelOp> {
     let key = 0..60u64;
     let node = 0..nodes;
     prop_oneof![
-        (node.clone(), key.clone(), any::<u64>())
-            .prop_map(|(node, key, val)| ModelOp::Insert { node, key, val }),
-        (node.clone(), key.clone(), any::<u64>())
-            .prop_map(|(node, key, val)| ModelOp::Update { node, key, val }),
+        (node.clone(), key.clone(), any::<u64>()).prop_map(|(node, key, val)| ModelOp::Insert {
+            node,
+            key,
+            val
+        }),
+        (node.clone(), key.clone(), any::<u64>()).prop_map(|(node, key, val)| ModelOp::Update {
+            node,
+            key,
+            val
+        }),
         (node.clone(), key.clone()).prop_map(|(node, key)| ModelOp::Delete { node, key }),
         (node.clone(), key.clone()).prop_map(|(node, key)| ModelOp::Get { node, key }),
-        (node, key, 1..20usize)
-            .prop_map(|(node, from, limit)| ModelOp::Scan { node, from, limit }),
+        (node, key, 1..20usize).prop_map(|(node, from, limit)| ModelOp::Scan { node, from, limit }),
     ]
 }
 

@@ -1,0 +1,393 @@
+//! Standalone (std-only) replica of the `lbp/*` contention benchmark from
+//! crates/bench/benches/micro_components.rs, compiled with bare `rustc -O`
+//! so it can run in environments without a cargo registry. Same workload:
+//! K threads x Zipf(0.99) lookups over a 2048-page working set against a
+//! 1024-frame pool, finishing loads on misses and evicting under capacity
+//! pressure. Differences from the real code: std Mutex/Condvar instead of
+//! parking_lot, payload is a dummy [u8; 64] instead of a 16KiB page.
+//!
+//! Build and run (no cargo needed):
+//!
+//! ```text
+//! rustc -O --edition 2021 tools/lbp_contention_harness.rs -o /tmp/lbp_harness
+//! /tmp/lbp_harness
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::Instant;
+
+/// Lock with a collision count: a failed try_lock means another thread held
+/// the lock at that instant. This is a core-count-independent measure of
+/// contention (on a 1-CPU box wall clock cannot show it, but collisions
+/// still happen whenever a holder is preempted mid-critical-section).
+static COLLISIONS: AtomicU64 = AtomicU64::new(0);
+static LOCK_OPS: AtomicU64 = AtomicU64::new(0);
+
+fn lock_counted<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    LOCK_OPS.fetch_add(1, Ordering::Relaxed);
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(_) => {
+            COLLISIONS.fetch_add(1, Ordering::Relaxed);
+            m.lock().unwrap()
+        }
+    }
+}
+
+const WORKING_SET: usize = 2048;
+const CAPACITY: usize = 1024;
+const OPS_PER_THREAD: usize = 2000;
+const EVICT_EVERY: usize = 256;
+const ZIPF_THETA: f64 = 0.99;
+const SHARD_COUNT: usize = 16;
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+type PageId = u64;
+
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in weights.iter_mut() {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn sample(cdf: &[f64], state: &mut u64) -> usize {
+    let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.partition_point(|&c| c < u)
+}
+
+struct Frame {
+    _payload: [u8; 64],
+    referenced: AtomicBool,
+}
+
+enum Slot {
+    Loading,
+    Ready(Arc<Frame>),
+}
+
+fn new_frame() -> Arc<Frame> {
+    Arc::new(Frame {
+        _payload: [0u8; 64],
+        referenced: AtomicBool::new(true),
+    })
+}
+
+// ---- sharded pool (mirrors crates/engine/src/lbp.rs) ----
+
+struct Shard {
+    map: Mutex<HashMap<PageId, Slot>>,
+    load_cv: Condvar,
+}
+
+struct ShardedLbp {
+    shards: Vec<Shard>,
+    len: AtomicUsize,
+    evict_cursor: AtomicUsize,
+    capacity: usize,
+}
+
+impl ShardedLbp {
+    fn new(capacity: usize) -> Self {
+        ShardedLbp {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    load_cv: Condvar::new(),
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[(id.wrapping_mul(HASH_MULT) >> 32) as usize & (SHARD_COUNT - 1)]
+    }
+
+    fn lookup_or_load(&self, id: PageId) {
+        let shard = self.shard(id);
+        let mut map = lock_counted(&shard.map);
+        loop {
+            match map.get(&id) {
+                Some(Slot::Ready(frame)) => {
+                    frame.referenced.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Some(Slot::Loading) => {
+                    map = shard.load_cv.wait(map).unwrap();
+                }
+                None => {
+                    map.insert(id, Slot::Loading);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    drop(map);
+                    // The storage round-trip would happen here.
+                    map = lock_counted(&shard.map);
+                    map.insert(id, Slot::Ready(new_frame()));
+                    shard.load_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn maybe_evict(&self, want: usize) {
+        if self.len.load(Ordering::Relaxed) <= self.capacity {
+            return;
+        }
+        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = 0;
+        for i in 0..SHARD_COUNT {
+            if evicted >= want {
+                return;
+            }
+            let shard = &self.shards[(start + i) % SHARD_COUNT];
+            let mut map = lock_counted(&shard.map);
+            let keys: Vec<PageId> = map.keys().copied().collect();
+            for key in keys {
+                if evicted >= want {
+                    break;
+                }
+                if let Some(Slot::Ready(frame)) = map.get(&key) {
+                    if frame.referenced.swap(false, Ordering::Relaxed) {
+                        continue;
+                    }
+                    map.remove(&key);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    evicted += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---- single-mutex pool (the pre-sharding design) ----
+
+struct MutexLbp {
+    map: Mutex<HashMap<PageId, Slot>>,
+    load_cv: Condvar,
+    evict_cursor: AtomicUsize,
+    capacity: usize,
+}
+
+impl MutexLbp {
+    fn new(capacity: usize) -> Self {
+        MutexLbp {
+            map: Mutex::new(HashMap::new()),
+            load_cv: Condvar::new(),
+            evict_cursor: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    fn lookup_or_load(&self, id: PageId) {
+        let mut map = lock_counted(&self.map);
+        loop {
+            match map.get(&id) {
+                Some(Slot::Ready(frame)) => {
+                    frame.referenced.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Some(Slot::Loading) => {
+                    map = self.load_cv.wait(map).unwrap();
+                }
+                None => {
+                    map.insert(id, Slot::Loading);
+                    drop(map);
+                    map = lock_counted(&self.map);
+                    map.insert(id, Slot::Ready(new_frame()));
+                    self.load_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn maybe_evict(&self, want: usize) {
+        let mut map = lock_counted(&self.map);
+        if map.len() <= self.capacity {
+            return;
+        }
+        let keys: Vec<PageId> = map.keys().copied().collect();
+        if keys.is_empty() {
+            return;
+        }
+        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % keys.len();
+        let mut evicted = 0;
+        for i in 0..keys.len() {
+            if evicted >= want {
+                break;
+            }
+            let key = keys[(start + i) % keys.len()];
+            if let Some(Slot::Ready(frame)) = map.get(&key) {
+                if frame.referenced.swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                map.remove(&key);
+                evicted += 1;
+            }
+        }
+    }
+}
+
+impl ShardedLbp {
+    /// Mirrors Lbp::dirty_frames: one shard locked at a time.
+    fn scan(&self) -> usize {
+        let mut seen = 0;
+        for shard in &self.shards {
+            let map = lock_counted(&shard.map);
+            for slot in map.values() {
+                if let Slot::Ready(f) = slot {
+                    seen += f.referenced.load(Ordering::Relaxed) as usize;
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl MutexLbp {
+    /// The pre-sharding dirty_frames: whole pool under one lock.
+    fn scan(&self) -> usize {
+        let map = lock_counted(&self.map);
+        let mut seen = 0;
+        for slot in map.values() {
+            if let Slot::Ready(f) = slot {
+                seen += f.referenced.load(Ordering::Relaxed) as usize;
+            }
+        }
+        seen
+    }
+}
+
+fn run_round(threads: usize, op: &(impl Fn(PageId) + Sync), evict: &(impl Fn() + Sync)) {
+    let cdf = zipf_cdf(WORKING_SET, ZIPF_THETA);
+    thread::scope(|s| {
+        for t in 0..threads {
+            let cdf = &cdf;
+            s.spawn(move || {
+                let mut rng = 0x9E37_79B9u64.wrapping_add(t as u64 * 0x517C_C1B7);
+                for i in 0..OPS_PER_THREAD {
+                    let id = 1 + sample(cdf, &mut rng) as u64;
+                    op(id);
+                    if i % EVICT_EVERY == EVICT_EVERY - 1 {
+                        evict();
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn measure(label: &str, threads: usize, round: impl Fn()) {
+    // Warm up, then take the best of 7 rounds (min is the right statistic
+    // for a contention benchmark: it is the run least disturbed by the OS).
+    for _ in 0..3 {
+        round();
+    }
+    let mut best = f64::INFINITY;
+    let (c0, l0) = (
+        COLLISIONS.load(Ordering::Relaxed),
+        LOCK_OPS.load(Ordering::Relaxed),
+    );
+    for _ in 0..7 {
+        let start = Instant::now();
+        round();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let collisions = COLLISIONS.load(Ordering::Relaxed) - c0;
+    let lock_ops = LOCK_OPS.load(Ordering::Relaxed) - l0;
+    let ops = (threads * OPS_PER_THREAD) as f64;
+    println!(
+        "{label:<28} {threads} threads: {:>9.1} ns/op  ({:>7.2} ms/round, {:.2} Mops/s, \
+         {:.3}% lock collisions)",
+        best * 1e9 / ops,
+        best * 1e3,
+        ops / best / 1e6,
+        collisions as f64 * 100.0 / lock_ops.max(1) as f64
+    );
+}
+
+fn main() {
+    println!(
+        "LBP contention harness: {WORKING_SET}-page Zipf({ZIPF_THETA}) working set, \
+         {CAPACITY}-frame pool, {OPS_PER_THREAD} ops/thread, evict every {EVICT_EVERY}"
+    );
+    for &threads in &[1usize, 2, 4, 8] {
+        let sharded = ShardedLbp::new(CAPACITY);
+        measure("lbp/sharded lookup", threads, || {
+            run_round(
+                threads,
+                &|id| sharded.lookup_or_load(id),
+                &|| sharded.maybe_evict(8),
+            )
+        });
+        let single = MutexLbp::new(CAPACITY);
+        measure("lbp/single-mutex lookup", threads, || {
+            run_round(
+                threads,
+                &|id| single.lookup_or_load(id),
+                &|| single.maybe_evict(8),
+            )
+        });
+    }
+
+    // Lookups racing a flusher: a background thread continuously runs the
+    // dirty_frames-style scan while K threads do lookups. The pre-sharding
+    // scan holds the one pool lock for the whole pool; the sharded scan
+    // holds one shard at a time, so lookups slip between shards.
+    println!();
+    for &threads in &[1usize, 4, 8] {
+        let sharded = ShardedLbp::new(CAPACITY);
+        run_round(threads.max(2), &|id| sharded.lookup_or_load(id), &|| ());
+        measure("lbp/sharded lookup+scan", threads, || {
+            let stop = AtomicBool::new(false);
+            thread::scope(|s| {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::black_box(sharded.scan());
+                    }
+                });
+                run_round(
+                    threads,
+                    &|id| sharded.lookup_or_load(id),
+                    &|| sharded.maybe_evict(8),
+                );
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        let single = MutexLbp::new(CAPACITY);
+        run_round(threads.max(2), &|id| single.lookup_or_load(id), &|| ());
+        measure("lbp/single-mutex lookup+scan", threads, || {
+            let stop = AtomicBool::new(false);
+            thread::scope(|s| {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::black_box(single.scan());
+                    }
+                });
+                run_round(
+                    threads,
+                    &|id| single.lookup_or_load(id),
+                    &|| single.maybe_evict(8),
+                );
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+}
