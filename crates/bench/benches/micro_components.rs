@@ -370,9 +370,10 @@ fn bench_lbp_contention(c: &mut Criterion) {
                         Lookup::Hit(frame) => {
                             std::hint::black_box(frame.is_valid());
                         }
-                        Lookup::MustLoad => {
+                        Lookup::MustLoad(ticket) => {
                             pool.finish_load(
                                 id,
+                                ticket,
                                 Page::new_leaf(id),
                                 Arc::new(AtomicBool::new(true)),
                             );

@@ -15,7 +15,7 @@
 //! stops the world, and eviction scans one shard at a time.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -107,9 +107,21 @@ impl Frame {
 
 enum Slot {
     /// A thread is loading this page (DBP / storage round-trip in flight).
-    Loading,
+    /// Carries the loader's ticket (so only that loader can complete the
+    /// slot) and the pool's wipe generation at appointment time (a load
+    /// that straddles a [`Lbp::clear`] must not install its page — see
+    /// [`Lbp::finish_load`]).
+    Loading { ticket: u64, gen: u64 },
     Ready(Arc<Frame>),
 }
+
+/// Proof of loader appointment, returned inside [`Lookup::MustLoad`] and
+/// required by [`Lbp::finish_load`] / [`Lbp::abort_load`]. Tickets are
+/// unique for the lifetime of the pool, so a load can only ever complete
+/// its *own* sentinel — never a newer loader's appointment for the same
+/// page (e.g. after a crash wipe re-appointed someone else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadTicket(u64);
 
 /// One shard: its own map and condvar, so a load in flight only blocks
 /// requesters hashing to the same shard.
@@ -145,6 +157,14 @@ pub struct Lbp {
     /// Round-robin shard cursor for eviction fairness (the clock hand's
     /// coarse position; within a shard the reference bits are the hand).
     evict_cursor: AtomicUsize,
+    /// Pool-wide wipe generation: even = stable, odd = a [`Lbp::clear`] is
+    /// in progress. `finish_load` installs a frame only when the generation
+    /// is even *and* unchanged since the loader was appointed, so a wipe is
+    /// atomic against concurrent loads: the pool holds no frames at the
+    /// moment `clear` returns.
+    wipe_gen: AtomicU64,
+    /// Source of unique loader tickets.
+    next_ticket: AtomicU64,
     capacity: usize,
     stats: LbpStats,
 }
@@ -164,8 +184,8 @@ pub enum Lookup {
     /// Frame present (valid or not — caller checks and refreshes).
     Hit(Arc<Frame>),
     /// Absent; the caller has been appointed the loader and must call
-    /// [`Lbp::finish_load`] or [`Lbp::abort_load`].
-    MustLoad,
+    /// [`Lbp::finish_load`] or [`Lbp::abort_load`] with the ticket.
+    MustLoad(LoadTicket),
 }
 
 impl Lbp {
@@ -174,6 +194,8 @@ impl Lbp {
             shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
             len: AtomicUsize::new(0),
             evict_cursor: AtomicUsize::new(0),
+            wipe_gen: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
             capacity,
             stats: LbpStats::default(),
         }
@@ -210,14 +232,16 @@ impl Lbp {
                     }
                     return Lookup::Hit(Arc::clone(frame));
                 }
-                Some(Slot::Loading) => {
+                Some(Slot::Loading { .. }) => {
                     shard.load_cv.wait(&mut map);
                 }
                 None => {
                     self.stats.misses.inc();
-                    map.insert(page_id, Slot::Loading);
+                    let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+                    let gen = self.wipe_gen.load(Ordering::SeqCst);
+                    map.insert(page_id, Slot::Loading { ticket, gen });
                     self.len.fetch_add(1, Ordering::Relaxed);
-                    return Lookup::MustLoad;
+                    return Lookup::MustLoad(LoadTicket(ticket));
                 }
             }
         }
@@ -227,20 +251,45 @@ impl Lbp {
     /// flag the loader registered with Buffer Fusion during the load, so
     /// invalidations that raced the load are not lost.
     ///
-    /// The frame is installed only over the caller's own `Loading` sentinel.
-    /// If the pool was wiped while the load was in flight (`clear`/`remove`,
-    /// the crash-simulation path), the page is *not* resurrected into the
-    /// pool: the caller still gets its frame for its own use, but the map
-    /// stays as the wipe left it.
-    pub fn finish_load(&self, page_id: PageId, page: Page, valid: Arc<AtomicBool>) -> Arc<Frame> {
+    /// The frame is installed only over the caller's own `Loading` sentinel
+    /// (matched by ticket), and only if no pool wipe started since the
+    /// caller was appointed. If the pool was (or is being) wiped while the
+    /// load was in flight (`clear`/`remove`, the crash-simulation path),
+    /// the page is *not* resurrected into the pool: the caller still gets
+    /// its frame for its own use, but the map stays as the wipe left it —
+    /// even when a post-wipe loader has already been re-appointed for the
+    /// same page.
+    pub fn finish_load(
+        &self,
+        page_id: PageId,
+        ticket: LoadTicket,
+        page: Page,
+        valid: Arc<AtomicBool>,
+    ) -> Arc<Frame> {
         let shard = self.shard(page_id);
         let mut map = shard.map.lock();
+        let gen = self.wipe_gen.load(Ordering::SeqCst);
         match map.get(&page_id) {
-            Some(Slot::Loading) => {
-                let frame = Frame::new(page, valid);
-                map.insert(page_id, Slot::Ready(Arc::clone(&frame)));
-                shard.load_cv.notify_all();
-                frame
+            Some(Slot::Loading { ticket: t, gen: g }) if *t == ticket.0 => {
+                if *g == gen && gen % 2 == 0 {
+                    let frame = Frame::new(page, valid);
+                    map.insert(page_id, Slot::Ready(Arc::clone(&frame)));
+                    shard.load_cv.notify_all();
+                    frame
+                } else {
+                    // Our sentinel, but a wipe ran (or is running) since the
+                    // appointment: drop the sentinel rather than install into
+                    // a pool that must come out empty.
+                    map.remove(&page_id);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    shard.load_cv.notify_all();
+                    Frame::new(page, valid)
+                }
+            }
+            Some(Slot::Loading { .. }) => {
+                // A wipe removed our sentinel and a fresh loader has been
+                // appointed since; its load is authoritative, ours is not.
+                Frame::new(page, valid)
             }
             Some(Slot::Ready(existing)) => {
                 // Our sentinel was wiped and another loader already installed
@@ -255,11 +304,13 @@ impl Lbp {
         }
     }
 
-    /// The load failed; clear the sentinel so others can retry.
-    pub fn abort_load(&self, page_id: PageId) {
+    /// The load failed; clear the sentinel so others can retry. Only the
+    /// appointed loader's ticket clears it — a stale loader cannot kill a
+    /// re-appointed successor's sentinel.
+    pub fn abort_load(&self, page_id: PageId, ticket: LoadTicket) {
         let shard = self.shard(page_id);
         let mut map = shard.map.lock();
-        if matches!(map.get(&page_id), Some(Slot::Loading)) {
+        if matches!(map.get(&page_id), Some(Slot::Loading { ticket: t, .. }) if *t == ticket.0) {
             map.remove(&page_id);
             self.len.fetch_sub(1, Ordering::Relaxed);
         }
@@ -284,7 +335,14 @@ impl Lbp {
         shard.load_cv.notify_all();
     }
 
+    /// Pool-wide wipe (crash simulation). Atomic against concurrent loads
+    /// even though shards are cleared one at a time: the odd wipe
+    /// generation makes `finish_load` refuse installs for the whole
+    /// duration, and loads appointed before the wipe fail the generation
+    /// check afterwards — so no frame installed concurrently with `clear`
+    /// can be present when it returns.
     pub fn clear(&self) {
+        self.wipe_begin();
         for shard in self.shards.iter() {
             let mut map = shard.map.lock();
             let removed = map.len();
@@ -292,6 +350,18 @@ impl Lbp {
             self.len.fetch_sub(removed, Ordering::Relaxed);
             shard.load_cv.notify_all();
         }
+        self.wipe_end();
+    }
+
+    /// Enter the wipe-in-progress state (generation becomes odd).
+    fn wipe_begin(&self) {
+        let prev = self.wipe_gen.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(prev % 2 == 0, "concurrent Lbp::clear calls");
+    }
+
+    /// Leave the wipe-in-progress state (generation becomes even again).
+    fn wipe_end(&self) {
+        self.wipe_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     pub fn len(&self) -> usize {
@@ -374,15 +444,33 @@ mod tests {
         Page::new_leaf(PageId(id))
     }
 
+    /// Expect a miss and return the loader ticket.
+    fn must_load(lbp: &Lbp, id: u64) -> LoadTicket {
+        match lbp.lookup(PageId(id)) {
+            Lookup::MustLoad(t) => t,
+            Lookup::Hit(_) => panic!("expected a miss for page {id}"),
+        }
+    }
+
+    /// Lookup-and-load helper: loads the page on a miss.
+    fn load(lbp: &Lbp, id: u64) -> Arc<Frame> {
+        match lbp.lookup(PageId(id)) {
+            Lookup::MustLoad(t) => {
+                lbp.finish_load(PageId(id), t, page(id), Arc::new(AtomicBool::new(true)))
+            }
+            Lookup::Hit(f) => f,
+        }
+    }
+
     #[test]
     fn miss_appoints_single_loader() {
         let lbp = Lbp::new(10);
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
-        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        let t = must_load(&lbp, 1);
+        let frame = lbp.finish_load(PageId(1), t, page(1), Arc::new(AtomicBool::new(true)));
         assert!(frame.is_valid());
         match lbp.lookup(PageId(1)) {
             Lookup::Hit(f) => assert!(Arc::ptr_eq(&f, &frame)),
-            Lookup::MustLoad => panic!("second lookup must hit"),
+            Lookup::MustLoad(_) => panic!("second lookup must hit"),
         }
         assert_eq!(lbp.stats().misses.get(), 1);
         assert_eq!(lbp.stats().hits.get(), 1);
@@ -393,31 +481,30 @@ mod tests {
         use std::thread;
         use std::time::Duration;
         let lbp = Arc::new(Lbp::new(10));
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        let t = must_load(&lbp, 1);
 
         let lbp2 = Arc::clone(&lbp);
         let waiter = thread::spawn(move || match lbp2.lookup(PageId(1)) {
             Lookup::Hit(f) => f.page.read().id,
-            Lookup::MustLoad => panic!("waiter must not become a second loader"),
+            Lookup::MustLoad(_) => panic!("waiter must not become a second loader"),
         });
         thread::sleep(Duration::from_millis(30));
-        lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        lbp.finish_load(PageId(1), t, page(1), Arc::new(AtomicBool::new(true)));
         assert_eq!(waiter.join().unwrap(), PageId(1));
     }
 
     #[test]
     fn abort_load_lets_next_requester_retry() {
         let lbp = Lbp::new(10);
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
-        lbp.abort_load(PageId(1));
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        let t = must_load(&lbp, 1);
+        lbp.abort_load(PageId(1), t);
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad(_)));
     }
 
     #[test]
     fn dirty_tracking_and_conditional_clear() {
         let lbp = Lbp::new(10);
-        lbp.lookup(PageId(1));
-        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        let frame = load(&lbp, 1);
         assert!(!frame.is_dirty());
         frame.mark_dirty(Lsn(100), Llsn(5));
         let seen = frame.dirty_state();
@@ -438,8 +525,7 @@ mod tests {
     fn eviction_skips_dirty_referenced_and_latched() {
         let lbp = Lbp::new(2);
         for id in 1..=4u64 {
-            lbp.lookup(PageId(id));
-            lbp.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
+            load(&lbp, id);
         }
         // Frame 1: dirty. Frame 2: latched. Frames 3, 4: evictable.
         lbp.peek(PageId(1)).unwrap().mark_dirty(Lsn(1), Llsn(1));
@@ -460,8 +546,7 @@ mod tests {
     fn dirty_frames_enumeration() {
         let lbp = Lbp::new(10);
         for id in 1..=3u64 {
-            lbp.lookup(PageId(id));
-            lbp.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
+            load(&lbp, id);
         }
         lbp.peek(PageId(2)).unwrap().mark_dirty(Lsn(1), Llsn(1));
         let dirty = lbp.dirty_frames();
@@ -472,8 +557,7 @@ mod tests {
     #[test]
     fn invalid_hit_is_counted_separately() {
         let lbp = Lbp::new(10);
-        lbp.lookup(PageId(1));
-        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        let frame = load(&lbp, 1);
         frame.valid.store(false, Ordering::Release);
         assert!(matches!(lbp.lookup(PageId(1)), Lookup::Hit(_)));
         assert_eq!(lbp.stats().invalid_hits.get(), 1);
@@ -484,32 +568,139 @@ mod tests {
         // Crash simulation wipes the pool while a load is in flight; the
         // loader's finish_load must not reinstall the page.
         let lbp = Lbp::new(10);
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        let t = must_load(&lbp, 1);
         lbp.clear();
-        let frame = lbp.finish_load(PageId(1), page(1), Arc::new(AtomicBool::new(true)));
+        let frame = lbp.finish_load(PageId(1), t, page(1), Arc::new(AtomicBool::new(true)));
         assert_eq!(frame.page.read().id, PageId(1), "loader keeps its frame");
         assert!(lbp.is_empty(), "wiped pool must stay empty");
         assert!(lbp.peek(PageId(1)).is_none());
         // The next requester becomes a fresh loader.
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad(_)));
     }
 
     #[test]
     fn finish_load_after_remove_does_not_resurrect() {
         let lbp = Lbp::new(10);
-        assert!(matches!(lbp.lookup(PageId(7)), Lookup::MustLoad));
+        let t = must_load(&lbp, 7);
         lbp.remove(PageId(7));
-        lbp.finish_load(PageId(7), page(7), Arc::new(AtomicBool::new(true)));
+        lbp.finish_load(PageId(7), t, page(7), Arc::new(AtomicBool::new(true)));
         assert!(lbp.peek(PageId(7)).is_none());
         assert_eq!(lbp.len(), 0);
+    }
+
+    #[test]
+    fn load_appointed_during_wipe_is_not_installed() {
+        // A loader appointed while clear() is mid-wipe (its shard already
+        // cleared) must not install: the pool has to come out of the wipe
+        // empty even though the sentinel itself survives the shard pass.
+        let lbp = Lbp::new(10);
+        lbp.wipe_begin();
+        let t = must_load(&lbp, 1);
+        // Finishing *during* the wipe is refused...
+        let frame = lbp.finish_load(PageId(1), t, page(1), Arc::new(AtomicBool::new(true)));
+        assert_eq!(frame.page.read().id, PageId(1), "loader keeps its frame");
+        assert!(lbp.peek(PageId(1)).is_none());
+        assert!(lbp.is_empty());
+        lbp.wipe_end();
+
+        // ...and so is finishing *after* the wipe, for a mid-wipe sentinel.
+        lbp.wipe_begin();
+        let t = must_load(&lbp, 2);
+        lbp.wipe_end();
+        lbp.finish_load(PageId(2), t, page(2), Arc::new(AtomicBool::new(true)));
+        assert!(lbp.peek(PageId(2)).is_none());
+        assert!(lbp.is_empty());
+
+        // A load appointed in the stable state installs normally again.
+        load(&lbp, 3);
+        assert!(lbp.peek(PageId(3)).is_some());
+        assert_eq!(lbp.len(), 1);
+    }
+
+    #[test]
+    fn stale_loader_cannot_usurp_reappointed_successor() {
+        // Loader A appointed, pool wiped, loader B re-appointed for the
+        // same page: A's finish_load must neither install its (pre-wipe)
+        // page nor destroy B's sentinel; A's abort_load must not either.
+        let lbp = Lbp::new(10);
+        let ta = must_load(&lbp, 1);
+        lbp.clear();
+        let tb = must_load(&lbp, 1);
+
+        lbp.finish_load(PageId(1), ta, page(1), Arc::new(AtomicBool::new(true)));
+        assert!(lbp.peek(PageId(1)).is_none(), "A must not install over B");
+        lbp.abort_load(PageId(1), ta);
+        assert_eq!(lbp.len(), 1, "A must not clear B's sentinel");
+
+        // B completes normally.
+        let fb = lbp.finish_load(PageId(1), tb, page(1), Arc::new(AtomicBool::new(true)));
+        match lbp.lookup(PageId(1)) {
+            Lookup::Hit(f) => assert!(Arc::ptr_eq(&f, &fb)),
+            Lookup::MustLoad(_) => panic!("B's install must be visible"),
+        }
+    }
+
+    #[test]
+    fn concurrent_clears_and_loads_keep_len_consistent() {
+        use std::thread;
+        // clear() racing lookup/finish_load/abort_load churn: terminates
+        // (no lost wakeups), and the atomic len matches the shard contents
+        // afterwards despite stale-sentinel removals.
+        const PAGES: u64 = 32;
+        let lbp = Arc::new(Lbp::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let lbp = Arc::clone(&lbp);
+            handles.push(thread::spawn(move || {
+                let mut state = 0xC0FF_EE00u64 ^ (t as u64 + 1);
+                let mut rng = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for i in 0..2_000u64 {
+                    let id = rng() % PAGES + 1;
+                    match lbp.lookup(PageId(id)) {
+                        Lookup::Hit(_) => {}
+                        Lookup::MustLoad(ticket) => {
+                            if rng() % 8 == 0 {
+                                lbp.abort_load(PageId(id), ticket);
+                            } else {
+                                lbp.finish_load(
+                                    PageId(id),
+                                    ticket,
+                                    page(id),
+                                    Arc::new(AtomicBool::new(true)),
+                                );
+                            }
+                        }
+                    }
+                    if t == 0 && i % 256 == 0 {
+                        lbp.clear();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut actual = 0;
+        for id in 1..=PAGES {
+            if lbp.peek(PageId(id)).is_some() {
+                actual += 1;
+            }
+        }
+        assert_eq!(lbp.len(), actual, "atomic len must match shard contents");
+        lbp.clear();
+        assert!(lbp.is_empty());
     }
 
     #[test]
     fn len_tracks_inserts_and_removals_across_shards() {
         let lbp = Lbp::new(100);
         for id in 1..=64u64 {
-            lbp.lookup(PageId(id));
-            lbp.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
+            load(&lbp, id);
         }
         assert_eq!(lbp.len(), 64);
         lbp.remove(PageId(1));
@@ -530,21 +721,16 @@ mod tests {
         // this, but a pool-wide *lock held across the load* would not — the
         // test pins the behaviour the sharding is for).
         let lbp = Arc::new(Lbp::new(100));
-        assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad));
+        let t = must_load(&lbp, 1);
 
         let lbp2 = Arc::clone(&lbp);
         let other = thread::spawn(move || {
             for id in 2..40u64 {
-                match lbp2.lookup(PageId(id)) {
-                    Lookup::MustLoad => {
-                        lbp2.finish_load(PageId(id), page(id), Arc::new(AtomicBool::new(true)));
-                    }
-                    Lookup::Hit(_) => {}
-                }
+                load(&lbp2, id);
             }
         });
         other.join().unwrap();
-        lbp.abort_load(PageId(1));
+        lbp.abort_load(PageId(1), t);
         assert_eq!(lbp.len(), 38);
     }
 
@@ -592,7 +778,7 @@ mod tests {
                                 Lookup::Hit(f) => {
                                     let _ = f.is_valid();
                                 }
-                                Lookup::MustLoad => {
+                                Lookup::MustLoad(t) => {
                                     // Single-loader invariant: no one else
                                     // may be loading this page right now.
                                     assert!(
@@ -601,11 +787,12 @@ mod tests {
                                     );
                                     if rng() % 8 == 0 {
                                         loading[id as usize].store(false, Ordering::SeqCst);
-                                        lbp.abort_load(page_id);
+                                        lbp.abort_load(page_id, t);
                                     } else {
                                         loading[id as usize].store(false, Ordering::SeqCst);
                                         lbp.finish_load(
                                             page_id,
+                                            t,
                                             Page::new_leaf(page_id),
                                             Arc::new(AtomicBool::new(true)),
                                         );

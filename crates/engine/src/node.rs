@@ -253,10 +253,10 @@ impl NodeEngine {
                 }
                 Ok(frame)
             }
-            Lookup::MustLoad => match self.load_page(page_id) {
-                Ok((page, flag)) => Ok(self.lbp.finish_load(page_id, page, flag)),
+            Lookup::MustLoad(ticket) => match self.load_page(page_id) {
+                Ok((page, flag)) => Ok(self.lbp.finish_load(page_id, ticket, page, flag)),
                 Err(e) => {
-                    self.lbp.abort_load(page_id);
+                    self.lbp.abort_load(page_id, ticket);
                     Err(e)
                 }
             },
@@ -373,7 +373,7 @@ impl NodeEngine {
             Arc::clone(&flag),
         );
         match self.lbp.lookup(page_id) {
-            Lookup::MustLoad => self.lbp.finish_load(page_id, page, flag),
+            Lookup::MustLoad(ticket) => self.lbp.finish_load(page_id, ticket, page, flag),
             Lookup::Hit(frame) => frame, // should not happen for fresh ids
         }
     }

@@ -87,13 +87,19 @@ impl Wal {
     /// the leader's barrier (`sync_to` itself waits out any fills still in
     /// flight below `target`).
     pub fn force(&self, target: Lsn) {
-        while self.stream.durable_lsn() < target {
-            let _g = self.sync_mutex.lock();
-            if self.stream.durable_lsn() >= target {
-                return;
-            }
-            self.stream.sync_to(target);
+        if self.stream.durable_lsn() >= target {
+            return;
         }
+        let _g = self.sync_mutex.lock();
+        if self.stream.durable_lsn() >= target {
+            return;
+        }
+        // One covered sync suffices: `sync_to` waits out fills below
+        // `target`, so it returns short of `target` only when a crash
+        // truncated the stream underneath us — durability can then never
+        // reach `target`, and retrying would spin (charging an fsync per
+        // lap) forever.
+        self.stream.sync_to(target);
     }
 
     /// Rule 2 of §4.4: observing a fetched page advances the LLSN clock.

@@ -13,7 +13,8 @@
 //! reservation, so a crash still persists whole reservations or nothing —
 //! the same atomic-group contract appenders had before.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use pmp_common::{Counter, Lsn, StorageLatencyConfig};
@@ -30,6 +31,12 @@ struct LogInner {
     /// prefix of the stream ends at the smallest entry (or `data.len()`
     /// when empty); only the completed prefix may become durable.
     pending: BTreeSet<u64>,
+    /// `start → end` of abandoned reservations: the owner dropped the
+    /// reservation without filling it (a panic between reserve and fill).
+    /// The bytes stay zeroed and are never handed out by `read_chunk`, but
+    /// they no longer block the durability watermark — one wedged writer
+    /// must not stall group commit for the whole stream.
+    dead: BTreeMap<u64, u64>,
     /// Bumped by `crash()`; fills carrying an older epoch are dead — their
     /// reservation was truncated away, and a fresh reservation may already
     /// occupy the same offsets.
@@ -37,7 +44,7 @@ struct LogInner {
 }
 
 impl LogInner {
-    /// End of the completed prefix: every byte below it is filled.
+    /// End of the completed prefix: every byte below it is filled (or dead).
     fn completed(&self) -> u64 {
         self.pending
             .iter()
@@ -47,14 +54,52 @@ impl LogInner {
     }
 }
 
+/// The mutable core of a stream, shared with outstanding reservations so
+/// their drop glue can reach it.
+#[derive(Debug, Default)]
+struct StreamState {
+    inner: Mutex<LogInner>,
+    /// Signalled by [`LogStream::fill`] (and by reservation abandonment);
+    /// [`LogStream::sync_to`] waits here for in-flight fills below its
+    /// target (encoding is microseconds).
+    fill_cv: Condvar,
+}
+
 /// A byte range assigned by [`LogStream::reserve`], to be completed by
 /// exactly one [`LogStream::fill`].
+///
+/// A live unfilled reservation blocks the durability watermark (that is
+/// what keeps groups atomic). Dropping one without filling it — only a
+/// panic path does that — releases the watermark instead of wedging the
+/// stream: the range is marked dead and skipped by readers.
 #[derive(Debug)]
 #[must_use = "an unfilled reservation blocks the durability watermark"]
 pub struct LogReservation {
     start: Lsn,
     len: usize,
     epoch: u64,
+    state: Arc<StreamState>,
+    filled: bool,
+}
+
+impl Drop for LogReservation {
+    fn drop(&mut self) {
+        if self.filled {
+            return;
+        }
+        let mut g = self.state.inner.lock();
+        if self.epoch != g.epoch {
+            return; // the crash truncation already reclaimed the range
+        }
+        if g.pending.remove(&self.start.0) {
+            if self.len > 0 {
+                g.dead.insert(self.start.0, self.start.0 + self.len as u64);
+            }
+            drop(g);
+            // Syncers parked below this range can now re-evaluate.
+            self.state.fill_cv.notify_all();
+        }
+    }
 }
 
 impl LogReservation {
@@ -97,10 +142,7 @@ impl ReadChunk {
 /// One node's redo log stream on shared storage.
 #[derive(Debug)]
 pub struct LogStream {
-    inner: Mutex<LogInner>,
-    /// Signalled by [`LogStream::fill`]; [`LogStream::sync_to`] waits here
-    /// for in-flight fills below its target (encoding is microseconds).
-    fill_cv: Condvar,
+    state: Arc<StreamState>,
     cfg: StorageLatencyConfig,
     appends: Counter,
     syncs: Counter,
@@ -109,8 +151,7 @@ pub struct LogStream {
 impl LogStream {
     pub fn new(cfg: StorageLatencyConfig) -> Self {
         LogStream {
-            inner: Mutex::new(LogInner::default()),
-            fill_cv: Condvar::new(),
+            state: Arc::new(StreamState::default()),
             cfg,
             appends: Counter::new(),
             syncs: Counter::new(),
@@ -121,7 +162,7 @@ impl LogStream {
     /// Buffered only — cheap; durability is paid at sync time.
     pub fn append(&self, bytes: &[u8]) -> Lsn {
         self.appends.inc();
-        let mut g = self.inner.lock();
+        let mut g = self.state.inner.lock();
         let lsn = Lsn(g.data.len() as u64);
         g.data.extend_from_slice(bytes);
         lsn
@@ -133,15 +174,19 @@ impl LogStream {
     /// before it.
     pub fn reserve(&self, len: usize) -> LogReservation {
         self.appends.inc();
-        let mut g = self.inner.lock();
+        let mut g = self.state.inner.lock();
         let start = g.data.len() as u64;
         let end = g.data.len() + len;
         g.data.resize(end, 0);
         g.pending.insert(start);
+        let epoch = g.epoch;
+        drop(g);
         LogReservation {
             start: Lsn(start),
             len,
-            epoch: g.epoch,
+            epoch,
+            state: Arc::clone(&self.state),
+            filled: false,
         }
     }
 
@@ -150,9 +195,10 @@ impl LogStream {
     /// length. If the owning node crashed between reserve and fill (the
     /// simulator truncates the stream), the bytes are dropped — exactly as
     /// an unsynced tail would be.
-    pub fn fill(&self, res: LogReservation, bytes: &[u8]) {
+    pub fn fill(&self, mut res: LogReservation, bytes: &[u8]) {
         assert_eq!(bytes.len(), res.len, "fill must match the reserved length");
-        let mut g = self.inner.lock();
+        res.filled = true; // defuse the abandonment drop glue
+        let mut g = self.state.inner.lock();
         if res.epoch != g.epoch {
             return; // reservation died in a crash; a new one may own the range
         }
@@ -160,16 +206,16 @@ impl LogStream {
         g.data[start..start + res.len].copy_from_slice(bytes);
         g.pending.remove(&res.start.0);
         drop(g);
-        self.fill_cv.notify_all();
+        self.state.fill_cv.notify_all();
     }
 
     /// Current end of the stream (next append/reserve position).
     pub fn end_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().data.len() as u64)
+        Lsn(self.state.inner.lock().data.len() as u64)
     }
 
     pub fn durable_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().durable)
+        Lsn(self.state.inner.lock().durable)
     }
 
     /// Force the completed prefix of the stream to storage. Returns the new
@@ -178,7 +224,7 @@ impl LogStream {
     pub fn sync(&self) -> Lsn {
         self.syncs.inc();
         precise_wait_ns(self.cfg.charge_ns(self.cfg.sync_ns));
-        let mut g = self.inner.lock();
+        let mut g = self.state.inner.lock();
         g.durable = g.durable.max(g.completed());
         Lsn(g.durable)
     }
@@ -189,20 +235,21 @@ impl LogStream {
     /// `target` and sync everything completed.
     pub fn sync_to(&self, target: Lsn) -> Lsn {
         {
-            let mut g = self.inner.lock();
+            let mut g = self.state.inner.lock();
             if g.durable >= target.0 {
                 return Lsn(g.durable);
             }
             // A fill below `target` is a memcpy already in progress on
             // another thread; wait for it rather than syncing short. The
             // bound through `data.len()` keeps a crash-truncated stream
-            // from waiting forever.
+            // from waiting forever, and abandoned reservations count as
+            // completed (dead), so a leaked one cannot wedge us either.
             loop {
                 let reachable = target.0.min(g.data.len() as u64);
                 if g.completed() >= reachable {
                     break;
                 }
-                self.fill_cv.wait(&mut g);
+                self.state.fill_cv.wait(&mut g);
             }
         }
         self.sync()
@@ -211,40 +258,65 @@ impl LogStream {
     /// Simulate the owning node crashing: the unsynced tail is lost, synced
     /// data survives (storage is disaggregated and node-failure-independent).
     pub fn crash(&self) {
-        let mut g = self.inner.lock();
-        let durable = g.durable as usize;
-        g.data.truncate(durable);
+        let mut g = self.state.inner.lock();
+        let durable = g.durable;
+        g.data.truncate(durable as usize);
         // Reservations live strictly above the durable watermark; they died
-        // with the tail. The epoch bump makes their late fills inert.
+        // with the tail. The epoch bump makes their late fills (and drop
+        // glue) inert. Dead ranges below the watermark are durable holes
+        // and survive; those above died with the tail.
         g.pending.clear();
+        g.dead.split_off(&durable);
         g.epoch += 1;
         drop(g);
-        self.fill_cv.notify_all();
+        self.state.fill_cv.notify_all();
     }
 
     /// Record a checkpoint: recovery of the owning node may start its scan
     /// here. Durable metadata (a real system stores it in the log header).
     pub fn set_checkpoint(&self, at: Lsn) {
-        let mut g = self.inner.lock();
+        let mut g = self.state.inner.lock();
         debug_assert!(at.0 <= g.durable, "checkpoint beyond durable data");
         g.checkpoint = g.checkpoint.max(at.0);
     }
 
     pub fn checkpoint(&self) -> Lsn {
-        Lsn(self.inner.lock().checkpoint)
+        Lsn(self.state.inner.lock().checkpoint)
     }
 
     /// Read up to `max_bytes` of *durable* data starting at `from`, paying
     /// one storage read latency. Used by chunked recovery (§4.4).
+    ///
+    /// Dead ranges (abandoned reservations) hold no decodable bytes and are
+    /// never returned: a read starting inside one begins at its end (the
+    /// chunk's `start` then exceeds `from`), and a read running into one
+    /// stops short of it. Offsets are preserved — the hole's LSNs are
+    /// simply skipped, and an empty chunk still means "no durable data at
+    /// or after `from`".
     pub fn read_chunk(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
         precise_wait_ns(self.cfg.charge_ns(self.cfg.read_ns));
-        let g = self.inner.lock();
-        let start = (from.0 as usize).min(g.durable as usize);
-        let end = (start + max_bytes).min(g.durable as usize);
+        let g = self.state.inner.lock();
+        let mut start = from.0.min(g.durable);
+        // Hop over any dead ranges covering `start` (they can abut).
+        while let Some((_, &end)) = g.dead.range(..=start).next_back() {
+            if end <= start {
+                break;
+            }
+            start = end.min(g.durable);
+        }
+        let next_dead = g
+            .dead
+            .range(start..)
+            .next()
+            .map(|(&s, _)| s)
+            .unwrap_or(u64::MAX);
+        let end = (start.saturating_add(max_bytes as u64))
+            .min(g.durable)
+            .min(next_dead);
         ReadChunk {
-            start: Lsn(start as u64),
-            end: Lsn(end as u64),
-            data: g.data[start..end].to_vec(),
+            start: Lsn(start),
+            end: Lsn(end),
+            data: g.data[start as usize..end as usize].to_vec(),
         }
     }
 
@@ -400,6 +472,92 @@ mod tests {
         assert_eq!(s.sync_to(Lsn(4)), Lsn(4));
         filler.join().unwrap();
         assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCD");
+    }
+
+    #[test]
+    fn dropped_reservation_releases_watermark_and_reads_skip_hole() {
+        let s = stream();
+        let r1 = s.reserve(4);
+        s.fill(r1, b"ABCD");
+        let r2 = s.reserve(8);
+        let r3 = s.reserve(2);
+        s.fill(r3, b"YZ");
+        drop(r2); // abandoned (simulates a panic between reserve and fill)
+        s.sync();
+        assert_eq!(
+            s.durable_lsn(),
+            Lsn(14),
+            "a dead range must not block durability"
+        );
+        // Readers skip the hole: offsets are preserved, bytes not invented.
+        let c = s.read_chunk(Lsn(0), 100);
+        assert_eq!(c.data, b"ABCD");
+        assert_eq!((c.start, c.end), (Lsn(0), Lsn(4)));
+        let c = s.read_chunk(c.end, 100);
+        assert_eq!(c.data, b"YZ");
+        assert_eq!((c.start, c.end), (Lsn(12), Lsn(14)));
+        // A read from inside the hole starts at its end.
+        let c = s.read_chunk(Lsn(6), 100);
+        assert_eq!(c.data, b"YZ");
+        let c = s.read_chunk(Lsn(14), 100);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sync_to_unblocked_by_abandoned_reservation() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let s = Arc::new(stream());
+        let r1 = s.reserve(4);
+        let abandoned = s.reserve(8);
+        s.fill(r1, b"ABCD");
+        let dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(abandoned);
+        });
+        // Must not hang even though the middle reservation is never filled.
+        assert_eq!(s.sync_to(Lsn(12)), Lsn(12));
+        dropper.join().unwrap();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCD");
+    }
+
+    #[test]
+    fn crash_keeps_durable_holes_and_drops_tail_holes() {
+        let s = stream();
+        let r1 = s.reserve(4);
+        s.fill(r1, b"ABCD");
+        let mid = s.reserve(4);
+        let r3 = s.reserve(2);
+        s.fill(r3, b"YZ");
+        drop(mid); // hole [4, 8) below the (soon) durable watermark
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(10));
+        let tail = s.reserve(4);
+        drop(tail); // hole above the watermark: dies with the crash
+        s.crash();
+        assert_eq!(s.end_lsn(), Lsn(10));
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"ABCD");
+        assert_eq!(s.read_chunk(Lsn(4), 100).data, b"YZ");
+        // Fresh reservations reuse the truncated tail offsets cleanly.
+        let r = s.reserve(2);
+        assert_eq!(r.start(), Lsn(10));
+        s.fill(r, b"ok");
+        s.sync();
+        assert_eq!(s.read_chunk(Lsn(10), 100).data, b"ok");
+    }
+
+    #[test]
+    fn reservation_dropped_after_crash_is_inert() {
+        let s = stream();
+        s.append(b"abcd");
+        s.sync();
+        let dead = s.reserve(4);
+        s.crash();
+        let fresh = s.reserve(4);
+        drop(dead); // stale epoch: must not mark the fresh range dead
+        s.fill(fresh, b"WXYZ");
+        s.sync();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"abcdWXYZ");
     }
 
     #[test]
