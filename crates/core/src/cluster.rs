@@ -1,17 +1,21 @@
 //! The multi-primary cluster.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use pmp_common::sync::{LockClass, Shutdown, TrackedMutex};
 use pmp_common::{ClusterConfig, NodeId, PmpError, Result, TableId};
 use pmp_engine::recovery::{recover_node, RecoveryStats};
 use pmp_engine::shared::Shared;
 use pmp_engine::NodeEngine;
 
 use crate::session::Session;
+
+/// Cluster node roster (admin paths: scale-out/in, stats, recovery).
+const CLUSTER_NODES: LockClass = LockClass::new("core.cluster.nodes");
+/// Deadlock-detector thread handle (taken once at shutdown).
+const CLUSTER_DETECTOR: LockClass = LockClass::new("core.cluster.detector");
 
 /// Builder for [`Cluster`].
 #[derive(Debug, Clone)]
@@ -52,9 +56,9 @@ impl Default for ClusterBuilder {
 /// A PolarDB-MP cluster: N primary nodes over one PMFS + shared storage.
 pub struct Cluster {
     shared: Arc<Shared>,
-    nodes: Mutex<Vec<Arc<NodeEngine>>>,
-    stop: Arc<AtomicBool>,
-    detector: Mutex<Option<JoinHandle<()>>>,
+    nodes: TrackedMutex<Vec<Arc<NodeEngine>>>,
+    stop: Arc<Shutdown>,
+    detector: TrackedMutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -78,24 +82,26 @@ impl Cluster {
             .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i as u16)))
             .collect();
 
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(Shutdown::new());
         let detector = {
             let rlock = Arc::clone(&shared.pmfs.rlock);
             let stop = Arc::clone(&stop);
             let interval = Duration::from_millis(config.deadlock_interval_ms);
             std::thread::spawn(move || {
-                while !stop.load(Ordering::Acquire) {
+                while !stop.is_triggered() {
                     rlock.detect_once();
-                    std::thread::sleep(interval);
+                    if stop.sleep_until_triggered(interval) {
+                        break;
+                    }
                 }
             })
         };
 
         Arc::new(Cluster {
             shared,
-            nodes: Mutex::new(nodes),
+            nodes: TrackedMutex::new(CLUSTER_NODES, nodes),
             stop,
-            detector: Mutex::new(Some(detector)),
+            detector: TrackedMutex::new(CLUSTER_DETECTOR, Some(detector)),
         })
     }
 
@@ -223,7 +229,10 @@ impl Cluster {
     /// assert!(cluster.node(0).wal.stream().checkpoint().0 > 0);
     /// ```
     pub fn checkpoint_all(&self) {
-        for node in self.nodes.lock().iter() {
+        // Snapshot the roster first: flushing charges storage/fabric
+        // latency and must not run under the roster lock.
+        let nodes: Vec<Arc<NodeEngine>> = self.nodes.lock().iter().map(Arc::clone).collect();
+        for node in nodes {
             if node.is_alive() {
                 node.flush_tick(); // flush + opportunistic checkpoint
             }
@@ -274,7 +283,7 @@ impl Cluster {
     /// Stop background machinery (detector + node threads). Nodes stay
     /// usable for reads but no new background work runs.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.trigger();
         if let Some(t) = self.detector.lock().take() {
             let _ = t.join();
         }
@@ -435,6 +444,21 @@ mod tests {
 {report}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_all_flushes_outside_roster_lock() {
+        // Regression: checkpoint_all used to hold the node-roster mutex
+        // across flush_tick, which charges storage/fabric latency. Under
+        // `--features sanitize` the charge-point assertion panics if the
+        // roster lock is still held here.
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        for k in 0..10u64 {
+            c.session(k as usize % 2).insert(t, k, v(&[k])).unwrap();
+        }
+        c.checkpoint_all();
+        assert!(c.node(0).wal.stream().checkpoint().0 > 0);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{Cts, GlobalTrxId, NodeId};
+
+/// CTS-cache segments (visibility fast path, never held across a charge).
+const CTS_SEGMENT: LockClass = LockClass::new("engine.cts_cache.segment");
 
 /// Number of segments. Power of two so the hash can mask.
 const SEGMENTS: usize = 16;
@@ -37,7 +40,7 @@ fn segment_index(gid: &GlobalTrxId) -> usize {
 
 /// Sharded bounded map from transaction identity to resolved CTS.
 pub struct CtsCache {
-    segments: Box<[RwLock<HashMap<GlobalTrxId, Cts>>]>,
+    segments: Box<[TrackedRwLock<HashMap<GlobalTrxId, Cts>>]>,
     /// Per-segment entry bound; reaching it clears only that segment.
     segment_capacity: usize,
 }
@@ -55,7 +58,9 @@ impl CtsCache {
     /// A cache bounded at roughly `total_capacity` entries overall.
     pub fn new(total_capacity: usize) -> Self {
         CtsCache {
-            segments: (0..SEGMENTS).map(|_| RwLock::new(HashMap::new())).collect(),
+            segments: (0..SEGMENTS)
+                .map(|_| TrackedRwLock::new(CTS_SEGMENT, HashMap::new()))
+                .collect(),
             segment_capacity: (total_capacity / SEGMENTS).max(1),
         }
     }

@@ -18,8 +18,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+// The frame latch stays a raw parking_lot lock on purpose: B-tree descent
+// latch-crabs parent→child latches of the *same* class, which the tracked
+// wrapper correctly rejects as same-class nesting. Everything else in this
+// file is tracked.
+use parking_lot::RwLock; // lint: allow(raw-parking-lot): Frame.page latch-crabs same-class B-tree latches
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, Llsn, Lsn, PageId};
+
+/// Shard maps (lookup/install/evict). Ordered before `engine.lbp.frame_dirty`
+/// (eviction and the flusher inspect dirty state under the shard lock).
+const LBP_SHARD: LockClass = LockClass::new("engine.lbp.shard");
+/// Per-frame dirty bookkeeping.
+const LBP_FRAME_DIRTY: LockClass = LockClass::new("engine.lbp.frame_dirty");
 
 use crate::page::Page;
 
@@ -53,7 +64,7 @@ pub struct Frame {
     pub page: RwLock<Page>,
     /// Cleared remotely by Buffer Fusion when a peer pushes a newer version.
     pub valid: Arc<AtomicBool>,
-    dirty: Mutex<DirtyState>,
+    dirty: TrackedMutex<DirtyState>,
     /// Clock-hand reference bit for eviction.
     referenced: AtomicBool,
 }
@@ -63,7 +74,7 @@ impl Frame {
         Arc::new(Frame {
             page: RwLock::new(page),
             valid,
-            dirty: Mutex::new(DirtyState::default()),
+            dirty: TrackedMutex::new(LBP_FRAME_DIRTY, DirtyState::default()),
             referenced: AtomicBool::new(true),
         })
     }
@@ -111,7 +122,10 @@ enum Slot {
     /// slot) and the pool's wipe generation at appointment time (a load
     /// that straddles a [`Lbp::clear`] must not install its page — see
     /// [`Lbp::finish_load`]).
-    Loading { ticket: u64, gen: u64 },
+    Loading {
+        ticket: u64,
+        gen: u64,
+    },
     Ready(Arc<Frame>),
 }
 
@@ -126,15 +140,15 @@ pub struct LoadTicket(u64);
 /// One shard: its own map and condvar, so a load in flight only blocks
 /// requesters hashing to the same shard.
 struct Shard {
-    map: Mutex<HashMap<PageId, Slot>>,
-    load_cv: Condvar,
+    map: TrackedMutex<HashMap<PageId, Slot>>,
+    load_cv: TrackedCondvar,
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
-            map: Mutex::new(HashMap::new()),
-            load_cv: Condvar::new(),
+            map: TrackedMutex::new(LBP_SHARD, HashMap::new()),
+            load_cv: TrackedCondvar::new(),
         }
     }
 }
@@ -271,7 +285,7 @@ impl Lbp {
         let gen = self.wipe_gen.load(Ordering::SeqCst);
         match map.get(&page_id) {
             Some(Slot::Loading { ticket: t, gen: g }) if *t == ticket.0 => {
-                if *g == gen && gen % 2 == 0 {
+                if *g == gen && gen.is_multiple_of(2) {
                     let frame = Frame::new(page, valid);
                     map.insert(page_id, Slot::Ready(Arc::clone(&frame)));
                     shard.load_cv.notify_all();
@@ -356,7 +370,7 @@ impl Lbp {
     /// Enter the wipe-in-progress state (generation becomes odd).
     fn wipe_begin(&self) {
         let prev = self.wipe_gen.fetch_add(1, Ordering::SeqCst);
-        debug_assert!(prev % 2 == 0, "concurrent Lbp::clear calls");
+        debug_assert!(prev.is_multiple_of(2), "concurrent Lbp::clear calls");
     }
 
     /// Leave the wipe-in-progress state (generation becomes even again).

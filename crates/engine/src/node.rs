@@ -7,11 +7,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use pmp_common::sync::{LockClass, Shutdown, TrackedMutex, TrackedRwLock};
 use pmp_common::{
     Counter, Cts, EngineConfig, GlobalTrxId, NodeId, PageId, PmpError, Result, SlotId, TrxId,
     CSN_MAX,
 };
+
+/// Active-transaction table (begin/finish/visibility fast path).
+const NODE_ACTIVE: LockClass = LockClass::new("engine.node.active");
+/// Committed transactions awaiting TIT-slot recycling.
+const NODE_FINISHED: LockClass = LockClass::new("engine.node.finished");
+/// Root-page leaf/internal hints.
+const NODE_ROOT_HINTS: LockClass = LockClass::new("engine.node.root_hints");
+/// Background-thread join handles (lifecycle only).
+const NODE_BG: LockClass = LockClass::new("engine.node.bg");
 use pmp_pmfs::{PLockMode, TitRegion};
 use pmp_rdma::Locality;
 
@@ -69,8 +78,8 @@ pub struct NodeEngine {
     pub tso: TsoClient,
     pub stats: NodeStats,
     next_trx: AtomicU64,
-    active: Mutex<HashMap<TrxId, ActiveTrx>>,
-    finished: Mutex<Vec<FinishedTrx>>,
+    active: TrackedMutex<HashMap<TrxId, ActiveTrx>>,
+    finished: TrackedMutex<Vec<FinishedTrx>>,
     /// Cached peers' published min-active transaction ids (§4.3.2): a flat
     /// atomic array, so the liveness fast path is one atomic load.
     min_active_cache: MinActiveTable,
@@ -80,13 +89,15 @@ pub struct NodeEngine {
     cts_cache: CtsCache,
     /// Root page hints: is this root currently a leaf? Lets writers acquire
     /// the X PLock directly instead of S-then-upgrade.
-    root_hints: RwLock<HashMap<PageId, bool>>,
+    root_hints: TrackedRwLock<HashMap<PageId, bool>>,
     alive: AtomicBool,
     /// Set while a graceful decommission drains: new transactions are
     /// refused, in-flight ones may finish.
     draining: AtomicBool,
-    stop: Arc<AtomicBool>,
-    bg: Mutex<Vec<JoinHandle<()>>>,
+    /// Stops the background threads; triggering wakes them mid-interval,
+    /// so shutdown never waits out a full tick.
+    shutdown: Arc<Shutdown>,
+    bg: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for NodeEngine {
@@ -179,15 +190,15 @@ impl NodeEngine {
             tso,
             stats: NodeStats::default(),
             next_trx: AtomicU64::new(1),
-            active: Mutex::new(HashMap::new()),
-            finished: Mutex::new(Vec::new()),
+            active: TrackedMutex::new(NODE_ACTIVE, HashMap::new()),
+            finished: TrackedMutex::new(NODE_FINISHED, Vec::new()),
             min_active_cache: MinActiveTable::new(shared.config.nodes.max(64)),
             cts_cache: CtsCache::new(CTS_CACHE_CAPACITY),
-            root_hints: RwLock::new(HashMap::new()),
+            root_hints: TrackedRwLock::new(NODE_ROOT_HINTS, HashMap::new()),
             alive: AtomicBool::new(true),
             draining: AtomicBool::new(false),
-            stop: Arc::new(AtomicBool::new(false)),
-            bg: Mutex::new(Vec::new()),
+            shutdown: Arc::new(Shutdown::new()),
+            bg: TrackedMutex::new(NODE_BG, Vec::new()),
             shared,
         });
 
@@ -201,23 +212,27 @@ impl NodeEngine {
         let mut bg = self.bg.lock();
         {
             let engine = Arc::clone(self);
-            let stop = Arc::clone(&self.stop);
+            let shutdown = Arc::clone(&self.shutdown);
             let interval = Duration::from_millis(self.cfg.min_view_interval_ms);
             bg.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Acquire) {
+                while !shutdown.is_triggered() {
                     engine.min_view_tick();
-                    std::thread::sleep(interval);
+                    if shutdown.sleep_until_triggered(interval) {
+                        break;
+                    }
                 }
             }));
         }
         {
             let engine = Arc::clone(self);
-            let stop = Arc::clone(&self.stop);
+            let shutdown = Arc::clone(&self.shutdown);
             let interval = Duration::from_millis(self.cfg.flush_interval_ms);
             bg.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Acquire) {
+                while !shutdown.is_triggered() {
                     engine.flush_tick();
-                    std::thread::sleep(interval);
+                    if shutdown.sleep_until_triggered(interval) {
+                        break;
+                    }
                 }
             }));
         }
@@ -427,17 +442,13 @@ impl NodeEngine {
             return Err(PmpError::NodeUnavailable { node: self.node });
         }
         let trx_id = TrxId(self.next_trx.fetch_add(1, Ordering::Relaxed));
-        let deadline =
-            std::time::Instant::now() + Duration::from_millis(self.cfg.lock_wait_timeout_ms);
-        let (slot, version) = loop {
-            if let Some(s) = self.tit.allocate() {
-                break s;
-            }
-            if std::time::Instant::now() > deadline {
-                return Err(PmpError::internal("TIT slots exhausted"));
-            }
-            std::thread::sleep(Duration::from_micros(200));
-        };
+        // Slot exhaustion: wait on the TIT free-list condvar (woken by every
+        // release) instead of polling — a freed slot is picked up
+        // immediately rather than after a fixed poll interval.
+        let (slot, version) = self
+            .tit
+            .allocate_timeout(Duration::from_millis(self.cfg.lock_wait_timeout_ms))
+            .ok_or_else(|| PmpError::internal("TIT slots exhausted"))?;
         let gid = GlobalTrxId {
             node: self.node,
             trx: trx_id,
@@ -646,7 +657,7 @@ impl NodeEngine {
 
     /// Graceful shutdown of background threads (keeps all state intact).
     pub fn stop_background(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.shutdown.trigger();
         let mut bg = self.bg.lock();
         for t in bg.drain(..) {
             let _ = t.join();
@@ -663,14 +674,19 @@ impl NodeEngine {
         // Refuse new transactions but let in-flight ones run to completion
         // (commit or rollback) against a fully functional node.
         self.draining.store(true, Ordering::Release);
+        // lint: allow(raw-instant): real-time drain deadline for decommission
         let deadline = std::time::Instant::now() + drain;
         while !self.active.lock().is_empty() {
+            // lint: allow(raw-instant): real-time drain deadline for decommission
             if std::time::Instant::now() > deadline {
                 self.draining.store(false, Ordering::Release);
                 return Err(PmpError::aborted(
                     "active transactions did not drain before decommission",
                 ));
             }
+            // Transactions finish on their own threads; there is no condvar
+            // to park on, and decommission is an administrative slow path.
+            // lint: allow(raw-sleep): administrative drain poll, not a data path
             std::thread::sleep(Duration::from_millis(5));
         }
         self.alive.store(false, Ordering::Release);
@@ -716,7 +732,7 @@ impl NodeEngine {
 
 impl Drop for NodeEngine {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.shutdown.trigger();
         let mut bg = self.bg.lock();
         for t in bg.drain(..) {
             let _ = t.join();

@@ -18,9 +18,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
 use pmp_pmfs::{PLockFusion, PLockMode, ReleaseRequester};
+
+/// The node's local PLock table. All fusion traffic (acquire/release, both
+/// RPC-priced) happens with this lock dropped.
+const LOCAL_ENTRIES: LockClass = LockClass::new("engine.plock_local.entries");
+/// The release-hook slot (taken only to clone the `Arc`).
+const LOCAL_HOOK: LockClass = LockClass::new("engine.plock_local.hook");
 
 /// Engine callback run just before a PLock is handed back to Lock Fusion:
 /// force logs + push the page to the DBP if it is dirty (§4.3.1).
@@ -57,9 +63,9 @@ pub struct LocalPLockStats {
 pub struct LocalPLocks {
     node: NodeId,
     fusion: Arc<PLockFusion>,
-    entries: Mutex<HashMap<PageId, Entry>>,
-    cv: Condvar,
-    hook: Mutex<Option<Arc<dyn ReleaseHook>>>,
+    entries: TrackedMutex<HashMap<PageId, Entry>>,
+    cv: TrackedCondvar,
+    hook: TrackedMutex<Option<Arc<dyn ReleaseHook>>>,
     /// Lazy release enabled (ablation switch, §4.3.1).
     lazy: bool,
     timeout: Duration,
@@ -94,9 +100,9 @@ impl LocalPLocks {
         Arc::new(LocalPLocks {
             node,
             fusion,
-            entries: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-            hook: Mutex::new(None),
+            entries: TrackedMutex::new(LOCAL_ENTRIES, HashMap::new()),
+            cv: TrackedCondvar::new(),
+            hook: TrackedMutex::new(LOCAL_HOOK, None),
             lazy,
             timeout,
             stats: LocalPLockStats::default(),
@@ -114,6 +120,7 @@ impl LocalPLocks {
     /// Acquire `mode` on `page`, blocking as needed. Returns a guard whose
     /// drop decrements the reference count.
     pub fn acquire(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
+        // lint: allow(raw-instant): condvar deadline for the lock-wait timeout
         let deadline = std::time::Instant::now() + self.timeout;
         let mut entries = self.entries.lock();
         loop {
@@ -137,7 +144,17 @@ impl LocalPLocks {
                     entries = self.entries.lock();
                     match res {
                         Ok(()) => {
-                            let e = entries.get_mut(&page).expect("acquirer entry");
+                            let Some(e) = entries.get_mut(&page) else {
+                                // `crash_clear` wiped the table while the
+                                // fusion call was in flight: the node crashed
+                                // under us. Hand the surprise grant straight
+                                // back so fusion doesn't record a hold no
+                                // local entry tracks (recovery's release_all
+                                // may already have run), and fail the caller.
+                                drop(entries);
+                                self.fusion.release(self.node, page);
+                                return Err(PmpError::NodeUnavailable { node: self.node });
+                            };
                             e.state = EntryState::Held;
                             e.mode = mode;
                             e.refcount = 1;
@@ -444,6 +461,34 @@ mod tests {
             fusion.holders(p),
             vec![(NodeId(1), PLockMode::X)],
             "fusion must still see the crashed node as holder"
+        );
+    }
+
+    #[test]
+    fn crash_clear_during_inflight_acquire_errors_cleanly() {
+        use std::thread;
+        let (fusion, a, b) = setup(true);
+        let p = PageId(8);
+        // B holds X with a live reference, so A's fusion acquire queues.
+        let guard = b.acquire(p, PLockMode::X).unwrap();
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || a2.acquire(p, PLockMode::X).map(|g| g.mode));
+        thread::sleep(Duration::from_millis(50));
+
+        // Crash A while its fusion call is in flight, then let the grant
+        // land by draining B.
+        a.crash_clear();
+        drop(guard);
+
+        let res = t.join().expect("in-flight acquire must not panic");
+        assert!(
+            matches!(res, Err(PmpError::NodeUnavailable { node: NodeId(1) })),
+            "post-crash grant must surface as NodeUnavailable, got {res:?}"
+        );
+        assert_eq!(a.held_count(), 0);
+        assert!(
+            !fusion.holders(p).iter().any(|(n, _)| *n == NodeId(1)),
+            "the surprise grant must be handed back to fusion"
         );
     }
 

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{ClusterConfig, PageId, PmpError, Result, TableId};
 use pmp_pmfs::buffer::EvictionSink;
 use pmp_pmfs::Pmfs;
@@ -50,16 +50,25 @@ pub struct TableMeta {
 /// The cluster-wide table catalog. Table creation is an administrative
 /// operation performed by the cluster API before workloads run; the catalog
 /// itself is replicated metadata and not part of the crash-recovery story.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
-    tables: RwLock<HashMap<TableId, Arc<TableMeta>>>,
+    tables: TrackedRwLock<HashMap<TableId, Arc<TableMeta>>>,
     next_id: AtomicU32,
+}
+
+/// Table catalog (administrative metadata, charge-free lookups).
+const CATALOG: LockClass = LockClass::new("engine.catalog");
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Catalog {
-            tables: RwLock::new(HashMap::new()),
+            tables: TrackedRwLock::new(CATALOG, HashMap::new()),
             next_id: AtomicU32::new(1),
         }
     }

@@ -16,8 +16,17 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pmp_common::sync::{LockClass, TrackedMutex};
 use pmp_common::{ClusterConfig, GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result};
+
+/// The standby's whole apply state is one mutex by design: `catch_up` is a
+/// single-consumer shipping loop, and the log reads it performs *are* its
+/// work, not incidental I/O under a hot lock. The mutex exists only so
+/// `stats()`/`read()`/`promote()` see consistent snapshots between rounds.
+const STANDBY_STATE: LockClass = LockClass::charge_exempt(
+    "engine.standby.state",
+    "single-consumer apply loop reads shipped log chunks as its own critical work; the lock only fences stats/read/promote snapshots between rounds",
+);
 
 use crate::page::{Page, PageKind};
 use crate::recovery::StreamCursor;
@@ -51,7 +60,7 @@ struct StandbyState {
 pub struct Standby {
     source: Arc<Shared>,
     chunk_bytes: usize,
-    state: Mutex<StandbyState>,
+    state: TrackedMutex<StandbyState>,
 }
 
 impl std::fmt::Debug for Standby {
@@ -79,16 +88,19 @@ impl Standby {
         Standby {
             source: Arc::clone(source),
             chunk_bytes: source.config.engine.recovery_chunk_bytes,
-            state: Mutex::new(StandbyState {
-                pages: HashMap::new(),
-                cursors,
-                committed: HashSet::new(),
-                rolled_back: HashSet::new(),
-                undo: HashMap::new(),
-                undo_of: HashMap::new(),
-                seen: HashSet::new(),
-                stats: StandbyStats::default(),
-            }),
+            state: TrackedMutex::new(
+                STANDBY_STATE,
+                StandbyState {
+                    pages: HashMap::new(),
+                    cursors,
+                    committed: HashSet::new(),
+                    rolled_back: HashSet::new(),
+                    undo: HashMap::new(),
+                    undo_of: HashMap::new(),
+                    seen: HashSet::new(),
+                    stats: StandbyStats::default(),
+                },
+            ),
         }
     }
 

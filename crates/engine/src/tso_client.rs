@@ -11,10 +11,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, Cts};
 
 use pmp_pmfs::TxnFusion;
+
+/// Linear-Lamport coalescing state. The TSO fetch itself (one-sided read,
+/// RDMA-priced) always runs with this lock dropped.
+const TSO_STATE: LockClass = LockClass::new("engine.tso_client.state");
 
 #[derive(Debug)]
 struct State {
@@ -26,8 +30,8 @@ struct State {
 /// Per-node TSO client.
 pub struct TsoClient {
     fusion: Arc<TxnFusion>,
-    state: Mutex<State>,
-    cv: Condvar,
+    state: TrackedMutex<State>,
+    cv: TrackedCondvar,
     enabled: bool,
     pub fetches: Counter,
     pub reuses: Counter,
@@ -47,11 +51,14 @@ impl TsoClient {
     pub fn new(fusion: Arc<TxnFusion>, linear_lamport: bool) -> Self {
         TsoClient {
             fusion,
-            state: Mutex::new(State {
-                last: None,
-                in_flight: false,
-            }),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(
+                TSO_STATE,
+                State {
+                    last: None,
+                    in_flight: false,
+                },
+            ),
+            cv: TrackedCondvar::new(),
             enabled: linear_lamport,
             fetches: Counter::new(),
             reuses: Counter::new(),
@@ -69,6 +76,7 @@ impl TsoClient {
             self.fetches.inc();
             return self.fusion.current_cts();
         }
+        // lint: allow(raw-instant): Linear Lamport compares real fetch/arrival times
         let arrival = Instant::now();
         let mut st = self.state.lock();
         loop {
@@ -89,6 +97,7 @@ impl TsoClient {
 
             self.fetches.inc();
             let cts = self.fusion.current_cts();
+            // lint: allow(raw-instant): Linear Lamport fetch-completion timestamp
             let done = Instant::now();
 
             st = self.state.lock();

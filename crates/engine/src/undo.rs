@@ -15,9 +15,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{Counter, GlobalTrxId, NodeId, TableId};
 use pmp_rdma::{Fabric, Locality};
+
+/// Undo-store shards; the remote-read charge is paid after the shard guard
+/// drops.
+const UNDO_SHARD: LockClass = LockClass::new("engine.undo.shard");
 
 use crate::row::{IndexKey, RowHeader, RowValue};
 
@@ -58,7 +62,7 @@ const SHARDS: usize = 64;
 /// Cluster-shared undo store.
 #[derive(Debug)]
 pub struct UndoStore {
-    shards: Vec<RwLock<HashMap<UndoPtr, Arc<UndoRecord>>>>,
+    shards: Vec<TrackedRwLock<HashMap<UndoPtr, Arc<UndoRecord>>>>,
     next_seq: Vec<AtomicU64>,
     pub appends: Counter,
     pub remote_reads: Counter,
@@ -79,14 +83,16 @@ fn record_bytes(rec: &UndoRecord) -> usize {
 impl UndoStore {
     pub fn new() -> Self {
         UndoStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| TrackedRwLock::new(UNDO_SHARD, HashMap::new()))
+                .collect(),
             next_seq: (0..MAX_NODES).map(|_| AtomicU64::new(1)).collect(),
             appends: Counter::new(),
             remote_reads: Counter::new(),
         }
     }
 
-    fn shard(&self, ptr: UndoPtr) -> &RwLock<HashMap<UndoPtr, Arc<UndoRecord>>> {
+    fn shard(&self, ptr: UndoPtr) -> &TrackedRwLock<HashMap<UndoPtr, Arc<UndoRecord>>> {
         &self.shards[(ptr.seq as usize ^ ptr.node.as_usize()) & (SHARDS - 1)]
     }
 

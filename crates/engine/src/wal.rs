@@ -17,9 +17,21 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pmp_common::sync::{LockClass, TrackedMutex};
 use pmp_common::{Llsn, Lsn};
 use pmp_storage::LogStream;
+
+/// LLSN allocation + reservation critical section. Charge-free: encoding
+/// and all storage waits happen outside it.
+const WAL_LOG: LockClass = LockClass::new("engine.wal.log");
+/// Group-commit serialization. The leader *deliberately* holds this across
+/// the simulated fsync — that is the device-side serialization the group
+/// commit protocol exists to amortize, so the charge-point assertion is
+/// waived for this class.
+const WAL_SYNC: LockClass = LockClass::charge_exempt(
+    "engine.wal.sync",
+    "group-commit leader holds the sync mutex across the fsync it performs on behalf of the batch",
+);
 
 use crate::llsn::LlsnClock;
 use crate::redo::RedoRecord;
@@ -29,9 +41,9 @@ use crate::redo::RedoRecord;
 pub struct Wal {
     stream: Arc<LogStream>,
     /// Serializes LLSN allocation + byte-range reservation (invariant 1).
-    log_mutex: Mutex<()>,
+    log_mutex: TrackedMutex<()>,
     /// Serializes fsyncs so concurrent committers batch (group commit).
-    sync_mutex: Mutex<()>,
+    sync_mutex: TrackedMutex<()>,
     llsn: LlsnClock,
 }
 
@@ -39,8 +51,8 @@ impl Wal {
     pub fn new(stream: Arc<LogStream>) -> Self {
         Wal {
             stream,
-            log_mutex: Mutex::new(()),
-            sync_mutex: Mutex::new(()),
+            log_mutex: TrackedMutex::new(WAL_LOG, ()),
+            sync_mutex: TrackedMutex::new(WAL_SYNC, ()),
             llsn: LlsnClock::new(),
         }
     }

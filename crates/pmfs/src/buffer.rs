@@ -22,9 +22,14 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pmp_common::sync::{LockClass, TrackedMutex};
 use pmp_common::{Counter, Llsn, NodeId, PageId};
 use pmp_rdma::{Fabric, Locality};
+
+/// DBP directory shards. Every op touches exactly one shard.
+const DBP_SHARD: LockClass = LockClass::new("pmfs.dbp.shard");
+/// The eviction-sink slot (taken only to clone the `Arc`).
+const DBP_SINK: LockClass = LockClass::new("pmfs.dbp.sink");
 
 /// Where evicted DBP pages are written back (wired to the shared page store
 /// by the cluster assembly).
@@ -74,11 +79,11 @@ const SHARDS: usize = 64;
 /// The Buffer Fusion service and its distributed buffer pool.
 pub struct BufferFusion<P> {
     fabric: Arc<Fabric>,
-    shards: Vec<Mutex<Shard<P>>>,
+    shards: Vec<TrackedMutex<Shard<P>>>,
     per_shard_capacity: usize,
     page_bytes: usize,
     stats: BufferFusionStats,
-    sink: Mutex<Option<Arc<dyn EvictionSink<P>>>>,
+    sink: TrackedMutex<Option<Arc<dyn EvictionSink<P>>>>,
 }
 
 impl<P> std::fmt::Debug for BufferFusion<P> {
@@ -96,16 +101,19 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             fabric,
             shards: (0..SHARDS)
                 .map(|_| {
-                    Mutex::new(Shard {
-                        entries: HashMap::new(),
-                        fifo: VecDeque::new(),
-                    })
+                    TrackedMutex::new(
+                        DBP_SHARD,
+                        Shard {
+                            entries: HashMap::new(),
+                            fifo: VecDeque::new(),
+                        },
+                    )
                 })
                 .collect(),
             per_shard_capacity: (capacity / SHARDS).max(1),
             page_bytes,
             stats: BufferFusionStats::default(),
-            sink: Mutex::new(None),
+            sink: TrackedMutex::new(DBP_SINK, None),
         }
     }
 
@@ -118,7 +126,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
         &self.stats
     }
 
-    fn shard(&self, id: PageId) -> &Mutex<Shard<P>> {
+    fn shard(&self, id: PageId) -> &TrackedMutex<Shard<P>> {
         &self.shards[(id.0 as usize) & (SHARDS - 1)]
     }
 
@@ -296,16 +304,22 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
     /// sink on *clean* eviction, so only log-recoverable state is ever lost
     /// here).
     pub fn clear(&self) {
+        // Drain each shard under its lock, but pay for the remote flag
+        // writes only after the lock is dropped — the invalidation fan-out
+        // is O(holders) remote ops and must not stall concurrent lookups.
         for shard in &self.shards {
-            let mut s = shard.lock();
-            for (_, entry) in s.entries.drain() {
+            let drained: Vec<DbpEntry<P>> = {
+                let mut s = shard.lock();
+                s.fifo.clear();
+                s.entries.drain().map(|(_, entry)| entry).collect()
+            };
+            for entry in drained {
                 for h in &entry.holders {
                     self.stats.invalidations.inc();
                     self.fabric
                         .write_flag(&h.valid_flag, false, Locality::Remote);
                 }
             }
-            s.fifo.clear();
         }
     }
 
@@ -356,6 +370,7 @@ fn upsert_holder<P>(entry: &mut DbpEntry<P>, node: NodeId, valid_flag: Arc<Atomi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use pmp_common::LatencyConfig;
     use std::sync::atomic::Ordering;
 
@@ -506,6 +521,28 @@ mod tests {
             "holder of evicted page invalidated"
         );
         assert_eq!(sink.0.lock().as_slice(), &[(p1, Llsn(1))]);
+    }
+
+    /// Regression: `clear` used to invalidate holder flags while still
+    /// holding the shard lock — a remote charge under a tracked lock. Under
+    /// the `sanitize` feature the charge-point assertion in
+    /// `precise_wait_ns` makes this test panic if that regresses.
+    #[test]
+    fn clear_invalidates_outside_shard_locks() {
+        let bf = bf(1024);
+        let flags: Vec<_> = (0..8).map(|_| flag(true)).collect();
+        for (i, f) in flags.iter().enumerate() {
+            bf.register_push(
+                NodeId(1),
+                PageId(i as u64 + 1),
+                Arc::new(format!("p{i}")),
+                Llsn(1),
+                Arc::clone(f),
+            );
+        }
+        bf.clear();
+        assert_eq!(bf.page_count(), 0);
+        assert!(flags.iter().all(|f| !f.load(Ordering::Acquire)));
     }
 
     #[test]

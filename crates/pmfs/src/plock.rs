@@ -12,9 +12,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
 use pmp_rdma::Fabric;
+
+/// Lock-table shard maps. Ordered before `pmfs.plock.grant_cell` (FIFO
+/// grants signal cells under the shard lock).
+const PLOCK_SHARD: LockClass = LockClass::new("pmfs.plock.shard");
+/// Per-waiting-request grant cells.
+const GRANT_CELL: LockClass = LockClass::new("pmfs.plock.grant_cell");
+/// The node → negotiation-handler directory.
+const REQUESTERS: LockClass = LockClass::new("pmfs.plock.requesters");
 
 /// Shared (read) or exclusive (write) page lock.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,15 +59,15 @@ enum GrantState {
 
 #[derive(Debug)]
 struct GrantCell {
-    state: Mutex<GrantState>,
-    cv: Condvar,
+    state: TrackedMutex<GrantState>,
+    cv: TrackedCondvar,
 }
 
 impl GrantCell {
     fn new() -> Arc<Self> {
         Arc::new(GrantCell {
-            state: Mutex::new(GrantState::Waiting),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(GRANT_CELL, GrantState::Waiting),
+            cv: TrackedCondvar::new(),
         })
     }
 
@@ -147,8 +155,8 @@ const SHARDS: usize = 64;
 /// The Lock Fusion PLock table.
 pub struct PLockFusion {
     fabric: Arc<Fabric>,
-    shards: Vec<Mutex<HashMap<PageId, PLockState>>>,
-    requesters: RwLock<HashMap<NodeId, Arc<dyn ReleaseRequester>>>,
+    shards: Vec<TrackedMutex<HashMap<PageId, PLockState>>>,
+    requesters: TrackedRwLock<HashMap<NodeId, Arc<dyn ReleaseRequester>>>,
     stats: PLockStats,
 }
 
@@ -164,8 +172,10 @@ impl PLockFusion {
     pub fn new(fabric: Arc<Fabric>) -> Self {
         PLockFusion {
             fabric,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            requesters: RwLock::new(HashMap::new()),
+            shards: (0..SHARDS)
+                .map(|_| TrackedMutex::new(PLOCK_SHARD, HashMap::new()))
+                .collect(),
+            requesters: TrackedRwLock::new(REQUESTERS, HashMap::new()),
             stats: PLockStats::default(),
         }
     }
@@ -186,7 +196,7 @@ impl PLockFusion {
         self.requesters.write().remove(&node);
     }
 
-    fn shard(&self, page: PageId) -> &Mutex<HashMap<PageId, PLockState>> {
+    fn shard(&self, page: PageId) -> &TrackedMutex<HashMap<PageId, PLockState>> {
         &self.shards[(page.0 as usize) & (SHARDS - 1)]
     }
 
@@ -271,14 +281,22 @@ impl PLockFusion {
         if holders.is_empty() {
             return;
         }
-        let requesters = self.requesters.read();
-        for n in holders {
-            if let Some(handler) = requesters.get(n) {
-                self.stats.negotiations.inc();
-                // Fusion → node nudge: one-way message, no reply needed.
-                self.fabric.one_way_message(32);
-                handler.request_release(page, wanted);
-            }
+        // Snapshot the handlers and drop the directory lock before
+        // messaging: the nudge charges fabric latency, and the handler may
+        // re-enter this fusion (an instant release takes a shard lock) —
+        // neither may happen under the requesters lock.
+        let handlers: Vec<Arc<dyn ReleaseRequester>> = {
+            let requesters = self.requesters.read();
+            holders
+                .iter()
+                .filter_map(|n| requesters.get(n).cloned())
+                .collect()
+        };
+        for handler in handlers {
+            self.stats.negotiations.inc();
+            // Fusion → node nudge: one-way message, no reply needed.
+            self.fabric.one_way_message(32);
+            handler.request_release(page, wanted);
         }
     }
 
@@ -381,6 +399,7 @@ impl PLockFusion {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use pmp_common::LatencyConfig;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
@@ -567,6 +586,46 @@ mod tests {
         waiter.join().unwrap().unwrap();
         assert_eq!(f.holders(PageId(10)), vec![(NodeId(2), PLockMode::X)]);
         assert_eq!(f.holders(PageId(11)), vec![(NodeId(2), PLockMode::S)]);
+    }
+
+    /// Regression: `negotiate` used to hold the requesters read lock while
+    /// charging the nudge message and running the handler — a
+    /// latency-under-lock violation, and a re-entrancy hazard for handlers
+    /// that call back into the fusion. The nudge must run lock-free.
+    #[test]
+    fn negotiation_handlers_run_without_fusion_locks_held() {
+        struct Probe {
+            nudges: AtomicUsize,
+            max_held: AtomicUsize,
+        }
+        impl ReleaseRequester for Probe {
+            fn request_release(&self, _page: PageId, _wanted: PLockMode) {
+                self.nudges.fetch_add(1, Ordering::Relaxed);
+                self.max_held
+                    .fetch_max(pmp_common::sync::held_tracked_locks(), Ordering::Relaxed);
+            }
+        }
+
+        let f = fusion();
+        let p = PageId(13);
+        let probe = Arc::new(Probe {
+            nudges: AtomicUsize::new(0),
+            max_held: AtomicUsize::new(0),
+        });
+        f.register_node(NodeId(1), Arc::clone(&probe) as Arc<dyn ReleaseRequester>);
+        f.acquire(NodeId(1), p, PLockMode::X, T).unwrap();
+
+        // The probe never releases, so node 2 times out — but the nudge fires.
+        let err = f
+            .acquire(NodeId(2), p, PLockMode::X, Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, PmpError::LockWaitTimeout);
+        assert_eq!(probe.nudges.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            probe.max_held.load(Ordering::Relaxed),
+            0,
+            "release nudges must not run under any tracked fusion lock"
+        );
     }
 
     #[test]

@@ -18,9 +18,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, GlobalTrxId};
 use pmp_rdma::Fabric;
+
+/// Per-waiter cell state. Signalled under `pmfs.rlock.waits` (the
+/// wait-info table is consulted to find the cell), never the reverse.
+const RLOCK_CELL: LockClass = LockClass::new("pmfs.rlock.wait_cell");
+/// holder → waiters table.
+const RLOCK_WAITS: LockClass = LockClass::new("pmfs.rlock.waits");
+/// waiter → holder wait-for edges.
+const RLOCK_EDGES: LockClass = LockClass::new("pmfs.rlock.edges");
 
 /// Outcome of a registered wait.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,15 +50,15 @@ enum WaitState {
 /// Shared waiter cell: the engine blocks on it, Lock Fusion signals it.
 #[derive(Debug)]
 pub struct WaitCell {
-    state: Mutex<WaitState>,
-    cv: Condvar,
+    state: TrackedMutex<WaitState>,
+    cv: TrackedCondvar,
 }
 
 impl WaitCell {
     fn new() -> Arc<Self> {
         Arc::new(WaitCell {
-            state: Mutex::new(WaitState::Waiting),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(RLOCK_CELL, WaitState::Waiting),
+            cv: TrackedCondvar::new(),
         })
     }
 
@@ -97,10 +105,10 @@ pub struct RLockStats {
 pub struct RLockFusion {
     fabric: Arc<Fabric>,
     /// holder → the transactions waiting for it.
-    waits: Mutex<HashMap<GlobalTrxId, Vec<Waiter>>>,
+    waits: TrackedMutex<HashMap<GlobalTrxId, Vec<Waiter>>>,
     /// waiter → holder (each transaction waits for at most one row at a
     /// time, as in any 2PL engine).
-    edges: Mutex<HashMap<GlobalTrxId, GlobalTrxId>>,
+    edges: TrackedMutex<HashMap<GlobalTrxId, GlobalTrxId>>,
     stats: RLockStats,
 }
 
@@ -116,8 +124,8 @@ impl RLockFusion {
     pub fn new(fabric: Arc<Fabric>) -> Self {
         RLockFusion {
             fabric,
-            waits: Mutex::new(HashMap::new()),
-            edges: Mutex::new(HashMap::new()),
+            waits: TrackedMutex::new(RLOCK_WAITS, HashMap::new()),
+            edges: TrackedMutex::new(RLOCK_EDGES, HashMap::new()),
             stats: RLockStats::default(),
         }
     }

@@ -13,10 +13,14 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Cts, NodeId, SlotId, CSN_INIT};
 use pmp_rdma::{Fabric, Locality};
+
+/// Free-list lock class; never nests with anything (pure local allocator).
+const TIT_FREE: LockClass = LockClass::new("pmfs.tit.free");
 
 #[derive(Debug)]
 struct TitSlot {
@@ -42,7 +46,12 @@ pub struct SlotSnapshot {
 pub struct TitRegion {
     node: NodeId,
     slots: Vec<TitSlot>,
-    free: Mutex<VecDeque<SlotId>>,
+    free: TrackedMutex<VecDeque<SlotId>>,
+    /// Signalled on every [`release`](Self::release): [`allocate_timeout`]
+    /// parks here instead of sleep-polling when the table is exhausted.
+    ///
+    /// [`allocate_timeout`]: Self::allocate_timeout
+    free_cv: TrackedCondvar,
     /// Broadcast target: the global minimum view CTS, written remotely by
     /// Transaction Fusion and read locally by the recycler (§4.1 "TIT
     /// recycle").
@@ -64,7 +73,8 @@ impl TitRegion {
                     refs: AtomicU64::new(0),
                 })
                 .collect(),
-            free: Mutex::new((0..slot_count as u32).map(SlotId).collect()),
+            free: TrackedMutex::new(TIT_FREE, (0..slot_count as u32).map(SlotId).collect()),
+            free_cv: TrackedCondvar::new(),
             global_min_view: AtomicU64::new(CSN_INIT.0),
             min_active_trx: AtomicU64::new(0),
         }
@@ -88,6 +98,32 @@ impl TitRegion {
     /// communicating with a coordinator" (§4.1).
     pub fn allocate(&self) -> Option<(SlotId, u64)> {
         let slot_id = self.free.lock().pop_front()?;
+        Some(self.init_slot(slot_id))
+    }
+
+    /// Like [`allocate`](Self::allocate), but when the table is exhausted,
+    /// park on the free-list condvar until a slot is released (the recycler
+    /// and rollback paths call [`release`](Self::release)) or `timeout`
+    /// elapses. Replaces the engine's former fixed-interval sleep poll: a
+    /// released slot now wakes exactly one waiter immediately.
+    pub fn allocate_timeout(&self, timeout: Duration) -> Option<(SlotId, u64)> {
+        // Slot waits are real scheduling delays, deliberately outside the
+        // simulated latency model (matches the old sleep-poll semantics).
+        // lint: allow(raw-instant): condvar deadline for TIT slot-exhaustion wait
+        let deadline = std::time::Instant::now() + timeout;
+        let mut free = self.free.lock();
+        loop {
+            if let Some(slot_id) = free.pop_front() {
+                drop(free);
+                return Some(self.init_slot(slot_id));
+            }
+            if self.free_cv.wait_until(&mut free, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    fn init_slot(&self, slot_id: SlotId) -> (SlotId, u64) {
         let slot = &self.slots[slot_id.0 as usize];
         // Version bump *before* resetting CTS so a concurrent remote reader
         // holding the old version never mistakes the new INIT for the old
@@ -95,7 +131,7 @@ impl TitRegion {
         let version = slot.version.fetch_add(1, Ordering::AcqRel) + 1;
         slot.refs.store(0, Ordering::Release);
         slot.cts.store(CSN_INIT.0, Ordering::Release);
-        Some((slot_id, version))
+        (slot_id, version)
     }
 
     /// Record the commit timestamp (owning node, local store).
@@ -116,6 +152,8 @@ impl TitRegion {
             .version
             .fetch_add(1, Ordering::AcqRel);
         self.free.lock().push_back(slot);
+        // One slot back → one waiter can proceed.
+        self.free_cv.notify_one();
     }
 
     /// Read a slot, paying exactly one one-sided fabric read when remote.
@@ -243,6 +281,35 @@ mod tests {
         assert_eq!(tit.free_slots(), 0);
         tit.release(held.pop().unwrap());
         assert!(tit.allocate().is_some());
+    }
+
+    #[test]
+    fn allocate_timeout_returns_none_when_exhausted() {
+        let (_, tit) = region();
+        let held: Vec<_> = std::iter::from_fn(|| tit.allocate()).collect();
+        assert_eq!(held.len(), 8);
+        let t = std::time::Instant::now();
+        assert!(tit.allocate_timeout(Duration::from_millis(20)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn allocate_timeout_wakes_on_release() {
+        use std::sync::Arc;
+        let tit = Arc::new(TitRegion::new(NodeId(0), 1));
+        let (held, _) = tit.allocate().unwrap();
+        assert_eq!(tit.free_slots(), 0);
+        let tit2 = Arc::clone(&tit);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tit2.release(held);
+        });
+        // Far below the 5s budget: the release must wake us, not the timeout.
+        let t = std::time::Instant::now();
+        let got = tit.allocate_timeout(Duration::from_secs(5));
+        assert!(got.is_some(), "released slot must satisfy the waiter");
+        assert!(t.elapsed() < Duration::from_secs(4));
+        releaser.join().unwrap();
     }
 
     #[test]

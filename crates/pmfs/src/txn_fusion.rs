@@ -5,9 +5,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{Cts, GlobalTrxId, NodeId, CSN_INIT, CSN_MAX, CSN_MIN};
 use pmp_rdma::{Fabric, Locality};
+
+/// Node → TIT-region directory (written once per node at startup).
+const TXN_REGIONS: LockClass = LockClass::new("pmfs.txnfusion.regions");
+/// Node → latest reported minimal view.
+const TXN_NODE_VIEWS: LockClass = LockClass::new("pmfs.txnfusion.node_views");
 
 use crate::tit::TitRegion;
 use crate::tso::Tso;
@@ -23,9 +28,9 @@ use crate::tso::Tso;
 pub struct TxnFusion {
     fabric: Arc<Fabric>,
     tso: Tso,
-    regions: RwLock<HashMap<NodeId, Arc<TitRegion>>>,
+    regions: TrackedRwLock<HashMap<NodeId, Arc<TitRegion>>>,
     /// Latest minimal view reported by each node.
-    node_views: RwLock<HashMap<NodeId, Cts>>,
+    node_views: TrackedRwLock<HashMap<NodeId, Cts>>,
     global_min_view: AtomicU64,
 }
 
@@ -34,8 +39,8 @@ impl TxnFusion {
         TxnFusion {
             fabric,
             tso: Tso::new(),
-            regions: RwLock::new(HashMap::new()),
-            node_views: RwLock::new(HashMap::new()),
+            regions: TrackedRwLock::new(TXN_REGIONS, HashMap::new()),
+            node_views: TrackedRwLock::new(TXN_NODE_VIEWS, HashMap::new()),
             global_min_view: AtomicU64::new(CSN_INIT.0),
         }
     }

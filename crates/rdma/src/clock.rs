@@ -43,6 +43,12 @@ const SPIN_ONLY_NS: u64 = 50_000;
 /// measure. The cost is a uniform timer-slack overshoot (~0.1ms) on every
 /// charged wait, identical for every system under test.
 pub fn precise_wait_ns(ns: u64) {
+    // Charge-point hook: every simulated RDMA/RPC/storage/fsync latency
+    // funnels through here, so this one assertion proves "no engine lock is
+    // held across simulated I/O" for the whole workspace. It runs before the
+    // zero/disabled early-outs on purpose — latency-disabled test configs
+    // still verify the invariant. No-op unless built with `sanitize`.
+    pmp_common::sync::assert_charge_point();
     if ns == 0 || !latency_enabled() {
         return;
     }

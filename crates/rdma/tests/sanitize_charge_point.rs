@@ -1,0 +1,70 @@
+//! Sanitizer self-test: a `precise_wait_ns` charge under a non-allowlisted
+//! tracked lock must be caught, and a charge under a `charge_exempt` class
+//! must not. Fails loudly if the charge-point assertion is ever stubbed out.
+#![cfg(feature = "sanitize")]
+
+use pmp_common::sync::{LockClass, TrackedMutex, TrackedRwLock};
+use pmp_rdma::precise_wait_ns;
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+#[test]
+fn charge_under_tracked_mutex_is_caught() {
+    let m = TrackedMutex::new(LockClass::new("test.charge.mutex"), ());
+    let guard = m.lock();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        precise_wait_ns(1_000);
+    }))
+    .expect_err("charging latency under a tracked lock must panic under sanitize");
+    drop(guard);
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("latency-under-lock"),
+        "diagnostic must name the violation class: {msg}"
+    );
+    assert!(
+        msg.contains("test.charge.mutex"),
+        "diagnostic must name the offending lock class: {msg}"
+    );
+}
+
+#[test]
+fn zero_charge_under_tracked_lock_is_still_caught() {
+    // Latency-disabled configs charge 0ns but must still verify the
+    // invariant, so the tier-1 suite checks it without paying latency.
+    let l = TrackedRwLock::new(LockClass::new("test.charge.rwlock"), ());
+    let guard = l.read();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        precise_wait_ns(0);
+    }))
+    .expect_err("zero-valued charges must still assert the invariant");
+    drop(guard);
+    assert!(panic_message(err).contains("test.charge.rwlock"));
+}
+
+#[test]
+fn charge_under_exempt_class_is_allowed() {
+    let m = TrackedMutex::new(
+        LockClass::charge_exempt(
+            "test.charge.exempt",
+            "self-test stand-in for a lock that models device serialization",
+        ),
+        (),
+    );
+    let _guard = m.lock();
+    // Must not panic.
+    precise_wait_ns(1_000);
+}
+
+#[test]
+fn charge_with_no_locks_held_is_allowed() {
+    precise_wait_ns(1_000);
+}

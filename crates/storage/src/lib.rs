@@ -29,7 +29,7 @@ pub use page_store::{PageStore, StorageStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{NodeId, StorageLatencyConfig};
 
 /// The complete shared storage service: one page store plus one redo log
@@ -37,7 +37,7 @@ use pmp_common::{NodeId, StorageLatencyConfig};
 #[derive(Debug)]
 pub struct SharedStorage<P> {
     pages: PageStore<P>,
-    redo: RwLock<HashMap<NodeId, Arc<LogStream>>>,
+    redo: TrackedRwLock<HashMap<NodeId, Arc<LogStream>>>,
     cfg: StorageLatencyConfig,
 }
 
@@ -45,7 +45,7 @@ impl<P: Clone + Send + Sync> SharedStorage<P> {
     pub fn new(cfg: StorageLatencyConfig) -> Self {
         SharedStorage {
             pages: PageStore::new(cfg),
-            redo: RwLock::new(HashMap::new()),
+            redo: TrackedRwLock::new(LockClass::new("storage.redo_directory"), HashMap::new()),
             cfg,
         }
     }

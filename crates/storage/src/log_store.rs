@@ -16,9 +16,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, Lsn, StorageLatencyConfig};
 use pmp_rdma::precise_wait_ns;
+
+/// Lock class for every stream's core state. One class for all streams:
+/// stream cores never nest (each holds its own independent log file).
+const LOG_INNER: LockClass = LockClass::new("storage.log.inner");
 
 #[derive(Debug, Default)]
 struct LogInner {
@@ -56,13 +60,22 @@ impl LogInner {
 
 /// The mutable core of a stream, shared with outstanding reservations so
 /// their drop glue can reach it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StreamState {
-    inner: Mutex<LogInner>,
+    inner: TrackedMutex<LogInner>,
     /// Signalled by [`LogStream::fill`] (and by reservation abandonment);
     /// [`LogStream::sync_to`] waits here for in-flight fills below its
     /// target (encoding is microseconds).
-    fill_cv: Condvar,
+    fill_cv: TrackedCondvar,
+}
+
+impl Default for StreamState {
+    fn default() -> Self {
+        StreamState {
+            inner: TrackedMutex::new(LOG_INNER, LogInner::default()),
+            fill_cv: TrackedCondvar::new(),
+        }
+    }
 }
 
 /// A byte range assigned by [`LogStream::reserve`], to be completed by

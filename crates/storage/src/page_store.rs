@@ -4,12 +4,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{Counter, PageId, PmpError, Result, StorageLatencyConfig};
 use pmp_rdma::precise_wait_ns;
 
 /// Number of lock shards; power of two so the shard pick is a mask.
 const SHARDS: usize = 64;
+
+/// One class for all shards: page-store shards never nest (every op touches
+/// exactly one shard, and `page_count` visits them one at a time).
+const PAGE_SHARD: LockClass = LockClass::new("storage.page_shard");
 
 /// Storage-layer op meters.
 #[derive(Debug, Default)]
@@ -40,7 +44,7 @@ impl StorageStats {
 /// never lose page-store contents.
 #[derive(Debug)]
 pub struct PageStore<P> {
-    shards: Vec<RwLock<HashMap<PageId, Arc<P>>>>,
+    shards: Vec<TrackedRwLock<HashMap<PageId, Arc<P>>>>,
     next_page: AtomicU64,
     cfg: StorageLatencyConfig,
     stats: StorageStats,
@@ -50,7 +54,9 @@ pub struct PageStore<P> {
 impl<P: Clone + Send + Sync> PageStore<P> {
     pub fn new(cfg: StorageLatencyConfig) -> Self {
         PageStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| TrackedRwLock::new(PAGE_SHARD, HashMap::new()))
+                .collect(),
             // Page ids start at 1; 0 is PageId::NULL.
             next_page: AtomicU64::new(1),
             cfg,
@@ -63,7 +69,7 @@ impl<P: Clone + Send + Sync> PageStore<P> {
         &self.stats
     }
 
-    fn shard(&self, id: PageId) -> &RwLock<HashMap<PageId, Arc<P>>> {
+    fn shard(&self, id: PageId) -> &TrackedRwLock<HashMap<PageId, Arc<P>>> {
         &self.shards[(id.0 as usize) & (SHARDS - 1)]
     }
 

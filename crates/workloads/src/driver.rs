@@ -143,6 +143,7 @@ where
                 };
                 while !stop.load(Ordering::Acquire) {
                     let spec = workload.next_txn(&mut rng, ctx);
+                    // lint: allow(raw-instant): benchmark latency measurement
                     let t0 = Instant::now();
                     let mut outcome = target.run_txn(node, &spec);
                     let mut retries = 0;
@@ -176,14 +177,16 @@ where
             }));
         }
 
-        std::thread::sleep(cfg.warmup);
+        std::thread::sleep(cfg.warmup); // lint: allow(raw-sleep): benchmark warmup window
         measuring.store(true, Ordering::Release);
+        // lint: allow(raw-instant): benchmark measurement window
         let start = Instant::now();
 
         let mut timeline = Vec::new();
         if let Some(ms) = cfg.timeline_sample_ms {
             let interval = Duration::from_millis(ms);
             while start.elapsed() < cfg.duration {
+                // lint: allow(raw-sleep): benchmark timeline sampling cadence
                 std::thread::sleep(interval.min(cfg.duration - start.elapsed().min(cfg.duration)));
                 timeline.push((
                     start.elapsed().as_millis() as u64,
@@ -194,7 +197,7 @@ where
                 ));
             }
         } else {
-            std::thread::sleep(cfg.duration);
+            std::thread::sleep(cfg.duration); // lint: allow(raw-sleep): benchmark run duration
         }
         let elapsed = start.elapsed();
         measuring.store(false, Ordering::Release);

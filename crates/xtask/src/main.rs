@@ -1,0 +1,468 @@
+//! Repo automation tasks. Currently one: `cargo run -p xtask -- lint`.
+//!
+//! The linter enforces the repo's concurrency-hygiene rules with plain
+//! line-oriented text analysis (no proc-macro parsing, no external
+//! dependencies — the container has no registry access):
+//!
+//! * `std-sync` — `std::sync::{Mutex, RwLock, Condvar}` are forbidden
+//!   everywhere; use the tracked wrappers in `pmp_common::sync` (or
+//!   `parking_lot` where the linter permits it).
+//! * `raw-sleep` — `thread::sleep` is forbidden in non-test library code.
+//!   Timed waiting belongs to `pmp_rdma::clock` (the simulated-latency
+//!   charge point) or `pmp_common::sync::Shutdown` (interruptible waits).
+//! * `raw-instant` — `Instant::now` is forbidden in non-test library code;
+//!   the simulation charges virtual latency, so real-clock reads in data
+//!   paths are almost always a bug.
+//! * `raw-parking-lot` — direct `parking_lot` use is forbidden in the
+//!   migrated crates (`common`, `engine`, `pmfs`, `storage`): new locks
+//!   there must be `Tracked*` with a `LockClass`.
+//! * `unsafe-safety` — every `unsafe` must carry a `// SAFETY:` comment
+//!   within the three preceding lines.
+//!
+//! Escape hatches, each requiring a written justification:
+//!
+//! * inline, same or preceding line:
+//!   `// lint: allow(<rule>): <reason>`
+//! * whole file: `// lint: allow-file(<rule>): <reason>`
+//!
+//! An allow with an empty reason does not suppress anything. Files under
+//! `tests/`, `benches/`, `examples/`, `tools/`, `target/` and this crate
+//! are not scanned, and `#[cfg(test)]` blocks inside library files are
+//! skipped.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const RULES: [&str; 5] = [
+    "std-sync",
+    "raw-sleep",
+    "raw-instant",
+    "raw-parking-lot",
+    "unsafe-safety",
+];
+
+/// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
+const PARKING_LOT_BANNED: [&str; 4] = [
+    "crates/common/src/",
+    "crates/engine/src/",
+    "crates/pmfs/src/",
+    "crates/storage/src/",
+];
+
+/// The simulated-latency charge point is the one legitimate home of real
+/// sleeps and real clock reads.
+const CLOCK_EXEMPT: &str = "crates/rdma/src/clock.rs";
+
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut total = 0usize;
+    for rel in &files {
+        let text = match std::fs::read_to_string(root.join(rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", rel.display());
+                total += 1;
+                continue;
+            }
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        for v in lint_source(&rel_str, &text) {
+            println!("{rel_str}:{}: [{}] {}", v.line, v.rule, v.message);
+            total += 1;
+        }
+    }
+    if total > 0 {
+        eprintln!(
+            "lint: {total} violation(s) in {} file(s) scanned",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("lint: clean ({} files scanned)", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .components()
+        .collect()
+}
+
+/// Recursively collect `.rs` files under `dir`, recording paths relative to
+/// `root`. Skips test/bench/example trees, build output, VCS metadata and
+/// this crate itself.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `tools/` holds standalone std-only harnesses built with bare
+            // rustc (no cargo registry); they are benchmarks, not library
+            // code, and deliberately use std primitives.
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "tests" | "benches" | "examples" | "tools" | "xtask"
+            ) {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Lint one file's contents. `rel_path` uses forward slashes and is
+/// relative to the repo root; rule applicability depends on it.
+fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = text.lines().collect();
+    let clock_exempt = rel_path.ends_with(CLOCK_EXEMPT) || rel_path == CLOCK_EXEMPT;
+    let parking_lot_banned = PARKING_LOT_BANNED.iter().any(|p| rel_path.starts_with(p));
+
+    let mut file_allows: Vec<&'static str> = Vec::new();
+    for line in &lines {
+        for rule in RULES {
+            if has_allow(line, rule, "allow-file") {
+                file_allows.push(rule);
+            }
+        }
+    }
+
+    let test_lines = cfg_test_lines(&lines);
+    let mut out = Vec::new();
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if test_lines[idx] {
+            continue;
+        }
+        let code = strip_comment(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        let mut report = |rule: &'static str, message: String| {
+            if file_allows.contains(&rule) {
+                return;
+            }
+            let prev = if idx > 0 { lines[idx - 1] } else { "" };
+            if has_allow(raw, rule, "allow") || has_allow(prev, rule, "allow") {
+                return;
+            }
+            out.push(Violation {
+                line: line_no,
+                rule,
+                message,
+            });
+        };
+
+        if code.contains("std::sync::")
+            && ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|t| contains_token(code, t))
+        {
+            report(
+                "std-sync",
+                "std::sync lock primitive; use pmp_common::sync::Tracked* instead".into(),
+            );
+        }
+
+        if !clock_exempt && code.contains("thread::sleep") {
+            report(
+                "raw-sleep",
+                "raw thread::sleep in library code; use Shutdown::sleep_until_triggered, \
+                 a condvar wait, or pmp_rdma::clock"
+                    .into(),
+            );
+        }
+
+        if !clock_exempt && code.contains("Instant::now") {
+            report(
+                "raw-instant",
+                "raw Instant::now in library code; the simulation charges virtual time".into(),
+            );
+        }
+
+        if parking_lot_banned && code.contains("parking_lot") {
+            report(
+                "raw-parking-lot",
+                "direct parking_lot use in a migrated crate; use pmp_common::sync::Tracked*".into(),
+            );
+        }
+
+        if contains_token(code, "unsafe") && !code.trim_start().starts_with("#[") {
+            let documented = (idx.saturating_sub(3)..=idx).any(|i| lines[i].contains("SAFETY:"));
+            if !documented {
+                report(
+                    "unsafe-safety",
+                    "unsafe without a // SAFETY: comment in the 3 preceding lines".into(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `true` at index i ⇔ line i+1 belongs to a `#[cfg(test)]` item (the
+/// attribute line itself, and the braced block it introduces).
+fn cfg_test_lines(lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut pending_attr = false;
+    let mut depth: i64 = 0;
+    let mut in_block = false;
+    for (i, line) in lines.iter().enumerate() {
+        if in_block {
+            flags[i] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                in_block = false;
+            }
+            continue;
+        }
+        if let Some(pos) = line.find("#[cfg(test)]") {
+            flags[i] = true;
+            // The attribute may share its line with the item it gates.
+            let rest = &line[pos + "#[cfg(test)]".len()..];
+            let delta = brace_delta(rest);
+            if delta > 0 {
+                depth = delta;
+                in_block = true;
+            } else if !rest.contains(';') {
+                pending_attr = true;
+            }
+            continue;
+        }
+        if pending_attr {
+            flags[i] = true;
+            // Further attributes between #[cfg(test)] and the item.
+            if line.trim_start().starts_with("#[") {
+                continue;
+            }
+            let delta = brace_delta(line);
+            if delta > 0 {
+                pending_attr = false;
+                depth = delta;
+                in_block = true;
+            } else if line.contains(';') {
+                pending_attr = false; // e.g. `#[cfg(test)] mod tests;`
+            }
+        }
+    }
+    flags
+}
+
+/// Net `{`/`}` balance of a line, ignoring braces inside line comments.
+fn brace_delta(line: &str) -> i64 {
+    let code = strip_comment(line);
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Everything before a `//` comment (good enough for line-oriented rules;
+/// over-stripping a `//` inside a string only risks a missed match).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does `line` carry `// lint: <kind>(<rule>): <non-empty reason>`?
+fn has_allow(line: &str, rule: &str, kind: &str) -> bool {
+    let needle = format!("lint: {kind}({rule}):");
+    match line.find(&needle) {
+        Some(i) => !line[i + needle.len()..].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Substring match where the match is not preceded by an identifier
+/// character (so `TrackedMutex` does not match `Mutex`).
+fn contains_token(haystack: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(token) {
+        let abs = from + pos;
+        let ok_before = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = haystack[abs + token.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if ok_before && after_ok {
+            return true;
+        }
+        from = abs + token.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn std_sync_primitives_flagged() {
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", "use std::sync::Mutex;\n"),
+            vec!["std-sync"]
+        );
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", "use std::sync::{Arc, RwLock};\n"),
+            vec!["std-sync"]
+        );
+        assert!(rules_hit("crates/core/src/x.rs", "use std::sync::Arc;\n").is_empty());
+        // Tracked wrappers on an unrelated std::sync line must not match.
+        assert!(rules_hit(
+            "crates/core/src/x.rs",
+            "use std::sync::Arc; type T = TrackedMutex<u8>;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn raw_sleep_and_instant_flagged_outside_clock() {
+        let src = "fn f() { std::thread::sleep(d); let t = Instant::now(); }\n";
+        let mut hits = rules_hit("crates/engine/src/x.rs", src);
+        hits.sort();
+        assert_eq!(hits, vec!["raw-instant", "raw-sleep"]);
+        assert!(rules_hit("crates/rdma/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_requires_reason() {
+        let ok = "std::thread::sleep(d); // lint: allow(raw-sleep): admin drain poll\n";
+        assert!(rules_hit("crates/engine/src/x.rs", ok).is_empty());
+        let prev_line = "// lint: allow(raw-sleep): admin drain poll\nstd::thread::sleep(d);\n";
+        assert!(rules_hit("crates/engine/src/x.rs", prev_line).is_empty());
+        let no_reason = "std::thread::sleep(d); // lint: allow(raw-sleep):\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/x.rs", no_reason),
+            vec!["raw-sleep"]
+        );
+        let wrong_rule = "std::thread::sleep(d); // lint: allow(raw-instant): nope\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/x.rs", wrong_rule),
+            vec!["raw-sleep"]
+        );
+    }
+
+    #[test]
+    fn parking_lot_banned_only_in_migrated_crates() {
+        let src = "use parking_lot::Mutex;\n";
+        for p in PARKING_LOT_BANNED {
+            let path = format!("{p}x.rs");
+            assert_eq!(rules_hit(&path, src), vec!["raw-parking-lot"], "{path}");
+        }
+        assert!(rules_hit("crates/baselines/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/workloads/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_pragma_suppresses_whole_file() {
+        let src = "// lint: allow-file(raw-parking-lot): wrapper impl\n\
+                   use parking_lot::Mutex;\n\
+                   type G = parking_lot::MutexGuard<'static, u8>;\n";
+        assert!(rules_hit("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use parking_lot::Mutex;\n\
+                       fn t() { std::thread::sleep(d); }\n\
+                   }\n";
+        assert!(rules_hit("crates/engine/src/x.rs", src).is_empty());
+        // …but code after the block is still linted.
+        let trailing = format!("{src}fn late() {{ std::thread::sleep(d); }}\n");
+        assert_eq!(
+            rules_hit("crates/engine/src/x.rs", &trailing),
+            vec!["raw-sleep"]
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(
+            rules_hit("crates/common/src/x.rs", bad),
+            vec!["unsafe-safety"]
+        );
+        let good = "// SAFETY: g has no preconditions here\n\
+                    fn f() { unsafe { g() } }\n";
+        assert!(rules_hit("crates/common/src/x.rs", good).is_empty());
+        // "unsafe" as part of an identifier must not match.
+        assert!(rules_hit("crates/common/src/x.rs", "fn not_unsafe_fn() {}\n").is_empty());
+    }
+
+    #[test]
+    fn self_scan_is_clean() {
+        let root = repo_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root, &root, &mut files);
+        assert!(
+            files.len() > 30,
+            "walker found too few files ({}) — wrong root?",
+            files.len()
+        );
+        let mut violations = Vec::new();
+        for rel in files {
+            let text = std::fs::read_to_string(root.join(&rel)).unwrap();
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            for v in lint_source(&rel_str, &text) {
+                violations.push(format!("{rel_str}:{}: [{}] {}", v.line, v.rule, v.message));
+            }
+        }
+        assert!(
+            violations.is_empty(),
+            "tree must lint clean:\n{}",
+            violations.join("\n")
+        );
+    }
+}
