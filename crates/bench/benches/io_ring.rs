@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark of the pmp-io submission/completion ring:
+//! page-load throughput as a function of queue depth.
+//!
+//! Each iteration submits `depth` reads of distinct pages and waits for
+//! all completions. With the realistic 100µs storage read charge, a
+//! depth-1 loop is bound by one serial round-trip per page, while deeper
+//! queues let the ring's workers charge a whole batch's latency once —
+//! throughput should scale with depth until the worker pool saturates
+//! (the io/ring_depth curve in EXPERIMENTS.md).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmp_common::{IoRingConfig, PageId, StorageLatencyConfig};
+use pmp_engine::page::Page;
+use pmp_io::{Completion, IoRing, SqeOp};
+use pmp_storage::SharedStorage;
+
+const PAGES: u64 = 4096;
+
+fn setup() -> IoRing<Page> {
+    let storage: Arc<SharedStorage<Page>> = Arc::new(SharedStorage::new(
+        StorageLatencyConfig::default(), // realistic: 100µs reads
+    ));
+    for id in 1..=PAGES {
+        storage
+            .page_store()
+            .write(PageId(id), Arc::new(Page::new_leaf(PageId(id))))
+            .unwrap();
+    }
+    IoRing::new(storage, IoRingConfig::default())
+}
+
+fn bench_ring_depth(c: &mut Criterion) {
+    let ring = setup();
+    let mut next = 0u64;
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        c.bench_function(&format!("io/ring_depth/{depth}"), |b| {
+            b.iter(|| {
+                let completions: Vec<_> = (0..depth)
+                    .map(|_| {
+                        next += 1;
+                        let id = PageId(next % PAGES + 1);
+                        let done = Completion::new();
+                        let tx = done.clone();
+                        ring.submit_with(
+                            SqeOp::ReadPage(id),
+                            id.0,
+                            Box::new(move |cqe| tx.complete(cqe.result)),
+                        )
+                        .unwrap();
+                        done
+                    })
+                    .collect();
+                for done in completions {
+                    black_box(done.wait().unwrap());
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_ring_depth);
+criterion_main!(benches);

@@ -141,6 +141,33 @@ impl Default for StorageLatencyConfig {
     }
 }
 
+/// Tuning knobs of the per-node `pmp-io` submission/completion ring.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IoRingConfig {
+    /// Submission-queue capacity; submitters block (charge-free) when full.
+    pub sq_capacity: usize,
+    /// Completion-queue capacity; the oldest unreaped CQE is dropped on
+    /// overflow (counted), mirroring io_uring's overflow semantics.
+    pub cq_capacity: usize,
+    /// Completion workers draining the submission queue. Each worker
+    /// charges one device round-trip per *batch*, so a small pool sustains
+    /// many in-flight operations.
+    pub workers: usize,
+    /// Maximum SQEs a worker drains per batch (same-page reads coalesce).
+    pub batch_limit: usize,
+}
+
+impl Default for IoRingConfig {
+    fn default() -> Self {
+        IoRingConfig {
+            sq_capacity: 256,
+            cq_capacity: 256,
+            workers: 2,
+            batch_limit: 32,
+        }
+    }
+}
+
 /// Per-node engine tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -172,6 +199,8 @@ pub struct EngineConfig {
     pub lazy_plock_release: bool,
     /// Enable commit-time CTS backfill into buffered rows (§4.1).
     pub cts_backfill: bool,
+    /// Submission/completion ring for storage I/O (the `pmp-io` subsystem).
+    pub io: IoRingConfig,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +218,7 @@ impl Default for EngineConfig {
             linear_lamport: true,
             lazy_plock_release: true,
             cts_backfill: true,
+            io: IoRingConfig::default(),
         }
     }
 }

@@ -18,9 +18,9 @@ pub mod ids;
 pub mod sync;
 pub mod timestamp;
 
-pub use config::{ClusterConfig, EngineConfig, LatencyConfig, StorageLatencyConfig};
+pub use config::{ClusterConfig, EngineConfig, IoRingConfig, LatencyConfig, StorageLatencyConfig};
 pub use error::{PmpError, Result};
-pub use hist::{Counter, LatencyHistogram};
+pub use hist::{Counter, Gauge, LatencyHistogram};
 pub use ids::{GlobalTrxId, IndexId, NodeId, PageId, SlotId, TableId, TrxId};
 pub use sync::{LockClass, Shutdown, TrackedCondvar, TrackedMutex, TrackedRwLock};
 pub use timestamp::{Cts, Llsn, Lsn, CSN_INIT, CSN_MAX, CSN_MIN};

@@ -158,8 +158,8 @@ impl Cluster {
         self.node(i).decommission(drain)
     }
 
-    /// One-screen operational report: per-node commit counters plus the
-    /// PMFS / storage / fabric meters.
+    /// One-screen operational report: per-node commit and io-ring
+    /// counters plus the PMFS / storage / fabric meters.
     pub fn stats_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -176,6 +176,18 @@ impl Cluster {
                 node.stats.reads.get(),
                 node.stats.writes.get(),
                 node.stats.lock_waits.get(),
+            );
+            let io = node.io.stats();
+            let _ = writeln!(
+                out,
+                "  node {i} io: submitted={} completed={} cancelled={} coalesced={} inflight={} inflight_hwm={} prefetches={}",
+                io.submitted.get(),
+                io.completed.get(),
+                io.cancelled.get(),
+                io.coalesced.get(),
+                io.inflight(),
+                io.inflight_hwm(),
+                node.stats.prefetch_submitted.get(),
             );
         }
         let b = sh.pmfs.buffer.stats();
@@ -433,6 +445,7 @@ mod tests {
         for needle in [
             "nodes: 2",
             "node 0",
+            "node 0 io:",
             "buffer fusion",
             "lock fusion",
             "row waits",

@@ -146,6 +146,15 @@ pub fn leaf_modify<R>(
                             page: page.next,
                             expect_leaf: true,
                         }
+                    } else if let PageKind::Internal(node) = &page.kind {
+                        // Root growth converted this page in place between
+                        // our read and write latches (it still covers the
+                        // key, so the `covers` re-check alone misses it):
+                        // route down instead of modifying an internal page.
+                        Step::Goto {
+                            page: node.child_for(key),
+                            expect_leaf: page.level == 1,
+                        }
                     } else {
                         match f(&mut page) {
                             ModifyVerdict::Apply {
@@ -233,7 +242,15 @@ pub fn scan_from(
                 PageKind::Leaf(_) => at_leaf_level = true,
             }
         }
+        // Warm the sibling through the io ring while the visitor works on
+        // this leaf: by the time the scan advances, the storage latency has
+        // (partly) elapsed off-thread. Cancelled if the visitor stops the
+        // scan before reaching the sibling.
+        let pending = engine.prefetch(page.next);
         if !f(&page) {
+            if let Some(token) = pending {
+                engine.cancel_prefetch(token);
+            }
             return Ok(());
         }
         current = page.next;
@@ -332,7 +349,9 @@ fn split_page(
         frame.mark_dirty(end, page.llsn);
         // WAL rule: the new page's image must be durable before the page
         // is pushed anywhere (install_new_page registers it in the DBP).
-        engine.wal.force(end);
+        if engine.wal.force(end) < end {
+            return Err(PmpError::NodeUnavailable { node: engine.node });
+        }
         let parent_level = page.level + 1;
         drop(page);
         engine.install_new_page(right);
@@ -474,7 +493,11 @@ fn root_split(
         ]
     });
     frame.mark_dirty(end, page.llsn);
-    engine.wal.force(end);
+    // WAL rule, as in the non-root split: no DBP install without durable
+    // images.
+    if engine.wal.force(end) < end {
+        return Err(PmpError::NodeUnavailable { node: engine.node });
+    }
     engine.install_new_page(left);
     engine.install_new_page(right);
     engine.set_root_hint(root_id, false);

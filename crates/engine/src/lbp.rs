@@ -261,6 +261,39 @@ impl Lbp {
         }
     }
 
+    /// Non-blocking loader appointment for speculative prefetch: if the
+    /// page is absent, appoint the caller (who must resolve the sentinel
+    /// via [`finish_load`](Self::finish_load) /
+    /// [`abort_load`](Self::abort_load), typically from an io-ring
+    /// completion); if the page is present *or a load is already in
+    /// flight*, return `None` without blocking — a prefetcher never waits
+    /// behind demand loads.
+    pub fn try_appoint(&self, page_id: PageId) -> Option<LoadTicket> {
+        let shard = self.shard(page_id);
+        let mut map = shard.map.lock();
+        match map.get(&page_id) {
+            Some(Slot::Ready(frame)) => {
+                frame.referenced.store(true, Ordering::Relaxed);
+                None
+            }
+            Some(Slot::Loading { .. }) => None,
+            None => {
+                self.stats.misses.inc();
+                let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+                let gen = self.wipe_gen.load(Ordering::SeqCst);
+                map.insert(page_id, Slot::Loading { ticket, gen });
+                self.len.fetch_add(1, Ordering::Relaxed);
+                Some(LoadTicket(ticket))
+            }
+        }
+    }
+
+    /// Shard a page id maps to (exposed so tests can build same-shard
+    /// conflict sets).
+    pub fn shard_of(&self, page_id: PageId) -> usize {
+        shard_index(page_id)
+    }
+
     /// Install the loaded page and wake waiting requesters. `valid` is the
     /// flag the loader registered with Buffer Fusion during the load, so
     /// invalidations that raced the load are not lost.
@@ -513,6 +546,46 @@ mod tests {
         let t = must_load(&lbp, 1);
         lbp.abort_load(PageId(1), t);
         assert!(matches!(lbp.lookup(PageId(1)), Lookup::MustLoad(_)));
+    }
+
+    #[test]
+    fn try_appoint_only_wins_absent_pages() {
+        let lbp = Lbp::new(10);
+        // Absent → appointed.
+        let t = lbp.try_appoint(PageId(1)).expect("absent page appoints");
+        // Load already in flight → no second appointment, and no blocking.
+        assert!(lbp.try_appoint(PageId(1)).is_none());
+        lbp.finish_load(PageId(1), t, page(1), Arc::new(AtomicBool::new(true)));
+        // Resident → nothing to do.
+        assert!(lbp.try_appoint(PageId(1)).is_none());
+        assert_eq!(lbp.len(), 1);
+    }
+
+    #[test]
+    fn try_appoint_sentinel_resolves_like_a_demand_load() {
+        use std::thread;
+        use std::time::Duration;
+        let lbp = Arc::new(Lbp::new(10));
+        let t = lbp.try_appoint(PageId(3)).unwrap();
+
+        // A demand requester waits on the prefetch sentinel, not loads twice.
+        let lbp2 = Arc::clone(&lbp);
+        let waiter = thread::spawn(move || match lbp2.lookup(PageId(3)) {
+            Lookup::Hit(f) => f.page.read().id,
+            Lookup::MustLoad(_) => panic!("demand requester must wait for the prefetch"),
+        });
+        thread::sleep(Duration::from_millis(30));
+        lbp.finish_load(PageId(3), t, page(3), Arc::new(AtomicBool::new(true)));
+        assert_eq!(waiter.join().unwrap(), PageId(3));
+    }
+
+    #[test]
+    fn aborted_try_appoint_leaves_no_sentinel() {
+        let lbp = Lbp::new(10);
+        let t = lbp.try_appoint(PageId(4)).unwrap();
+        lbp.abort_load(PageId(4), t);
+        assert_eq!(lbp.len(), 0);
+        assert!(matches!(lbp.lookup(PageId(4)), Lookup::MustLoad(_)));
     }
 
     #[test]

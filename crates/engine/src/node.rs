@@ -21,11 +21,12 @@ const NODE_FINISHED: LockClass = LockClass::new("engine.node.finished");
 const NODE_ROOT_HINTS: LockClass = LockClass::new("engine.node.root_hints");
 /// Background-thread join handles (lifecycle only).
 const NODE_BG: LockClass = LockClass::new("engine.node.bg");
+use pmp_io::{Completion, CompletionToken, Cqe, CqePayload, IoRing, SqeOp};
 use pmp_pmfs::{PLockMode, TitRegion};
 use pmp_rdma::Locality;
 
 use crate::cts_cache::{CtsCache, MinActiveTable};
-use crate::lbp::{Frame, Lbp, Lookup};
+use crate::lbp::{Frame, Lbp, LoadTicket, Lookup};
 use crate::page::Page;
 use crate::plock_local::{LocalPLocks, NegotiationHandler, PLockGuard, ReleaseHook};
 use crate::shared::Shared;
@@ -50,6 +51,7 @@ pub struct NodeStats {
     pub lock_waits: Counter,
     pub pages_loaded_storage: Counter,
     pub pages_loaded_dbp: Counter,
+    pub prefetch_submitted: Counter,
 }
 
 /// One live transaction's bookkeeping entry.
@@ -72,6 +74,10 @@ pub struct NodeEngine {
     pub shared: Arc<Shared>,
     pub cfg: EngineConfig,
     pub lbp: Lbp,
+    /// Async storage submission/completion ring: every shared-storage read
+    /// on the page-miss path goes through it, so the charged storage
+    /// latency elapses off-thread with no LBP shard lock held.
+    pub io: IoRing<Page>,
     pub plocks: Arc<LocalPLocks>,
     pub wal: Wal,
     pub tit: Arc<TitRegion>,
@@ -98,6 +104,10 @@ pub struct NodeEngine {
     /// so shutdown never waits out a full tick.
     shutdown: Arc<Shutdown>,
     bg: TrackedMutex<Vec<JoinHandle<()>>>,
+    /// Weak self-pointer for io-ring continuations (set once in `build`,
+    /// same pattern as the PLock flush hook): a completion that outlives
+    /// the engine simply finds the weak dead and gives up.
+    self_ref: std::sync::OnceLock<std::sync::Weak<NodeEngine>>,
 }
 
 impl std::fmt::Debug for NodeEngine {
@@ -184,6 +194,7 @@ impl NodeEngine {
             node,
             cfg,
             lbp: Lbp::new(cfg.lbp_capacity),
+            io: IoRing::new(Arc::clone(&shared.storage), cfg.io),
             plocks: Arc::clone(&plocks),
             wal,
             tit,
@@ -199,9 +210,11 @@ impl NodeEngine {
             draining: AtomicBool::new(false),
             shutdown: Arc::new(Shutdown::new()),
             bg: TrackedMutex::new(NODE_BG, Vec::new()),
+            self_ref: std::sync::OnceLock::new(),
             shared,
         });
 
+        let _ = engine.self_ref.set(Arc::downgrade(&engine));
         plocks.set_hook(Arc::new(FlushHook {
             engine: Arc::downgrade(&engine),
         }));
@@ -268,47 +281,148 @@ impl NodeEngine {
                 }
                 Ok(frame)
             }
-            Lookup::MustLoad(ticket) => match self.load_page(page_id) {
-                Ok((page, flag)) => Ok(self.lbp.finish_load(page_id, ticket, page, flag)),
-                Err(e) => {
-                    self.lbp.abort_load(page_id, ticket);
-                    Err(e)
-                }
-            },
+            Lookup::MustLoad(ticket) => self.start_load(page_id, ticket),
         }
     }
 
     /// Load a page we have no frame for: DBP RPC first, then shared
-    /// storage + DBP registration (§4.2 "page access").
-    fn load_page(&self, page_id: PageId) -> Result<(Page, Arc<AtomicBool>)> {
+    /// storage through the io ring + DBP registration (§4.2 "page
+    /// access"). The appointed loader submits an SQE and blocks on its
+    /// completion *without* holding the LBP shard lock, so an LBP shard
+    /// sustains as many in-flight storage loads as the ring allows.
+    fn start_load(&self, page_id: PageId, ticket: LoadTicket) -> Result<Arc<Frame>> {
         let flag = Arc::new(AtomicBool::new(true));
         let buffer = &self.shared.pmfs.buffer;
-        let (page, llsn) = match buffer.lookup_or_register(self.node, page_id, Arc::clone(&flag)) {
-            Some(hit) => {
-                self.stats.pages_loaded_dbp.inc();
-                hit
-            }
-            None => {
-                let stored = self
-                    .shared
-                    .storage
-                    .page_store()
-                    .read(page_id)?
-                    .ok_or_else(|| {
-                        PmpError::internal(format!("{page_id} missing from shared storage"))
-                    })?;
-                self.stats.pages_loaded_storage.inc();
-                buffer.register_push(
-                    self.node,
+        if let Some((page, llsn)) = buffer.lookup_or_register(self.node, page_id, Arc::clone(&flag))
+        {
+            self.stats.pages_loaded_dbp.inc();
+            self.wal.observe_llsn(llsn);
+            return Ok(self.lbp.finish_load(page_id, ticket, (*page).clone(), flag));
+        }
+        let weak = self.self_ref();
+        let completion: Completion<Result<Arc<Frame>>> = Completion::new();
+        let done = completion.clone();
+        if let Err(e) = self.io.submit_with(
+            SqeOp::ReadPage(page_id),
+            page_id.0,
+            Box::new(move |cqe| {
+                done.complete(Self::complete_storage_load(
+                    &weak, page_id, ticket, flag, cqe,
+                ));
+            }),
+        ) {
+            self.lbp.abort_load(page_id, ticket);
+            return Err(e);
+        }
+        completion.wait()
+    }
+
+    /// Resolve a storage-read completion into the LBP sentinel the loader
+    /// appointed. Runs on an io-ring worker (demand loads) or wherever the
+    /// continuation fires (prefetch); every exit either installs the frame
+    /// or aborts the sentinel, so a completion can never leak a `Loading`
+    /// slot.
+    fn complete_storage_load(
+        weak: &std::sync::Weak<NodeEngine>,
+        page_id: PageId,
+        ticket: LoadTicket,
+        flag: Arc<AtomicBool>,
+        cqe: Cqe<Page>,
+    ) -> Result<Arc<Frame>> {
+        let Some(engine) = weak.upgrade() else {
+            // Engine torn down mid-flight; nobody is waiting on the
+            // sentinel either (the pool is gone with the engine).
+            return Err(PmpError::aborted("node engine dropped during page load"));
+        };
+        match cqe.result {
+            Ok(CqePayload::Page(Some(stored))) => {
+                engine.stats.pages_loaded_storage.inc();
+                let (page, llsn) = engine.shared.pmfs.buffer.register_push(
+                    engine.node,
                     page_id,
                     Arc::clone(&stored),
                     stored.llsn,
                     Arc::clone(&flag),
-                )
+                );
+                engine.wal.observe_llsn(llsn);
+                Ok(engine
+                    .lbp
+                    .finish_load(page_id, ticket, (*page).clone(), flag))
             }
-        };
-        self.wal.observe_llsn(llsn);
-        Ok(((*page).clone(), flag))
+            Ok(CqePayload::Page(None)) => {
+                engine.lbp.abort_load(page_id, ticket);
+                Err(PmpError::internal(format!(
+                    "{page_id} missing from shared storage"
+                )))
+            }
+            Ok(CqePayload::Cancelled) => {
+                engine.lbp.abort_load(page_id, ticket);
+                Err(PmpError::NodeUnavailable { node: engine.node })
+            }
+            Ok(_) => {
+                engine.lbp.abort_load(page_id, ticket);
+                Err(PmpError::internal("unexpected payload for a page read"))
+            }
+            Err(e) => {
+                engine.lbp.abort_load(page_id, ticket);
+                Err(e)
+            }
+        }
+    }
+
+    fn self_ref(&self) -> std::sync::Weak<NodeEngine> {
+        self.self_ref
+            .get()
+            .cloned()
+            .unwrap_or_else(std::sync::Weak::new)
+    }
+
+    /// Speculatively start loading `page_id` in the background (B-tree
+    /// sibling / sequential-scan prefetch). Returns the submission token if
+    /// a storage read is actually in flight — the caller may
+    /// [`cancel_prefetch`](Self::cancel_prefetch) it — and `None` when the
+    /// page is already resident, already being loaded, satisfiable from the
+    /// DBP without storage latency, or the node is down.
+    pub fn prefetch(&self, page_id: PageId) -> Option<CompletionToken> {
+        if page_id == PageId::NULL || !self.is_alive() {
+            return None;
+        }
+        let ticket = self.lbp.try_appoint(page_id)?;
+        let flag = Arc::new(AtomicBool::new(true));
+        let buffer = &self.shared.pmfs.buffer;
+        if let Some((page, llsn)) = buffer.lookup_or_register(self.node, page_id, Arc::clone(&flag))
+        {
+            self.stats.pages_loaded_dbp.inc();
+            self.wal.observe_llsn(llsn);
+            self.lbp.finish_load(page_id, ticket, (*page).clone(), flag);
+            return None;
+        }
+        let weak = self.self_ref();
+        match self.io.submit_with(
+            SqeOp::ReadPage(page_id),
+            page_id.0,
+            Box::new(move |cqe| {
+                // A demand `frame()` racing this prefetch waits on the LBP
+                // sentinel and is woken by finish_load/abort_load inside.
+                let _ = Self::complete_storage_load(&weak, page_id, ticket, flag, cqe);
+            }),
+        ) {
+            Ok(token) => {
+                self.stats.prefetch_submitted.inc();
+                Some(token)
+            }
+            Err(_) => {
+                self.lbp.abort_load(page_id, ticket);
+                None
+            }
+        }
+    }
+
+    /// Cancel a still-queued prefetch (scan abandoned before reaching the
+    /// page). Returns whether the SQE was reaped from the queue; an entry
+    /// already claimed by a worker completes normally, which is harmless.
+    pub fn cancel_prefetch(&self, token: CompletionToken) -> bool {
+        self.io.cancel(token)
     }
 
     /// Refresh an invalidated frame from the DBP (one-sided fast path,
@@ -344,14 +458,9 @@ impl NodeEngine {
                     hit
                 }
                 None => {
-                    let stored =
-                        self.shared
-                            .storage
-                            .page_store()
-                            .read(page_id)?
-                            .ok_or_else(|| {
-                                PmpError::internal(format!("{page_id} missing from shared storage"))
-                            })?;
+                    let stored = self.io.read_page(page_id)?.ok_or_else(|| {
+                        PmpError::internal(format!("{page_id} missing from shared storage"))
+                    })?;
                     self.stats.pages_loaded_storage.inc();
                     let (p, l) = buffer.register_push(
                         self.node,
@@ -404,7 +513,13 @@ impl NodeEngine {
         if !seen.dirty {
             return;
         }
-        self.wal.force(seen.newest_lsn);
+        if self.wal.force(seen.newest_lsn) < seen.newest_lsn {
+            // Crash truncated the log under the flush: the image is no
+            // longer covered by durable redo, so pushing it to the DBP
+            // would violate the WAL rule. The dead node's dirty state
+            // dies with it; recovery rebuilds from what is durable.
+            return;
+        }
         self.shared.pmfs.buffer.push(
             self.node,
             page_id,
@@ -723,6 +838,11 @@ impl NodeEngine {
         self.stop_background();
         self.shared.pmfs.plock.unregister_node(self.node);
         self.wal.stream().crash();
+        // Queued SQEs complete as Cancelled, which aborts their LBP
+        // sentinels before the wipe below; loads a worker already claimed
+        // finish against the wiped pool, where the wipe-generation check in
+        // `finish_load` turns the install into a no-op.
+        self.io.cancel_queued();
         self.lbp.clear();
         self.plocks.crash_clear();
         self.active.lock().clear();

@@ -22,11 +22,34 @@ use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
 use pmp_pmfs::{PLockFusion, PLockMode, ReleaseRequester};
 
-/// The node's local PLock table. All fusion traffic (acquire/release, both
-/// RPC-priced) happens with this lock dropped.
+/// One shard of the node's local PLock table. All fusion traffic
+/// (acquire/release, both RPC-priced) happens with the shard lock dropped,
+/// and at most one shard lock is ever held at a time (same-class nesting
+/// would trip the tracked-lock layer).
 const LOCAL_ENTRIES: LockClass = LockClass::new("engine.plock_local.entries");
 /// The release-hook slot (taken only to clone the `Arc`).
 const LOCAL_HOOK: LockClass = LockClass::new("engine.plock_local.hook");
+
+/// Number of table shards. Power of two so the hash can mask; mirrors the
+/// LBP's sharding so a hot page's PLock chatter and frame traffic land on
+/// independent locks from unrelated pages'.
+const SHARD_COUNT: usize = 16;
+
+/// Fibonacci multiplier spreads (often sequential) page ids across shards.
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn shard_index(page: PageId) -> usize {
+    (page.0.wrapping_mul(HASH_MULT) >> 32) as usize & (SHARD_COUNT - 1)
+}
+
+/// One shard: its own entry map and negotiation/drain condvar, so waiters
+/// for one page never contend with or get woken by unrelated pages that
+/// hash elsewhere.
+struct LockShard {
+    entries: TrackedMutex<HashMap<PageId, Entry>>,
+    cv: TrackedCondvar,
+}
 
 /// Engine callback run just before a PLock is handed back to Lock Fusion:
 /// force logs + push the page to the DBP if it is dirty (§4.3.1).
@@ -59,12 +82,11 @@ pub struct LocalPLockStats {
     pub eager_releases: Counter,
 }
 
-/// The node's local PLock table.
+/// The node's local PLock table, sharded by page id.
 pub struct LocalPLocks {
     node: NodeId,
     fusion: Arc<PLockFusion>,
-    entries: TrackedMutex<HashMap<PageId, Entry>>,
-    cv: TrackedCondvar,
+    shards: Box<[LockShard]>,
     hook: TrackedMutex<Option<Arc<dyn ReleaseHook>>>,
     /// Lazy release enabled (ablation switch, §4.3.1).
     lazy: bool,
@@ -97,16 +119,26 @@ impl Drop for PLockGuard<'_> {
 
 impl LocalPLocks {
     pub fn new(node: NodeId, fusion: Arc<PLockFusion>, lazy: bool, timeout: Duration) -> Arc<Self> {
+        let shards = (0..SHARD_COUNT)
+            .map(|_| LockShard {
+                entries: TrackedMutex::new(LOCAL_ENTRIES, HashMap::new()),
+                cv: TrackedCondvar::new(),
+            })
+            .collect();
         Arc::new(LocalPLocks {
             node,
             fusion,
-            entries: TrackedMutex::new(LOCAL_ENTRIES, HashMap::new()),
-            cv: TrackedCondvar::new(),
+            shards,
             hook: TrackedMutex::new(LOCAL_HOOK, None),
             lazy,
             timeout,
             stats: LocalPLockStats::default(),
         })
+    }
+
+    #[inline]
+    fn shard(&self, page: PageId) -> &LockShard {
+        &self.shards[shard_index(page)]
     }
 
     pub fn set_hook(&self, hook: Arc<dyn ReleaseHook>) {
@@ -122,7 +154,8 @@ impl LocalPLocks {
     pub fn acquire(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
         // lint: allow(raw-instant): condvar deadline for the lock-wait timeout
         let deadline = std::time::Instant::now() + self.timeout;
-        let mut entries = self.entries.lock();
+        let shard = self.shard(page);
+        let mut entries = shard.entries.lock();
         loop {
             match entries.get_mut(&page) {
                 None => {
@@ -141,7 +174,7 @@ impl LocalPLocks {
                     self.stats.fusion_acquires.inc();
                     let res = self.fusion.acquire(self.node, page, mode, self.timeout);
 
-                    entries = self.entries.lock();
+                    entries = shard.entries.lock();
                     match res {
                         Ok(()) => {
                             let Some(e) = entries.get_mut(&page) else {
@@ -158,7 +191,7 @@ impl LocalPLocks {
                             e.state = EntryState::Held;
                             e.mode = mode;
                             e.refcount = 1;
-                            self.cv.notify_all();
+                            shard.cv.notify_all();
                             return Ok(PLockGuard {
                                 owner: self,
                                 page,
@@ -167,7 +200,7 @@ impl LocalPLocks {
                         }
                         Err(e) => {
                             entries.remove(&page);
-                            self.cv.notify_all();
+                            shard.cv.notify_all();
                             return Err(e);
                         }
                     }
@@ -175,7 +208,7 @@ impl LocalPLocks {
                 Some(entry) => match entry.state {
                     EntryState::Acquiring => {
                         // Someone is talking to fusion; wait for the verdict.
-                        if self.cv.wait_until(&mut entries, deadline).timed_out() {
+                        if shard.cv.wait_until(&mut entries, deadline).timed_out() {
                             return Err(PmpError::LockWaitTimeout);
                         }
                     }
@@ -202,10 +235,10 @@ impl LocalPLocks {
                             entry.state = EntryState::Acquiring; // block others
                             drop(entries);
                             self.hand_back(page, mode_held);
-                            entries = self.entries.lock();
+                            entries = shard.entries.lock();
                             // hand_back removed the entry; retry the loop.
-                            self.cv.notify_all();
-                        } else if self.cv.wait_until(&mut entries, deadline).timed_out() {
+                            shard.cv.notify_all();
+                        } else if shard.cv.wait_until(&mut entries, deadline).timed_out() {
                             return Err(PmpError::LockWaitTimeout);
                         }
                     }
@@ -217,7 +250,8 @@ impl LocalPLocks {
     /// Drop one reference; if it was the last and a negotiation is pending
     /// (or lazy release is disabled), hand the lock back to Lock Fusion.
     fn unref(&self, page: PageId) {
-        let mut entries = self.entries.lock();
+        let shard = self.shard(page);
+        let mut entries = shard.entries.lock();
         let Some(entry) = entries.get_mut(&page) else {
             return;
         };
@@ -237,7 +271,7 @@ impl LocalPLocks {
         entry.state = EntryState::Acquiring; // block local grants while we release
         drop(entries);
         self.hand_back(page, mode);
-        self.cv.notify_all();
+        shard.cv.notify_all();
     }
 
     /// Push-then-release: run the engine hook (log force + DBP push for
@@ -248,36 +282,38 @@ impl LocalPLocks {
             hook.before_release(page);
         }
         self.fusion.release(self.node, page);
-        self.entries.lock().remove(&page);
+        self.shard(page).entries.lock().remove(&page);
     }
 
     /// Number of pages currently held/retained (diagnostics).
     pub fn held_count(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     pub fn is_retained(&self, page: PageId) -> bool {
-        self.entries.lock().contains_key(&page)
+        self.shard(page).entries.lock().contains_key(&page)
     }
 
     /// Hand back every idle (refcount-zero) lock to Lock Fusion — used to
     /// quiesce a node after administrative work (bulk load) so lazily
     /// retained locks don't skew the first measured accesses of peers.
     pub fn release_idle(&self) {
-        loop {
-            let victim = {
-                let mut entries = self.entries.lock();
-                let Some((&page, entry)) = entries
-                    .iter_mut()
-                    .find(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
-                else {
-                    break;
+        for shard in self.shards.iter() {
+            loop {
+                let victim = {
+                    let mut entries = shard.entries.lock();
+                    let Some((&page, entry)) = entries
+                        .iter_mut()
+                        .find(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
+                    else {
+                        break;
+                    };
+                    entry.state = EntryState::Acquiring; // block local grants
+                    (page, entry.mode)
                 };
-                entry.state = EntryState::Acquiring; // block local grants
-                (page, entry.mode)
-            };
-            self.hand_back(victim.0, victim.1);
-            self.cv.notify_all();
+                self.hand_back(victim.0, victim.1);
+                shard.cv.notify_all();
+            }
         }
     }
 
@@ -285,8 +321,10 @@ impl LocalPLocks {
     /// fusion-side locks stay frozen until recovery calls
     /// `PLockFusion::release_all`.
     pub fn crash_clear(&self) {
-        self.entries.lock().clear();
-        self.cv.notify_all();
+        for shard in self.shards.iter() {
+            shard.entries.lock().clear();
+            shard.cv.notify_all();
+        }
     }
 }
 
@@ -305,7 +343,8 @@ impl NegotiationHandler {
 impl ReleaseRequester for NegotiationHandler {
     fn request_release(&self, page: PageId, _wanted: PLockMode) {
         let locks = &self.locks;
-        let mut entries = locks.entries.lock();
+        let shard = locks.shard(page);
+        let mut entries = shard.entries.lock();
         let Some(entry) = entries.get_mut(&page) else {
             return; // already gone
         };
@@ -322,7 +361,7 @@ impl ReleaseRequester for NegotiationHandler {
                     entry.state = EntryState::Acquiring;
                     drop(entries);
                     locks.hand_back(page, mode);
-                    locks.cv.notify_all();
+                    shard.cv.notify_all();
                 }
                 // refcount > 0: the final unref will hand it back.
             }

@@ -27,8 +27,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use pmp_common::{GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result};
+use pmp_io::IoRing;
 use pmp_pmfs::PLockMode;
-use pmp_storage::LogStream;
+use pmp_storage::{LogStream, ReadChunk};
 
 use crate::node::NodeEngine;
 use crate::page::{Page, PageKind};
@@ -111,14 +112,19 @@ pub fn recover_node(
     // the last quiesced checkpoint: everything before it is resolved and
     // reflected in the DBP / shared storage.
     let stream = shared.storage.redo_stream(node);
-    scan_stream(&stream, shared.config.engine.recovery_chunk_bytes, |rec| {
-        stats.records_scanned += 1;
-        outcomes.note(&rec, &shared.undo);
-        if rec.is_page_op() {
-            replay_record_online(&engine, &rec, &mut stats)?;
-        }
-        Ok(())
-    })?;
+    scan_stream(
+        &engine.io,
+        &stream,
+        shared.config.engine.recovery_chunk_bytes,
+        |rec| {
+            stats.records_scanned += 1;
+            outcomes.note(&rec, &shared.undo);
+            if rec.is_page_op() {
+                replay_record_online(&engine, &rec, &mut stats)?;
+            }
+            Ok(())
+        },
+    )?;
 
     // Undo phase: roll back in-doubt transactions (reverse per-trx order),
     // then wake anyone waiting on their row locks.
@@ -208,23 +214,28 @@ fn replay_record_online(
 }
 
 /// Decode a whole stream chunk-by-chunk, carrying partial records across
-/// chunk boundaries.
+/// chunk boundaries. Reads are pipelined through the io ring: the next
+/// chunk's storage latency elapses on a ring worker while the current chunk
+/// decodes and replays, so the scan is bounded by max(read, replay) per
+/// chunk rather than their sum.
 fn scan_stream(
+    io: &IoRing<Page>,
     stream: &Arc<LogStream>,
     chunk_bytes: usize,
     mut f: impl FnMut(RedoRecord) -> Result<()>,
 ) -> Result<()> {
-    let mut pos = stream.checkpoint();
     let mut carry: Vec<u8> = Vec::new();
+    let mut inflight = io.log_read(stream, stream.checkpoint(), chunk_bytes)?;
     loop {
-        let chunk = stream.read_chunk(pos, chunk_bytes);
+        let chunk = inflight.wait()?;
         if chunk.is_empty() && carry.is_empty() {
             return Ok(());
         }
         if chunk.is_empty() {
             return Err(PmpError::internal("torn record at durable log tail"));
         }
-        pos = chunk.end;
+        // Overlap: submit the follow-up read before decoding this chunk.
+        inflight = io.log_read(stream, chunk.end, chunk_bytes)?;
         carry.extend_from_slice(&chunk.data);
         let mut offset = 0;
         while let Some((rec, used)) = RedoRecord::decode_from(&carry[offset..])? {
@@ -249,44 +260,57 @@ pub(crate) struct StreamCursor {
 }
 
 impl StreamCursor {
-    /// Refill the pending queue from the next chunk. Non-page records are
-    /// handed to `note` immediately (their bookkeeping is order-free).
+    /// Does this cursor need another chunk before it can contribute to the
+    /// merge?
+    pub(crate) fn wants_refill(&self) -> bool {
+        !self.exhausted && self.pending.is_empty()
+    }
+
+    /// Ingest one chunk read on this cursor's behalf. Non-page records are
+    /// handed to `note` immediately (their bookkeeping is order-free); an
+    /// empty chunk marks the stream exhausted (or its tail torn).
+    pub(crate) fn ingest(
+        &mut self,
+        chunk: ReadChunk,
+        mut note: impl FnMut(&RedoRecord),
+    ) -> Result<()> {
+        if chunk.is_empty() {
+            if !self.carry.is_empty() {
+                return Err(PmpError::internal(format!(
+                    "torn record at tail of {} log",
+                    self.node
+                )));
+            }
+            self.exhausted = true;
+            return Ok(());
+        }
+        self.pos = chunk.end;
+        self.carry.extend_from_slice(&chunk.data);
+        let mut offset = 0;
+        while let Some((rec, used)) = RedoRecord::decode_from(&self.carry[offset..])? {
+            offset += used;
+            note(&rec);
+            if rec.is_page_op() {
+                self.pending.push_back(rec);
+            }
+        }
+        self.carry.drain(..offset);
+        Ok(())
+    }
+
+    /// Synchronous refill (the standby shipping loop, which reads the
+    /// shipped log inline as its own work): read chunks until this cursor
+    /// has page records or the stream is (currently) dry.
     pub(crate) fn refill(
         &mut self,
         chunk_bytes: usize,
         mut note: impl FnMut(&RedoRecord),
     ) -> Result<()> {
-        if self.exhausted || !self.pending.is_empty() {
-            return Ok(());
-        }
-        loop {
+        while self.wants_refill() {
             let chunk = self.stream.read_chunk(self.pos, chunk_bytes);
-            if chunk.is_empty() {
-                if !self.carry.is_empty() {
-                    return Err(PmpError::internal(format!(
-                        "torn record at tail of {} log",
-                        self.node
-                    )));
-                }
-                self.exhausted = true;
-                return Ok(());
-            }
-            self.pos = chunk.end;
-            self.carry.extend_from_slice(&chunk.data);
-            let mut offset = 0;
-            while let Some((rec, used)) = RedoRecord::decode_from(&self.carry[offset..])? {
-                offset += used;
-                note(&rec);
-                if rec.is_page_op() {
-                    self.pending.push_back(rec);
-                }
-            }
-            self.carry.drain(..offset);
-            if !self.pending.is_empty() {
-                return Ok(());
-            }
-            // Chunk held only non-page records; keep reading.
+            self.ingest(chunk, &mut note)?;
         }
+        Ok(())
     }
 
     /// Largest LLSN currently buffered (the stream's contribution to the
@@ -305,9 +329,34 @@ impl StreamCursor {
     }
 }
 
-/// Offline page cache used by full-cluster recovery.
+/// Refill every starved cursor, submitting all the log reads of a round to
+/// the io ring *before* waiting on any of them: the merge's per-round read
+/// cost is one batched storage latency, not one per stream.
+fn refill_all(
+    io: &IoRing<Page>,
+    cursors: &mut [StreamCursor],
+    chunk_bytes: usize,
+    mut note: impl FnMut(&RedoRecord),
+) -> Result<()> {
+    while cursors.iter().any(StreamCursor::wants_refill) {
+        let mut waits = Vec::new();
+        for (i, c) in cursors.iter().enumerate() {
+            if c.wants_refill() {
+                waits.push((i, io.log_read(&c.stream, c.pos, chunk_bytes)?));
+            }
+        }
+        for (i, completion) in waits {
+            let chunk = completion.wait()?;
+            cursors[i].ingest(chunk, &mut note)?;
+        }
+    }
+    Ok(())
+}
+
+/// Offline page cache used by full-cluster recovery. Cold reads go
+/// through the io ring like every other storage read.
 struct RecoveryPages<'a> {
-    shared: &'a Shared,
+    io: &'a IoRing<Page>,
     pages: HashMap<PageId, Page>,
     stats: RecoveryStats,
 }
@@ -315,7 +364,7 @@ struct RecoveryPages<'a> {
 impl RecoveryPages<'_> {
     fn page(&mut self, id: PageId) -> Option<&mut Page> {
         if !self.pages.contains_key(&id) {
-            let loaded = self.shared.storage.page_store().read(id).ok()??;
+            let loaded = self.io.read_page(id).ok()??;
             self.stats.pages_from_storage += 1;
             self.pages.insert(id, (*loaded).clone());
         }
@@ -358,6 +407,8 @@ impl RecoveryPages<'_> {
 /// written back to shared storage; the caller then starts fresh engines.
 pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoveryStats> {
     let chunk_bytes = shared.config.engine.recovery_chunk_bytes;
+    // Transient ring: no engines are alive during full-cluster recovery.
+    let io: IoRing<Page> = IoRing::new(Arc::clone(&shared.storage), shared.config.engine.io);
     let mut outcomes = TrxOutcomes::default();
     let mut cursors: Vec<StreamCursor> = nodes
         .iter()
@@ -372,18 +423,16 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
         .collect();
 
     let mut cache = RecoveryPages {
-        shared,
+        io: &io,
         pages: HashMap::new(),
         stats: RecoveryStats::default(),
     };
 
     loop {
-        for c in cursors.iter_mut() {
-            c.refill(chunk_bytes, |rec| {
-                cache.stats.records_scanned += 1;
-                outcomes.note(rec, &shared.undo);
-            })?;
-        }
+        refill_all(&io, &mut cursors, chunk_bytes, |rec| {
+            cache.stats.records_scanned += 1;
+            outcomes.note(rec, &shared.undo);
+        })?;
         if cursors.iter().all(|c| c.done()) {
             break;
         }
@@ -452,6 +501,7 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
 /// scan); the write-back skips any page whose stored LLSN is already newer.
 pub fn recover_dbp(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoveryStats> {
     let chunk_bytes = shared.config.engine.recovery_chunk_bytes;
+    let io: IoRing<Page> = IoRing::new(Arc::clone(&shared.storage), shared.config.engine.io);
     let mut cursors: Vec<StreamCursor> = nodes
         .iter()
         .map(|&node| StreamCursor {
@@ -464,16 +514,14 @@ pub fn recover_dbp(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoverySta
         })
         .collect();
     let mut cache = RecoveryPages {
-        shared,
+        io: &io,
         pages: HashMap::new(),
         stats: RecoveryStats::default(),
     };
     loop {
-        for c in cursors.iter_mut() {
-            c.refill(chunk_bytes, |_| {
-                cache.stats.records_scanned += 1;
-            })?;
-        }
+        refill_all(&io, &mut cursors, chunk_bytes, |_| {
+            cache.stats.records_scanned += 1;
+        })?;
         if cursors.iter().all(|c| c.done()) {
             break;
         }
@@ -502,10 +550,8 @@ pub fn recover_dbp(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoverySta
     }
     let pages = std::mem::take(&mut cache.pages);
     for (id, page) in pages {
-        let keep = shared
-            .storage
-            .page_store()
-            .read(id)?
+        let keep = io
+            .read_page(id)?
             .map(|stored| stored.llsn >= page.llsn)
             .unwrap_or(false);
         if !keep {

@@ -200,6 +200,7 @@ impl Standby {
                 .source
                 .storage
                 .page_store()
+                // lint: allow(direct-page-read): cross-region basebackup fetch outside any node's io ring
                 .read(rec.page)?
                 .ok_or_else(|| {
                     PmpError::internal(format!("standby missing base image for {}", rec.page))

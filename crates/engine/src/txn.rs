@@ -44,6 +44,10 @@ pub struct Txn {
     writes: Vec<WriteRef>,
     undo_head: UndoPtr,
     undo_all: Vec<UndoPtr>,
+    /// Stream crash epoch at begin; commit refuses to acknowledge if it
+    /// changed, because a crash in between truncated this transaction's
+    /// redo even when the commit record itself landed durably after.
+    log_epoch: u64,
 }
 
 impl std::fmt::Debug for Txn {
@@ -68,6 +72,7 @@ enum LockState {
 
 impl Txn {
     pub(crate) fn new(engine: Arc<NodeEngine>, gid: GlobalTrxId, snapshot: Arc<AtomicU64>) -> Self {
+        let log_epoch = engine.wal.stream().epoch();
         Txn {
             engine,
             gid,
@@ -76,6 +81,7 @@ impl Txn {
             writes: Vec::new(),
             undo_head: UndoPtr::NULL,
             undo_all: Vec::new(),
+            log_epoch,
         }
     }
 
@@ -579,7 +585,21 @@ impl Txn {
                 op: RedoOp::Commit { trx: gid, cts },
             }]
         });
-        engine.wal.force(end);
+        if engine.wal.force(end) < end {
+            // A crash truncated the stream beneath the commit record: it
+            // can never become durable, so the commit must not be
+            // acknowledged — the caller would see Ok for a transaction
+            // recovery is about to roll back.
+            return Err(PmpError::NodeUnavailable { node: engine.node });
+        }
+        if engine.wal.stream().epoch() != self.log_epoch {
+            // The stream crashed at some point during this transaction.
+            // Even with the commit record durable (truncation reuses byte
+            // offsets, so post-crash appends can carry the watermark past
+            // `end`), redo written before the crash is gone — acknowledging
+            // would report durable a transaction recovery cannot replay.
+            return Err(PmpError::NodeUnavailable { node: engine.node });
+        }
         engine.tit.commit(gid.slot, cts);
 
         if engine.cfg.cts_backfill {

@@ -98,20 +98,27 @@ impl Wal {
     /// otherwise exactly one fsync runs at a time and late arrivals ride on
     /// the leader's barrier (`sync_to` itself waits out any fills still in
     /// flight below `target`).
-    pub fn force(&self, target: Lsn) {
-        if self.stream.durable_lsn() >= target {
-            return;
+    ///
+    /// Returns the achieved durable LSN. A return short of `target` means
+    /// a crash truncated the stream underneath us — the caller's records
+    /// can never become durable and anything gated on them (a commit
+    /// acknowledgement, a DBP push) must not proceed.
+    pub fn force(&self, target: Lsn) -> Lsn {
+        let durable = self.stream.durable_lsn();
+        if durable >= target {
+            return durable;
         }
         let _g = self.sync_mutex.lock();
-        if self.stream.durable_lsn() >= target {
-            return;
+        let durable = self.stream.durable_lsn();
+        if durable >= target {
+            return durable;
         }
         // One covered sync suffices: `sync_to` waits out fills below
         // `target`, so it returns short of `target` only when a crash
         // truncated the stream underneath us — durability can then never
         // reach `target`, and retrying would spin (charging an fsync per
         // lap) forever.
-        self.stream.sync_to(target);
+        self.stream.sync_to(target)
     }
 
     /// Rule 2 of §4.4: observing a fetched page advances the LLSN clock.

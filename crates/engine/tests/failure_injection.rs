@@ -342,3 +342,67 @@ fn quiesced_checkpoint_bounds_recovery_scan() {
     assert_eq!(check.scan(t, 0, 10_000).unwrap().len(), 2_050);
     check.commit().unwrap();
 }
+
+#[test]
+fn acknowledged_commits_survive_crash_racing_committers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    // Regression: `Txn::commit` used to ignore `Wal::force`'s outcome, so
+    // a commit whose record was truncated by a concurrent crash was still
+    // acknowledged — and silently rolled back by recovery. Commits racing
+    // the crash may fail, but an Ok must always survive.
+    for round in 0..8u64 {
+        let (shared, engines) = cluster(1);
+        let t = shared.create_table("t", 1, &[]).unwrap().id;
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(4));
+
+        let writers: Vec<_> = (0..3u64)
+            .map(|w| {
+                let engine = Arc::clone(&engines[0]);
+                let acked = Arc::clone(&acked);
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut k = round * 100_000 + w * 10_000;
+                    while !stop.load(Ordering::Relaxed) {
+                        k += 1;
+                        let committed = engine
+                            .begin()
+                            .and_then(|mut txn| {
+                                txn.insert(t, k, v(k))?;
+                                txn.commit()
+                            })
+                            .is_ok();
+                        if committed {
+                            acked.lock().unwrap().push(k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Let the committers build momentum, then crash mid-stream.
+        std::thread::sleep(Duration::from_millis(2));
+        engines[0].crash();
+        stop.store(true, Ordering::Relaxed);
+        for wtr in writers {
+            wtr.join().unwrap();
+        }
+
+        let (recovered, _) = recover_node(&shared, NodeId(0)).unwrap();
+        let keys = acked.lock().unwrap().clone();
+        let mut check = recovered.begin().unwrap();
+        for &k in &keys {
+            assert_eq!(
+                check.get(t, k).unwrap(),
+                Some(v(k)),
+                "round {round}: acknowledged commit of key {k} lost in crash"
+            );
+        }
+        check.commit().unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration tests for the io-ring page-load path: multi-in-flight
+//! loads on one LBP shard, prefetch, and crash/wipe races against queued
+//! and in-flight SQEs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use pmp_common::{ClusterConfig, NodeId, PageId, PmpError, StorageLatencyConfig};
+use pmp_engine::page::Page;
+use pmp_engine::shared::Shared;
+use pmp_engine::NodeEngine;
+
+/// A cluster whose storage charges the realistic default latency (100µs
+/// reads) while the fabric stays free — the storage round-trip is the only
+/// thing the loads below wait on.
+fn cluster_with_storage_latency(nodes: usize) -> (Arc<Shared>, Vec<Arc<NodeEngine>>) {
+    let mut config = ClusterConfig::test(nodes);
+    config.storage_latency = StorageLatencyConfig::default();
+    let shared = Shared::new(config);
+    let engines = (0..nodes)
+        .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i as u16)))
+        .collect();
+    (shared, engines)
+}
+
+/// Page ids (≥ `start`) that all hash to the same LBP shard, written to
+/// shared storage only — never the DBP — so every first access is a
+/// storage load through the ring.
+fn same_shard_pages(shared: &Shared, engine: &NodeEngine, start: u64, want: usize) -> Vec<PageId> {
+    let target = engine.lbp.shard_of(PageId(start));
+    let mut ids = Vec::new();
+    let mut id = start;
+    while ids.len() < want {
+        if engine.lbp.shard_of(PageId(id)) == target {
+            shared
+                .storage
+                .page_store()
+                .write(PageId(id), Arc::new(Page::new_leaf(PageId(id))))
+                .unwrap();
+            ids.push(PageId(id));
+        }
+        id += 1;
+    }
+    ids
+}
+
+#[test]
+fn single_lbp_shard_sustains_eight_inflight_loads() {
+    const LOADS: usize = 8;
+    // Retry a few times: the assertion needs all eight submissions to
+    // overlap before the first completion, and a slow CI scheduler can
+    // stagger thread starts past the 100µs storage latency.
+    for attempt in 0..5 {
+        let (shared, engines) = cluster_with_storage_latency(1);
+        let engine = &engines[0];
+        let ids = same_shard_pages(&shared, engine, 10_000 + attempt * 1_000, LOADS);
+
+        engine.io.stats().reset();
+        let barrier = Arc::new(Barrier::new(LOADS));
+        let threads: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let engine = Arc::clone(engine);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    engine.frame(id).map(|f| f.page.read().id)
+                })
+            })
+            .collect();
+        for (t, &id) in threads.into_iter().zip(&ids) {
+            assert_eq!(t.join().unwrap().unwrap(), id);
+        }
+
+        let hwm = engine.io.stats().inflight_hwm();
+        assert_eq!(engine.stats.pages_loaded_storage.get(), LOADS as u64);
+        if hwm >= LOADS as u64 {
+            return; // depth reached: the shard did not serialize the loads
+        }
+    }
+    panic!("never observed {LOADS} concurrent in-flight loads on one LBP shard");
+}
+
+#[test]
+fn prefetch_loads_pages_without_blocking_and_counts() {
+    let (shared, engines) = cluster_with_storage_latency(1);
+    let engine = &engines[0];
+    let ids = same_shard_pages(&shared, engine, 20_000, 4);
+
+    let tokens: Vec<_> = ids.iter().map(|&id| engine.prefetch(id)).collect();
+    assert!(
+        tokens.iter().all(Option::is_some),
+        "cold pages must submit storage prefetches"
+    );
+    assert_eq!(engine.stats.prefetch_submitted.get(), 4);
+
+    // A demand access either waits on the prefetch sentinel or hits the
+    // installed frame — never a duplicate storage read once resident.
+    for &id in &ids {
+        assert_eq!(engine.frame(id).unwrap().page.read().id, id);
+    }
+    assert_eq!(engine.stats.pages_loaded_storage.get(), 4);
+
+    // Resident pages refuse further prefetch appointments.
+    assert!(engine.prefetch(ids[0]).is_none());
+    assert!(engine.prefetch(PageId::NULL).is_none());
+}
+
+#[test]
+fn crash_racing_queued_and_inflight_loads_aborts_cleanly() {
+    for round in 0..10 {
+        let (shared, engines) = cluster_with_storage_latency(1);
+        let engine = &engines[0];
+        let ids = same_shard_pages(&shared, engine, 30_000 + round * 1_000, 12);
+
+        let barrier = Arc::new(Barrier::new(ids.len() + 1));
+        let ok = Arc::new(AtomicUsize::new(0));
+        let failed = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let engine = Arc::clone(engine);
+                let barrier = Arc::clone(&barrier);
+                let ok = Arc::clone(&ok);
+                let failed = Arc::clone(&failed);
+                thread::spawn(move || {
+                    barrier.wait();
+                    match engine.frame(id) {
+                        Ok(f) => {
+                            assert_eq!(f.page.read().id, id);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(
+                            PmpError::NodeUnavailable { .. }
+                            | PmpError::Aborted { .. }
+                            | PmpError::StorageIo { .. },
+                        ) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected load error under crash: {e:?}"),
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Crash while some SQEs are queued and some are mid-charge.
+        engine.crash();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            ok.load(Ordering::Relaxed) + failed.load(Ordering::Relaxed),
+            ids.len(),
+            "every waiter must resolve, not hang"
+        );
+        // No sentinel leak: a leaked `Loading` slot would make these
+        // re-loads wait forever on the shard condvar (loads that raced
+        // past the wipe may have installed detached or fresh frames, which
+        // is fine — they must just never wedge the page).
+        for &id in &ids {
+            assert_eq!(engine.frame(id).unwrap().page.read().id, id);
+        }
+        let (recovered, _) = pmp_engine::recovery::recover_node(&shared, NodeId(0)).unwrap();
+        for &id in &ids {
+            assert_eq!(recovered.frame(id).unwrap().page.read().id, id);
+        }
+    }
+}
+
+#[test]
+fn storage_outage_during_load_surfaces_and_recovers() {
+    let (shared, engines) = cluster_with_storage_latency(1);
+    let engine = &engines[0];
+    let ids = same_shard_pages(&shared, engine, 40_000, 2);
+
+    shared.storage.page_store().set_fail_io(true);
+    let err = engine.frame(ids[0]).unwrap_err();
+    assert!(
+        matches!(err, PmpError::StorageIo { .. }),
+        "outage must surface as StorageIo, got {err:?}"
+    );
+    shared.storage.page_store().set_fail_io(false);
+
+    // The aborted sentinel must not wedge the page: a retry loads it.
+    assert_eq!(engine.frame(ids[0]).unwrap().page.read().id, ids[0]);
+    assert_eq!(engine.frame(ids[1]).unwrap().page.read().id, ids[1]);
+}

@@ -13,7 +13,7 @@
 //! reservation, so a crash still persists whole reservations or nothing —
 //! the same atomic-group contract appenders had before.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
@@ -24,17 +24,58 @@ use pmp_rdma::precise_wait_ns;
 /// stream cores never nest (each holds its own independent log file).
 const LOG_INNER: LockClass = LockClass::new("storage.log.inner");
 
-#[derive(Debug, Default)]
+/// Fixed number of reservation slots per stream. Reservations are
+/// short-lived (reserve → encode → fill, microseconds), so the ring bounds
+/// only pathological pile-ups; `reserve` blocks charge-free when full.
+const RESERVATION_SLOTS: usize = 1024;
+
+/// Lifecycle of one reservation slot in the fixed ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Reserved, bytes not yet copied in: blocks the durability watermark.
+    Pending,
+    /// Bytes copied in; the watermark may pass it.
+    Filled,
+    /// Abandoned without a fill (panic path); skipped by the watermark,
+    /// recorded as a dead range for readers.
+    Dead,
+}
+
+/// One entry of the reservation ring: the byte range it covers and whether
+/// it has been filled. Slots are reused in FIFO order; `head`/`tail` are
+/// monotone sequence numbers and `seq % RESERVATION_SLOTS` picks the slot.
+#[derive(Clone, Copy, Debug)]
+struct ReservationSlot {
+    start: u64,
+    state: SlotState,
+}
+
+impl ReservationSlot {
+    const fn empty() -> Self {
+        ReservationSlot {
+            start: 0,
+            state: SlotState::Filled,
+        }
+    }
+}
+
+#[derive(Debug)]
 struct LogInner {
     data: Vec<u8>,
     durable: u64,
     /// Recovery may start scanning here (durable metadata, survives
     /// crashes like the log itself).
     checkpoint: u64,
-    /// Start offsets of reserved-but-not-yet-filled ranges. The completed
-    /// prefix of the stream ends at the smallest entry (or `data.len()`
-    /// when empty); only the completed prefix may become durable.
-    pending: BTreeSet<u64>,
+    /// Fixed ring of reservation slots. Reservations are created in stream
+    /// order, so the oldest still-pending slot (at `head`, skipping filled
+    /// and dead ones) starts exactly where the completed prefix ends —
+    /// `completed()` is one array read instead of a BTreeSet min, and a
+    /// reserve/fill pair allocates nothing.
+    slots: Box<[ReservationSlot]>,
+    /// Sequence number of the oldest outstanding reservation.
+    head: u64,
+    /// Sequence number the next reservation will get.
+    tail: u64,
     /// `start → end` of abandoned reservations: the owner dropped the
     /// reservation without filling it (a panic between reserve and fill).
     /// The bytes stay zeroed and are never handed out by `read_chunk`, but
@@ -47,14 +88,42 @@ struct LogInner {
     epoch: u64,
 }
 
+impl Default for LogInner {
+    fn default() -> Self {
+        LogInner {
+            data: Vec::new(),
+            durable: 0,
+            checkpoint: 0,
+            slots: vec![ReservationSlot::empty(); RESERVATION_SLOTS].into_boxed_slice(),
+            head: 0,
+            tail: 0,
+            dead: BTreeMap::new(),
+            epoch: 0,
+        }
+    }
+}
+
 impl LogInner {
     /// End of the completed prefix: every byte below it is filled (or dead).
+    /// O(1): the head slot (first outstanding reservation) marks the end.
     fn completed(&self) -> u64 {
-        self.pending
-            .iter()
-            .next()
-            .copied()
-            .unwrap_or(self.data.len() as u64)
+        if self.head == self.tail {
+            self.data.len() as u64
+        } else {
+            self.slots[(self.head % RESERVATION_SLOTS as u64) as usize].start
+        }
+    }
+
+    /// Retire the contiguous run of filled/dead slots at the ring's head.
+    /// Amortised O(1): every slot is passed over exactly once.
+    fn advance_head(&mut self) {
+        while self.head < self.tail {
+            let slot = self.slots[(self.head % RESERVATION_SLOTS as u64) as usize];
+            if slot.state == SlotState::Pending {
+                break;
+            }
+            self.head += 1;
+        }
     }
 }
 
@@ -90,6 +159,8 @@ impl Default for StreamState {
 pub struct LogReservation {
     start: Lsn,
     len: usize,
+    /// Ring sequence number of this reservation's slot.
+    seq: u64,
     epoch: u64,
     state: Arc<StreamState>,
     filled: bool,
@@ -104,14 +175,17 @@ impl Drop for LogReservation {
         if self.epoch != g.epoch {
             return; // the crash truncation already reclaimed the range
         }
-        if g.pending.remove(&self.start.0) {
-            if self.len > 0 {
-                g.dead.insert(self.start.0, self.start.0 + self.len as u64);
-            }
-            drop(g);
-            // Syncers parked below this range can now re-evaluate.
-            self.state.fill_cv.notify_all();
+        let slot = &mut g.slots[(self.seq % RESERVATION_SLOTS as u64) as usize];
+        debug_assert_eq!(slot.state, SlotState::Pending, "reservation consumed twice");
+        slot.state = SlotState::Dead;
+        if self.len > 0 {
+            g.dead.insert(self.start.0, self.start.0 + self.len as u64);
         }
+        g.advance_head();
+        drop(g);
+        // Syncers parked below this range (and reservers waiting for a
+        // free slot) can now re-evaluate.
+        self.state.fill_cv.notify_all();
     }
 }
 
@@ -188,15 +262,27 @@ impl LogStream {
     pub fn reserve(&self, len: usize) -> LogReservation {
         self.appends.inc();
         let mut g = self.state.inner.lock();
+        // Ring full: wait for the oldest reservations to fill or die. No
+        // deadlock — fillers never need the caller's ordering lock, and no
+        // latency is charged (this is flow control, not I/O).
+        while g.tail - g.head >= RESERVATION_SLOTS as u64 {
+            self.state.fill_cv.wait(&mut g);
+        }
         let start = g.data.len() as u64;
         let end = g.data.len() + len;
         g.data.resize(end, 0);
-        g.pending.insert(start);
+        let seq = g.tail;
+        g.tail += 1;
+        g.slots[(seq % RESERVATION_SLOTS as u64) as usize] = ReservationSlot {
+            start,
+            state: SlotState::Pending,
+        };
         let epoch = g.epoch;
         drop(g);
         LogReservation {
             start: Lsn(start),
             len,
+            seq,
             epoch,
             state: Arc::clone(&self.state),
             filled: false,
@@ -217,7 +303,10 @@ impl LogStream {
         }
         let start = res.start.0 as usize;
         g.data[start..start + res.len].copy_from_slice(bytes);
-        g.pending.remove(&res.start.0);
+        let slot = &mut g.slots[(res.seq % RESERVATION_SLOTS as u64) as usize];
+        debug_assert_eq!(slot.state, SlotState::Pending, "reservation filled twice");
+        slot.state = SlotState::Filled;
+        g.advance_head();
         drop(g);
         self.state.fill_cv.notify_all();
     }
@@ -231,12 +320,38 @@ impl LogStream {
         Lsn(self.state.inner.lock().durable)
     }
 
+    /// Current crash epoch. Bumped by every [`crash`](Self::crash); a
+    /// writer that captures the epoch before its first append and compares
+    /// after its last sync can tell whether a crash truncated any of its
+    /// records in between (LSN comparisons cannot — truncation reuses byte
+    /// offsets, so post-crash appends can push the durable watermark past
+    /// a record that was discarded).
+    pub fn epoch(&self) -> u64 {
+        self.state.inner.lock().epoch
+    }
+
+    /// Nanoseconds one log read costs under the current latency config.
+    pub fn read_latency_ns(&self) -> u64 {
+        self.cfg.charge_ns(self.cfg.read_ns)
+    }
+
+    /// Nanoseconds one fsync barrier costs under the current latency config.
+    pub fn sync_latency_ns(&self) -> u64 {
+        self.cfg.charge_ns(self.cfg.sync_ns)
+    }
+
     /// Force the completed prefix of the stream to storage. Returns the new
     /// durable watermark. Always charges one sync latency (the fsync
     /// round-trip).
     pub fn sync(&self) -> Lsn {
+        precise_wait_ns(self.sync_latency_ns());
+        self.sync_uncharged()
+    }
+
+    /// Completion half of a ring-submitted sync: the `pmp-io` worker has
+    /// already charged the fsync round-trip.
+    pub fn sync_uncharged(&self) -> Lsn {
         self.syncs.inc();
-        precise_wait_ns(self.cfg.charge_ns(self.cfg.sync_ns));
         let mut g = self.state.inner.lock();
         g.durable = g.durable.max(g.completed());
         Lsn(g.durable)
@@ -247,25 +362,40 @@ impl LogStream {
     /// the fsync cost; otherwise wait out any fills still in flight below
     /// `target` and sync everything completed.
     pub fn sync_to(&self, target: Lsn) -> Lsn {
-        {
-            let mut g = self.state.inner.lock();
-            if g.durable >= target.0 {
-                return Lsn(g.durable);
-            }
-            // A fill below `target` is a memcpy already in progress on
-            // another thread; wait for it rather than syncing short. The
-            // bound through `data.len()` keeps a crash-truncated stream
-            // from waiting forever, and abandoned reservations count as
-            // completed (dead), so a leaked one cannot wedge us either.
-            loop {
-                let reachable = target.0.min(g.data.len() as u64);
-                if g.completed() >= reachable {
-                    break;
-                }
-                self.state.fill_cv.wait(&mut g);
-            }
+        if let Some(covered) = self.await_fills_below(target) {
+            return covered;
         }
         self.sync()
+    }
+
+    /// `sync_to` with the fsync latency already charged by a ring worker.
+    pub fn sync_to_uncharged(&self, target: Lsn) -> Lsn {
+        if let Some(covered) = self.await_fills_below(target) {
+            return covered;
+        }
+        self.sync_uncharged()
+    }
+
+    /// Shared front half of `sync_to`: returns `Some(durable)` if `target`
+    /// is already covered, else waits for in-flight fills below `target`
+    /// and returns `None` (caller must sync).
+    fn await_fills_below(&self, target: Lsn) -> Option<Lsn> {
+        let mut g = self.state.inner.lock();
+        if g.durable >= target.0 {
+            return Some(Lsn(g.durable));
+        }
+        // A fill below `target` is a memcpy already in progress on
+        // another thread; wait for it rather than syncing short. The
+        // bound through `data.len()` keeps a crash-truncated stream
+        // from waiting forever, and abandoned reservations count as
+        // completed (dead), so a leaked one cannot wedge us either.
+        loop {
+            let reachable = target.0.min(g.data.len() as u64);
+            if g.completed() >= reachable {
+                return None;
+            }
+            self.state.fill_cv.wait(&mut g);
+        }
     }
 
     /// Simulate the owning node crashing: the unsynced tail is lost, synced
@@ -278,7 +408,7 @@ impl LogStream {
         // with the tail. The epoch bump makes their late fills (and drop
         // glue) inert. Dead ranges below the watermark are durable holes
         // and survive; those above died with the tail.
-        g.pending.clear();
+        g.head = g.tail; // retire every outstanding slot
         g.dead.split_off(&durable);
         g.epoch += 1;
         drop(g);
@@ -307,7 +437,13 @@ impl LogStream {
     /// simply skipped, and an empty chunk still means "no durable data at
     /// or after `from`".
     pub fn read_chunk(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
-        precise_wait_ns(self.cfg.charge_ns(self.cfg.read_ns));
+        precise_wait_ns(self.read_latency_ns());
+        self.read_chunk_uncharged(from, max_bytes)
+    }
+
+    /// Completion half of a ring-submitted log read (latency already
+    /// charged at batch granularity by the `pmp-io` worker).
+    pub fn read_chunk_uncharged(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
         let g = self.state.inner.lock();
         let mut start = from.0.min(g.durable);
         // Hop over any dead ranges covering `start` (they can abut).
@@ -586,6 +722,48 @@ mod tests {
         assert_eq!(s.end_lsn(), Lsn(8));
         s.sync();
         assert_eq!(s.read_chunk(Lsn(0), 100).data, b"durable!");
+    }
+
+    #[test]
+    fn reserve_blocks_when_slot_ring_is_full_and_resumes_on_fill() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let s = Arc::new(stream());
+        // Exhaust every slot in the fixed ring.
+        let mut outstanding: Vec<LogReservation> =
+            (0..RESERVATION_SLOTS).map(|_| s.reserve(1)).collect();
+        let s2 = Arc::clone(&s);
+        let blocked = std::thread::spawn(move || s2.reserve(2));
+        // The reserver must be parked, not failing or spinning through.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "reserve must block on a full ring");
+        // Fill the oldest slot: head advances, a slot frees, reserve wakes.
+        let oldest = outstanding.remove(0);
+        s.fill(oldest, b"A");
+        let late = blocked.join().unwrap();
+        assert_eq!(late.start(), Lsn(RESERVATION_SLOTS as u64));
+        s.fill(late, b"ZZ");
+        for r in outstanding {
+            s.fill(r, b"B");
+        }
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(RESERVATION_SLOTS as u64 + 2));
+    }
+
+    #[test]
+    fn slot_ring_reuses_slots_across_many_generations() {
+        let s = stream();
+        // Push well past RESERVATION_SLOTS reservations through the ring in
+        // FIFO-but-out-of-order-fill patterns; completed() must stay exact.
+        for round in 0..3 * RESERVATION_SLOTS {
+            let a = s.reserve(1);
+            let b = s.reserve(1);
+            s.fill(b, b"y"); // out of order: watermark must wait for `a`
+            assert_eq!(s.sync(), Lsn(2 * round as u64));
+            s.fill(a, b"x");
+        }
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(6 * RESERVATION_SLOTS as u64));
     }
 
     #[test]

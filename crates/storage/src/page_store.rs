@@ -101,19 +101,44 @@ impl<P: Clone + Send + Sync> PageStore<P> {
         self.next_page.fetch_max(first_free, Ordering::Relaxed);
     }
 
+    /// Nanoseconds one page read costs under the current latency config.
+    /// The io ring charges this at batch granularity instead of per call.
+    pub fn read_latency_ns(&self) -> u64 {
+        self.cfg.charge_ns(self.cfg.read_ns)
+    }
+
+    /// Nanoseconds one page write costs under the current latency config.
+    pub fn write_latency_ns(&self) -> u64 {
+        self.cfg.charge_ns(self.cfg.write_ns)
+    }
+
     /// Read a page, paying storage read latency. `Ok(None)` if never written.
     pub fn read(&self, id: PageId) -> Result<Option<Arc<P>>> {
         self.check_io()?;
+        precise_wait_ns(self.read_latency_ns());
+        self.read_uncharged(id)
+    }
+
+    /// Completion half of a ring-submitted read: the `pmp-io` worker has
+    /// already charged the device round-trip for the whole batch, so this
+    /// only meters the op and copies the page out.
+    pub fn read_uncharged(&self, id: PageId) -> Result<Option<Arc<P>>> {
+        self.check_io()?;
         self.stats.page_reads.inc();
-        precise_wait_ns(self.cfg.charge_ns(self.cfg.read_ns));
         Ok(self.shard(id).read().get(&id).cloned())
     }
 
     /// Write (create or replace) a page; durable on return.
     pub fn write(&self, id: PageId, page: Arc<P>) -> Result<()> {
         self.check_io()?;
+        precise_wait_ns(self.write_latency_ns());
+        self.write_uncharged(id, page)
+    }
+
+    /// Completion half of a ring-submitted write (latency already charged).
+    pub fn write_uncharged(&self, id: PageId, page: Arc<P>) -> Result<()> {
+        self.check_io()?;
         self.stats.page_writes.inc();
-        precise_wait_ns(self.cfg.charge_ns(self.cfg.write_ns));
         self.shard(id).write().insert(id, page);
         Ok(())
     }

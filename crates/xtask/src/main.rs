@@ -18,6 +18,10 @@
 //!   there must be `Tracked*` with a `LockClass`.
 //! * `unsafe-safety` — every `unsafe` must carry a `// SAFETY:` comment
 //!   within the three preceding lines.
+//! * `direct-page-read` — `PageStore::read` is forbidden in engine library
+//!   code: page reads on engine paths must go through the `pmp-io` ring
+//!   (`IoRing::read_page`, `submit_with`, or a prefetch) so the charged
+//!   storage latency elapses off-thread and loads overlap.
 //!
 //! Escape hatches, each requiring a written justification:
 //!
@@ -33,21 +37,27 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 5] = [
+const RULES: [&str; 6] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
     "raw-parking-lot",
     "unsafe-safety",
+    "direct-page-read",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
-const PARKING_LOT_BANNED: [&str; 4] = [
+const PARKING_LOT_BANNED: [&str; 5] = [
     "crates/common/src/",
     "crates/engine/src/",
+    "crates/io/src/",
     "crates/pmfs/src/",
     "crates/storage/src/",
 ];
+
+/// Engine library code must read pages through the io ring, never straight
+/// from the `PageStore`.
+const PAGE_READ_BANNED: &str = "crates/engine/src/";
 
 /// The simulated-latency charge point is the one legitimate home of real
 /// sleeps and real clock reads.
@@ -149,6 +159,7 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let lines: Vec<&str> = text.lines().collect();
     let clock_exempt = rel_path.ends_with(CLOCK_EXEMPT) || rel_path == CLOCK_EXEMPT;
     let parking_lot_banned = PARKING_LOT_BANNED.iter().any(|p| rel_path.starts_with(p));
+    let page_read_banned = rel_path.starts_with(PAGE_READ_BANNED);
 
     let mut file_allows: Vec<&'static str> = Vec::new();
     for line in &lines {
@@ -219,6 +230,28 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
                 "raw-parking-lot",
                 "direct parking_lot use in a migrated crate; use pmp_common::sync::Tracked*".into(),
             );
+        }
+
+        if page_read_banned {
+            // Catch both single-line calls and rustfmt-split method chains
+            // (`.page_store()` on one line, `.read(` on the next).
+            let prev_code = if idx > 0 {
+                strip_comment(lines[idx - 1])
+            } else {
+                ""
+            };
+            let same_line = code.contains("page_store()") && code.contains(".read(");
+            let split_chain = code.trim_start().starts_with(".read(")
+                && prev_code.contains("page_store()")
+                && !prev_code.contains(".read(");
+            if same_line || split_chain {
+                report(
+                    "direct-page-read",
+                    "direct PageStore::read in engine code; go through the pmp-io ring \
+                     (IoRing::read_page / submit_with / prefetch) so loads overlap"
+                        .into(),
+                );
+            }
         }
 
         if contains_token(code, "unsafe") && !code.trim_start().starts_with("#[") {
@@ -425,6 +458,39 @@ mod tests {
             rules_hit("crates/engine/src/x.rs", &trailing),
             vec!["raw-sleep"]
         );
+    }
+
+    #[test]
+    fn direct_page_read_flagged_in_engine_only() {
+        let one_line = "let p = self.shared.storage.page_store().read(id)?;\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/node.rs", one_line),
+            vec!["direct-page-read"]
+        );
+        // The rule is scoped to the engine: storage itself and other crates
+        // may call read directly.
+        assert!(rules_hit("crates/storage/src/page_store.rs", one_line).is_empty());
+        assert!(rules_hit("crates/core/src/cluster.rs", one_line).is_empty());
+
+        // rustfmt-split chains are caught via the previous line.
+        let split = "let p = storage\n    .page_store()\n    .read(id)?;\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/node.rs", split),
+            vec!["direct-page-read"]
+        );
+
+        // Writes and unrelated reads don't match.
+        assert!(rules_hit(
+            "crates/engine/src/node.rs",
+            "storage.page_store().write(id, page)?;\n"
+        )
+        .is_empty());
+        assert!(rules_hit("crates/engine/src/node.rs", "let x = frame.page.read();\n").is_empty());
+
+        // The escape hatch works on the read line.
+        let allowed = "let p = storage.page_store().read(id)?; \
+                       // lint: allow(direct-page-read): offline tool path\n";
+        assert!(rules_hit("crates/engine/src/node.rs", allowed).is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub use pmp_baselines as baselines;
 pub use pmp_common as common;
 pub use pmp_core as core_api;
 pub use pmp_engine as engine;
+pub use pmp_io as io;
 pub use pmp_pmfs as pmfs;
 pub use pmp_rdma as rdma;
 pub use pmp_storage as storage;
