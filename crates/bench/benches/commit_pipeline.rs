@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the batched commit pipeline:
+//!
+//! * `commit/group_window` — wall-clock of a burst of commits from N
+//!   concurrent committers with the group-commit collect window off vs on.
+//!   With the window on, the sync leader folds followers into one fsync,
+//!   so the per-commit storage-sync charge amortizes across the group.
+//! * `fabric/doorbell_batch` — a 16-cell remote fan-out issued as 16
+//!   single-verb writes (one round-trip each) vs one `Fabric::batch()`
+//!   doorbell (one charge at flush).
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmp_common::{ClusterConfig, LatencyConfig, NodeId};
+use pmp_engine::row::RowValue;
+use pmp_engine::shared::Shared;
+use pmp_engine::NodeEngine;
+use pmp_rdma::{Fabric, Locality};
+
+fn commit_burst(window_us: u64, committers: usize, per_committer: u64) -> Duration {
+    let mut config = ClusterConfig::test(1);
+    config.engine.wal_group_window_us = window_us;
+    let shared = Shared::new(config);
+    let engine = NodeEngine::start(Arc::clone(&shared), NodeId(0));
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..committers {
+            let engine = Arc::clone(&engine);
+            s.spawn(move || {
+                for i in 0..per_committer {
+                    let k = w as u64 * 1_000_000 + i;
+                    // Retry transient aborts like the workload driver does
+                    // (split-page push race under concurrent committers).
+                    for _ in 0..1000 {
+                        let done = engine.begin().and_then(|mut txn| {
+                            txn.insert(t, k, RowValue::new(vec![k]))?;
+                            txn.commit()
+                        });
+                        if done.is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    engine.stop_background();
+    elapsed
+}
+
+fn bench_group_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit/group_window");
+    group.sample_size(10);
+    for &committers in &[1usize, 8] {
+        for &window_us in &[0u64, 20] {
+            group.bench_function(format!("c{committers}/window{window_us}us"), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += commit_burst(window_us, committers, 50);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_doorbell_batch(c: &mut Criterion) {
+    let fabric = Fabric::new(LatencyConfig::realistic());
+    let cells: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+    let mut group = c.benchmark_group("fabric/doorbell_batch");
+    group.bench_function("sequential-16", |b| {
+        b.iter(|| {
+            for cell in &cells {
+                fabric.write_u64(cell, 1, Locality::Remote);
+            }
+        })
+    });
+    group.bench_function("batched-16", |b| {
+        b.iter(|| {
+            let mut batch = fabric.batch();
+            for cell in &cells {
+                batch.write_u64(cell, 1, Locality::Remote);
+            }
+            batch.flush();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_window, bench_doorbell_batch);
+criterion_main!(benches);

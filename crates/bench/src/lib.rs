@@ -225,4 +225,163 @@ mod tests {
         r.line("hello");
         assert!(r.lines.iter().any(|l| l == "hello"));
     }
+
+    // ---- commit-pipeline probes (EXPERIMENTS.md §commit pipeline) ------
+    //
+    // Run with `cargo test -p pmp-bench --release -- --ignored probe
+    // --nocapture`. Each prints one table row; the numbers in
+    // EXPERIMENTS.md come from these.
+
+    use pmp_common::NodeId;
+    use pmp_engine::row::RowValue;
+    use pmp_engine::shared::Shared;
+    use pmp_engine::NodeEngine;
+
+    /// Insert-and-commit one key, retrying transient aborts the way the
+    /// workload driver does (`retry_aborts`) — e.g. the pre-existing
+    /// split-page push race that surfaces as a storage miss under
+    /// concurrent committers at latency scale 1.
+    fn commit_one_key(engine: &Arc<NodeEngine>, t: pmp_common::TableId, k: u64) {
+        for _ in 0..1000 {
+            let done = engine.begin().and_then(|mut txn| {
+                txn.insert(t, k, RowValue::new(vec![k]))?;
+                txn.commit()
+            });
+            if done.is_ok() {
+                return;
+            }
+        }
+        panic!("key {k} failed to commit after 1000 retries");
+    }
+
+    /// Wall-clock of `committers` threads each committing `per_committer`
+    /// single-row inserts on one node at latency scale 1, plus the fsync
+    /// and group counters afterwards.
+    fn commit_burst(window_us: u64, committers: usize, per_committer: u64) -> String {
+        let mut config = ClusterConfig::bench(1, 1.0);
+        config.engine.wal_group_window_us = window_us;
+        let shared = Shared::new(config);
+        let engine = NodeEngine::start(Arc::clone(&shared), NodeId(0));
+        let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..committers {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for i in 0..per_committer {
+                        commit_one_key(&engine, t, w as u64 * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        engine.stop_background();
+
+        let commits = (committers as u64 * per_committer) as f64;
+        let g = engine.wal.group_stats();
+        let s = &engine.stats;
+        let row = format!(
+            "window={window_us:>3}us committers={committers} | {commits:>4.0} commits in {:>8.2?} \
+             ({:>6.0} commits/s) | fsyncs/commit={:.2} batches={} riders={} windows_waited={} empty={} \
+             | stage mean us: cts={} wal={} tit={} backfill={}",
+            elapsed,
+            commits / elapsed.as_secs_f64(),
+            engine.wal.stream().sync_count() as f64 / commits,
+            g.batches.get(),
+            g.riders.get(),
+            g.windows_waited.get(),
+            g.empty_windows.get(),
+            s.commit_cts_ns.mean_ns() / 1000,
+            s.commit_wal_force_ns.mean_ns() / 1000,
+            s.commit_tit_ns.mean_ns() / 1000,
+            s.commit_backfill_ns.mean_ns() / 1000,
+        );
+        println!("{row}");
+        row
+    }
+
+    #[test]
+    #[ignore] // probe: group-commit window on/off at 1 and 8 committers
+    fn commit_group_window_probe() {
+        for committers in [1usize, 8, 16] {
+            for window_us in [0u64, 20] {
+                commit_burst(window_us, committers, 100);
+            }
+        }
+    }
+
+    #[test]
+    #[ignore] // probe: single-committer p50/p99 regression vs the window
+    fn commit_single_p99_probe() {
+        for window_us in [0u64, 20] {
+            let mut config = ClusterConfig::bench(1, 1.0);
+            config.engine.wal_group_window_us = window_us;
+            let shared = Shared::new(config);
+            let engine = NodeEngine::start(Arc::clone(&shared), NodeId(0));
+            let t = shared.create_table("t", 1, &[]).unwrap().id;
+            let mut lat_us: Vec<u64> = Vec::with_capacity(400);
+            for k in 0..400u64 {
+                let start = std::time::Instant::now();
+                commit_one_key(&engine, t, k);
+                lat_us.push(start.elapsed().as_micros() as u64);
+            }
+            engine.stop_background();
+            lat_us.sort_unstable();
+            println!(
+                "window={window_us:>3}us single committer | p50={}us p99={}us max={}us",
+                lat_us[lat_us.len() / 2],
+                lat_us[lat_us.len() * 99 / 100],
+                lat_us[lat_us.len() - 1],
+            );
+        }
+    }
+
+    #[test]
+    #[ignore] // probe: 4-node write-heavy sysbench, whole pipeline on/off
+    fn commit_sysbench_pipeline_probe() {
+        use pmp_workloads::driver::run_workload;
+        use pmp_workloads::sysbench::{Sysbench, SysbenchMode};
+        use pmp_workloads::targets::PmpTarget;
+
+        let nodes = 4;
+        for (label, window_us, lease_max) in
+            [("pipeline-off", 0u64, 1u64), ("pipeline-on ", 20, 16)]
+        {
+            let mut config = bench_cluster_config(nodes);
+            config.engine.wal_group_window_us = window_us;
+            config.engine.cts_lease_max = lease_max;
+            let cluster = Cluster::builder().config(config).build();
+            let layout = Sysbench::new(SysbenchMode::WriteOnly, nodes, 4, 2_000, 50);
+            let target = PmpTarget::new(Arc::clone(&cluster), &layout.tables());
+            load_suspended(&target, &layout);
+
+            // Snapshot meters after load so per-commit rates cover the
+            // run only (warmup included — rates, not absolutes).
+            let sh = cluster.shared();
+            let fsync0: u64 = (0..nodes)
+                .map(|i| cluster.node(i).wal.stream().sync_count())
+                .sum();
+            let batched0 = sh.fabric.stats().batched_ops.get();
+            let atomics0 = sh.fabric.stats().atomics.get();
+
+            let result = run_workload(&target, &layout, point_config(Some(2)));
+            let all = (result.committed + result.aborted).max(1) as f64;
+            let fsyncs: u64 = (0..nodes)
+                .map(|i| cluster.node(i).wal.stream().sync_count())
+                .sum::<u64>()
+                - fsync0;
+            let batched = sh.fabric.stats().batched_ops.get() - batched0;
+            let atomics = sh.fabric.stats().atomics.get() - atomics0;
+            println!(
+                "{label} | tps={:>6.0} committed={} | fsyncs/txn={:.2} batched_ops/txn={:.2} atomics/txn={:.2}",
+                result.tps(),
+                result.committed,
+                fsyncs as f64 / all,
+                batched as f64 / all,
+                atomics as f64 / all,
+            );
+            cluster.shutdown();
+        }
+    }
 }

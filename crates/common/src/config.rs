@@ -199,6 +199,20 @@ pub struct EngineConfig {
     pub lazy_plock_release: bool,
     /// Enable commit-time CTS backfill into buffered rows (§4.1).
     pub cts_backfill: bool,
+    /// Group-commit collect window in microseconds (MySQL-binlog style):
+    /// the `Wal::force` leader waits this long inside the sync mutex for
+    /// followers to land their commit records before charging the one
+    /// fsync that covers the whole batch. Adaptive: after several windows
+    /// that close with no followers the leader stops waiting until
+    /// concurrency reappears. 0 disables the window entirely.
+    pub wal_group_window_us: u64,
+    /// Maximum CTS lease size (range leasing on the TSO): under a high
+    /// commit arrival rate one remote fetch-and-add reserves up to this
+    /// many timestamps, handed out locally in order. The lease grows
+    /// adaptively 1→max and is dropped on idle so the `current_cts`
+    /// snapshot boundary never runs far ahead of committed work. 0 or 1
+    /// disables leasing (every commit pays its own FAA).
+    pub cts_lease_max: u64,
     /// Submission/completion ring for storage I/O (the `pmp-io` subsystem).
     pub io: IoRingConfig,
 }
@@ -218,6 +232,8 @@ impl Default for EngineConfig {
             linear_lamport: true,
             lazy_plock_release: true,
             cts_backfill: true,
+            wal_group_window_us: 20,
+            cts_lease_max: 16,
             io: IoRingConfig::default(),
         }
     }

@@ -189,6 +189,28 @@ impl Cluster {
                 io.inflight_hwm(),
                 node.stats.prefetch_submitted.get(),
             );
+            let s = &node.stats;
+            let _ = writeln!(
+                out,
+                "  node {i} commit stages (mean/p99 us): cts={}/{} wal_force={}/{} tit={}/{} backfill={}/{}",
+                s.commit_cts_ns.mean_ns() / 1000,
+                s.commit_cts_ns.p99_ns() / 1000,
+                s.commit_wal_force_ns.mean_ns() / 1000,
+                s.commit_wal_force_ns.p99_ns() / 1000,
+                s.commit_tit_ns.mean_ns() / 1000,
+                s.commit_tit_ns.p99_ns() / 1000,
+                s.commit_backfill_ns.mean_ns() / 1000,
+                s.commit_backfill_ns.p99_ns() / 1000,
+            );
+            let g = node.wal.group_stats();
+            let _ = writeln!(
+                out,
+                "  node {i} wal group: batches={} riders={} windows_waited={} empty_windows={}",
+                g.batches.get(),
+                g.riders.get(),
+                g.windows_waited.get(),
+                g.empty_windows.get(),
+            );
         }
         let b = sh.pmfs.buffer.stats();
         let _ =
@@ -219,9 +241,10 @@ impl Cluster {
         let _ =
             writeln!(
             out,
-            "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={}",
+            "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={} batched_ops={}",
             st.page_reads.get(), st.page_writes.get(),
-            f.reads.get(), f.writes.get(), f.atomics.get(), f.rpcs.get()
+            f.reads.get(), f.writes.get(), f.atomics.get(), f.rpcs.get(),
+            f.batched_ops.get()
         );
         out
     }
@@ -446,10 +469,13 @@ mod tests {
             "nodes: 2",
             "node 0",
             "node 0 io:",
+            "node 0 commit stages",
+            "node 0 wal group:",
             "buffer fusion",
             "lock fusion",
             "row waits",
             "storage:",
+            "batched_ops=",
         ] {
             assert!(
                 report.contains(needle),

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use pmp_common::sync::{LockClass, Shutdown, TrackedMutex, TrackedRwLock};
 use pmp_common::{
-    Counter, Cts, EngineConfig, GlobalTrxId, NodeId, PageId, PmpError, Result, SlotId, TrxId,
-    CSN_MAX,
+    Counter, Cts, EngineConfig, GlobalTrxId, LatencyHistogram, NodeId, PageId, PmpError, Result,
+    SlotId, TrxId, CSN_MAX,
 };
 
 /// Active-transaction table (begin/finish/visibility fast path).
@@ -52,6 +52,12 @@ pub struct NodeStats {
     pub pages_loaded_storage: Counter,
     pub pages_loaded_dbp: Counter,
     pub prefetch_submitted: Counter,
+    /// Per-stage commit latency (wall clock): CTS allocation, WAL group
+    /// commit, TIT publish + ref collection, row CTS backfill.
+    pub commit_cts_ns: LatencyHistogram,
+    pub commit_wal_force_ns: LatencyHistogram,
+    pub commit_tit_ns: LatencyHistogram,
+    pub commit_backfill_ns: LatencyHistogram,
 }
 
 /// One live transaction's bookkeeping entry.
@@ -187,8 +193,12 @@ impl NodeEngine {
             .plock
             .register_node(node, NegotiationHandler::new(Arc::clone(&plocks)));
 
-        let wal = Wal::new(shared.storage.redo_stream(node));
-        let tso = TsoClient::new(Arc::clone(&shared.pmfs.txn), cfg.linear_lamport);
+        let wal = Wal::new(shared.storage.redo_stream(node), cfg.wal_group_window_us);
+        let tso = TsoClient::new(
+            Arc::clone(&shared.pmfs.txn),
+            cfg.linear_lamport,
+            cfg.cts_lease_max,
+        );
 
         let engine = Arc::new(NodeEngine {
             node,
@@ -694,16 +704,19 @@ impl NodeEngine {
             .unwrap_or_else(|| self.next_trx.load(Ordering::Relaxed));
         self.tit.publish_min_active_trx(min_active);
 
-        // Refresh our cache of peers' published values.
+        // Refresh our cache of peers' published values: every peer's cell
+        // reads through one doorbell batch (one charged round trip).
+        let mut batch = self.shared.fabric.batch();
         for peer in fusion.nodes() {
             if peer == self.node {
                 continue;
             }
             if let Some(region) = fusion.region(peer) {
-                let v = region.read_min_active_trx(&self.shared.fabric, Locality::Remote);
+                let v = region.read_min_active_trx_batched(&mut batch, Locality::Remote);
                 self.min_active_cache.set(peer, v);
             }
         }
+        batch.flush();
     }
 
     /// One pass of the background flusher: push dirty pages to the DBP and

@@ -299,21 +299,39 @@ impl LocalPLocks {
     /// retained locks don't skew the first measured accesses of peers.
     pub fn release_idle(&self) {
         for shard in self.shards.iter() {
-            loop {
-                let victim = {
-                    let mut entries = shard.entries.lock();
-                    let Some((&page, entry)) = entries
-                        .iter_mut()
-                        .find(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
-                    else {
-                        break;
-                    };
-                    entry.state = EntryState::Acquiring; // block local grants
-                    (page, entry.mode)
-                };
-                self.hand_back(victim.0, victim.1);
-                shard.cv.notify_all();
+            // Mark every idle entry Acquiring in one pass under the lock,
+            // then hand the whole set back through fusion's doorbell-batched
+            // release (one charged flush for the sweep) instead of paying a
+            // release RPC per page. A concurrent negotiation or crash_clear
+            // racing the marked entries is safe: fusion's release tolerates
+            // missing state and the entry remove below no-ops if gone.
+            let victims: Vec<PageId> = {
+                let mut entries = shard.entries.lock();
+                entries
+                    .iter_mut()
+                    .filter(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
+                    .map(|(&page, entry)| {
+                        entry.state = EntryState::Acquiring; // block local grants
+                        page
+                    })
+                    .collect()
+            };
+            if victims.is_empty() {
+                continue;
             }
+            let hook = self.hook.lock().clone();
+            if let Some(hook) = &hook {
+                for &page in &victims {
+                    hook.before_release(page);
+                }
+            }
+            self.fusion.release_batch(self.node, &victims);
+            let mut entries = shard.entries.lock();
+            for page in victims {
+                entries.remove(&page);
+            }
+            drop(entries);
+            shard.cv.notify_all();
         }
     }
 

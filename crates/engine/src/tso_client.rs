@@ -19,6 +19,9 @@ use pmp_pmfs::TxnFusion;
 /// Linear-Lamport coalescing state. The TSO fetch itself (one-sided read,
 /// RDMA-priced) always runs with this lock dropped.
 const TSO_STATE: LockClass = LockClass::new("engine.tso_client.state");
+/// CTS range-lease state. The TSO fetch-and-add (a charge point) always
+/// runs with this lock dropped.
+const TSO_LEASE: LockClass = LockClass::new("engine.tso_client.lease");
 
 #[derive(Debug)]
 struct State {
@@ -27,14 +30,53 @@ struct State {
     in_flight: bool,
 }
 
+/// CTS range-lease state (§4.1 amortization): one remote FAA reserves a
+/// contiguous range of timestamps, handed out locally in order to the
+/// committers that were *already waiting* when the FAA was issued.
+///
+/// The sizing rule is the whole safety argument. A range held across
+/// commits would hand a pre-reserved timestamp to a commit that *starts
+/// later* — after some reader (local or on a peer node) already took a
+/// snapshot covering the reserved range — making that commit visible
+/// inside an existing snapshot (an SI violation our MVCC tests catch). So
+/// the lease is never held: each round's FAA is sized to the requesters
+/// present at issue time, every value goes to a commit that preceded the
+/// FAA, and a remainder orphaned by a racing round becomes a permanent
+/// *gap* — safe, because a timestamp no row ever carries reads as
+/// "nothing committed here".
+#[derive(Debug)]
+struct LeaseState {
+    /// A leader's FAA is in flight; arrivals queue for the next round.
+    refilling: bool,
+    /// Id of the next round to issue. A requester is eligible for a
+    /// round's range iff it arrived before that round's FAA was issued,
+    /// i.e. its arrival `round_id` is ≤ the round's id.
+    round_id: u64,
+    /// Round whose range is currently being distributed.
+    dist_round: u64,
+    /// Undistributed remainder of the distributed round.
+    next: u64,
+    end: u64,
+    /// Requesters parked on the lease condvar (sizes the next grant).
+    waiters: u64,
+}
+
 /// Per-node TSO client.
 pub struct TsoClient {
     fusion: Arc<TxnFusion>,
     state: TrackedMutex<State>,
     cv: TrackedCondvar,
     enabled: bool,
+    /// Maximum CTS lease size; 0 or 1 disables leasing.
+    lease_max: u64,
+    lease: TrackedMutex<LeaseState>,
+    lease_cv: TrackedCondvar,
     pub fetches: Counter,
     pub reuses: Counter,
+    /// Remote FAAs issued for commit timestamps (lease refills included).
+    pub lease_grants: Counter,
+    /// Commit timestamps served from a held lease without fabric traffic.
+    pub lease_hits: Counter,
 }
 
 impl std::fmt::Debug for TsoClient {
@@ -43,12 +85,15 @@ impl std::fmt::Debug for TsoClient {
             .field("enabled", &self.enabled)
             .field("fetches", &self.fetches.get())
             .field("reuses", &self.reuses.get())
+            .field("lease_max", &self.lease_max)
+            .field("lease_grants", &self.lease_grants.get())
+            .field("lease_hits", &self.lease_hits.get())
             .finish()
     }
 }
 
 impl TsoClient {
-    pub fn new(fusion: Arc<TxnFusion>, linear_lamport: bool) -> Self {
+    pub fn new(fusion: Arc<TxnFusion>, linear_lamport: bool, lease_max: u64) -> Self {
         TsoClient {
             fusion,
             state: TrackedMutex::new(
@@ -60,8 +105,23 @@ impl TsoClient {
             ),
             cv: TrackedCondvar::new(),
             enabled: linear_lamport,
+            lease_max,
+            lease: TrackedMutex::new(
+                TSO_LEASE,
+                LeaseState {
+                    refilling: false,
+                    round_id: 0,
+                    dist_round: 0,
+                    next: 0,
+                    end: 0,
+                    waiters: 0,
+                },
+            ),
+            lease_cv: TrackedCondvar::new(),
             fetches: Counter::new(),
             reuses: Counter::new(),
+            lease_grants: Counter::new(),
+            lease_hits: Counter::new(),
         }
     }
 
@@ -108,9 +168,59 @@ impl TsoClient {
         }
     }
 
-    /// Allocate a commit timestamp (never cached).
+    /// Allocate a commit timestamp.
+    ///
+    /// With range leasing enabled (`lease_max > 1`), concurrent commit
+    /// requests coalesce onto one remote FAA: the first requester leads a
+    /// *round*, sizing its FAA to itself plus every requester already
+    /// parked (capped at `lease_max`), and the returned range is handed
+    /// out locally in order. Demand adapts the round size 1 → `lease_max`
+    /// automatically — a lone committer issues a plain FAA of 1; a commit
+    /// storm piles waiters onto each in-flight round. Nothing is ever held
+    /// across rounds, so an idle node reserves nothing and `current_cts`
+    /// never covers a timestamp whose commit had not yet *started* (see
+    /// [`LeaseState`] for why holding a range would break SI).
     pub fn commit_cts(&self) -> Cts {
-        self.fusion.next_cts()
+        if self.lease_max <= 1 {
+            return self.fusion.next_cts();
+        }
+        let mut st = self.lease.lock();
+        // Eligibility: only rounds whose FAA was issued after our arrival
+        // may serve us — a range reserved before we arrived could sit
+        // below a snapshot boundary some reader has already taken.
+        let my_round = st.round_id;
+        loop {
+            if my_round <= st.dist_round && st.next < st.end {
+                let cts = Cts(st.next);
+                st.next += 1;
+                self.lease_hits.inc();
+                return cts;
+            }
+            if !st.refilling {
+                // Lead the next round on behalf of everyone parked.
+                let round = st.round_id;
+                let grant = (1 + st.waiters).min(self.lease_max).max(1);
+                st.round_id += 1;
+                st.refilling = true;
+                drop(st);
+                // The FAA is a charge point: lease lock dropped.
+                let first = self.fusion.lease_cts(grant);
+                self.lease_grants.inc();
+                st = self.lease.lock();
+                st.refilling = false;
+                st.dist_round = round;
+                // Leader takes the range's first value; the rest goes to
+                // the parked waiters the grant was sized for. A remainder
+                // orphaned by the next round's overwrite is a gap — safe.
+                st.next = first.0 + 1;
+                st.end = first.0 + grant;
+                self.lease_cv.notify_all();
+                return first;
+            }
+            st.waiters += 1;
+            self.lease_cv.wait(&mut st);
+            st.waiters -= 1;
+        }
     }
 }
 
@@ -124,7 +234,15 @@ mod tests {
         let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
             LatencyConfig::disabled(),
         ))));
-        let c = TsoClient::new(Arc::clone(&fusion), lamport);
+        let c = TsoClient::new(Arc::clone(&fusion), lamport, 1);
+        (fusion, c)
+    }
+
+    fn leasing_client(lease_max: u64) -> (Arc<TxnFusion>, TsoClient) {
+        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))));
+        let c = TsoClient::new(Arc::clone(&fusion), true, lease_max);
         (fusion, c)
     }
 
@@ -156,7 +274,7 @@ mod tests {
                 ..LatencyConfig::realistic()
             },
         ))));
-        let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true));
+        let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 1));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let c = Arc::clone(&c);
@@ -187,5 +305,104 @@ mod tests {
         c.snapshot();
         assert_eq!(c.fetches.get(), 2);
         assert_eq!(c.reuses.get(), 0);
+    }
+
+    #[test]
+    fn lone_committer_pays_plain_faas_and_stays_ordered() {
+        let (fusion, c) = leasing_client(8);
+        let atomics_before = fusion.fabric().stats().atomics.get();
+        let mut last = Cts(0);
+        for _ in 0..10 {
+            let cts = c.commit_cts();
+            assert!(cts > last, "single-threaded hand-out stays ordered");
+            last = cts;
+        }
+        // No concurrency → every round has size 1 (nothing reserved ahead
+        // of demand, so an idle node never inflates `current_cts`).
+        assert_eq!(fusion.fabric().stats().atomics.get(), atomics_before + 10);
+        assert_eq!(c.lease_grants.get(), 10);
+        assert_eq!(c.lease_hits.get(), 0);
+        assert_eq!(fusion.current_cts(), last, "no timestamps left reserved");
+    }
+
+    #[test]
+    fn lease_disabled_pays_one_faa_per_commit() {
+        let (fusion, c) = leasing_client(1);
+        let before = fusion.fabric().stats().atomics.get();
+        c.commit_cts();
+        c.commit_cts();
+        assert_eq!(fusion.fabric().stats().atomics.get(), before + 2);
+        assert_eq!(c.lease_grants.get(), 0);
+    }
+
+    #[test]
+    fn commit_after_snapshot_always_exceeds_it() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::thread;
+        // The SI-safety invariant leasing must preserve: a commit_cts call
+        // issued *after* a current_cts read always returns a larger value.
+        // A held-range lease breaks this (the storm's reservation would sit
+        // below the snapshot and later commits would dip under it).
+        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))));
+        let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let storm: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        c.commit_cts();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2_000 {
+            let snapshot = fusion.current_cts();
+            let cts = c.commit_cts();
+            assert!(
+                cts > snapshot,
+                "commit started after snapshot {snapshot} got visible CTS {cts}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in storm {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_leased_commits_coalesce_and_stay_unique() {
+        use std::collections::HashSet;
+        use std::thread;
+        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
+            // A visible FAA latency widens each round's collect window.
+            LatencyConfig {
+                atomic_ns: 60_000,
+                ..LatencyConfig::realistic()
+            },
+        ))));
+        let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 16));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (0..50).map(|_| c.commit_cts()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for cts in h.join().unwrap() {
+                assert!(all.insert(cts), "duplicate leased CTS {cts}");
+            }
+        }
+        assert_eq!(all.len(), 400);
+        assert!(
+            c.lease_grants.get() < 400,
+            "concurrent commits must coalesce onto shared FAAs ({} grants)",
+            c.lease_grants.get()
+        );
+        assert_eq!(c.lease_grants.get() + c.lease_hits.get(), 400);
     }
 }

@@ -575,7 +575,12 @@ impl Txn {
             return Ok(self.snapshot_cts());
         }
         let engine = Arc::clone(&self.engine);
+        // lint: allow(raw-instant): commit-stage latency metering (histograms)
+        let t0 = std::time::Instant::now();
         let cts = engine.tso.commit_cts();
+        // lint: allow(raw-instant): commit-stage latency metering (histograms)
+        let t1 = std::time::Instant::now();
+        engine.stats.commit_cts_ns.record(t1 - t0);
         let gid = self.gid;
         let end = engine.wal.log_atomic(|_| {
             vec![RedoRecord {
@@ -585,7 +590,11 @@ impl Txn {
                 op: RedoOp::Commit { trx: gid, cts },
             }]
         });
-        if engine.wal.force(end) < end {
+        let forced = engine.wal.force(end);
+        // lint: allow(raw-instant): commit-stage latency metering (histograms)
+        let t2 = std::time::Instant::now();
+        engine.stats.commit_wal_force_ns.record(t2 - t1);
+        if forced < end {
             // A crash truncated the stream beneath the commit record: it
             // can never become durable, so the commit must not be
             // acknowledged — the caller would see Ok for a transaction
@@ -600,13 +609,25 @@ impl Txn {
             // would report durable a transaction recovery cannot replay.
             return Err(PmpError::NodeUnavailable { node: engine.node });
         }
-        engine.tit.commit(gid.slot, cts);
+        // CTS publish + ref-flag collection: one doorbell batch against our
+        // own TIT slot. Taking the refs *before* backfill is safe: the CTS
+        // lands in the same batch ahead of the swap, so a waiter that our
+        // swap misses observes the published CTS on its double-check and
+        // never blocks.
+        let refs = engine
+            .tit
+            .commit_and_take_refs(&engine.shared.fabric, gid.slot, cts);
+        // lint: allow(raw-instant): commit-stage latency metering (histograms)
+        let t3 = std::time::Instant::now();
+        engine.stats.commit_tit_ns.record(t3 - t2);
 
         if engine.cfg.cts_backfill {
             self.backfill_cts(cts);
+            // lint: allow(raw-instant): commit-stage latency metering (histograms)
+            engine.stats.commit_backfill_ns.record(t3.elapsed());
         }
 
-        if engine.tit.take_refs(gid.slot) > 0 {
+        if refs > 0 {
             engine.shared.pmfs.rlock.notify_finished(gid);
         }
         self.status = TxnStatus::Committed;

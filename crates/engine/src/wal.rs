@@ -15,10 +15,12 @@
 //!    advances into an unfilled reservation: a crash either persists the
 //!    whole group or none of it.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pmp_common::sync::{LockClass, TrackedMutex};
-use pmp_common::{Llsn, Lsn};
+use pmp_common::{Counter, Llsn, Lsn};
+use pmp_rdma::precise_wait_ns;
 use pmp_storage::LogStream;
 
 /// LLSN allocation + reservation critical section. Charge-free: encoding
@@ -36,6 +38,26 @@ const WAL_SYNC: LockClass = LockClass::charge_exempt(
 use crate::llsn::LlsnClock;
 use crate::redo::RedoRecord;
 
+/// Consecutive empty collect windows after which the leader stops waiting.
+/// Any follower that rides a later fsync re-arms the window, so a lone
+/// committer pays the window at most this many times per concurrency lull.
+const EMPTY_WINDOW_LIMIT: u64 = 3;
+
+/// Group-commit observability: how well the bounded-wait window amortizes
+/// fsyncs. `fsyncs / commits < 1.0` at high concurrency is the whole point.
+#[derive(Debug, Default)]
+pub struct WalGroupStats {
+    /// Fsync batches led (each charged exactly one storage sync).
+    pub batches: Counter,
+    /// Committers whose target was already durable when they got the sync
+    /// mutex — they rode another leader's fsync for free.
+    pub riders: Counter,
+    /// Collect windows the leader actually waited out.
+    pub windows_waited: Counter,
+    /// Windows that closed without a single new arrival.
+    pub empty_windows: Counter,
+}
+
 /// The node WAL front-end.
 #[derive(Debug)]
 pub struct Wal {
@@ -45,16 +67,37 @@ pub struct Wal {
     /// Serializes fsyncs so concurrent committers batch (group commit).
     sync_mutex: TrackedMutex<()>,
     llsn: LlsnClock,
+    /// Bounded-wait collect window (ns). 0 = classic ride-only batching.
+    window_ns: u64,
+    /// Highest force target announced by any committer, durable or not.
+    /// Announced *before* queueing on the sync mutex, so the current
+    /// leader's fsync can cover arrivals it never sees as followers.
+    pending_max: AtomicU64,
+    /// Monotone count of `force` slow-path entries; the leader snapshots it
+    /// around the collect window to detect whether anyone showed up.
+    arrivals: AtomicU64,
+    /// Consecutive windows that closed empty (adaptivity state).
+    empty_streak: AtomicU64,
+    group: WalGroupStats,
 }
 
 impl Wal {
-    pub fn new(stream: Arc<LogStream>) -> Self {
+    pub fn new(stream: Arc<LogStream>, group_window_us: u64) -> Self {
         Wal {
             stream,
             log_mutex: TrackedMutex::new(WAL_LOG, ()),
             sync_mutex: TrackedMutex::new(WAL_SYNC, ()),
             llsn: LlsnClock::new(),
+            window_ns: group_window_us.saturating_mul(1_000),
+            pending_max: AtomicU64::new(0),
+            arrivals: AtomicU64::new(0),
+            empty_streak: AtomicU64::new(0),
+            group: WalGroupStats::default(),
         }
+    }
+
+    pub fn group_stats(&self) -> &WalGroupStats {
+        &self.group
     }
 
     pub fn stream(&self) -> &Arc<LogStream> {
@@ -108,17 +151,62 @@ impl Wal {
         if durable >= target {
             return durable;
         }
+        // Announce our target before queueing on the sync mutex: the fill is
+        // already complete (`force` runs after `log_atomic`), so the current
+        // leader may fold us into its fsync even though we never reach the
+        // mutex while it holds it.
+        self.pending_max.fetch_max(target.0, Ordering::Release);
+        self.arrivals.fetch_add(1, Ordering::Release);
         let _g = self.sync_mutex.lock();
         let durable = self.stream.durable_lsn();
         if durable >= target {
+            // A leader's batch covered us; concurrency is live, so re-arm
+            // the collect window if emptiness had disabled it.
+            self.group.riders.inc();
+            self.empty_streak.store(0, Ordering::Relaxed);
             return durable;
         }
-        // One covered sync suffices: `sync_to` waits out fills below
-        // `target`, so it returns short of `target` only when a crash
-        // truncated the stream underneath us — durability can then never
-        // reach `target`, and retrying would spin (charging an fsync per
-        // lap) forever.
-        self.stream.sync_to(target)
+        // We are the leader. Hold the door open for a bounded window so
+        // followers arriving right behind us share this fsync instead of
+        // each paying their own. The wait happens under the (charge-exempt)
+        // sync mutex by design: it *is* the batch-formation time the group
+        // commit protocol trades for fewer fsyncs. Two gates keep the wait
+        // from becoming pure latency:
+        //
+        // * a group that has already formed skips it — if some follower
+        //   announced an LSN beyond ours, this fsync amortizes without any
+        //   waiting, and under saturation that is the steady state (every
+        //   batch would otherwise pay the window for stragglers it mostly
+        //   doesn't catch);
+        // * adaptivity — after `EMPTY_WINDOW_LIMIT` windows with zero
+        //   arrivals a lone committer stops paying the wait until riders
+        //   reappear.
+        if self.window_ns > 0
+            && self.pending_max.load(Ordering::Acquire) <= target.0
+            && self.empty_streak.load(Ordering::Relaxed) < EMPTY_WINDOW_LIMIT
+        {
+            let before = self.arrivals.load(Ordering::Acquire);
+            self.group.windows_waited.inc();
+            precise_wait_ns(self.window_ns);
+            if self.arrivals.load(Ordering::Acquire) == before {
+                self.group.empty_windows.inc();
+                self.empty_streak.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.empty_streak.store(0, Ordering::Relaxed);
+            }
+        }
+        // Sync the whole announced batch, not just our own target. A
+        // pending announcement past the end of a crash-truncated stream is
+        // harmless: `sync_to` bounds its fill wait through `data.len()` and
+        // returns the achieved watermark, and each caller judges that
+        // against its *own* target.
+        let group_target = Lsn(target.0.max(self.pending_max.load(Ordering::Acquire)));
+        self.group.batches.inc();
+        // One covered sync suffices: `sync_to` waits out fills below the
+        // target, so it returns short only when a crash truncated the
+        // stream underneath us — durability can then never reach `target`,
+        // and retrying would spin (charging an fsync per lap) forever.
+        self.stream.sync_to(group_target)
     }
 
     /// Rule 2 of §4.4: observing a fetched page advances the LLSN clock.
@@ -134,7 +222,14 @@ mod tests {
     use pmp_common::{GlobalTrxId, PageId, StorageLatencyConfig, TableId};
 
     fn wal() -> Wal {
-        Wal::new(Arc::new(LogStream::new(StorageLatencyConfig::disabled())))
+        wal_with_window(0)
+    }
+
+    fn wal_with_window(window_us: u64) -> Wal {
+        Wal::new(
+            Arc::new(LogStream::new(StorageLatencyConfig::disabled())),
+            window_us,
+        )
     }
 
     fn commit_rec() -> RedoRecord {
@@ -227,6 +322,122 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 4 * 200 * 2);
+    }
+
+    #[test]
+    fn empty_windows_disable_the_wait() {
+        // A lone committer pays the collect window only until the adaptive
+        // streak trips, then every further force skips it.
+        let w = wal_with_window(100);
+        for _ in 0..10 {
+            let end = w.log_atomic(|_| vec![commit_rec()]);
+            w.force(end);
+        }
+        let g = w.group_stats();
+        assert_eq!(g.windows_waited.get(), EMPTY_WINDOW_LIMIT);
+        assert_eq!(g.empty_windows.get(), EMPTY_WINDOW_LIMIT);
+        assert_eq!(g.batches.get(), 10, "every lone force still fsyncs");
+        assert_eq!(g.riders.get(), 0);
+        assert_eq!(w.stream().sync_count(), 10);
+    }
+
+    #[test]
+    fn window_folds_concurrent_committer_into_leader_fsync() {
+        use std::thread;
+        let w = Arc::new(wal_with_window(20_000)); // generous: 20ms
+        let end1 = w.log_atomic(|_| vec![commit_rec()]);
+        let leader = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || w.force(end1))
+        };
+        // Wait until the leader is inside its collect window, then arrive.
+        while w.group_stats().windows_waited.get() == 0 {
+            thread::yield_now();
+        }
+        let end2 = w.log_atomic(|_| vec![commit_rec()]);
+        let achieved = w.force(end2);
+        assert!(leader.join().unwrap() >= end1);
+        assert!(achieved >= end2, "follower covered by the leader's batch");
+        assert_eq!(w.stream().sync_count(), 1, "one fsync for both commits");
+        assert_eq!(w.group_stats().batches.get(), 1);
+        assert_eq!(w.group_stats().riders.get(), 1);
+        assert_eq!(
+            w.group_stats().empty_windows.get(),
+            0,
+            "an occupied window must not count toward the adaptive streak"
+        );
+    }
+
+    #[test]
+    fn riders_rearm_a_disabled_window() {
+        use std::thread;
+        let w = Arc::new(wal_with_window(100));
+        // Trip the adaptive streak with lone commits.
+        for _ in 0..5 {
+            let end = w.log_atomic(|_| vec![commit_rec()]);
+            w.force(end);
+        }
+        assert_eq!(w.group_stats().windows_waited.get(), EMPTY_WINDOW_LIMIT);
+        // A burst of concurrent committers produces riders, re-arming the
+        // window for the next lull.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        let end = w.log_atomic(|_| vec![commit_rec()]);
+                        w.force(end);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        if w.group_stats().riders.get() == 0 {
+            // Scheduling never overlapped two committers — nothing to
+            // assert about re-arming.
+            return;
+        }
+        let waited_before = w.group_stats().windows_waited.get();
+        let end = w.log_atomic(|_| vec![commit_rec()]);
+        w.force(end);
+        assert!(
+            w.group_stats().windows_waited.get() > waited_before,
+            "a rider must reset the empty streak and re-enable the window"
+        );
+    }
+
+    #[test]
+    fn group_force_amortizes_fsyncs_under_concurrency() {
+        use std::thread;
+        let w = Arc::new(wal_with_window(100));
+        let committers = 8;
+        let per = 50;
+        let handles: Vec<_> = (0..committers)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        let end = w.log_atomic(|_| vec![commit_rec()]);
+                        assert!(w.force(end) >= end);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = committers * per;
+        assert!(
+            w.stream().sync_count() <= total,
+            "never more fsyncs than forces"
+        );
+        assert_eq!(
+            w.stream().sync_count(),
+            w.group_stats().batches.get(),
+            "every fsync on this stream is a led batch"
+        );
     }
 
     #[test]

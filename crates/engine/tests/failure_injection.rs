@@ -406,3 +406,123 @@ fn acknowledged_commits_survive_crash_racing_committers() {
         check.commit().unwrap();
     }
 }
+
+#[test]
+fn crash_inside_collect_window_never_acks_truncated_commits() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    // A long group-commit window means the crash usually lands while the
+    // sync leader is still collecting followers. Whatever LSN the leader
+    // achieves, each committer judges its OWN record against it: an Ok
+    // must survive recovery, and a committer whose record was truncated
+    // must have returned Err (refused the ack) — a follower must never
+    // piggyback an ack on a group fsync that did not cover it.
+    let mut windows_seen = 0u64;
+    for round in 0..8u64 {
+        let mut config = ClusterConfig::test(1);
+        config.engine.wal_group_window_us = 500;
+        let (shared, engines) = cluster_with(config);
+        let t = shared.create_table("t", 1, &[]).unwrap().id;
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(4));
+
+        let writers: Vec<_> = (0..3u64)
+            .map(|w| {
+                let engine = Arc::clone(&engines[0]);
+                let acked = Arc::clone(&acked);
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut k = round * 100_000 + w * 10_000;
+                    while !stop.load(Ordering::Relaxed) {
+                        k += 1;
+                        let committed = engine
+                            .begin()
+                            .and_then(|mut txn| {
+                                txn.insert(t, k, v(k))?;
+                                txn.commit()
+                            })
+                            .is_ok();
+                        if committed {
+                            acked.lock().unwrap().push(k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Let leaders open collect windows, then crash mid-window.
+        std::thread::sleep(Duration::from_millis(2));
+        engines[0].crash();
+        stop.store(true, Ordering::Relaxed);
+        for wtr in writers {
+            wtr.join().unwrap();
+        }
+        windows_seen += engines[0].wal.group_stats().windows_waited.get();
+
+        let (recovered, _) = recover_node(&shared, NodeId(0)).unwrap();
+        let keys = acked.lock().unwrap().clone();
+        let mut check = recovered.begin().unwrap();
+        for &k in &keys {
+            assert_eq!(
+                check.get(t, k).unwrap(),
+                Some(v(k)),
+                "round {round}: commit of key {k} acked inside the collect window, lost in crash"
+            );
+        }
+        check.commit().unwrap();
+    }
+    assert!(
+        windows_seen > 0,
+        "no collect window ever opened — the crash never raced the group leader"
+    );
+}
+
+#[test]
+fn lone_committer_escapes_the_group_window_after_adaptation() {
+    use std::time::Instant;
+
+    // A solo committer must not pay the full collect window forever: after
+    // EMPTY_WINDOW_LIMIT consecutive empty windows the leader stops
+    // waiting, so steady-state lone-commit latency is window-free.
+    let mut config = ClusterConfig::test(1);
+    config.engine.wal_group_window_us = 3000; // 3ms — huge next to a no-latency commit
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    // Warm-up: the first few lone commits each open the window and find
+    // it empty, tripping the adaptive skip.
+    for k in 0..5u64 {
+        let mut txn = engines[0].begin().unwrap();
+        txn.insert(t, k, v(k)).unwrap();
+        txn.commit().unwrap();
+    }
+    let g = engines[0].wal.group_stats();
+    assert!(
+        g.empty_windows.get() >= 3,
+        "warm-up never tripped the empty-window streak: {g:?}"
+    );
+
+    let waited_before = g.windows_waited.get();
+    let start = Instant::now();
+    for k in 100..120u64 {
+        let mut txn = engines[0].begin().unwrap();
+        txn.insert(t, k, v(k)).unwrap();
+        txn.commit().unwrap();
+    }
+    let elapsed = start.elapsed();
+    // 20 un-adapted commits would busy-wait >= 60ms of window; adapted
+    // ones skip the wait entirely (background ticks may re-arm it once).
+    assert!(
+        elapsed < Duration::from_millis(30),
+        "20 lone commits took {elapsed:?} — adaptive window skip not engaged"
+    );
+    let waited = engines[0].wal.group_stats().windows_waited.get() - waited_before;
+    assert!(
+        waited <= 4,
+        "adapted lone committer still waited {waited} windows"
+    );
+}

@@ -267,10 +267,14 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
                 }
             }
         };
-        for flag in flags_to_clear {
+        // One doorbell batch invalidates every other holder: N flag writes,
+        // one charged round trip (posted outside the shard lock).
+        let mut batch = self.fabric.batch();
+        for flag in &flags_to_clear {
             self.stats.invalidations.inc();
-            self.fabric.write_flag(&flag, false, Locality::Remote);
+            batch.write_flag(flag, false, Locality::Remote);
         }
+        batch.flush();
         self.maybe_evict(page_id);
     }
 
@@ -313,13 +317,16 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
                 s.fifo.clear();
                 s.entries.drain().map(|(_, entry)| entry).collect()
             };
-            for entry in drained {
+            // One doorbell batch per drained shard covers every holder of
+            // every dropped page.
+            let mut batch = self.fabric.batch();
+            for entry in &drained {
                 for h in &entry.holders {
                     self.stats.invalidations.inc();
-                    self.fabric
-                        .write_flag(&h.valid_flag, false, Locality::Remote);
+                    batch.write_flag(&h.valid_flag, false, Locality::Remote);
                 }
             }
+            batch.flush();
         }
     }
 
@@ -346,13 +353,18 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             return;
         }
         let sink = self.sink.lock().clone();
-        for (page_id, entry) in victims {
+        // All victims' holder invalidations share one doorbell batch; the
+        // write-backs (storage-priced) stay individual charges.
+        let mut batch = self.fabric.batch();
+        for (_, entry) in &victims {
             self.stats.evictions.inc();
             for h in &entry.holders {
                 self.stats.invalidations.inc();
-                self.fabric
-                    .write_flag(&h.valid_flag, false, Locality::Remote);
+                batch.write_flag(&h.valid_flag, false, Locality::Remote);
             }
+        }
+        batch.flush();
+        for (page_id, entry) in victims {
             if let Some(sink) = &sink {
                 sink.write_back(page_id, entry.page, entry.llsn);
             }

@@ -292,10 +292,16 @@ impl PLockFusion {
                 .filter_map(|n| requesters.get(n).cloned())
                 .collect()
         };
-        for handler in handlers {
+        // Fusion → node nudges: one-way messages, no reply needed. All of
+        // them post through one doorbell batch (one charged round trip),
+        // then the handlers run with the charge already paid.
+        let mut batch = self.fabric.batch();
+        for _ in &handlers {
             self.stats.negotiations.inc();
-            // Fusion → node nudge: one-way message, no reply needed.
-            self.fabric.one_way_message(32);
+            batch.one_way_message(32);
+        }
+        batch.flush();
+        for handler in handlers {
             handler.request_release(page, wanted);
         }
     }
@@ -304,6 +310,29 @@ impl PLockFusion {
     pub fn release(&self, node: NodeId, page: PageId) {
         self.stats.releases.inc();
         self.fabric.rpc(32, || ());
+        self.release_inner(node, page);
+    }
+
+    /// Release a whole set of `node`'s PLocks in one doorbell-batched
+    /// message burst — the lazy-release sweep's fast path. Per-page message
+    /// cost is metered identically to [`release`](Self::release), but the
+    /// wall-clock charge is one flush for the entire sweep.
+    pub fn release_batch(&self, node: NodeId, pages: &[PageId]) {
+        if pages.is_empty() {
+            return;
+        }
+        let mut batch = self.fabric.batch();
+        for _ in pages {
+            self.stats.releases.inc();
+            batch.rpc_message(32);
+        }
+        batch.flush();
+        for &page in pages {
+            self.release_inner(node, page);
+        }
+    }
+
+    fn release_inner(&self, node: NodeId, page: PageId) {
         let pending = {
             let mut shard = self.shard(page).lock();
             let Some(state) = shard.get_mut(&page) else {

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Cts, NodeId, SlotId, CSN_INIT};
-use pmp_rdma::{Fabric, Locality};
+use pmp_rdma::{Fabric, FabricBatch, Locality};
 
 /// Free-list lock class; never nests with anything (pure local allocator).
 const TIT_FREE: LockClass = LockClass::new("pmfs.tit.free");
@@ -159,9 +159,26 @@ impl TitRegion {
     /// Read a slot, paying exactly one one-sided fabric read when remote.
     /// The seqlock retry models the single-verb atomicity of real RDMA.
     pub fn read_slot(&self, fabric: &Fabric, slot: SlotId, locality: Locality) -> SlotSnapshot {
-        let s = &self.slots[slot.0 as usize];
         // One charged verb per snapshot regardless of internal retries.
         fabric.bulk_read(24, locality);
+        self.snapshot_slot(slot)
+    }
+
+    /// [`read_slot`](Self::read_slot) with its fabric cost posted into a
+    /// doorbell batch: the snapshot itself is taken eagerly (batch data
+    /// moves at post time), the latency is charged once at flush.
+    pub fn read_slot_batched(
+        &self,
+        batch: &mut FabricBatch<'_>,
+        slot: SlotId,
+        locality: Locality,
+    ) -> SlotSnapshot {
+        batch.bulk_read(24, locality);
+        self.snapshot_slot(slot)
+    }
+
+    fn snapshot_slot(&self, slot: SlotId) -> SlotSnapshot {
+        let s = &self.slots[slot.0 as usize];
         loop {
             let v0 = s.version.load(Ordering::Acquire);
             let cts = s.cts.load(Ordering::Acquire);
@@ -193,10 +210,36 @@ impl TitRegion {
         self.slots[slot.0 as usize].refs.swap(0, Ordering::AcqRel)
     }
 
+    /// Commit-time CTS publish + ref-flag collection as one doorbell batch:
+    /// the two verbs a commit owes its own TIT slot (Figure 3's CTS field,
+    /// Figure 6's ref check) post together and charge once.
+    ///
+    /// Ordering within the batch matters: the CTS store lands before the
+    /// refs swap, so a waiter that FAA'd the ref flag concurrently either
+    /// (a) is seen by the swap — the committer will notify it — or (b)
+    /// raced past the swap, in which case its own double-check of `trx_cts`
+    /// observes the already-published CTS and it never blocks.
+    pub fn commit_and_take_refs(&self, fabric: &Fabric, slot: SlotId, cts: Cts) -> u64 {
+        debug_assert!(!cts.is_init());
+        let s = &self.slots[slot.0 as usize];
+        let mut batch = fabric.batch();
+        batch.write_u64(&s.cts, cts.0, Locality::Local);
+        let refs = batch.swap_u64(&s.refs, 0, Locality::Local);
+        batch.flush();
+        refs
+    }
+
     /// Write the broadcast global-min-view cell (remote write from
     /// Transaction Fusion).
     pub fn store_global_min_view(&self, fabric: &Fabric, cts: Cts) {
         fabric.write_u64(&self.global_min_view, cts.0, Locality::Remote);
+    }
+
+    /// Post the global-min-view broadcast write into a doorbell batch
+    /// instead of paying a standalone remote write — used by Transaction
+    /// Fusion's all-regions fan-out.
+    pub fn post_global_min_view(&self, batch: &mut FabricBatch<'_>, cts: Cts) {
+        batch.write_u64(&self.global_min_view, cts.0, Locality::Remote);
     }
 
     /// Read the broadcast global-min-view cell (owning node, local).
@@ -212,6 +255,17 @@ impl TitRegion {
     /// Read a peer's published minimum active transaction id.
     pub fn read_min_active_trx(&self, fabric: &Fabric, locality: Locality) -> u64 {
         fabric.read_u64(&self.min_active_trx, locality)
+    }
+
+    /// [`read_min_active_trx`](Self::read_min_active_trx) posted into a
+    /// doorbell batch — the background min-view tick reads every peer's
+    /// cell in one charged round trip.
+    pub fn read_min_active_trx_batched(
+        &self,
+        batch: &mut FabricBatch<'_>,
+        locality: Locality,
+    ) -> u64 {
+        batch.read_u64(&self.min_active_trx, locality)
     }
 
     /// Recycle every in-use slot whose CTS is valid and strictly older than
@@ -320,6 +374,67 @@ mod tests {
         tit.add_ref(&fabric, slot, Locality::Remote);
         assert_eq!(tit.take_refs(slot), 2);
         assert_eq!(tit.take_refs(slot), 0, "take must clear");
+    }
+
+    #[test]
+    fn commit_and_take_refs_publishes_then_collects() {
+        let (fabric, tit) = region();
+        let (slot, version) = tit.allocate().unwrap();
+        tit.add_ref(&fabric, slot, Locality::Remote);
+        tit.add_ref(&fabric, slot, Locality::Remote);
+        let before_ops = fabric.stats().batched_ops.get();
+        let refs = tit.commit_and_take_refs(&fabric, slot, Cts(42));
+        assert_eq!(refs, 2);
+        let snap = tit.read_slot(&fabric, slot, Locality::Local);
+        assert_eq!(snap.cts, Cts(42));
+        assert_eq!(snap.version, version);
+        assert_eq!(snap.refs, 0, "the batch's swap must clear the flag");
+        assert_eq!(
+            fabric.stats().batched_ops.get(),
+            before_ops + 2,
+            "CTS write + refs swap post as one doorbell batch"
+        );
+    }
+
+    #[test]
+    fn seqlock_snapshot_stays_consistent_through_batch() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
+        let tit = Arc::new(TitRegion::new(NodeId(0), 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Writer churns the one slot: allocate (odd version, CTS=INIT),
+        // commit CTS = version + 100, release (even version).
+        let writer = {
+            let tit = Arc::clone(&tit);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (slot, version) = tit.allocate().unwrap();
+                    tit.commit(slot, Cts(version + 100));
+                    tit.release(slot);
+                }
+            })
+        };
+        for _ in 0..20_000 {
+            let mut b = fabric.batch();
+            let snap = tit.read_slot_batched(&mut b, SlotId(0), Locality::Remote);
+            b.flush();
+            // The CTS committed under version v is exactly v + 100, and
+            // init bumps the version *before* resetting the CTS. A CTS
+            // from a later reuse paired with an earlier version (the torn
+            // read the seqlock exists to prevent) would therefore show up
+            // as cts > version + 100; a stale-but-harmless CTS from an
+            // earlier reuse reads below that bound.
+            if !snap.cts.is_init() {
+                assert!(
+                    snap.cts.0 <= snap.version + 100,
+                    "future CTS leaked past the version check: {snap:?}"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

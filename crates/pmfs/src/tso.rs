@@ -33,21 +33,26 @@ impl Tso {
         Cts(fabric.fetch_add_u64(&self.cell, 1, Locality::Remote) + 1)
     }
 
+    /// Reserve a contiguous lease of `count` commit timestamps with a single
+    /// fetch-and-add; returns the *first* of the range. Used by the engine's
+    /// CTS range leasing: `lease(f, 1)` is exactly `next_cts`.
+    pub fn lease(&self, fabric: &Fabric, count: u64) -> Cts {
+        debug_assert!(count > 0, "empty CTS lease");
+        Cts(fabric.fetch_add_u64(&self.cell, count, Locality::Remote) + 1)
+    }
+
     /// Advance the oracle to at least `floor` — used when a promoted
     /// region inherits timestamps from shipped logs (failover must never
     /// reissue a CTS at or below anything already committed).
     pub fn advance_to(&self, fabric: &Fabric, floor: Cts) {
-        // Modelled as a CAS loop on the registered cell (one atomic charge).
-        loop {
-            let cur = fabric.read_u64(&self.cell, Locality::Remote);
-            if cur >= floor.0 {
-                return;
-            }
-            if fabric
-                .cas_u64(&self.cell, cur, floor.0, Locality::Remote)
-                .is_ok()
-            {
-                return;
+        // One remote read seeds the CAS loop; every retry reuses the
+        // current value the failed CAS already fetched instead of paying a
+        // fresh remote read per lap.
+        let mut cur = fabric.read_u64(&self.cell, Locality::Remote);
+        while cur < floor.0 {
+            match fabric.cas_u64(&self.cell, cur, floor.0, Locality::Remote) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
             }
         }
     }
@@ -89,6 +94,56 @@ mod tests {
         assert_eq!(tso.current_cts(&fabric), CSN_MIN);
         let c = tso.next_cts(&fabric);
         assert_eq!(tso.current_cts(&fabric), c);
+    }
+
+    #[test]
+    fn lease_reserves_contiguous_range() {
+        let fabric = Fabric::new(LatencyConfig::disabled());
+        let tso = Tso::new();
+        let first = tso.lease(&fabric, 8);
+        assert!(first > CSN_MIN);
+        // The whole range is consumed: the next allocation starts after it.
+        let next = tso.next_cts(&fabric);
+        assert_eq!(next.0, first.0 + 8);
+        // One lease = one remote atomic, regardless of size.
+        assert_eq!(fabric.stats().atomics.get(), 2);
+    }
+
+    #[test]
+    fn advance_to_charges_one_read_even_under_contention() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
+        let tso = Arc::new(Tso::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        // An FAA storm guarantees CAS retries inside advance_to.
+        let storm: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&fabric);
+                let t = Arc::clone(&tso);
+                let s = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !s.load(Ordering::Relaxed) {
+                        t.next_cts(&f);
+                    }
+                })
+            })
+            .collect();
+        let rounds = 200;
+        let reads_before = fabric.stats().reads.get();
+        for i in 0..rounds {
+            tso.advance_to(&fabric, Cts(CSN_MIN.0 + 1_000_000 + i * 1_000));
+        }
+        let reads_after = fabric.stats().reads.get();
+        stop.store(true, Ordering::Relaxed);
+        for h in storm {
+            h.join().unwrap();
+        }
+        // Regression: the retry loop must reuse the value returned by the
+        // failed CAS — exactly one charged read per advance_to call. (The
+        // storm threads only issue FAAs, never reads.)
+        assert_eq!(reads_after - reads_before, rounds);
+        assert!(tso.current_cts(&fabric).0 >= CSN_MIN.0 + 1_000_000);
     }
 
     #[test]

@@ -58,6 +58,12 @@ impl TxnFusion {
         self.tso.next_cts(&self.fabric)
     }
 
+    /// Reserve a contiguous lease of `count` commit timestamps with one
+    /// FAA; returns the first of the range (see [`Tso::lease`]).
+    pub fn lease_cts(&self, count: u64) -> Cts {
+        self.tso.lease(&self.fabric, count)
+    }
+
     /// Read the current timestamp for a read view (one-sided read).
     pub fn current_cts(&self) -> Cts {
         self.tso.current_cts(&self.fabric)
@@ -136,9 +142,13 @@ impl TxnFusion {
         };
         self.global_min_view.store(global.0, Ordering::Release);
         let regions: Vec<Arc<TitRegion>> = self.regions.read().values().cloned().collect();
+        // One doorbell batch covers the whole fan-out: N broadcast writes,
+        // one charged round trip (posted outside the directory lock).
+        let mut batch = self.fabric.batch();
         for r in &regions {
-            r.store_global_min_view(&self.fabric, global);
+            r.post_global_min_view(&mut batch, global);
         }
+        batch.flush();
         global
     }
 
@@ -217,6 +227,27 @@ mod tests {
         let g = fusion.report_min_view(NodeId(1), Cts(120));
         assert_eq!(g, Cts(80));
         assert_eq!(fusion.global_min_view(), Cts(80));
+    }
+
+    #[test]
+    fn min_view_broadcast_is_one_doorbell_batch() {
+        let (fusion, regions) = fusion_with_nodes(4);
+        let stats = fusion.fabric().stats();
+        let (ops, writes) = (stats.batched_ops.get(), stats.writes.get());
+        fusion.report_min_view(NodeId(0), Cts(10));
+        // Four broadcast writes, all posted through one batch.
+        assert_eq!(stats.batched_ops.get(), ops + 4);
+        assert_eq!(stats.writes.get(), writes + 4);
+        for r in &regions {
+            assert_eq!(r.load_global_min_view(), Cts(10));
+        }
+    }
+
+    #[test]
+    fn lease_cts_consumes_the_whole_range() {
+        let (fusion, _) = fusion_with_nodes(1);
+        let first = fusion.lease_cts(4);
+        assert_eq!(fusion.next_cts().0, first.0 + 4);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct FabricStats {
     pub rpcs: Counter,
     pub bytes_read: Counter,
     pub bytes_written: Counter,
+    /// Ops posted through a [`FabricBatch`] doorbell (also counted in the
+    /// per-kind meters above; this tracks how much traffic is coalesced).
+    pub batched_ops: Counter,
 }
 
 impl FabricStats {
@@ -47,6 +50,7 @@ impl FabricStats {
         self.rpcs.reset();
         self.bytes_read.reset();
         self.bytes_written.reset();
+        self.batched_ops.reset();
     }
 
     fn note(&self, kind: OpKind, bytes: usize) {
@@ -166,6 +170,21 @@ impl Fabric {
         precise_wait_ns(self.cfg.charge_ns(self.cfg.rpc_ns / 2, bytes));
     }
 
+    /// Start a doorbell batch: post any number of one-sided verbs, then pay
+    /// for the whole list with **one** latency at [`FabricBatch::flush`] —
+    /// the maximum per-op base cost plus the summed per-byte cost, the same
+    /// model a doorbell-batched work-request list (or the `pmp-io` worker
+    /// batch) obeys. Every op is still metered individually.
+    pub fn batch(&self) -> FabricBatch<'_> {
+        FabricBatch {
+            fabric: self,
+            max_base_ns: 0,
+            remote_bytes: 0,
+            any_remote: false,
+            flushed: false,
+        }
+    }
+
     /// RDMA-based RPC: charges the round-trip, then runs the handler inline.
     ///
     /// The handler executes on the caller's thread — the real PMFS serves
@@ -182,6 +201,163 @@ impl Fabric {
             Locality::Remote,
         );
         handler()
+    }
+}
+
+/// A doorbell-batched list of one-sided verbs (see [`Fabric::batch`]).
+///
+/// Data movement happens eagerly when an op is posted (the simulated NIC's
+/// DMA is instantaneous in-process, exactly like the single-verb methods),
+/// so reads return their value immediately; only the *latency* is deferred
+/// and charged once at [`flush`](Self::flush). Post ops under whatever locks
+/// you like, but flush — the single charge point — with no tracked lock
+/// held, like any other verb. Dropping an unflushed batch flushes it.
+#[derive(Debug)]
+pub struct FabricBatch<'a> {
+    fabric: &'a Fabric,
+    /// Max base cost over the remote ops posted so far (ops complete
+    /// concurrently on the wire; the batch is as slow as its slowest op).
+    max_base_ns: u64,
+    /// Summed payload over the remote ops (bytes serialize on the link).
+    remote_bytes: usize,
+    any_remote: bool,
+    flushed: bool,
+}
+
+impl FabricBatch<'_> {
+    fn note(&mut self, kind: OpKind, base_ns: u64, bytes: usize, locality: Locality) {
+        let stats = self.fabric.stats();
+        stats.note(kind, bytes);
+        stats.batched_ops.inc();
+        if locality == Locality::Remote {
+            self.any_remote = true;
+            self.max_base_ns = self.max_base_ns.max(base_ns);
+            self.remote_bytes += bytes;
+        }
+    }
+
+    /// One-sided READ of a registered word, posted to the batch.
+    pub fn read_u64(&mut self, cell: &AtomicU64, locality: Locality) -> u64 {
+        self.note(OpKind::Read, self.fabric.cfg.one_sided_read_ns, 8, locality);
+        cell.load(Ordering::Acquire)
+    }
+
+    /// One-sided WRITE of a registered word, posted to the batch.
+    pub fn write_u64(&mut self, cell: &AtomicU64, value: u64, locality: Locality) {
+        self.note(
+            OpKind::Write,
+            self.fabric.cfg.one_sided_write_ns,
+            8,
+            locality,
+        );
+        cell.store(value, Ordering::Release);
+    }
+
+    /// One-sided compare-and-swap, posted to the batch.
+    pub fn cas_u64(
+        &mut self,
+        cell: &AtomicU64,
+        expected: u64,
+        new: u64,
+        locality: Locality,
+    ) -> Result<u64, u64> {
+        self.note(OpKind::Atomic, self.fabric.cfg.atomic_ns, 8, locality);
+        cell.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// One-sided fetch-and-add, posted to the batch.
+    pub fn fetch_add_u64(&mut self, cell: &AtomicU64, delta: u64, locality: Locality) -> u64 {
+        self.note(OpKind::Atomic, self.fabric.cfg.atomic_ns, 8, locality);
+        cell.fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Unconditional atomic exchange (a masked FAA on real hardware),
+    /// posted to the batch. Used by the commit-time TIT refs take.
+    pub fn swap_u64(&mut self, cell: &AtomicU64, value: u64, locality: Locality) -> u64 {
+        self.note(OpKind::Atomic, self.fabric.cfg.atomic_ns, 8, locality);
+        cell.swap(value, Ordering::AcqRel)
+    }
+
+    /// One-sided WRITE of a registered flag, posted to the batch.
+    pub fn write_flag(&mut self, flag: &AtomicBool, value: bool, locality: Locality) {
+        self.note(
+            OpKind::Write,
+            self.fabric.cfg.one_sided_write_ns,
+            1,
+            locality,
+        );
+        flag.store(value, Ordering::Release);
+    }
+
+    /// One-sided READ of a registered flag, posted to the batch.
+    pub fn read_flag(&mut self, flag: &AtomicBool, locality: Locality) -> bool {
+        self.note(OpKind::Read, self.fabric.cfg.one_sided_read_ns, 1, locality);
+        flag.load(Ordering::Acquire)
+    }
+
+    /// Bulk READ charge of `bytes`, posted to the batch.
+    pub fn bulk_read(&mut self, bytes: usize, locality: Locality) {
+        self.note(
+            OpKind::Read,
+            self.fabric.cfg.one_sided_read_ns,
+            bytes,
+            locality,
+        );
+    }
+
+    /// Bulk WRITE charge of `bytes`, posted to the batch.
+    pub fn bulk_write(&mut self, bytes: usize, locality: Locality) {
+        self.note(
+            OpKind::Write,
+            self.fabric.cfg.one_sided_write_ns,
+            bytes,
+            locality,
+        );
+    }
+
+    /// One-way fusion→node message (half an RPC round trip), posted to the
+    /// batch. Always remote, like [`Fabric::one_way_message`].
+    pub fn one_way_message(&mut self, bytes: usize) {
+        self.note(
+            OpKind::Rpc,
+            self.fabric.cfg.rpc_ns / 2,
+            bytes,
+            Locality::Remote,
+        );
+    }
+
+    /// A full-round-trip message whose reply carries no payload (the lazy
+    /// PLock release sweep), posted to the batch. Always remote.
+    pub fn rpc_message(&mut self, bytes: usize) {
+        self.note(OpKind::Rpc, self.fabric.cfg.rpc_ns, bytes, Locality::Remote);
+    }
+
+    /// Ring the doorbell: charge one latency covering every remote op
+    /// posted — max base cost + summed per-byte cost. Local-only batches
+    /// (and empty ones) charge nothing.
+    pub fn flush(mut self) {
+        self.flush_inner();
+    }
+
+    fn flush_inner(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        if !self.any_remote {
+            return;
+        }
+        precise_wait_ns(
+            self.fabric
+                .cfg
+                .charge_ns(self.max_base_ns, self.remote_bytes),
+        );
+    }
+}
+
+impl Drop for FabricBatch<'_> {
+    fn drop(&mut self) {
+        self.flush_inner();
     }
 }
 
@@ -293,6 +469,125 @@ mod tests {
         assert!(one_way.as_nanos() >= 200_000, "one-way = rpc/2");
         assert!(one_way.as_nanos() < 390_000, "must be under a round trip");
         assert_eq!(f.stats().rpcs.get(), 1, "one-way messages count as RPCs");
+    }
+
+    #[test]
+    fn batch_meters_per_op_but_charges_once() {
+        // 4 remote writes of 8B: sequential cost would be 4 × 100µs; the
+        // doorbell batch pays max-base + summed-bytes once (~100µs).
+        let cfg = LatencyConfig {
+            one_sided_write_ns: 100_000,
+            per_kib_ns: 0,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let cells: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let t = Instant::now();
+        let mut b = f.batch();
+        for (i, c) in cells.iter().enumerate() {
+            b.write_u64(c, i as u64 + 1, Locality::Remote);
+        }
+        b.flush();
+        let elapsed = t.elapsed();
+        assert!(elapsed.as_nanos() >= 100_000, "batch must pay one op cost");
+        assert!(
+            elapsed.as_nanos() < 350_000,
+            "batch must not pay per-op: {elapsed:?}"
+        );
+        // Data landed and every op was metered individually.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), i as u64 + 1);
+        }
+        assert_eq!(f.stats().writes.get(), 4);
+        assert_eq!(f.stats().bytes_written.get(), 32);
+        assert_eq!(f.stats().batched_ops.get(), 4);
+    }
+
+    #[test]
+    fn batch_counters_match_sequential_counters() {
+        // The same op mix must land in the same per-kind meters whether it
+        // goes through single verbs or a doorbell batch.
+        let sequential = free_fabric();
+        let cell = AtomicU64::new(1);
+        let flag = AtomicBool::new(true);
+        sequential.read_u64(&cell, Locality::Remote);
+        sequential.write_u64(&cell, 2, Locality::Remote);
+        sequential.fetch_add_u64(&cell, 1, Locality::Remote);
+        sequential.write_flag(&flag, false, Locality::Remote);
+        sequential.bulk_read(4096, Locality::Remote);
+        sequential.one_way_message(32);
+
+        let batched = free_fabric();
+        let mut b = batched.batch();
+        b.read_u64(&cell, Locality::Remote);
+        b.write_u64(&cell, 2, Locality::Remote);
+        b.fetch_add_u64(&cell, 1, Locality::Remote);
+        b.write_flag(&flag, false, Locality::Remote);
+        b.bulk_read(4096, Locality::Remote);
+        b.one_way_message(32);
+        b.flush();
+
+        let (s, q) = (sequential.stats(), batched.stats());
+        assert_eq!(s.reads.get(), q.reads.get());
+        assert_eq!(s.writes.get(), q.writes.get());
+        assert_eq!(s.atomics.get(), q.atomics.get());
+        assert_eq!(s.rpcs.get(), q.rpcs.get());
+        assert_eq!(s.bytes_read.get(), q.bytes_read.get());
+        assert_eq!(s.bytes_written.get(), q.bytes_written.get());
+        assert_eq!(s.batched_ops.get(), 0);
+        assert_eq!(q.batched_ops.get(), 6);
+    }
+
+    #[test]
+    fn local_only_batch_is_free() {
+        let cfg = LatencyConfig {
+            one_sided_write_ns: 200_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let cell = AtomicU64::new(0);
+        let t = Instant::now();
+        let mut b = f.batch();
+        for _ in 0..8 {
+            b.write_u64(&cell, 7, Locality::Local);
+        }
+        b.flush();
+        assert!(t.elapsed().as_nanos() < 200_000, "local ops are free");
+        assert_eq!(f.stats().writes.get(), 8, "…but still metered");
+        assert_eq!(f.stats().batched_ops.get(), 8);
+        // An empty batch is also free.
+        f.batch().flush();
+    }
+
+    #[test]
+    fn dropped_batch_still_charges() {
+        let cfg = LatencyConfig {
+            one_sided_write_ns: 100_000,
+            ..LatencyConfig::realistic()
+        };
+        let f = Fabric::new(cfg);
+        let cell = AtomicU64::new(0);
+        let t = Instant::now();
+        {
+            let mut b = f.batch();
+            b.write_u64(&cell, 1, Locality::Remote);
+            // dropped without an explicit flush
+        }
+        assert!(t.elapsed().as_nanos() >= 100_000);
+    }
+
+    #[test]
+    fn batch_cas_and_swap_roundtrip() {
+        let f = free_fabric();
+        let cell = AtomicU64::new(5);
+        let mut b = f.batch();
+        assert_eq!(b.cas_u64(&cell, 5, 9, Locality::Remote), Ok(5));
+        assert_eq!(b.cas_u64(&cell, 5, 11, Locality::Remote), Err(9));
+        assert_eq!(b.swap_u64(&cell, 0, Locality::Remote), 9);
+        assert!(b.read_flag(&AtomicBool::new(true), Locality::Remote));
+        b.flush();
+        assert_eq!(f.stats().atomics.get(), 3);
+        assert_eq!(cell.load(Ordering::Relaxed), 0);
     }
 
     #[test]

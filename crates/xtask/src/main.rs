@@ -22,6 +22,13 @@
 //!   code: page reads on engine paths must go through the `pmp-io` ring
 //!   (`IoRing::read_page`, `submit_with`, or a prefetch) so the charged
 //!   storage latency elapses off-thread and loads overlap.
+//! * `sequential-fanout` — single-verb `Fabric::read_u64` / `write_u64`
+//!   calls inside `for` loops are forbidden in `pmfs` and `engine` library
+//!   code: each iteration charges a full fabric round-trip, so fan-outs
+//!   over collections must go through `Fabric::batch()` (one doorbell, one
+//!   charge at flush). Bare `loop` / `while` bodies are exempt so CAS
+//!   retry loops stay idiomatic, and batch receivers (`batch.write_u64`)
+//!   never match.
 //!
 //! Escape hatches, each requiring a written justification:
 //!
@@ -37,13 +44,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 6] = [
+const RULES: [&str; 7] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
     "raw-parking-lot",
     "unsafe-safety",
     "direct-page-read",
+    "sequential-fanout",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
@@ -58,6 +66,11 @@ const PARKING_LOT_BANNED: [&str; 5] = [
 /// Engine library code must read pages through the io ring, never straight
 /// from the `PageStore`.
 const PAGE_READ_BANNED: &str = "crates/engine/src/";
+
+/// Crates whose `for` loops must not issue single-verb fabric calls; a loop
+/// of `read_u64`/`write_u64` charges one round-trip per iteration where a
+/// `Fabric::batch()` would charge one for the whole doorbell.
+const FANOUT_BANNED: [&str; 2] = ["crates/pmfs/src/", "crates/engine/src/"];
 
 /// The simulated-latency charge point is the one legitimate home of real
 /// sleeps and real clock reads.
@@ -173,6 +186,14 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let test_lines = cfg_test_lines(&lines);
     let mut out = Vec::new();
 
+    // sequential-fanout state: brace depth plus the depths at which `for`
+    // bodies opened. `while`/bare `loop` are deliberately untracked so CAS
+    // retry loops stay idiomatic.
+    let fanout_banned = FANOUT_BANNED.iter().any(|p| rel_path.starts_with(p));
+    let mut depth: i64 = 0;
+    let mut for_stack: Vec<i64> = Vec::new();
+    let mut pending_for = false;
+
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
         if test_lines[idx] {
@@ -251,6 +272,43 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
                      (IoRing::read_page / submit_with / prefetch) so loads overlap"
                         .into(),
                 );
+            }
+        }
+
+        if fanout_banned {
+            // A `for … in …` header (not `impl Trait for Type`, which has
+            // no `in` token; `while`/`loop` intentionally don't match).
+            let is_for_header = contains_token(code, "for")
+                && contains_token(code, "in")
+                && !contains_token(code, "impl");
+            let prev_raw = if idx > 0 { lines[idx - 1] } else { "" };
+            if let Some(verb_at) = fanout_verb_pos(code, prev_raw) {
+                let single_line_body = is_for_header && code.find('{').is_some_and(|b| verb_at > b);
+                if !for_stack.is_empty() || single_line_body {
+                    report(
+                        "sequential-fanout",
+                        "single-verb fabric call inside a for loop charges one \
+                         round-trip per iteration; use Fabric::batch() for the \
+                         fan-out (one doorbell, one charge at flush)"
+                            .into(),
+                    );
+                }
+            }
+            if is_for_header {
+                pending_for = true;
+            }
+            let delta = brace_delta(raw);
+            if pending_for {
+                if delta > 0 {
+                    for_stack.push(depth + 1);
+                    pending_for = false;
+                } else if code.contains(';') {
+                    pending_for = false; // single-line or abandoned header
+                }
+            }
+            depth += delta;
+            while for_stack.last().is_some_and(|&d| depth < d) {
+                for_stack.pop();
             }
         }
 
@@ -336,6 +394,37 @@ fn strip_comment(line: &str) -> &str {
         Some(i) => &line[..i],
         None => line,
     }
+}
+
+/// Byte offset of a single-verb fabric call (`.read_u64(` / `.write_u64(`)
+/// in `code` whose receiver is not a batch builder. `prev_raw` supplies the
+/// receiver for rustfmt-split chains where `.read_u64(` starts the line.
+fn fanout_verb_pos(code: &str, prev_raw: &str) -> Option<usize> {
+    let ident_start = |s: &str| {
+        s.rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map(|i| i + 1)
+            .unwrap_or(0)
+    };
+    for verb in [".read_u64(", ".write_u64("] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(verb) {
+            let abs = from + pos;
+            let recv = &code[ident_start(&code[..abs])..abs];
+            let recv: &str = if recv.is_empty() {
+                // `.read_u64(` opens the line: the receiver identifier
+                // ended the previous line.
+                let prev = strip_comment(prev_raw).trim_end();
+                &prev[ident_start(prev)..]
+            } else {
+                recv
+            };
+            if !recv.contains("batch") {
+                return Some(abs);
+            }
+            from = abs + verb.len();
+        }
+    }
+    None
 }
 
 /// Does `line` carry `// lint: <kind>(<rule>): <non-empty reason>`?
@@ -491,6 +580,78 @@ mod tests {
         let allowed = "let p = storage.page_store().read(id)?; \
                        // lint: allow(direct-page-read): offline tool path\n";
         assert!(rules_hit("crates/engine/src/node.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn sequential_fanout_flagged_in_scoped_for_loops() {
+        let src = "for page in pages {\n\
+                       fabric.write_u64(&cell, v, Locality::Remote);\n\
+                   }\n";
+        assert_eq!(
+            rules_hit("crates/pmfs/src/x.rs", src),
+            vec!["sequential-fanout"]
+        );
+        assert_eq!(
+            rules_hit("crates/engine/src/x.rs", src),
+            vec!["sequential-fanout"]
+        );
+        // Out-of-scope crates (and the fabric impl itself) are exempt.
+        assert!(rules_hit("crates/rdma/src/fabric.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+        // Single-line bodies are still caught.
+        let one = "for f in flags { fabric.write_u64(f, 1, Locality::Remote); }\n";
+        assert_eq!(
+            rules_hit("crates/pmfs/src/x.rs", one),
+            vec!["sequential-fanout"]
+        );
+        // Calls after the loop closes don't match.
+        let after = "for p in ps {\n    collect(p);\n}\nfabric.read_u64(&cell, Locality::Local);\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", after).is_empty());
+        // The inner loop closing must not clear the outer frame.
+        let nested = "for a in xs {\n\
+                          for b in ys {\n        f(b);\n    }\n\
+                          fabric.read_u64(a, Locality::Remote);\n\
+                      }\n";
+        assert_eq!(
+            rules_hit("crates/pmfs/src/x.rs", nested),
+            vec!["sequential-fanout"]
+        );
+    }
+
+    #[test]
+    fn sequential_fanout_spares_batches_and_retry_loops() {
+        // Batch builders ARE the fix — never flagged, even split by rustfmt.
+        let batched = "let mut batch = fabric.batch();\n\
+                       for page in pages {\n\
+                           batch.write_u64(&cell, v, Locality::Remote);\n\
+                       }\n\
+                       batch.flush();\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", batched).is_empty());
+        let split_batch =
+            "for p in ps {\n    batch\n        .write_u64(p, 1, Locality::Remote);\n}\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", split_batch).is_empty());
+        // …but a split single-verb chain is still a violation.
+        let split = "for p in ps {\n    fabric\n        .write_u64(p, 1, Locality::Remote);\n}\n";
+        assert_eq!(
+            rules_hit("crates/pmfs/src/x.rs", split),
+            vec!["sequential-fanout"]
+        );
+        // CAS retry loops use `loop`/`while` and are deliberately exempt.
+        let retry = "loop {\n\
+                         let v = fabric.read_u64(&cell, Locality::Remote);\n\
+                         if done(v) { break; }\n\
+                     }\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", retry).is_empty());
+        let advance = "while cur < floor {\n\
+                           cur = fabric.read_u64(&cell, Locality::Remote);\n\
+                       }\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", advance).is_empty());
+        // Escape hatch with a written reason.
+        let allowed = "for p in ps {\n\
+                           // lint: allow(sequential-fanout): bounded to 2 replicas\n\
+                           fabric.write_u64(p, 1, Locality::Remote);\n\
+                       }\n";
+        assert!(rules_hit("crates/pmfs/src/x.rs", allowed).is_empty());
     }
 
     #[test]
