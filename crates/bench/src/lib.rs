@@ -337,6 +337,167 @@ mod tests {
         }
     }
 
+    /// Read-heavy point-select probe in the sysbench heavy-sharing shape
+    /// (EXPERIMENTS.md §read path): 4 nodes at latency scale 1. Writers on
+    /// nodes 0–1 churn a shared hot key group; SI readers on nodes 2–3 then
+    /// pin snapshots, the writers stack a few dozen newer versions on every
+    /// hot key and quiesce, and the measured window times the pinned
+    /// readers' `multi_get` batches. Every measured read resolves *below*
+    /// the (now too-new) row headers: through local warmed chains with the
+    /// per-node version store on, vs a remote-read-per-hop undo-chain walk
+    /// in the CTS-cache-only baseline (`version_store_bytes = 0`).
+    #[test]
+    #[ignore] // probe: version-store read path on/off
+    fn version_store_read_heavy_probe() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Barrier;
+
+        const HOT_KEYS: u64 = 64;
+        const BATCH: usize = 10;
+
+        for (label, bytes) in [("cts-cache-only", 0usize), ("version-store ", 4 << 20)] {
+            let mut config = ClusterConfig::bench(4, 1.0);
+            config.engine.read_committed = false; // SI: lagging snapshots walk
+            config.engine.version_store_bytes = bytes;
+            let shared = Shared::new(config);
+            let engines: Vec<Arc<NodeEngine>> = (0..4)
+                .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i)))
+                .collect();
+            let t = shared.create_table("t", 1, &[]).unwrap().id;
+            pmp_rdma::set_latency_enabled(false);
+            for k in 0..HOT_KEYS {
+                commit_one_key(&engines[0], t, k);
+            }
+            pmp_rdma::set_latency_enabled(true);
+
+            let stop_writers = AtomicBool::new(false);
+            let stop = AtomicBool::new(false);
+            // Readers + main; passed twice (churn done → pin, all pinned).
+            let pin = Barrier::new(5);
+            let reads = AtomicU64::new(0);
+            let commits = AtomicU64::new(0);
+            let measured_secs = 1.0_f64.max(bench_secs() / 2.0);
+            let mut rates = (0.0, 0.0); // (reads_per_sec, hit_rate)
+            std::thread::scope(|s| {
+                for (w, engine) in engines.iter().take(2).enumerate() {
+                    let engine = Arc::clone(engine);
+                    let (stop_writers, commits) = (&stop_writers, &commits);
+                    s.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(w as u64);
+                        while !stop_writers.load(Ordering::Relaxed) {
+                            let mut keys = [0u64; 4];
+                            for k in &mut keys {
+                                *k = rng.random_range(0..HOT_KEYS);
+                            }
+                            // Sorted lock order: a writer-vs-writer deadlock
+                            // would stall both until the 2s lock-wait timeout
+                            // — longer than the whole stacking window.
+                            keys.sort_unstable();
+                            let r = engine.begin().and_then(|mut txn| {
+                                for &k in &keys {
+                                    txn.update(t, k, RowValue::new(vec![k + 1]))?;
+                                }
+                                txn.commit()
+                            });
+                            if r.is_ok() {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                            } // write-write aborts are expected churn
+                        }
+                    });
+                }
+                for w in 0..4usize {
+                    let engine = Arc::clone(&engines[2 + w % 2]);
+                    let (stop, reads, pin) = (&stop, &reads, &pin);
+                    s.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(100 + w as u64);
+                        pin.wait(); // churn done: pin a snapshot…
+                        let mut txn = engine.begin().unwrap();
+                        pin.wait(); // …and park while writers stack versions
+                        pin.wait(); // writers quiesced: hammer reads
+                        while !stop.load(Ordering::Relaxed) {
+                            let mut keys = [0u64; BATCH];
+                            for k in &mut keys {
+                                *k = rng.random_range(0..HOT_KEYS);
+                            }
+                            // Every read is below the row header: warmed
+                            // chains answer locally; the baseline re-walks
+                            // the undo chain (remote reads) each time.
+                            txn.multi_get(t, &keys).unwrap();
+                            reads.fetch_add(BATCH as u64, Ordering::Relaxed);
+                        }
+                        txn.commit().unwrap();
+                    });
+                }
+
+                // Churn, pin the reader snapshots, stack newer versions on
+                // top of them (readers parked so the writers get the box),
+                // quiesce the writers, let first-touch fills settle, then
+                // snapshot meters and measure one window.
+                std::thread::sleep(std::time::Duration::from_secs_f64(warmup_secs()));
+                println!(
+                    "{label} | warmup commits: {}",
+                    commits.load(Ordering::Relaxed),
+                );
+                pin.wait();
+                pin.wait();
+                // The version-stacking window sets the undo-chain depth a
+                // baseline lagging read must walk (remote read per hop);
+                // store resolution cost is independent of it.
+                let commits0 = commits.load(Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                println!(
+                    "{label} | commits stacked on the pinned snapshots: {}",
+                    commits.load(Ordering::Relaxed) - commits0,
+                );
+                stop_writers.store(true, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                pin.wait();
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                let reads0 = reads.load(Ordering::Relaxed);
+                let undo_remote0 = shared.undo.remote_reads.get();
+                let (hits0, misses0) = (2..4)
+                    .map(|i: usize| {
+                        let s = &engines[i].version_store.stats;
+                        (s.hits.get(), s.misses.get())
+                    })
+                    .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+                let start = std::time::Instant::now();
+                std::thread::sleep(std::time::Duration::from_secs_f64(measured_secs));
+                let elapsed = start.elapsed().as_secs_f64();
+                let window_reads = reads.load(Ordering::Relaxed) - reads0;
+                let undo_remote = shared.undo.remote_reads.get() - undo_remote0;
+                let totals = (2..4)
+                    .map(|i: usize| {
+                        let s = &engines[i].version_store.stats;
+                        (s.hits.get(), s.misses.get())
+                    })
+                    .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
+                let (hits, misses) = (totals.0 - hits0, totals.1 - misses0);
+                println!(
+                    "{label} | remote undo reads per point read: {:.2} | lagging fraction: {:.2}",
+                    undo_remote as f64 / window_reads.max(1) as f64,
+                    (hits + misses) as f64 / window_reads.max(1) as f64,
+                );
+                rates = (
+                    window_reads as f64 / elapsed,
+                    hits as f64 / (hits + misses).max(1) as f64,
+                );
+                stop.store(true, Ordering::Relaxed);
+            });
+            for e in &engines {
+                e.stop_background();
+            }
+            println!(
+                "{label} | point reads/s={:>8.0} | resolution hit rate={:>5.1}% (hits+misses are \
+                 reads whose header was too new for the snapshot)",
+                rates.0,
+                rates.1 * 100.0,
+            );
+        }
+    }
+
     #[test]
     #[ignore] // probe: 4-node write-heavy sysbench, whole pipeline on/off
     fn commit_sysbench_pipeline_probe() {

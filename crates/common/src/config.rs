@@ -213,6 +213,11 @@ pub struct EngineConfig {
     /// snapshot boundary never runs far ahead of committed work. 0 or 1
     /// disables leasing (every commit pays its own FAA).
     pub cts_lease_max: u64,
+    /// Byte budget of the per-node MVCC version store (committed row images
+    /// kept node-locally so snapshot readers resolve without undo walks or
+    /// TIT/CTS fabric lookups). 0 disables the store (CTS-cache-only
+    /// baseline).
+    pub version_store_bytes: usize,
     /// Submission/completion ring for storage I/O (the `pmp-io` subsystem).
     pub io: IoRingConfig,
 }
@@ -234,6 +239,7 @@ impl Default for EngineConfig {
             cts_backfill: true,
             wal_group_window_us: 20,
             cts_lease_max: 16,
+            version_store_bytes: 4 * 1024 * 1024,
             io: IoRingConfig::default(),
         }
     }

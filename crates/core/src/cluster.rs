@@ -211,6 +211,18 @@ impl Cluster {
                 g.windows_waited.get(),
                 g.empty_windows.get(),
             );
+            let v = &node.version_store.stats;
+            let _ = writeln!(
+                out,
+                "  node {i} read-path: version_hits={} version_misses={} publishes={} fills={} evictions={} invalidations={} resident_bytes={}",
+                v.hits.get(),
+                v.misses.get(),
+                v.publishes.get(),
+                v.fills.get(),
+                v.evictions.get(),
+                v.invalidations.get(),
+                node.version_store.bytes(),
+            );
         }
         let b = sh.pmfs.buffer.stats();
         let _ =
@@ -471,6 +483,7 @@ mod tests {
             "node 0 io:",
             "node 0 commit stages",
             "node 0 wal group:",
+            "node 0 read-path:",
             "buffer fusion",
             "lock fusion",
             "row waits",

@@ -14,6 +14,12 @@
 //! * [`MinActiveTable`] — peers' published min-active transaction ids
 //!   (§4.3.2), a flat array of `AtomicU64` indexed by the dense `NodeId`,
 //!   so the row-lock liveness fast path is a single atomic load.
+//!
+//! Since PR 6 the [version store](crate::version_store) sits in front of
+//! this machinery for lagging snapshots: a stored-chain hit answers without
+//! consulting the CTS cache at all, and the cache doubles as a charge-free
+//! CTS source when commit backfill decides whether a predecessor image is
+//! publishable (`NodeEngine::cached_cts`).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -14,6 +14,9 @@
 //!   set.
 //! * [`undo`] — the shared undo record store (modelled as disaggregated
 //!   memory, protected by redo).
+//! * [`version_store`] — the bounded per-node MVCC version store: snapshot
+//!   reads resolve node-locally, without undo walks or TIT/CTS fabric
+//!   lookups.
 //! * [`llsn`] — the node-local logical LSN clock.
 //! * [`tso_client`] — snapshot timestamps with the Linear Lamport
 //!   optimisation from PolarDB-SCC.
@@ -52,6 +55,7 @@ pub mod standby;
 pub mod tso_client;
 pub mod txn;
 pub mod undo;
+pub mod version_store;
 pub mod wal;
 
 pub use node::NodeEngine;

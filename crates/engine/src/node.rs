@@ -33,6 +33,7 @@ use crate::shared::Shared;
 use crate::tso_client::TsoClient;
 use crate::txn::Txn;
 use crate::undo::UndoPtr;
+use crate::version_store::VersionStore;
 use crate::wal::Wal;
 
 /// Total bound of the node's commit-timestamp cache (split evenly across
@@ -99,6 +100,10 @@ pub struct NodeEngine {
     /// bounded per segment — see [`CtsCache`] for why terminal answers are
     /// safely cacheable and why eviction is segment-local).
     cts_cache: CtsCache,
+    /// Node-local MVCC version store: bounded chains of committed row
+    /// images that let snapshot readers resolve without undo walks or
+    /// TIT/CTS fabric lookups (DESIGN.md §12).
+    pub version_store: VersionStore,
     /// Root page hints: is this root currently a leaf? Lets writers acquire
     /// the X PLock directly instead of S-then-upgrade.
     root_hints: TrackedRwLock<HashMap<PageId, bool>>,
@@ -215,6 +220,7 @@ impl NodeEngine {
             finished: TrackedMutex::new(NODE_FINISHED, Vec::new()),
             min_active_cache: MinActiveTable::new(shared.config.nodes.max(64)),
             cts_cache: CtsCache::new(CTS_CACHE_CAPACITY),
+            version_store: VersionStore::new(cfg.version_store_bytes),
             root_hints: TrackedRwLock::new(NODE_ROOT_HINTS, HashMap::new()),
             alive: AtomicBool::new(true),
             draining: AtomicBool::new(false),
@@ -307,6 +313,9 @@ impl NodeEngine {
         {
             self.stats.pages_loaded_dbp.inc();
             self.wal.observe_llsn(llsn);
+            // No resident frame ⇒ no invalidation signal since eviction:
+            // fence the page's chains along with adopting the DBP image.
+            self.version_store.invalidate_page(page_id);
             return Ok(self.lbp.finish_load(page_id, ticket, (*page).clone(), flag));
         }
         let weak = self.self_ref();
@@ -347,6 +356,9 @@ impl NodeEngine {
         match cqe.result {
             Ok(CqePayload::Page(Some(stored))) => {
                 engine.stats.pages_loaded_storage.inc();
+                // Same fence as the DBP-hit load path: the node had no
+                // frame, so chains for this page have no validity signal.
+                engine.version_store.invalidate_page(page_id);
                 let (page, llsn) = engine.shared.pmfs.buffer.register_push(
                     engine.node,
                     page_id,
@@ -404,6 +416,7 @@ impl NodeEngine {
         {
             self.stats.pages_loaded_dbp.inc();
             self.wal.observe_llsn(llsn);
+            self.version_store.invalidate_page(page_id);
             self.lbp.finish_load(page_id, ticket, (*page).clone(), flag);
             return None;
         }
@@ -456,6 +469,10 @@ impl NodeEngine {
             frame.set_valid();
             return Ok(());
         }
+        // A remote writer modified this page (its push cleared our valid
+        // flag): fence the page's version chains before adopting the newer
+        // image (DESIGN.md §12).
+        self.version_store.invalidate_page(page_id);
         let buffer = &self.shared.pmfs.buffer;
         let (page, llsn) = match buffer.fetch(self.node, page_id) {
             Some(hit) => {
@@ -618,6 +635,13 @@ impl NodeEngine {
     }
 
     // ---- visibility helpers -----------------------------------------------
+
+    /// Cache-only CTS lookup — no TIT traffic, no fabric verbs. Used by
+    /// commit-time version publication, which must not add round trips to
+    /// the commit path.
+    pub(crate) fn cached_cts(&self, gid: GlobalTrxId) -> Option<Cts> {
+        self.cts_cache.get(&gid)
+    }
 
     /// Resolve a transaction's CTS (Algorithm 1, TIT half), caching
     /// terminal answers. Active transactions (`CSN_MAX`) are never cached.
@@ -857,6 +881,7 @@ impl NodeEngine {
         // `finish_load` turns the install into a no-op.
         self.io.cancel_queued();
         self.lbp.clear();
+        self.version_store.clear();
         self.plocks.crash_clear();
         self.active.lock().clear();
         self.finished.lock().clear();

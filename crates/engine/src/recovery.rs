@@ -131,6 +131,7 @@ pub fn recover_node(
     for gid in outcomes.in_doubt() {
         let ptrs = outcomes.undo_of.get(&gid).cloned().unwrap_or_default();
         for ptr in ptrs.iter().rev() {
+            // lint: allow(undo-reconstruction): rolling back in-doubt trxs rebuilds pre-crash images the version store never holds
             let Some(rec) = shared.undo.read(&shared.fabric, node, *ptr) else {
                 continue;
             };
@@ -469,6 +470,7 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
     for gid in outcomes.in_doubt() {
         let ptrs = outcomes.undo_of.get(&gid).cloned().unwrap_or_default();
         for ptr in ptrs.iter().rev() {
+            // lint: allow(undo-reconstruction): offline undo runs against the page cache before any engine (or its store) exists
             let Some(rec) = shared.undo.read(&shared.fabric, gid.node, *ptr) else {
                 continue;
             };

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pmp_common::{Cts, GlobalTrxId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN};
+use pmp_common::{Cts, GlobalTrxId, PageId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN};
 use pmp_pmfs::WaitOutcome;
 use pmp_rdma::Locality;
 
@@ -16,6 +16,7 @@ use crate::redo::{RedoOp, RedoRecord};
 use crate::row::{index_key, IndexKey, Row, RowHeader, RowValue};
 use crate::shared::{TableKind, TableMeta};
 use crate::undo::{UndoPtr, UndoRecord};
+use crate::version_store::{PrevLink, Resolved, StoredVersion};
 
 /// Transaction lifecycle state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -177,7 +178,7 @@ impl Txn {
                 if out.len() >= limit {
                     return false;
                 }
-                if let Some(v) = visible_version(&engine, gid, snapshot, row) {
+                if let Some(v) = visible_version(&engine, gid, snapshot, page.id, row) {
                     out.push((row.key as u64, v));
                 }
             }
@@ -221,7 +222,7 @@ impl Txn {
                 if row.key > to || out.len() >= limit {
                     return false;
                 }
-                if visible_version(&engine, gid, snapshot, row).is_some() {
+                if visible_version(&engine, gid, snapshot, page.id, row).is_some() {
                     out.push(row.key as u64); // low 64 bits = primary key
                 }
             }
@@ -283,7 +284,7 @@ impl Txn {
                 if row.key > to || out.len() >= limit {
                     return false;
                 }
-                if visible_version(&engine, gid, snapshot, row).is_some() {
+                if visible_version(&engine, gid, snapshot, page.id, row).is_some() {
                     let (sec, pk) = crate::row::split_index_key(row.key);
                     out.push((sec, pk));
                 }
@@ -639,7 +640,9 @@ impl Txn {
     /// metadata of the rows affected by that transaction, provided these
     /// rows are still in the buffer" (§4.1). Purely an optimization — no
     /// PLock, no latch waits, no logging; losing it just means readers
-    /// consult the TIT.
+    /// consult the TIT. Each backfilled row is also published into the
+    /// node's version store (after the latch drops) so snapshot readers
+    /// resolve it locally.
     fn backfill_cts(&self, cts: Cts) {
         for w in &self.writes {
             let Ok(meta) = self.engine.shared.catalog.get(w.table) else {
@@ -649,6 +652,7 @@ impl Txn {
             // write latch is taken blocking — commit holds no other
             // latches here, and a reliable backfill saves every future
             // reader a TIT lookup.
+            let mut published: Option<(pmp_common::PageId, Row)> = None;
             let mut current = meta.root;
             'chase: while let Some(frame) = self.engine.lbp.peek(current) {
                 if !frame.is_valid() {
@@ -665,14 +669,19 @@ impl Txn {
                         continue 'chase;
                     }
                     crate::page::PageKind::Leaf(_) => {
+                        let page_id = page.id;
                         if let Some(row) = page.as_leaf_mut().get_mut(w.key) {
                             if row.header.trx == self.gid {
                                 row.header.cts = cts;
+                                published = Some((page_id, row.clone()));
                             }
                         }
                         break;
                     }
                 }
+            }
+            if let Some((page_id, row)) = published {
+                publish_commit(&self.engine, page_id, &row, cts);
             }
         }
     }
@@ -821,32 +830,113 @@ fn row_lock_state(engine: &NodeEngine, me: GlobalTrxId, header: &RowHeader) -> L
 
 /// Full Algorithm 1 + version-chain walk: the newest version of `row`
 /// visible to `(gid, snapshot)`, or `None` (deleted / never existed).
+///
+/// Resolution order: own writes → backfilled/bootstrap CTS fast path →
+/// node-local version store → undo/TIT reconstruction (which read-through
+/// fills the store so the next reader stays local).
 pub(crate) fn visible_version(
     engine: &NodeEngine,
     gid: GlobalTrxId,
     snapshot: Cts,
+    page_id: PageId,
+    row: &Row,
+) -> Option<RowValue> {
+    let header = row.header;
+    // Own writes are always visible.
+    if header.trx == gid {
+        return (!header.deleted).then(|| row.value.clone());
+    }
+    // Algorithm 1 lines 2-5 fast path: a backfilled (or bootstrap) CTS the
+    // snapshot covers needs no store, no TIT, no undo.
+    if !header.cts.is_init() {
+        if header.cts.visible_at(snapshot) {
+            return (!header.deleted).then(|| row.value.clone());
+        }
+    } else if header.trx.is_none() {
+        return (!header.deleted).then(|| row.value.clone());
+    }
+    // Version store front door: anchored at the latched current header's
+    // undo pointer, a verified chain answers entirely node-locally.
+    match engine
+        .version_store
+        .resolve(page_id, row.key, header.undo, snapshot)
+    {
+        Resolved::Value(v) => return v,
+        Resolved::Miss => {}
+    }
+    reconstruct_with_fill(engine, gid, snapshot, page_id, row)
+}
+
+/// The pre-version-store path: undo-chain reconstruction with TIT-backed
+/// CTS resolution (§4.1). Every committed version whose CTS resolves during
+/// the walk is published back into the version store with its verified
+/// predecessor link, so chains warm up for remotely-written pages.
+fn reconstruct_with_fill(
+    engine: &NodeEngine,
+    gid: GlobalTrxId,
+    snapshot: Cts,
+    page_id: PageId,
     row: &Row,
 ) -> Option<RowValue> {
     let mut header = row.header;
     let mut value = row.value.clone();
-    loop {
-        // Own writes are always visible.
+    let mut fill: Vec<StoredVersion> = Vec::new();
+    let out = loop {
         if header.trx == gid {
-            return (!header.deleted).then_some(value);
+            break (!header.deleted).then_some(value);
         }
         let cts = effective_cts(engine, &header);
-        if cts != CSN_MAX && cts.visible_at(snapshot) {
-            return (!header.deleted).then_some(value);
+        let committed = cts != CSN_MAX;
+        if committed && cts.visible_at(snapshot) {
+            fill.push(StoredVersion {
+                undo: header.undo,
+                cts,
+                prev: PrevLink::Unknown,
+                deleted: header.deleted,
+                value: value.clone(),
+            });
+            break (!header.deleted).then_some(value);
         }
         // Reconstruct the previous version from undo (§4.1).
-        let rec = engine
+        let Some(rec) = engine
             .shared
             .undo
-            .read(&engine.shared.fabric, engine.node, header.undo)?;
-        let (h, v) = rec.prev.as_ref()?;
-        header = *h;
-        value = v.clone();
+            .read(&engine.shared.fabric, engine.node, header.undo)
+        else {
+            break None;
+        };
+        match rec.prev.as_ref() {
+            Some((h, v)) => {
+                if committed {
+                    fill.push(StoredVersion {
+                        undo: header.undo,
+                        cts,
+                        prev: PrevLink::Link(h.undo),
+                        deleted: header.deleted,
+                        value: value.clone(),
+                    });
+                }
+                header = *h;
+                value = v.clone();
+            }
+            None => {
+                if committed {
+                    fill.push(StoredVersion {
+                        undo: header.undo,
+                        cts,
+                        prev: PrevLink::Root,
+                        deleted: header.deleted,
+                        value: value.clone(),
+                    });
+                }
+                break None;
+            }
+        }
+    };
+    if !fill.is_empty() {
+        engine.version_store.fill(page_id, row.key, fill);
     }
+    out
 }
 
 /// Algorithm 1, row half: the effective CTS of a row version.
@@ -869,5 +959,64 @@ pub(crate) fn read_visible(
     key: IndexKey,
 ) -> Option<RowValue> {
     let row = page.as_leaf().get(key)?;
-    visible_version(engine, gid, snapshot, row)
+    visible_version(engine, gid, snapshot, page.id, row)
+}
+
+/// Commit-time version publication: store the just-committed row image —
+/// and, when its CTS is already known without any fabric verb, the
+/// committed predecessor image — into the node's version store. Runs on
+/// the commit path, so it must stay free of fabric traffic: the only undo
+/// reads are this transaction's own records, which live in the local undo
+/// segment, and the predecessor CTS comes from the header or the CTS cache.
+fn publish_commit(engine: &NodeEngine, page_id: PageId, row: &Row, cts: Cts) {
+    if !engine.version_store.enabled() {
+        return;
+    }
+    let gid = row.header.trx;
+    let mut versions = Vec::with_capacity(2);
+    // Walk past intermediate images this same transaction wrote to find
+    // the committed predecessor (all hops are node-local records).
+    let mut prev = PrevLink::Unknown;
+    let mut ptr = row.header.undo;
+    while let Some(rec) = engine
+        .shared
+        .undo
+        .read(&engine.shared.fabric, engine.node, ptr)
+    {
+        match rec.prev.as_ref() {
+            None => {
+                prev = PrevLink::Root;
+                break;
+            }
+            Some((h, _)) if h.trx == gid => ptr = h.undo,
+            Some((h, v)) => {
+                prev = PrevLink::Link(h.undo);
+                let pcts = if !h.cts.is_init() {
+                    Some(h.cts)
+                } else if h.trx.is_none() {
+                    Some(CSN_MIN)
+                } else {
+                    engine.cached_cts(h.trx)
+                };
+                if let Some(pcts) = pcts {
+                    versions.push(StoredVersion {
+                        undo: h.undo,
+                        cts: pcts,
+                        prev: PrevLink::Unknown,
+                        deleted: h.deleted,
+                        value: v.clone(),
+                    });
+                }
+                break;
+            }
+        }
+    }
+    versions.push(StoredVersion {
+        undo: row.header.undo,
+        cts,
+        prev,
+        deleted: row.header.deleted,
+        value: row.value.clone(),
+    });
+    engine.version_store.publish(page_id, row.key, versions);
 }

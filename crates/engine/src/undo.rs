@@ -10,6 +10,15 @@
 //! also protected by its redo logs": the engine emits a redo record for
 //! every undo write, and full-cluster recovery rebuilds this store from
 //! redo before rolling back in-doubt transactions.
+//!
+//! Reconstruction walks are the visibility *slow* path: the per-node
+//! [version store](crate::version_store) answers lagging snapshots locally
+//! first, and every fallback walk back-fills it (see
+//! `txn::reconstruct_with_fill`). The `undo-reconstruction` lint rule keeps
+//! direct `read` walks confined to `txn.rs`/`undo.rs` so that stays true.
+//! Undo pointers are never reused (recovery keeps the allocator ahead),
+//! which is what lets the version store key versions by [`UndoPtr`]
+//! identity.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,585 @@
+//! Per-node MVCC version store: bounded chains of *committed* row images
+//! that let snapshot readers resolve visibility entirely node-locally — no
+//! undo-chain walk, no TIT read, no CTS fabric lookup (§4.1's read path,
+//! minus the disaggregated-memory round trips).
+//!
+//! # Shape
+//!
+//! Chains are keyed `(page, index key)`; every [`StoredVersion`] carries the
+//! commit CTS, the row image, and — crucially — the *identity* of the
+//! version: the [`UndoPtr`] that was embedded in its row header when it was
+//! written. Undo pointers are per-node sequences that are never reused
+//! (restore keeps the allocator ahead), so a pointer names exactly one
+//! version forever. Versions also carry a [`PrevLink`] to their immediate
+//! predecessor's undo pointer, recorded from the actual undo-chain
+//! adjacency at publish time.
+//!
+//! # Why stale chains are SI-safe
+//!
+//! The store holds immutable *facts*: "undo pointer P is a version of
+//! `(page, key)` that committed at CTS C with image V, and its predecessor
+//! is P'". A fact never becomes wrong — it can only become irrelevant. The
+//! reader anchors at the row header of the *latched current page* (so the
+//! newest version can never be skipped) and only walks verified
+//! predecessor links; any gap — unknown anchor, evicted link, `Unknown`
+//! prev — is a [`Resolved::Miss`] and falls back to the authoritative
+//! undo/TIT path. Uncommitted versions are never published, so a reader can
+//! never observe one here. On top of this self-validation, the engine
+//! *fences* (drops) a page's chains whenever it adopts a page image from
+//! outside its own valid frame (DBP invalidation refresh, DBP/storage
+//! load, crash) — see DESIGN.md §12 for the full argument.
+//!
+//! # Bounds
+//!
+//! The store is byte-bounded. Each shard keeps an age index ordered by
+//! commit CTS and evicts oldest-CTS versions first, so the newest (most
+//! useful to live snapshots) versions survive. No latency is ever charged
+//! and no fabric verb is ever issued under a shard lock — every operation
+//! here is plain local memory (`sanitize`-checked by the read-path tests).
+
+use std::collections::{BTreeSet, HashMap};
+
+use pmp_common::sync::{LockClass, TrackedRwLock};
+use pmp_common::{Counter, Cts, PageId};
+
+use crate::row::{IndexKey, RowValue};
+use crate::undo::UndoPtr;
+
+/// Version-store shards: pure in-memory chain maintenance, never held
+/// across a charge point or fabric verb.
+const VS_SHARD: LockClass = LockClass::new("engine.version_store.shard");
+
+/// Number of shards. Power of two so page ids can mask.
+const SHARDS: usize = 16;
+
+/// Fixed per-version bookkeeping overhead charged against the byte budget
+/// (map slots, age-index entry, header fields) on top of the row payload.
+const VERSION_OVERHEAD: usize = 64;
+
+/// Link from a stored version to its immediate predecessor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrevLink {
+    /// The predecessor version's undo pointer (verified adjacency from the
+    /// undo chain or the committer's own undo record).
+    Link(UndoPtr),
+    /// This version created the row — there is no predecessor, so a
+    /// snapshot below its CTS definitively sees nothing.
+    Root,
+    /// Predecessor unknown; a walk reaching here must miss to the fallback.
+    Unknown,
+}
+
+/// One committed row image in a chain.
+#[derive(Clone, Debug)]
+pub struct StoredVersion {
+    /// Identity: the undo pointer this version's row header carried.
+    pub undo: UndoPtr,
+    /// Commit timestamp (never `CSN_INIT`/`CSN_MAX`; `CSN_MIN` for
+    /// bootstrap or recycled-slot versions, which every snapshot covers).
+    pub cts: Cts,
+    pub prev: PrevLink,
+    pub deleted: bool,
+    pub value: RowValue,
+}
+
+/// Outcome of a local resolution attempt.
+#[derive(Debug)]
+pub enum Resolved {
+    /// Definitive answer: the visible image, or `None` when the row is
+    /// deleted at / was created after the snapshot.
+    Value(Option<RowValue>),
+    /// The chain cannot answer; use the undo/TIT fallback.
+    Miss,
+}
+
+/// Eviction-order key: oldest commit CTS first; page/key/undo disambiguate.
+type AgeKey = (u64, u64, IndexKey, u16, u64);
+
+fn age_key(page: PageId, key: IndexKey, v: &StoredVersion) -> AgeKey {
+    (v.cts.0, page.0, key, v.undo.node.0, v.undo.seq)
+}
+
+fn version_bytes(v: &StoredVersion) -> usize {
+    VERSION_OVERHEAD + v.value.encoded_len()
+}
+
+#[derive(Default)]
+struct Shard {
+    /// page → key → versions, newest CTS first.
+    pages: HashMap<PageId, HashMap<IndexKey, Vec<StoredVersion>>>,
+    bytes: usize,
+    by_age: BTreeSet<AgeKey>,
+}
+
+/// Read-path meters surfaced through `stats_report`.
+#[derive(Debug, Default)]
+pub struct VersionStoreStats {
+    /// Resolutions answered locally (including definitive "not visible").
+    pub hits: Counter,
+    /// Resolutions that fell back to the undo/TIT path.
+    pub misses: Counter,
+    /// Versions published by commit backfill.
+    pub publishes: Counter,
+    /// Versions published by read-through fill during fallback walks.
+    pub fills: Counter,
+    /// Versions dropped by the byte-budget (oldest-CTS-first) eviction.
+    pub evictions: Counter,
+    /// Page fences (DBP invalidation / fresh load / crash) that dropped
+    /// at least one chain.
+    pub invalidations: Counter,
+}
+
+/// The per-node version store. A zero byte budget disables it entirely
+/// (every resolve misses, publishes are dropped) — the CTS-cache-only
+/// baseline.
+pub struct VersionStore {
+    shards: Box<[TrackedRwLock<Shard>]>,
+    shard_budget: usize,
+    pub stats: VersionStoreStats,
+}
+
+impl std::fmt::Debug for VersionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionStore")
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VersionStore {
+    pub fn new(total_bytes: usize) -> Self {
+        VersionStore {
+            shards: (0..SHARDS)
+                .map(|_| TrackedRwLock::new(VS_SHARD, Shard::default()))
+                .collect(),
+            shard_budget: total_bytes / SHARDS,
+            stats: VersionStoreStats::default(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.shard_budget > 0
+    }
+
+    fn shard(&self, page: PageId) -> &TrackedRwLock<Shard> {
+        &self.shards[(page.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Resolve the version of `(page, key)` visible at `snapshot`, anchored
+    /// at `head` — the undo pointer of the latched current row header.
+    /// Returns a definitive answer only via verified predecessor links.
+    pub fn resolve(&self, page: PageId, key: IndexKey, head: UndoPtr, snapshot: Cts) -> Resolved {
+        if !self.enabled() {
+            return Resolved::Miss;
+        }
+        let shard = self.shard(page).read();
+        let Some(chain) = shard.pages.get(&page).and_then(|p| p.get(&key)) else {
+            self.stats.misses.inc();
+            return Resolved::Miss;
+        };
+        let mut cur = chain.iter().find(|v| v.undo == head);
+        loop {
+            let Some(v) = cur else {
+                self.stats.misses.inc();
+                return Resolved::Miss;
+            };
+            if v.cts.visible_at(snapshot) {
+                self.stats.hits.inc();
+                return Resolved::Value((!v.deleted).then(|| v.value.clone()));
+            }
+            match v.prev {
+                PrevLink::Root => {
+                    // The row was created after the snapshot: nothing to see.
+                    self.stats.hits.inc();
+                    return Resolved::Value(None);
+                }
+                PrevLink::Unknown => {
+                    self.stats.misses.inc();
+                    return Resolved::Miss;
+                }
+                PrevLink::Link(p) => cur = chain.iter().find(|v| v.undo == p),
+            }
+        }
+    }
+
+    /// Publish committed versions from the commit-backfill path.
+    pub fn publish(&self, page: PageId, key: IndexKey, versions: Vec<StoredVersion>) {
+        let n = self.insert_many(page, key, versions);
+        self.stats.publishes.add(n as u64);
+    }
+
+    /// Publish committed versions learned during a fallback undo walk
+    /// (read-through fill; warms chains for remotely-written pages).
+    pub fn fill(&self, page: PageId, key: IndexKey, versions: Vec<StoredVersion>) {
+        let n = self.insert_many(page, key, versions);
+        self.stats.fills.add(n as u64);
+    }
+
+    fn insert_many(&self, page: PageId, key: IndexKey, versions: Vec<StoredVersion>) -> usize {
+        if !self.enabled() || versions.is_empty() {
+            return 0;
+        }
+        let mut inserted = 0;
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(page).write();
+            for v in versions {
+                debug_assert!(!v.cts.is_init(), "only committed versions are stored");
+                if insert_version(&mut shard, page, key, v) {
+                    inserted += 1;
+                }
+            }
+            while shard.bytes > self.shard_budget {
+                if !evict_oldest(&mut shard) {
+                    break;
+                }
+                evicted += 1;
+            }
+        }
+        self.stats.evictions.add(evicted);
+        inserted
+    }
+
+    /// Fence a page: drop all of its chains. Called whenever the node
+    /// adopts a page image from outside its own valid frame (a remote
+    /// modification signalled through DBP invalidation, or a DBP/storage
+    /// load with no resident frame).
+    pub fn invalidate_page(&self, page: PageId) {
+        if !self.enabled() {
+            return;
+        }
+        let dropped = {
+            let mut shard = self.shard(page).write();
+            match shard.pages.remove(&page) {
+                Some(chains) => {
+                    for (key, chain) in &chains {
+                        for v in chain {
+                            shard.bytes -= version_bytes(v);
+                            shard.by_age.remove(&age_key(page, *key, v));
+                        }
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if dropped {
+            self.stats.invalidations.inc();
+        }
+    }
+
+    /// Drop everything (node crash: the store is volatile node-local state).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut s = shard.write();
+            s.pages.clear();
+            s.by_age.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Total stored versions (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .pages
+                    .values()
+                    .flat_map(|p| p.values())
+                    .map(|c| c.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total accounted bytes (tests assert the budget holds).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().bytes).sum()
+    }
+}
+
+/// Insert one version into its chain (newest CTS first), deduplicating by
+/// undo-pointer identity. A duplicate may still upgrade an `Unknown`
+/// predecessor link to a verified one. Returns whether a new version landed.
+fn insert_version(shard: &mut Shard, page: PageId, key: IndexKey, v: StoredVersion) -> bool {
+    let chain = shard.pages.entry(page).or_default().entry(key).or_default();
+    if let Some(existing) = chain.iter_mut().find(|e| e.undo == v.undo) {
+        if existing.prev == PrevLink::Unknown && v.prev != PrevLink::Unknown {
+            existing.prev = v.prev;
+        }
+        return false;
+    }
+    let bytes = version_bytes(&v);
+    shard.by_age.insert(age_key(page, key, &v));
+    let pos = chain
+        .iter()
+        .position(|e| e.cts < v.cts)
+        .unwrap_or(chain.len());
+    chain.insert(pos, v);
+    shard.bytes += bytes;
+    true
+}
+
+/// Evict the globally oldest-CTS version of the shard. Returns false when
+/// the shard is empty.
+fn evict_oldest(shard: &mut Shard) -> bool {
+    let Some(oldest) = shard.by_age.iter().next().copied() else {
+        return false;
+    };
+    shard.by_age.remove(&oldest);
+    let (_, page_raw, key, node, seq) = oldest;
+    let page = PageId(page_raw);
+    let victim_undo = UndoPtr {
+        node: pmp_common::NodeId(node),
+        seq,
+    };
+    if let Some(chains) = shard.pages.get_mut(&page) {
+        if let Some(chain) = chains.get_mut(&key) {
+            if let Some(pos) = chain.iter().position(|e| e.undo == victim_undo) {
+                let v = chain.remove(pos);
+                shard.bytes -= version_bytes(&v);
+            }
+            if chain.is_empty() {
+                chains.remove(&key);
+            }
+        }
+        if chains.is_empty() {
+            shard.pages.remove(&page);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::{NodeId, CSN_MIN};
+
+    fn ptr(seq: u64) -> UndoPtr {
+        UndoPtr {
+            node: NodeId(0),
+            seq,
+        }
+    }
+
+    fn ver(seq: u64, cts: u64, prev: PrevLink, payload: u64) -> StoredVersion {
+        StoredVersion {
+            undo: ptr(seq),
+            cts: Cts(cts),
+            prev,
+            deleted: false,
+            value: RowValue::new(vec![payload]),
+        }
+    }
+
+    const PAGE: PageId = PageId(7);
+    const KEY: IndexKey = 42;
+
+    #[test]
+    fn anchor_hit_returns_current_version() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(PAGE, KEY, vec![ver(3, 10, PrevLink::Unknown, 111)]);
+        match vs.resolve(PAGE, KEY, ptr(3), Cts(15)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 111),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        assert_eq!(vs.stats.hits.get(), 1);
+    }
+
+    #[test]
+    fn adjacency_walk_reaches_older_version() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(
+            PAGE,
+            KEY,
+            vec![
+                ver(1, 5, PrevLink::Root, 1),
+                ver(2, 10, PrevLink::Link(ptr(1)), 2),
+                ver(3, 20, PrevLink::Link(ptr(2)), 3),
+            ],
+        );
+        // Snapshot 12 covers version 2 but not version 3.
+        match vs.resolve(PAGE, KEY, ptr(3), Cts(12)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 2),
+            other => panic!("expected version 2, got {other:?}"),
+        }
+        // Snapshot 3 walks all the way to the root version.
+        match vs.resolve(PAGE, KEY, ptr(3), Cts(5)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 1),
+            other => panic!("expected version 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_link_answers_not_visible_definitively() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(PAGE, KEY, vec![ver(1, 10, PrevLink::Root, 1)]);
+        match vs.resolve(PAGE, KEY, ptr(1), Cts(3)) {
+            Resolved::Value(None) => {}
+            other => panic!("row created after snapshot must resolve to None, got {other:?}"),
+        }
+        assert_eq!(vs.stats.hits.get(), 1, "a definitive None is a hit");
+    }
+
+    #[test]
+    fn unknown_anchor_and_broken_links_miss() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(PAGE, KEY, vec![ver(2, 10, PrevLink::Unknown, 2)]);
+        // Anchor not in the chain (e.g. an uncommitted head).
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(9), Cts(50)),
+            Resolved::Miss
+        ));
+        // Anchor present but too new, predecessor unknown.
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(2), Cts(5)),
+            Resolved::Miss
+        ));
+        // Link target evicted / never published.
+        vs.publish(PAGE, KEY, vec![ver(3, 20, PrevLink::Link(ptr(1)), 3)]);
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(3), Cts(5)),
+            Resolved::Miss
+        ));
+        assert_eq!(vs.stats.hits.get(), 0);
+        assert_eq!(vs.stats.misses.get(), 3);
+    }
+
+    #[test]
+    fn deleted_version_resolves_to_none_but_counts_as_hit() {
+        let vs = VersionStore::new(1 << 20);
+        let mut v = ver(1, 10, PrevLink::Unknown, 1);
+        v.deleted = true;
+        vs.publish(PAGE, KEY, vec![v]);
+        match vs.resolve(PAGE, KEY, ptr(1), Cts(15)) {
+            Resolved::Value(None) => {}
+            other => panic!("tombstone must resolve to None, got {other:?}"),
+        }
+        assert_eq!(vs.stats.hits.get(), 1);
+    }
+
+    #[test]
+    fn duplicate_publish_upgrades_unknown_prev_only() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(PAGE, KEY, vec![ver(2, 10, PrevLink::Unknown, 2)]);
+        vs.publish(
+            PAGE,
+            KEY,
+            vec![
+                ver(1, 5, PrevLink::Root, 1),
+                ver(2, 10, PrevLink::Link(ptr(1)), 2),
+            ],
+        );
+        assert_eq!(
+            vs.len(),
+            2,
+            "duplicate identity must not duplicate the version"
+        );
+        // The upgraded link now lets the walk reach version 1.
+        match vs.resolve(PAGE, KEY, ptr(2), Cts(7)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 1),
+            other => panic!("expected version 1 via upgraded link, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_under_byte_budget_keeps_newest_cts_versions() {
+        // Budget for roughly 3 versions per shard; all on one page → one
+        // shard.
+        let budget_per_shard = 3 * (VERSION_OVERHEAD + 8) + 8;
+        let vs = VersionStore::new(budget_per_shard * SHARDS);
+        for i in 1..=10u64 {
+            vs.publish(PAGE, KEY, vec![ver(i, i * 10, PrevLink::Unknown, i)]);
+        }
+        assert!(vs.bytes() <= budget_per_shard, "byte budget must hold");
+        assert!(vs.stats.evictions.get() >= 7);
+        // The newest version must have survived; the oldest must be gone.
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(10), Cts(200)),
+            Resolved::Value(Some(_))
+        ));
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(1), Cts(200)),
+            Resolved::Miss
+        ));
+    }
+
+    #[test]
+    fn eviction_order_is_cts_not_insertion() {
+        let budget_per_shard = 2 * (VERSION_OVERHEAD + 8) + 8;
+        let vs = VersionStore::new(budget_per_shard * SHARDS);
+        // Insert the newest first: insertion order must not matter.
+        vs.publish(PAGE, KEY, vec![ver(3, 30, PrevLink::Unknown, 3)]);
+        vs.publish(PAGE, KEY, vec![ver(1, 10, PrevLink::Unknown, 1)]);
+        vs.publish(PAGE, KEY, vec![ver(2, 20, PrevLink::Unknown, 2)]);
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(3), Cts(100)),
+            Resolved::Value(Some(_))
+        ));
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(1), Cts(100)),
+            Resolved::Miss
+        ));
+    }
+
+    #[test]
+    fn invalidate_page_fences_all_its_chains() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(PAGE, KEY, vec![ver(1, 10, PrevLink::Unknown, 1)]);
+        vs.publish(PAGE, KEY + 1, vec![ver(2, 10, PrevLink::Unknown, 2)]);
+        vs.publish(PageId(8), KEY, vec![ver(3, 10, PrevLink::Unknown, 3)]);
+        vs.invalidate_page(PAGE);
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(1), Cts(50)),
+            Resolved::Miss
+        ));
+        assert!(matches!(
+            vs.resolve(PAGE, KEY + 1, ptr(2), Cts(50)),
+            Resolved::Miss
+        ));
+        assert!(matches!(
+            vs.resolve(PageId(8), KEY, ptr(3), Cts(50)),
+            Resolved::Value(Some(_))
+        ));
+        assert_eq!(vs.stats.invalidations.get(), 1);
+        // A second fence of the same (now empty) page is not counted.
+        vs.invalidate_page(PAGE);
+        assert_eq!(vs.stats.invalidations.get(), 1);
+    }
+
+    #[test]
+    fn disabled_store_stores_nothing_and_counts_nothing() {
+        let vs = VersionStore::new(0);
+        assert!(!vs.enabled());
+        vs.publish(PAGE, KEY, vec![ver(1, 10, PrevLink::Unknown, 1)]);
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(1), Cts(50)),
+            Resolved::Miss
+        ));
+        assert_eq!(vs.len(), 0);
+        assert_eq!(vs.stats.hits.get() + vs.stats.misses.get(), 0);
+    }
+
+    #[test]
+    fn csn_min_versions_are_visible_to_everyone() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(
+            PAGE,
+            KEY,
+            vec![
+                ver(1, CSN_MIN.0, PrevLink::Root, 1),
+                ver(2, 40, PrevLink::Link(ptr(1)), 2),
+            ],
+        );
+        match vs.resolve(PAGE, KEY, ptr(2), Cts(5)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 1),
+            other => panic!("bootstrap version must be visible, got {other:?}"),
+        }
+    }
+}

@@ -399,6 +399,13 @@ mod tests {
             // assert about re-arming.
             return;
         }
+        if w.empty_streak.load(Ordering::Relaxed) >= EMPTY_WINDOW_LIMIT {
+            // The burst's serialized tail re-tripped the streak with lone
+            // commits *after* the last rider (common on one CPU): the
+            // window is legitimately disabled again, so there is nothing
+            // to assert about the next commit.
+            return;
+        }
         let waited_before = w.group_stats().windows_waited.get();
         let end = w.log_atomic(|_| vec![commit_rec()]);
         w.force(end);

@@ -1,0 +1,239 @@
+//! The per-node MVCC version store under concurrency: snapshot readers
+//! racing committers, cross-node DBP-invalidation fencing, and the
+//! CTS-cache-only baseline (store disabled).
+
+use std::sync::Arc;
+
+use pmp_common::{ClusterConfig, NodeId};
+use pmp_engine::row::RowValue;
+use pmp_engine::shared::Shared;
+use pmp_engine::NodeEngine;
+
+fn cluster_with(config: ClusterConfig) -> (Arc<Shared>, Vec<Arc<NodeEngine>>) {
+    let shared = Shared::new(config);
+    let engines = (0..config.nodes)
+        .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i as u16)))
+        .collect();
+    (shared, engines)
+}
+
+/// Snapshot-isolation cluster (the store only matters when snapshots lag).
+fn si_cluster(nodes: usize) -> (Arc<Shared>, Vec<Arc<NodeEngine>>) {
+    let mut config = ClusterConfig::test(nodes);
+    config.engine.read_committed = false;
+    cluster_with(config)
+}
+
+fn v(x: u64) -> RowValue {
+    RowValue::new(vec![x])
+}
+
+/// A pinned snapshot reader racing a committer never sees the too-new
+/// version, and once the chain is warmed its re-reads are version-store
+/// hits (no undo walk).
+#[test]
+fn pinned_snapshot_resolves_old_version_from_store() {
+    let (shared, engines) = si_cluster(1);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(0)).unwrap();
+    setup.commit().unwrap();
+
+    // Pin a snapshot that covers only version 0.
+    let mut reader = engines[0].begin().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(0)));
+
+    // A committer stacks newer versions; its commit backfill publishes the
+    // new head AND the predecessor image into the store.
+    for i in 1..=3u64 {
+        let mut w = engines[0].begin().unwrap();
+        w.update(t, 1, v(i)).unwrap();
+        w.commit().unwrap();
+    }
+
+    let hits_before = engines[0].version_store.stats.hits.get();
+    // The pinned snapshot must keep resolving version 0 — never v(3), and
+    // (first re-read may fall back and fill) eventually without undo walks.
+    for _ in 0..4 {
+        assert_eq!(reader.get(t, 1).unwrap(), Some(v(0)));
+    }
+    reader.commit().unwrap();
+    assert!(
+        engines[0].version_store.stats.hits.get() > hits_before,
+        "warmed re-reads of an old version must hit the version store"
+    );
+
+    // A fresh snapshot sees the newest committed version.
+    let mut fresh = engines[0].begin().unwrap();
+    assert_eq!(fresh.get(t, 1).unwrap(), Some(v(3)));
+    fresh.commit().unwrap();
+}
+
+/// An uncommitted write is never served from the version store (or
+/// anywhere else): concurrent snapshot readers keep seeing the committed
+/// predecessor until the writer's CTS is assigned.
+#[test]
+fn reader_never_sees_uncommitted_version() {
+    let (shared, engines) = si_cluster(2);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(10)).unwrap();
+    setup.commit().unwrap();
+
+    // Writer on node 0 modifies the row but does NOT commit.
+    let mut writer = engines[0].begin().unwrap();
+    writer.update(t, 1, v(99)).unwrap();
+
+    // Readers on both nodes — repeatedly, so warmed store paths are also
+    // exercised — must see the committed version only.
+    for _ in 0..3 {
+        for e in &engines {
+            let mut r = e.begin().unwrap();
+            assert_eq!(
+                r.get(t, 1).unwrap(),
+                Some(v(10)),
+                "uncommitted version leaked to a snapshot reader"
+            );
+            r.commit().unwrap();
+        }
+    }
+
+    writer.commit().unwrap();
+    let mut r = engines[1].begin().unwrap();
+    assert_eq!(r.get(t, 1).unwrap(), Some(v(99)));
+    r.commit().unwrap();
+}
+
+/// Multi-node fence: a remote writer's page push clears the reader node's
+/// frame valid flag; the refresh must invalidate the page's local version
+/// chains (counted) before adopting the newer image, and subsequent reads
+/// must return the new version.
+#[test]
+fn remote_push_fences_local_version_chains() {
+    let (shared, engines) = si_cluster(2);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(1)).unwrap();
+    setup.commit().unwrap();
+
+    // Node 1 pins a snapshot covering only v(1). Its first read is a
+    // header fast-path hit (no chain yet).
+    let mut pinned = engines[1].begin().unwrap();
+    assert_eq!(pinned.get(t, 1).unwrap(), Some(v(1)));
+
+    // Remote writer on node 0 commits v(2); its push clears node 1's
+    // frame valid flag. The pinned reader's re-read adopts the new image,
+    // finds the header too new for its snapshot, and walks + fills — now
+    // node 1 holds a warmed chain for the key.
+    let mut w = engines[0].begin().unwrap();
+    w.update(t, 1, v(2)).unwrap();
+    w.commit().unwrap();
+    assert_eq!(pinned.get(t, 1).unwrap(), Some(v(1)));
+    assert!(
+        !engines[1].version_store.is_empty(),
+        "pinned re-read must have filled a local chain"
+    );
+
+    let fences_before = engines[1].version_store.stats.invalidations.get();
+
+    // A second remote commit invalidates node 1's frame again; the next
+    // refresh must fence the warmed chains (counted) before adopting the
+    // newer image, and reads on both snapshots stay correct.
+    let mut w2 = engines[0].begin().unwrap();
+    w2.update(t, 1, v(3)).unwrap();
+    w2.commit().unwrap();
+
+    let mut fresh = engines[1].begin().unwrap();
+    assert_eq!(
+        fresh.get(t, 1).unwrap(),
+        Some(v(3)),
+        "reader adopted the new page image but returned a stale version"
+    );
+    fresh.commit().unwrap();
+    assert!(
+        engines[1].version_store.stats.invalidations.get() > fences_before,
+        "refresh of a remotely-invalidated frame must fence the local chains"
+    );
+
+    // The pinned snapshot still resolves its version after the fence.
+    assert_eq!(pinned.get(t, 1).unwrap(), Some(v(1)));
+    pinned.commit().unwrap();
+}
+
+/// `version_store_bytes = 0` is the CTS-cache-only baseline: nothing is
+/// ever stored, every resolution falls back, and results stay identical.
+#[test]
+fn disabled_store_is_a_pure_fallback_baseline() {
+    let mut config = ClusterConfig::test(1);
+    config.engine.read_committed = false;
+    config.engine.version_store_bytes = 0;
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(0)).unwrap();
+    setup.commit().unwrap();
+
+    let mut reader = engines[0].begin().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(0)));
+    let mut w = engines[0].begin().unwrap();
+    w.update(t, 1, v(1)).unwrap();
+    w.commit().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(0)));
+    reader.commit().unwrap();
+
+    let s = &engines[0].version_store.stats;
+    assert_eq!(s.hits.get(), 0, "disabled store must never hit");
+    assert_eq!(s.publishes.get(), 0, "disabled store must never publish");
+    assert_eq!(engines[0].version_store.len(), 0);
+}
+
+/// Concurrent hammer: one committer thread stacking versions of a hot key,
+/// reader threads on both nodes pinning snapshots and re-reading. No reader
+/// may ever observe a value newer than its snapshot-entry read.
+#[test]
+fn concurrent_readers_never_see_too_new_versions() {
+    let (shared, engines) = si_cluster(2);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(0)).unwrap();
+    setup.commit().unwrap();
+
+    let writer = {
+        let e = Arc::clone(&engines[0]);
+        std::thread::spawn(move || {
+            for i in 1..=50u64 {
+                let mut w = e.begin().unwrap();
+                w.update(t, 1, v(i)).unwrap();
+                w.commit().unwrap();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|n| {
+            let e = Arc::clone(&engines[n]);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let mut r = e.begin().unwrap();
+                    let first = r.get(t, 1).unwrap().expect("row exists");
+                    // Within one snapshot, every re-read returns the same
+                    // version — the store must never serve a newer one.
+                    for _ in 0..4 {
+                        assert_eq!(r.get(t, 1).unwrap(), Some(first.clone()));
+                    }
+                    r.commit().unwrap();
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}

@@ -332,41 +332,93 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
 
     /// FIFO eviction keeping each shard within its capacity. Never evicts
     /// `just_touched`.
+    ///
+    /// The write-back lands in shared storage *before* the directory entry
+    /// is removed. This closes the split-page push race: freshly split
+    /// children exist only in the DBP until their first eviction, and the
+    /// old remove-then-write-back order opened a window (one storage-write
+    /// latency wide) in which the page was in neither the DBP nor storage,
+    /// so a concurrent loader aborted with "missing from shared storage".
+    /// The entry stays visible throughout the write-back and is removed
+    /// only if it is still the version that was written back; a concurrent
+    /// push that made it newer keeps it (and re-queues it for a later
+    /// eviction).
     fn maybe_evict(&self, just_touched: PageId) {
-        let mut victims = Vec::new();
-        {
-            let mut shard = self.shard(just_touched).lock();
-            while shard.entries.len() > self.per_shard_capacity {
-                let Some(candidate) = shard.fifo.pop_front() else {
-                    break;
-                };
-                if candidate == just_touched {
-                    shard.fifo.push_back(candidate);
-                    continue;
-                }
-                if let Some(entry) = shard.entries.remove(&candidate) {
-                    victims.push((candidate, entry));
-                }
-            }
-        }
-        if victims.is_empty() {
-            return;
-        }
         let sink = self.sink.lock().clone();
-        // All victims' holder invalidations share one doorbell batch; the
-        // write-backs (storage-priced) stay individual charges.
-        let mut batch = self.fabric.batch();
-        for (_, entry) in &victims {
-            self.stats.evictions.inc();
-            for h in &entry.holders {
-                self.stats.invalidations.inc();
-                batch.write_flag(&h.valid_flag, false, Locality::Remote);
-            }
-        }
-        batch.flush();
-        for (page_id, entry) in victims {
+        // A candidate freshened mid-eviction is kept, which does not shrink
+        // the shard; bound those no-progress rounds — the next push retries.
+        let mut kept = 0;
+        loop {
+            // Phase 1: pick the eviction candidate and snapshot its page,
+            // leaving the directory entry in place so concurrent loaders
+            // keep hitting the DBP while the write-back is in flight.
+            let (candidate, page, llsn) = {
+                let mut shard = self.shard(just_touched).lock();
+                let mut picked = None;
+                // Bound the scan by the queue length: a concurrent evictor
+                // holds candidates out of the FIFO, which could otherwise
+                // leave only `just_touched` to cycle through forever.
+                let mut spins = shard.fifo.len();
+                while shard.entries.len() > self.per_shard_capacity && spins > 0 {
+                    spins -= 1;
+                    let Some(c) = shard.fifo.pop_front() else {
+                        break;
+                    };
+                    if c == just_touched {
+                        shard.fifo.push_back(c);
+                        continue;
+                    }
+                    if let Some(entry) = shard.entries.get(&c) {
+                        picked = Some((c, Arc::clone(&entry.page), entry.llsn));
+                        break;
+                    }
+                }
+                match picked {
+                    Some(p) => p,
+                    None => return,
+                }
+            };
+            // Phase 2: write back outside the lock (storage-priced charge).
             if let Some(sink) = &sink {
-                sink.write_back(page_id, entry.page, entry.llsn);
+                sink.write_back(candidate, Arc::clone(&page), llsn);
+            }
+            // Phase 3: remove the entry only if the written-back version is
+            // still current. A concurrent push made it newer — keep it so
+            // the newest version is never lost, and re-queue it in FIFO
+            // order (phase 1 took it out of the queue).
+            let flags_to_clear: Vec<Arc<AtomicBool>> = {
+                let mut shard = self.shard(just_touched).lock();
+                match shard.entries.get(&candidate) {
+                    Some(entry) if entry.llsn <= llsn => {
+                        let entry = shard.entries.remove(&candidate).expect("checked above");
+                        self.stats.evictions.inc();
+                        entry
+                            .holders
+                            .iter()
+                            .map(|h| Arc::clone(&h.valid_flag))
+                            .collect()
+                    }
+                    Some(_) => {
+                        shard.fifo.push_back(candidate);
+                        kept += 1;
+                        Vec::new()
+                    }
+                    None => Vec::new(), // cleared concurrently
+                }
+            };
+            // Evicted holders lose their entry, so future invalidations
+            // would have nowhere to flow through: clear their flags (one
+            // doorbell batch, posted outside the shard lock).
+            if !flags_to_clear.is_empty() {
+                let mut batch = self.fabric.batch();
+                for flag in &flags_to_clear {
+                    self.stats.invalidations.inc();
+                    batch.write_flag(flag, false, Locality::Remote);
+                }
+                batch.flush();
+            }
+            if kept >= 8 {
+                return;
             }
         }
     }
@@ -533,6 +585,121 @@ mod tests {
             "holder of evicted page invalidated"
         );
         assert_eq!(sink.0.lock().as_slice(), &[(p1, Llsn(1))]);
+    }
+
+    /// A sink that observes, at write-back time, whether the page is still
+    /// served by the DBP directory — and can optionally push a newer
+    /// version mid-eviction to exercise the keep-freshened-entry path.
+    struct WindowProbeSink {
+        bf: Mutex<Option<Arc<Bf>>>,
+        write_backs: Mutex<Vec<(PageId, Llsn, bool)>>,
+        push_newer_once: Mutex<bool>,
+    }
+
+    impl WindowProbeSink {
+        fn new(push_newer_once: bool) -> Self {
+            WindowProbeSink {
+                bf: Mutex::new(None),
+                write_backs: Mutex::new(Vec::new()),
+                push_newer_once: Mutex::new(push_newer_once),
+            }
+        }
+    }
+
+    impl EvictionSink<String> for WindowProbeSink {
+        fn write_back(&self, page_id: PageId, _page: Arc<String>, llsn: Llsn) {
+            let bf = Arc::clone(self.bf.lock().as_ref().expect("sink wired"));
+            self.write_backs
+                .lock()
+                .push((page_id, llsn, bf.peek(page_id).is_some()));
+            let race = std::mem::take(&mut *self.push_newer_once.lock());
+            if race {
+                // Guard released above: the racing push re-enters the
+                // eviction path on this same thread.
+                bf.push(
+                    NodeId(1),
+                    page_id,
+                    Arc::new("racing-newer".into()),
+                    Llsn(99),
+                );
+            }
+        }
+    }
+
+    /// Regression for the split-page push race: eviction used to remove the
+    /// directory entry *before* the write-back landed, leaving a window
+    /// (one storage-write wide) in which the page was in neither the DBP
+    /// nor shared storage and concurrent loaders aborted with "missing from
+    /// shared storage". The entry must still be served while write_back
+    /// runs.
+    #[test]
+    fn eviction_write_back_lands_before_directory_removal() {
+        let bf = Arc::new(bf(1));
+        let sink = Arc::new(WindowProbeSink::new(false));
+        *sink.bf.lock() = Some(Arc::clone(&bf));
+        bf.set_eviction_sink(Arc::clone(&sink) as Arc<dyn EvictionSink<String>>);
+
+        let p1 = PageId(2);
+        let p2 = PageId(2 + 64); // same shard
+        bf.register_push(NodeId(1), p1, Arc::new("a".into()), Llsn(1), flag(true));
+        bf.register_push(NodeId(1), p2, Arc::new("b".into()), Llsn(2), flag(true));
+
+        assert_eq!(
+            sink.write_backs.lock().as_slice(),
+            &[(p1, Llsn(1), true)],
+            "the page must still be in the DBP directory while its write-back is in flight"
+        );
+        assert!(bf.peek(p1).is_none(), "entry removed after the write-back");
+    }
+
+    /// A push racing the eviction write-back makes the entry newer than the
+    /// snapshot being written back: the entry must be kept (dropping it
+    /// would lose the newest version — the racing push's own eviction pass
+    /// turns on the other page instead), and the next eviction writes the
+    /// racing version back before removing the entry.
+    #[test]
+    fn eviction_keeps_entry_freshened_by_concurrent_push() {
+        let bf = Arc::new(bf(1));
+        let sink = Arc::new(WindowProbeSink::new(true));
+        *sink.bf.lock() = Some(Arc::clone(&bf));
+        bf.set_eviction_sink(Arc::clone(&sink) as Arc<dyn EvictionSink<String>>);
+
+        let p1 = PageId(2);
+        let p2 = PageId(2 + 64); // same shard
+        let p3 = PageId(2 + 128); // same shard
+        bf.register_push(NodeId(1), p1, Arc::new("a".into()), Llsn(1), flag(true));
+        // Evicting p1 to make room for p2 fires the racing push mid
+        // write-back: the stale (Llsn 1) snapshot must not take the entry
+        // out, and the eviction pass settles on p2 instead.
+        bf.register_push(NodeId(1), p2, Arc::new("b".into()), Llsn(2), flag(true));
+
+        assert_eq!(
+            sink.write_backs.lock().as_slice(),
+            &[(p1, Llsn(1), true), (p2, Llsn(2), true)],
+            "stale write-back must not remove the freshened entry"
+        );
+        let (page, llsn) = bf.peek(p1).expect("freshened entry kept");
+        assert_eq!(
+            (page.as_str(), llsn),
+            ("racing-newer", Llsn(99)),
+            "the racing version survives the stale write-back"
+        );
+
+        // The next eviction writes the racing version back, then removes.
+        bf.register_push(NodeId(1), p3, Arc::new("c".into()), Llsn(3), flag(true));
+        assert_eq!(
+            sink.write_backs.lock().as_slice(),
+            &[
+                (p1, Llsn(1), true),
+                (p2, Llsn(2), true),
+                (p1, Llsn(99), true)
+            ],
+            "the racing version must reach storage before the entry is removed"
+        );
+        assert!(
+            bf.peek(p1).is_none(),
+            "entry evicted once the racing version reached storage"
+        );
     }
 
     /// Regression: `clear` used to invalidate holder flags while still

@@ -29,6 +29,11 @@
 //!   charge at flush). Bare `loop` / `while` bodies are exempt so CAS
 //!   retry loops stay idiomatic, and batch receivers (`batch.write_u64`)
 //!   never match.
+//! * `undo-reconstruction` — direct undo-chain reads (`undo.read(…)`) are
+//!   forbidden in engine library code outside `txn.rs` and `undo.rs`:
+//!   version reconstruction must flow through `txn::visible_version` so
+//!   every walk consults and back-fills the per-node version store.
+//!   Recovery replay carries documented allows.
 //!
 //! Escape hatches, each requiring a written justification:
 //!
@@ -44,7 +49,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 7] = [
+const RULES: [&str; 8] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
@@ -52,6 +57,7 @@ const RULES: [&str; 7] = [
     "unsafe-safety",
     "direct-page-read",
     "sequential-fanout",
+    "undo-reconstruction",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
@@ -66,6 +72,16 @@ const PARKING_LOT_BANNED: [&str; 5] = [
 /// Engine library code must read pages through the io ring, never straight
 /// from the `PageStore`.
 const PAGE_READ_BANNED: &str = "crates/engine/src/";
+
+/// Undo-chain reconstruction (walking `undo.read(..)` records to rebuild a
+/// row version) is the visibility slow path; it lives behind
+/// `txn::visible_version` so every walk feeds the per-node version store.
+/// Outside these two files a direct walk silently bypasses the store (no
+/// fill, no hit accounting). Recovery's walks carry documented allows: they
+/// rebuild pre-crash state where version-store caching is meaningless.
+const UNDO_WALK_BANNED: &str = "crates/engine/src/";
+const UNDO_WALK_ALLOWED_FILES: [&str; 2] =
+    ["crates/engine/src/txn.rs", "crates/engine/src/undo.rs"];
 
 /// Crates whose `for` loops must not issue single-verb fabric calls; a loop
 /// of `read_u64`/`write_u64` charges one round-trip per iteration where a
@@ -173,6 +189,8 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let clock_exempt = rel_path.ends_with(CLOCK_EXEMPT) || rel_path == CLOCK_EXEMPT;
     let parking_lot_banned = PARKING_LOT_BANNED.iter().any(|p| rel_path.starts_with(p));
     let page_read_banned = rel_path.starts_with(PAGE_READ_BANNED);
+    let undo_walk_banned =
+        rel_path.starts_with(UNDO_WALK_BANNED) && !UNDO_WALK_ALLOWED_FILES.contains(&rel_path);
 
     let mut file_allows: Vec<&'static str> = Vec::new();
     for line in &lines {
@@ -270,6 +288,28 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
                     "direct-page-read",
                     "direct PageStore::read in engine code; go through the pmp-io ring \
                      (IoRing::read_page / submit_with / prefetch) so loads overlap"
+                        .into(),
+                );
+            }
+        }
+
+        if undo_walk_banned {
+            // Catch `….undo.read(…)` on one line and rustfmt-split chains
+            // (`…undo` ending one line, `.read(` opening the next).
+            let prev_code = if idx > 0 {
+                strip_comment(lines[idx - 1])
+            } else {
+                ""
+            };
+            let same_line = code.contains("undo.read(");
+            let split_chain =
+                code.trim_start().starts_with(".read(") && prev_code.trim_end().ends_with("undo");
+            if same_line || split_chain {
+                report(
+                    "undo-reconstruction",
+                    "direct undo-chain read outside txn.rs/undo.rs bypasses the \
+                     per-node version store; resolve through txn::visible_version \
+                     (or add a documented allow for recovery-style replay)"
                         .into(),
                 );
             }
@@ -580,6 +620,39 @@ mod tests {
         let allowed = "let p = storage.page_store().read(id)?; \
                        // lint: allow(direct-page-read): offline tool path\n";
         assert!(rules_hit("crates/engine/src/node.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn undo_reconstruction_flagged_outside_txn_and_undo() {
+        let one_line = "let Some(rec) = shared.undo.read(&fabric, node, ptr) else {\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/recovery.rs", one_line),
+            vec!["undo-reconstruction"]
+        );
+        // The visibility path and the store itself are the sanctioned homes.
+        assert!(rules_hit("crates/engine/src/txn.rs", one_line).is_empty());
+        assert!(rules_hit("crates/engine/src/undo.rs", one_line).is_empty());
+        // Other crates may model their own undo handling.
+        assert!(rules_hit("crates/baselines/src/x.rs", one_line).is_empty());
+
+        // rustfmt-split chains are caught via the previous line.
+        let split = "let rec = shared.undo\n    .read(&fabric, node, ptr);\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/recovery.rs", split),
+            vec!["undo-reconstruction"]
+        );
+
+        // Unrelated `.read(` receivers don't match.
+        assert!(rules_hit(
+            "crates/engine/src/recovery.rs",
+            "let x = frame.page.read();\n"
+        )
+        .is_empty());
+
+        // The escape hatch works with a reason.
+        let allowed = "let Some(rec) = shared.undo.read(&fabric, node, ptr) else { \
+                       // lint: allow(undo-reconstruction): crash replay\n";
+        assert!(rules_hit("crates/engine/src/recovery.rs", allowed).is_empty());
     }
 
     #[test]

@@ -409,3 +409,56 @@ fn multi_get_matches_individual_gets_and_shares_a_snapshot() {
     );
     pinned.commit().unwrap();
 }
+
+/// Regression for the split-page push race: freshly split children live
+/// only in the DBP until first eviction, and eviction used to remove the
+/// directory entry *before* its write-back landed — so a concurrent loader
+/// found the page in neither the DBP nor storage and its transaction died
+/// with `Internal: page-N missing from shared storage`. With a tiny DBP
+/// (per-shard capacity 1, constant eviction churn) and four concurrent
+/// committers at full latency scale, no such abort may occur: write-back
+/// now completes before the entry is removed.
+#[test]
+fn split_children_survive_dbp_eviction_churn() {
+    let mut config = ClusterConfig::bench(4, 1.0);
+    config.dbp_capacity = 64; // per-shard capacity 1: every push evicts
+    config.engine.lbp_capacity = 64; // constant refresh traffic too
+    let cluster = Arc::new(Cluster::builder().config(config).build());
+    let t = cluster.create_table("t", 1, &[]).unwrap();
+
+    let workers: Vec<_> = (0..4usize)
+        .map(|n| {
+            let c = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                // Disjoint key stripes: plenty of leaf splits, no row
+                // conflicts — any Internal error is the eviction race.
+                for k in 0..300u64 {
+                    let key = (n as u64) * 10_000 + k;
+                    let mut attempts = 0;
+                    loop {
+                        match c.session(n).insert(t, key, v(&[key])) {
+                            Ok(()) => break,
+                            Err(PmpError::Internal { detail }) => {
+                                panic!("internal abort during split churn: {detail}");
+                            }
+                            Err(_) if attempts < 100 => attempts += 1,
+                            Err(e) => panic!("persistent non-internal error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Every stripe is fully readable from every node.
+    for reader in 0..4 {
+        let rows = cluster
+            .session(reader)
+            .with_txn(|txn| txn.scan(t, 0, 100_000))
+            .unwrap();
+        assert_eq!(rows.len(), 1200, "reader {reader}");
+    }
+}
