@@ -155,6 +155,12 @@ pub struct IoRingConfig {
     pub workers: usize,
     /// Maximum SQEs a worker drains per batch (same-page reads coalesce).
     pub batch_limit: usize,
+    /// Adaptive batch-gathering window in microseconds: when a worker finds
+    /// fewer than `batch_limit` SQEs queued it waits up to this long for
+    /// more submissions to arrive before charging the device round-trip, so
+    /// deep-queue workloads amortise the charge over fuller batches. 0
+    /// disables the window (drain-what-is-there, the pre-async behaviour).
+    pub batch_window_us: u64,
 }
 
 impl Default for IoRingConfig {
@@ -164,6 +170,7 @@ impl Default for IoRingConfig {
             cq_capacity: 256,
             workers: 2,
             batch_limit: 32,
+            batch_window_us: 0,
         }
     }
 }
@@ -218,6 +225,11 @@ pub struct EngineConfig {
     /// TIT/CTS fabric lookups). 0 disables the store (CTS-cache-only
     /// baseline).
     pub version_store_bytes: usize,
+    /// Worker threads of the per-node async transaction scheduler. Each
+    /// worker runs parked-transaction continuations to their next wait
+    /// point, so a handful of workers multiplexes hundreds of open
+    /// transactions (the thread-per-txn ceiling this knob replaces).
+    pub sched_workers: usize,
     /// Submission/completion ring for storage I/O (the `pmp-io` subsystem).
     pub io: IoRingConfig,
 }
@@ -240,6 +252,7 @@ impl Default for EngineConfig {
             wal_group_window_us: 20,
             cts_lease_max: 16,
             version_store_bytes: 4 * 1024 * 1024,
+            sched_workers: 2,
             io: IoRingConfig::default(),
         }
     }

@@ -40,6 +40,10 @@ pub enum PmpError {
     FusionUnavailable { detail: String },
     /// Invariant violation — always a bug in this reproduction.
     Internal { detail: String },
+    /// Internal scheduler signal: the statement registered a waker and must
+    /// be retried once the wait source fires. Never surfaces to applications;
+    /// the async session actor re-runs the statement instead of reporting it.
+    WouldBlock,
 }
 
 impl PmpError {
@@ -83,6 +87,9 @@ impl fmt::Display for PmpError {
                 write!(f, "fusion service unavailable: {detail}")
             }
             PmpError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+            PmpError::WouldBlock => {
+                write!(f, "operation would block (internal scheduler signal)")
+            }
         }
     }
 }
@@ -104,6 +111,7 @@ mod tests {
         assert!(!PmpError::KeyNotFound.is_retryable());
         assert!(!PmpError::internal("x").is_retryable());
         assert!(!PmpError::NodeUnavailable { node: NodeId(1) }.is_retryable());
+        assert!(!PmpError::WouldBlock.is_retryable());
     }
 
     #[test]

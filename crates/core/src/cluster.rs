@@ -8,9 +8,14 @@ use pmp_common::sync::{LockClass, Shutdown, TrackedMutex};
 use pmp_common::{ClusterConfig, NodeId, PmpError, Result, TableId};
 use pmp_engine::recovery::{recover_node, RecoveryStats};
 use pmp_engine::shared::Shared;
-use pmp_engine::NodeEngine;
+use pmp_engine::{AsyncSession, NodeEngine};
 
 use crate::session::Session;
+use crate::stats::{
+    BufferFusionSection, CommitStagesSection, FabricSection, IoSection, LockFusionSection,
+    NodeSection, ReadPathSection, RowWaitsSection, SchedulerSection, StatsSnapshot,
+    StorageSection, WalGroupSection,
+};
 
 /// Cluster node roster (admin paths: scale-out/in, stats, recovery).
 const CLUSTER_NODES: LockClass = LockClass::new("core.cluster.nodes");
@@ -131,6 +136,14 @@ impl Cluster {
         Session::new(self.node(i))
     }
 
+    /// Open an async session bound to node `i`: each call spawns one actor
+    /// task on the node's transaction scheduler, and every operation returns
+    /// a [`pmp_engine::DbFuture`]. Hundreds of async sessions share the
+    /// node's small worker pool — parked transactions hold no thread.
+    pub fn async_session(&self, i: usize) -> AsyncSession {
+        AsyncSession::open(&self.node(i))
+    }
+
     /// Online scale-out (Fig 10): start one more primary node against the
     /// same PMFS + storage. Returns its index.
     pub fn add_node(&self) -> usize {
@@ -158,107 +171,127 @@ impl Cluster {
         self.node(i).decommission(drain)
     }
 
-    /// One-screen operational report: per-node commit and io-ring
-    /// counters plus the PMFS / storage / fabric meters.
-    pub fn stats_report(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
+    /// Typed point-in-time snapshot of every cluster meter: per-node
+    /// engine/io/commit-stage/scheduler/read-path sections plus the shared
+    /// PMFS / storage / fabric services. Harnesses assert on the fields;
+    /// `to_string()` renders the one-screen operational report.
+    pub fn stats(&self) -> StatsSnapshot {
         let sh = &self.shared;
-        let _ = writeln!(out, "nodes: {}", self.node_count());
-        for (i, node) in self.nodes.lock().iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "  node {i}: alive={} commits={} rollbacks={} deadlocks={} reads={} writes={} lock_waits={}",
-                node.is_alive(),
-                node.stats.commits.get(),
-                node.stats.rollbacks.get(),
-                node.stats.deadlock_aborts.get(),
-                node.stats.reads.get(),
-                node.stats.writes.get(),
-                node.stats.lock_waits.get(),
-            );
-            let io = node.io.stats();
-            let _ = writeln!(
-                out,
-                "  node {i} io: submitted={} completed={} cancelled={} coalesced={} inflight={} inflight_hwm={} prefetches={}",
-                io.submitted.get(),
-                io.completed.get(),
-                io.cancelled.get(),
-                io.coalesced.get(),
-                io.inflight(),
-                io.inflight_hwm(),
-                node.stats.prefetch_submitted.get(),
-            );
-            let s = &node.stats;
-            let _ = writeln!(
-                out,
-                "  node {i} commit stages (mean/p99 us): cts={}/{} wal_force={}/{} tit={}/{} backfill={}/{}",
-                s.commit_cts_ns.mean_ns() / 1000,
-                s.commit_cts_ns.p99_ns() / 1000,
-                s.commit_wal_force_ns.mean_ns() / 1000,
-                s.commit_wal_force_ns.p99_ns() / 1000,
-                s.commit_tit_ns.mean_ns() / 1000,
-                s.commit_tit_ns.p99_ns() / 1000,
-                s.commit_backfill_ns.mean_ns() / 1000,
-                s.commit_backfill_ns.p99_ns() / 1000,
-            );
-            let g = node.wal.group_stats();
-            let _ = writeln!(
-                out,
-                "  node {i} wal group: batches={} riders={} windows_waited={} empty_windows={}",
-                g.batches.get(),
-                g.riders.get(),
-                g.windows_waited.get(),
-                g.empty_windows.get(),
-            );
-            let v = &node.version_store.stats;
-            let _ = writeln!(
-                out,
-                "  node {i} read-path: version_hits={} version_misses={} publishes={} fills={} evictions={} invalidations={} resident_bytes={}",
-                v.hits.get(),
-                v.misses.get(),
-                v.publishes.get(),
-                v.fills.get(),
-                v.evictions.get(),
-                v.invalidations.get(),
-                node.version_store.bytes(),
-            );
-        }
+        let nodes = self
+            .nodes
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let s = &node.stats;
+                let io = node.io.stats();
+                let g = node.wal.group_stats();
+                let v = &node.version_store.stats;
+                let sc = node.sched.stats();
+                NodeSection {
+                    index: i,
+                    alive: node.is_alive(),
+                    commits: s.commits.get(),
+                    rollbacks: s.rollbacks.get(),
+                    deadlocks: s.deadlock_aborts.get(),
+                    reads: s.reads.get(),
+                    writes: s.writes.get(),
+                    lock_waits: s.lock_waits.get(),
+                    open_txns: s.open_txns.get(),
+                    open_txns_hwm: s.open_txns.hwm(),
+                    io: IoSection {
+                        submitted: io.submitted.get(),
+                        completed: io.completed.get(),
+                        cancelled: io.cancelled.get(),
+                        coalesced: io.coalesced.get(),
+                        inflight: io.inflight(),
+                        inflight_hwm: io.inflight_hwm(),
+                        prefetches: s.prefetch_submitted.get(),
+                    },
+                    commit_stages: CommitStagesSection {
+                        cts_mean_us: s.commit_cts_ns.mean_ns() / 1000,
+                        cts_p99_us: s.commit_cts_ns.p99_ns() / 1000,
+                        wal_force_mean_us: s.commit_wal_force_ns.mean_ns() / 1000,
+                        wal_force_p99_us: s.commit_wal_force_ns.p99_ns() / 1000,
+                        tit_mean_us: s.commit_tit_ns.mean_ns() / 1000,
+                        tit_p99_us: s.commit_tit_ns.p99_ns() / 1000,
+                        backfill_mean_us: s.commit_backfill_ns.mean_ns() / 1000,
+                        backfill_p99_us: s.commit_backfill_ns.p99_ns() / 1000,
+                    },
+                    wal_group: WalGroupSection {
+                        batches: g.batches.get(),
+                        riders: g.riders.get(),
+                        windows_waited: g.windows_waited.get(),
+                        empty_windows: g.empty_windows.get(),
+                    },
+                    read_path: ReadPathSection {
+                        version_hits: v.hits.get(),
+                        version_misses: v.misses.get(),
+                        publishes: v.publishes.get(),
+                        fills: v.fills.get(),
+                        evictions: v.evictions.get(),
+                        gc_evictions: v.gc_evictions.get(),
+                        invalidations: v.invalidations.get(),
+                        resident_bytes: node.version_store.bytes() as u64,
+                    },
+                    scheduler: SchedulerSection {
+                        parks: sc.parks.get(),
+                        wakes: sc.wakes.get(),
+                        inline_runs: sc.inline_runs.get(),
+                        timer_fires: sc.timer_fires.get(),
+                        blocking_jobs: sc.blocking_jobs.get(),
+                        tasks: sc.tasks.get(),
+                        tasks_hwm: sc.tasks.hwm(),
+                    },
+                }
+            })
+            .collect();
         let b = sh.pmfs.buffer.stats();
-        let _ =
-            writeln!(
-            out,
-            "buffer fusion: hits={} misses={} fetches={} pushes={} invalidations={} evictions={}",
-            b.hits.get(), b.misses.get(), b.fetches.get(), b.pushes.get(),
-            b.invalidations.get(), b.evictions.get()
-        );
         let p = sh.pmfs.plock.stats();
-        let _ = writeln!(
-            out,
-            "lock fusion: acquires={} immediate={} queued={} negotiations={} releases={} timeouts={}",
-            p.acquires.get(), p.immediate_grants.get(), p.queued_grants.get(),
-            p.negotiations.get(), p.releases.get(), p.timeouts.get()
-        );
         let r = sh.pmfs.rlock.stats();
-        let _ = writeln!(
-            out,
-            "row waits: registered={} commit_notifications={} wakeups={} deadlocks={}",
-            r.waits_registered.get(),
-            r.commit_notifications.get(),
-            r.wakeups.get(),
-            r.deadlocks.get()
-        );
         let st = sh.storage.page_store().stats();
         let f = sh.fabric.stats();
-        let _ =
-            writeln!(
-            out,
-            "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={} batched_ops={}",
-            st.page_reads.get(), st.page_writes.get(),
-            f.reads.get(), f.writes.get(), f.atomics.get(), f.rpcs.get(),
-            f.batched_ops.get()
-        );
-        out
+        StatsSnapshot {
+            nodes,
+            buffer_fusion: BufferFusionSection {
+                hits: b.hits.get(),
+                misses: b.misses.get(),
+                fetches: b.fetches.get(),
+                pushes: b.pushes.get(),
+                invalidations: b.invalidations.get(),
+                evictions: b.evictions.get(),
+            },
+            lock_fusion: LockFusionSection {
+                acquires: p.acquires.get(),
+                immediate: p.immediate_grants.get(),
+                queued: p.queued_grants.get(),
+                negotiations: p.negotiations.get(),
+                releases: p.releases.get(),
+                timeouts: p.timeouts.get(),
+            },
+            row_waits: RowWaitsSection {
+                registered: r.waits_registered.get(),
+                commit_notifications: r.commit_notifications.get(),
+                wakeups: r.wakeups.get(),
+                deadlocks: r.deadlocks.get(),
+            },
+            storage: StorageSection {
+                page_reads: st.page_reads.get(),
+                page_writes: st.page_writes.get(),
+            },
+            fabric: FabricSection {
+                reads: f.reads.get(),
+                writes: f.writes.get(),
+                atomics: f.atomics.get(),
+                rpcs: f.rpcs.get(),
+                batched_ops: f.batched_ops.get(),
+            },
+        }
+    }
+
+    /// One-screen operational report (the rendered [`Cluster::stats`]).
+    pub fn stats_report(&self) -> String {
+        self.stats().to_string()
     }
 
     /// Flush every node and take quiesced checkpoints where possible —
@@ -484,6 +517,9 @@ mod tests {
             "node 0 commit stages",
             "node 0 wal group:",
             "node 0 read-path:",
+            "node 0 sched:",
+            "open_txns_hwm=",
+            "gc_evictions=",
             "buffer fusion",
             "lock fusion",
             "row waits",
@@ -496,6 +532,39 @@ mod tests {
 {report}"
             );
         }
+    }
+
+    #[test]
+    fn typed_stats_match_rendered_report() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        c.session(0).insert(t, 1, v(&[7])).unwrap();
+        c.session(1).get(t, 1).unwrap();
+        let snap = c.stats();
+        assert_eq!(snap.nodes.len(), 2);
+        assert!(snap.nodes[0].alive);
+        assert_eq!(snap.nodes[0].commits, 1);
+        assert!(snap.nodes[0].open_txns_hwm >= 1);
+        assert_eq!(snap.nodes[0].open_txns, 0);
+        assert!(snap.fabric.rpcs > 0);
+        // The Display impl is the report — no second formatting path.
+        assert_eq!(snap.to_string(), c.stats_report());
+    }
+
+    #[test]
+    fn async_session_commits_visible_to_blocking_session() {
+        let c = Cluster::builder().nodes(2).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        let s = c.async_session(0);
+        s.begin().wait().unwrap();
+        s.insert(t, 9, v(&[42])).wait().unwrap();
+        assert_eq!(s.get(t, 9).wait().unwrap(), Some(v(&[42])));
+        s.commit().wait().unwrap();
+        s.close().wait().unwrap();
+        // Cross-node read through the classic blocking session.
+        assert_eq!(c.session(1).get(t, 9).unwrap(), Some(v(&[42])));
+        let snap = c.stats();
+        assert!(snap.nodes[0].scheduler.tasks_hwm >= 1);
     }
 
     #[test]

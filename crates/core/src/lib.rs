@@ -25,11 +25,13 @@
 
 pub mod cluster;
 pub mod session;
+pub mod stats;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use session::Session;
+pub use stats::StatsSnapshot;
 
 pub use pmp_common::{ClusterConfig, EngineConfig, LatencyConfig, PmpError, Result};
 pub use pmp_engine::recovery::RecoveryStats;
 pub use pmp_engine::row::RowValue;
-pub use pmp_engine::{Txn, TxnStatus};
+pub use pmp_engine::{AsyncSession, DbFuture, Txn, TxnStatus};

@@ -1,0 +1,231 @@
+//! Typed cluster statistics.
+//!
+//! [`StatsSnapshot`] is a point-in-time copy of every meter the cluster
+//! exposes — per-node engine/io/commit-stage/scheduler/read-path sections
+//! plus the shared PMFS / storage / fabric services — as plain numbers a
+//! harness can assert on or serialize. The `Display` impl renders the
+//! one-screen operational report that `Cluster::stats_report` used to
+//! assemble by hand (same lines, same `key=value` spellings), so log
+//! scrapers and existing tests keep working.
+
+use std::fmt;
+
+/// Point-in-time snapshot of all cluster meters. Cheap to take: every
+/// source is an atomic counter/gauge or a histogram summary.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    pub nodes: Vec<NodeSection>,
+    pub buffer_fusion: BufferFusionSection,
+    pub lock_fusion: LockFusionSection,
+    pub row_waits: RowWaitsSection,
+    pub storage: StorageSection,
+    pub fabric: FabricSection,
+}
+
+/// One primary node's meters.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSection {
+    pub index: usize,
+    pub alive: bool,
+    pub commits: u64,
+    pub rollbacks: u64,
+    pub deadlocks: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub lock_waits: u64,
+    /// Transactions open right now (begin → finish) and the high-water
+    /// mark — the node's demonstrated open-transaction ceiling.
+    pub open_txns: u64,
+    pub open_txns_hwm: u64,
+    pub io: IoSection,
+    pub commit_stages: CommitStagesSection,
+    pub wal_group: WalGroupSection,
+    pub read_path: ReadPathSection,
+    pub scheduler: SchedulerSection,
+}
+
+/// The node's async storage ring.
+#[derive(Debug, Clone, Default)]
+pub struct IoSection {
+    pub submitted: u64,
+    pub completed: u64,
+    pub cancelled: u64,
+    pub coalesced: u64,
+    pub inflight: u64,
+    pub inflight_hwm: u64,
+    pub prefetches: u64,
+}
+
+/// Per-stage commit latency summaries, in microseconds. Stages that park
+/// on the scheduler are not charged here (their wait elapses off-thread).
+#[derive(Debug, Clone, Default)]
+pub struct CommitStagesSection {
+    pub cts_mean_us: u64,
+    pub cts_p99_us: u64,
+    pub wal_force_mean_us: u64,
+    pub wal_force_p99_us: u64,
+    pub tit_mean_us: u64,
+    pub tit_p99_us: u64,
+    pub backfill_mean_us: u64,
+    pub backfill_p99_us: u64,
+}
+
+/// WAL group-commit batching.
+#[derive(Debug, Clone, Default)]
+pub struct WalGroupSection {
+    pub batches: u64,
+    pub riders: u64,
+    pub windows_waited: u64,
+    pub empty_windows: u64,
+}
+
+/// Version-store read path.
+#[derive(Debug, Clone, Default)]
+pub struct ReadPathSection {
+    pub version_hits: u64,
+    pub version_misses: u64,
+    pub publishes: u64,
+    pub fills: u64,
+    pub evictions: u64,
+    /// Versions dropped by the min-active-snapshot GC pass.
+    pub gc_evictions: u64,
+    pub invalidations: u64,
+    pub resident_bytes: u64,
+}
+
+/// The parkable transaction scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerSection {
+    pub parks: u64,
+    pub wakes: u64,
+    pub inline_runs: u64,
+    pub timer_fires: u64,
+    pub blocking_jobs: u64,
+    /// Live actor tasks and their high-water mark.
+    pub tasks: u64,
+    pub tasks_hwm: u64,
+}
+
+/// Buffer Fusion (the DBP).
+#[derive(Debug, Clone, Default)]
+pub struct BufferFusionSection {
+    pub hits: u64,
+    pub misses: u64,
+    pub fetches: u64,
+    pub pushes: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+/// Lock Fusion (PLocks).
+#[derive(Debug, Clone, Default)]
+pub struct LockFusionSection {
+    pub acquires: u64,
+    pub immediate: u64,
+    pub queued: u64,
+    pub negotiations: u64,
+    pub releases: u64,
+    pub timeouts: u64,
+}
+
+/// Row-lock wait registry.
+#[derive(Debug, Clone, Default)]
+pub struct RowWaitsSection {
+    pub registered: u64,
+    pub commit_notifications: u64,
+    pub wakeups: u64,
+    pub deadlocks: u64,
+}
+
+/// Shared page store.
+#[derive(Debug, Clone, Default)]
+pub struct StorageSection {
+    pub page_reads: u64,
+    pub page_writes: u64,
+}
+
+/// Simulated RDMA fabric.
+#[derive(Debug, Clone, Default)]
+pub struct FabricSection {
+    pub reads: u64,
+    pub writes: u64,
+    pub atomics: u64,
+    pub rpcs: u64,
+    pub batched_ops: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {}", self.nodes.len())?;
+        for n in &self.nodes {
+            let i = n.index;
+            writeln!(
+                f,
+                "  node {i}: alive={} commits={} rollbacks={} deadlocks={} reads={} writes={} lock_waits={} open_txns={} open_txns_hwm={}",
+                n.alive, n.commits, n.rollbacks, n.deadlocks, n.reads, n.writes,
+                n.lock_waits, n.open_txns, n.open_txns_hwm,
+            )?;
+            let io = &n.io;
+            writeln!(
+                f,
+                "  node {i} io: submitted={} completed={} cancelled={} coalesced={} inflight={} inflight_hwm={} prefetches={}",
+                io.submitted, io.completed, io.cancelled, io.coalesced,
+                io.inflight, io.inflight_hwm, io.prefetches,
+            )?;
+            let c = &n.commit_stages;
+            writeln!(
+                f,
+                "  node {i} commit stages (mean/p99 us): cts={}/{} wal_force={}/{} tit={}/{} backfill={}/{}",
+                c.cts_mean_us, c.cts_p99_us, c.wal_force_mean_us, c.wal_force_p99_us,
+                c.tit_mean_us, c.tit_p99_us, c.backfill_mean_us, c.backfill_p99_us,
+            )?;
+            let g = &n.wal_group;
+            writeln!(
+                f,
+                "  node {i} wal group: batches={} riders={} windows_waited={} empty_windows={}",
+                g.batches, g.riders, g.windows_waited, g.empty_windows,
+            )?;
+            let v = &n.read_path;
+            writeln!(
+                f,
+                "  node {i} read-path: version_hits={} version_misses={} publishes={} fills={} evictions={} gc_evictions={} invalidations={} resident_bytes={}",
+                v.version_hits, v.version_misses, v.publishes, v.fills,
+                v.evictions, v.gc_evictions, v.invalidations, v.resident_bytes,
+            )?;
+            let s = &n.scheduler;
+            writeln!(
+                f,
+                "  node {i} sched: parks={} wakes={} inline_runs={} timer_fires={} blocking_jobs={} tasks={} tasks_hwm={}",
+                s.parks, s.wakes, s.inline_runs, s.timer_fires, s.blocking_jobs,
+                s.tasks, s.tasks_hwm,
+            )?;
+        }
+        let b = &self.buffer_fusion;
+        writeln!(
+            f,
+            "buffer fusion: hits={} misses={} fetches={} pushes={} invalidations={} evictions={}",
+            b.hits, b.misses, b.fetches, b.pushes, b.invalidations, b.evictions,
+        )?;
+        let p = &self.lock_fusion;
+        writeln!(
+            f,
+            "lock fusion: acquires={} immediate={} queued={} negotiations={} releases={} timeouts={}",
+            p.acquires, p.immediate, p.queued, p.negotiations, p.releases, p.timeouts,
+        )?;
+        let r = &self.row_waits;
+        writeln!(
+            f,
+            "row waits: registered={} commit_notifications={} wakeups={} deadlocks={}",
+            r.registered, r.commit_notifications, r.wakeups, r.deadlocks,
+        )?;
+        let st = &self.storage;
+        let fb = &self.fabric;
+        writeln!(
+            f,
+            "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={} batched_ops={}",
+            st.page_reads, st.page_writes,
+            fb.reads, fb.writes, fb.atomics, fb.rpcs, fb.batched_ops,
+        )?;
+        Ok(())
+    }
+}

@@ -353,8 +353,15 @@ fn split_page(
             return Err(PmpError::NodeUnavailable { node: engine.node });
         }
         let parent_level = page.level + 1;
-        drop(page);
+        // Install the new right sibling BEFORE the left page's write latch
+        // drops. Same-node transactions share the node's PLock, so the
+        // latch is all that hides left's updated `next` pointer: releasing
+        // it first opens a window where a reader chases `next` to a page
+        // that is in neither the LBP, the DBP, nor storage and aborts with
+        // "missing from shared storage". (Root splits already install the
+        // children under the root's latch for the same reason.)
         engine.install_new_page(right);
+        drop(page);
         (separator, new_id, parent_level)
         // `_guard` drops: the split mini-transaction is complete.
     };

@@ -31,6 +31,12 @@
 //! * [`btree`] — the multi-node B-tree built on PLocked pages.
 //! * [`txn`] — transactions: read views, visibility (Algorithm 1), row
 //!   locking, commit/rollback.
+//! * [`scheduler`] — the parkable transaction scheduler: txn state machines
+//!   park on page loads, PLock grants and group commit instead of blocking
+//!   a thread each.
+//! * [`session`] — the async `Session` surface over the scheduler:
+//!   `begin/get/put/scan/commit` return engine-driven futures, with a
+//!   blocking shim for synchronous callers.
 //! * [`node`] — the assembled [`node::NodeEngine`] and its background
 //!   threads.
 //! * [`recovery`] — chunked LLSN-bound redo replay and undo of in-doubt
@@ -50,6 +56,8 @@ pub mod plock_local;
 pub mod recovery;
 pub mod redo;
 pub mod row;
+pub mod scheduler;
+pub mod session;
 pub mod shared;
 pub mod standby;
 pub mod tso_client;
@@ -61,5 +69,7 @@ pub mod wal;
 pub use node::NodeEngine;
 pub use page::{Page, PageKind, PAGE_BYTES};
 pub use row::{IndexKey, Row, RowHeader, RowValue};
+pub use scheduler::Scheduler;
+pub use session::{AsyncSession, DbFuture};
 pub use shared::{Catalog, Shared, TableMeta};
 pub use txn::{Txn, TxnStatus};

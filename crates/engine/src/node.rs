@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use pmp_common::sync::{LockClass, Shutdown, TrackedMutex, TrackedRwLock};
 use pmp_common::{
-    Counter, Cts, EngineConfig, GlobalTrxId, LatencyHistogram, NodeId, PageId, PmpError, Result,
-    SlotId, TrxId, CSN_MAX,
+    Counter, Cts, EngineConfig, Gauge, GlobalTrxId, LatencyHistogram, NodeId, PageId, PmpError,
+    Result, SlotId, TrxId, CSN_MAX,
 };
 
 /// Active-transaction table (begin/finish/visibility fast path).
@@ -50,6 +50,10 @@ pub struct NodeStats {
     pub reads: Counter,
     pub writes: Counter,
     pub lock_waits: Counter,
+    /// Transactions currently open on this node (begin → finish). The
+    /// gauge's high-water mark is the open-transaction ceiling the async
+    /// scheduler is measured against.
+    pub open_txns: Gauge,
     pub pages_loaded_storage: Counter,
     pub pages_loaded_dbp: Counter,
     pub prefetch_submitted: Counter,
@@ -89,6 +93,10 @@ pub struct NodeEngine {
     pub wal: Wal,
     pub tit: Arc<TitRegion>,
     pub tso: TsoClient,
+    /// Per-node async transaction scheduler: parked statements release
+    /// their worker thread on page-load / PLock / group-commit waits and
+    /// are re-queued on wake (DESIGN.md §13).
+    pub sched: Arc<crate::scheduler::Scheduler>,
     pub stats: NodeStats,
     next_trx: AtomicU64,
     active: TrackedMutex<HashMap<TrxId, ActiveTrx>>,
@@ -214,6 +222,7 @@ impl NodeEngine {
             wal,
             tit,
             tso,
+            sched: Arc::new(crate::scheduler::Scheduler::new(cfg.sched_workers)),
             stats: NodeStats::default(),
             next_trx: AtomicU64::new(1),
             active: TrackedMutex::new(NODE_ACTIVE, HashMap::new()),
@@ -317,6 +326,27 @@ impl NodeEngine {
             // fence the page's chains along with adopting the DBP image.
             self.version_store.invalidate_page(page_id);
             return Ok(self.lbp.finish_load(page_id, ticket, (*page).clone(), flag));
+        }
+        // On a scheduler worker: don't block on the CQE — install the
+        // parker as the continuation and park the statement. The re-run
+        // finds the frame resident (Hit) or the load's error in the parker.
+        if let Some(parker) = crate::scheduler::async_parker() {
+            let weak = self.self_ref();
+            if let Err(e) = self.io.submit_with(
+                SqeOp::ReadPage(page_id),
+                page_id.0,
+                Box::new(move |cqe| {
+                    if let Err(e) = Self::complete_storage_load(&weak, page_id, ticket, flag, cqe)
+                    {
+                        parker.set_error(e);
+                    }
+                    parker.wake();
+                }),
+            ) {
+                self.lbp.abort_load(page_id, ticket);
+                return Err(e);
+            }
+            return Err(PmpError::WouldBlock);
         }
         let weak = self.self_ref();
         let completion: Completion<Result<Arc<Frame>>> = Completion::new();
@@ -604,6 +634,7 @@ impl NodeEngine {
                 snapshot: Arc::clone(&snapshot),
             },
         );
+        self.stats.open_txns.inc();
         Ok(Txn::new(Arc::clone(self), gid, snapshot))
     }
 
@@ -615,6 +646,7 @@ impl NodeEngine {
             cts,
             undo,
         });
+        self.stats.open_txns.dec();
         self.stats.commits.inc();
     }
 
@@ -622,6 +654,7 @@ impl NodeEngine {
     pub(crate) fn finish_readonly(&self, gid: GlobalTrxId) {
         self.active.lock().remove(&gid.trx);
         self.tit.release(gid.slot);
+        self.stats.open_txns.dec();
         self.stats.commits.inc();
     }
 
@@ -631,6 +664,7 @@ impl NodeEngine {
         self.active.lock().remove(&gid.trx);
         self.tit.release(gid.slot);
         self.shared.undo.purge(undo);
+        self.stats.open_txns.dec();
         self.stats.rollbacks.inc();
     }
 
@@ -716,6 +750,13 @@ impl NodeEngine {
                     true
                 }
             });
+        }
+
+        // Trim version-store chains below the cluster min-active snapshot:
+        // no snapshot at or above `global_min` can ever need a row image
+        // older than the newest version visible at that floor (§12).
+        if global_min.0 != 0 {
+            self.version_store.gc_below(global_min);
         }
 
         // Publish our min-active transaction id for peers' fast paths.
@@ -808,7 +849,11 @@ impl NodeEngine {
     }
 
     /// Graceful shutdown of background threads (keeps all state intact).
+    /// Also stops the async scheduler: sessions still holding a parker keep
+    /// working — a stopped scheduler runs wakes inline on the waker's
+    /// thread instead of a pool worker.
     pub fn stop_background(&self) {
+        self.sched.stop();
         self.shutdown.trigger();
         let mut bg = self.bg.lock();
         for t in bg.drain(..) {
@@ -875,6 +920,10 @@ impl NodeEngine {
         self.stop_background();
         self.shared.pmfs.plock.unregister_node(self.node);
         self.wal.stream().crash();
+        // Transactions parked in the group-commit window must learn the log
+        // tail is gone: fire their force callbacks with the truncated
+        // watermark so their re-run observes forced < end and aborts.
+        self.wal.drain_pending_on_crash();
         // Queued SQEs complete as Cancelled, which aborts their LBP
         // sentinels before the wipe below; loads a worker already claimed
         // finish against the wiped pool, where the wipe-generation check in
@@ -883,13 +932,19 @@ impl NodeEngine {
         self.lbp.clear();
         self.version_store.clear();
         self.plocks.crash_clear();
-        self.active.lock().clear();
+        {
+            let mut active = self.active.lock();
+            for _ in active.drain() {
+                self.stats.open_txns.dec();
+            }
+        }
         self.finished.lock().clear();
     }
 }
 
 impl Drop for NodeEngine {
     fn drop(&mut self) {
+        self.sched.stop();
         self.shutdown.trigger();
         let mut bg = self.bg.lock();
         for t in bg.drain(..) {

@@ -16,11 +16,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
 use pmp_pmfs::{PLockFusion, PLockMode, ReleaseRequester};
+
+use crate::scheduler::{self, Parker};
 
 /// One shard of the node's local PLock table. All fusion traffic
 /// (acquire/release, both RPC-priced) happens with the shard lock dropped,
@@ -47,8 +49,31 @@ fn shard_index(page: PageId) -> usize {
 /// for one page never contend with or get woken by unrelated pages that
 /// hash elsewhere.
 struct LockShard {
-    entries: TrackedMutex<HashMap<PageId, Entry>>,
+    state: TrackedMutex<ShardState>,
     cv: TrackedCondvar,
+}
+
+/// A parked async transaction's wake hook (re-enqueues its continuation).
+type ShardWaker = Box<dyn FnOnce() + Send>;
+
+struct ShardState {
+    entries: HashMap<PageId, Entry>,
+    /// Parked async acquirers; drained and fired at every state change the
+    /// condvar waiters are notified of. Spurious wakes are fine — a woken
+    /// transaction just re-runs its acquire.
+    wakers: Vec<ShardWaker>,
+}
+
+/// Wake everything parked on the shard. The async wakers must fire with
+/// the shard lock *dropped*: a stopped scheduler runs woken continuations
+/// inline, and the re-run statement may take this same shard lock.
+fn notify_shard(mut st: TrackedMutexGuard<'_, ShardState>, shard: &LockShard) {
+    let wakers = std::mem::take(&mut st.wakers);
+    drop(st);
+    shard.cv.notify_all();
+    for w in wakers {
+        w();
+    }
 }
 
 /// Engine callback run just before a PLock is handed back to Lock Fusion:
@@ -121,7 +146,13 @@ impl LocalPLocks {
     pub fn new(node: NodeId, fusion: Arc<PLockFusion>, lazy: bool, timeout: Duration) -> Arc<Self> {
         let shards = (0..SHARD_COUNT)
             .map(|_| LockShard {
-                entries: TrackedMutex::new(LOCAL_ENTRIES, HashMap::new()),
+                state: TrackedMutex::new(
+                    LOCAL_ENTRIES,
+                    ShardState {
+                        entries: HashMap::new(),
+                        wakers: Vec::new(),
+                    },
+                ),
                 cv: TrackedCondvar::new(),
             })
             .collect();
@@ -149,18 +180,33 @@ impl LocalPLocks {
         &self.stats
     }
 
-    /// Acquire `mode` on `page`, blocking as needed. Returns a guard whose
-    /// drop decrements the reference count.
-    pub fn acquire(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
+    /// Acquire `mode` on `page`. Returns a guard whose drop decrements the
+    /// reference count.
+    ///
+    /// On a scheduler worker (lazy mode only) the wait points *park* the
+    /// calling transaction instead of blocking: the fusion RPC moves to the
+    /// scheduler's blocking pool and the call returns
+    /// [`PmpError::WouldBlock`]; the statement is re-run when the shard
+    /// changes state. Everywhere else this blocks as before.
+    pub fn acquire(self: &Arc<Self>, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
+        if self.lazy {
+            if let Some(parker) = scheduler::async_parker() {
+                return self.acquire_async(page, mode, &parker);
+            }
+        }
+        self.acquire_blocking(page, mode)
+    }
+
+    fn acquire_blocking(&self, page: PageId, mode: PLockMode) -> Result<PLockGuard<'_>> {
         // lint: allow(raw-instant): condvar deadline for the lock-wait timeout
-        let deadline = std::time::Instant::now() + self.timeout;
+        let deadline = Instant::now() + self.timeout;
         let shard = self.shard(page);
-        let mut entries = shard.entries.lock();
+        let mut st = shard.state.lock();
         loop {
-            match entries.get_mut(&page) {
+            match st.entries.get_mut(&page) {
                 None => {
                     // Become the acquirer.
-                    entries.insert(
+                    st.entries.insert(
                         page,
                         Entry {
                             state: EntryState::Acquiring,
@@ -169,29 +215,30 @@ impl LocalPLocks {
                             negotiation_pending: false,
                         },
                     );
-                    drop(entries);
+                    drop(st);
 
                     self.stats.fusion_acquires.inc();
                     let res = self.fusion.acquire(self.node, page, mode, self.timeout);
 
-                    entries = shard.entries.lock();
+                    st = shard.state.lock();
                     match res {
                         Ok(()) => {
-                            let Some(e) = entries.get_mut(&page) else {
+                            if st.entries.get_mut(&page).is_none() {
                                 // `crash_clear` wiped the table while the
                                 // fusion call was in flight: the node crashed
                                 // under us. Hand the surprise grant straight
                                 // back so fusion doesn't record a hold no
                                 // local entry tracks (recovery's release_all
                                 // may already have run), and fail the caller.
-                                drop(entries);
+                                drop(st);
                                 self.fusion.release(self.node, page);
                                 return Err(PmpError::NodeUnavailable { node: self.node });
-                            };
+                            }
+                            let e = st.entries.get_mut(&page).expect("checked above");
                             e.state = EntryState::Held;
                             e.mode = mode;
                             e.refcount = 1;
-                            shard.cv.notify_all();
+                            notify_shard(st, shard);
                             return Ok(PLockGuard {
                                 owner: self,
                                 page,
@@ -199,8 +246,8 @@ impl LocalPLocks {
                             });
                         }
                         Err(e) => {
-                            entries.remove(&page);
-                            shard.cv.notify_all();
+                            st.entries.remove(&page);
+                            notify_shard(st, shard);
                             return Err(e);
                         }
                     }
@@ -208,7 +255,7 @@ impl LocalPLocks {
                 Some(entry) => match entry.state {
                     EntryState::Acquiring => {
                         // Someone is talking to fusion; wait for the verdict.
-                        if shard.cv.wait_until(&mut entries, deadline).timed_out() {
+                        if shard.cv.wait_until(&mut st, deadline).timed_out() {
                             return Err(PmpError::LockWaitTimeout);
                         }
                     }
@@ -233,12 +280,12 @@ impl LocalPLocks {
                             // Drain it ourselves.
                             let mode_held = entry.mode;
                             entry.state = EntryState::Acquiring; // block others
-                            drop(entries);
+                            drop(st);
                             self.hand_back(page, mode_held);
-                            entries = shard.entries.lock();
+                            st = shard.state.lock();
                             // hand_back removed the entry; retry the loop.
                             shard.cv.notify_all();
-                        } else if shard.cv.wait_until(&mut entries, deadline).timed_out() {
+                        } else if shard.cv.wait_until(&mut st, deadline).timed_out() {
                             return Err(PmpError::LockWaitTimeout);
                         }
                     }
@@ -247,12 +294,152 @@ impl LocalPLocks {
         }
     }
 
+    /// The parking variant of [`acquire`](Self::acquire): every wait the
+    /// blocking path spends on the shard condvar instead registers a waker
+    /// and returns [`PmpError::WouldBlock`], and the fusion acquire RPC runs
+    /// on the scheduler's blocking pool with the transaction parked.
+    ///
+    /// Waker registration happens under the shard lock and every state
+    /// change notifies under that same lock, so a wake can't be missed:
+    /// whatever changes after we registered fires our waker, and whatever
+    /// changed before is visible to the re-run. The lock-wait deadline
+    /// survives park/wake cycles in the parker's `plock_wait` slot; a
+    /// deadline timer backstops wakes lost to node crashes.
+    fn acquire_async(
+        self: &Arc<Self>,
+        page: PageId,
+        mode: PLockMode,
+        parker: &Arc<Parker>,
+    ) -> Result<PLockGuard<'_>> {
+        let shard = self.shard(page);
+        let mut st = shard.state.lock();
+        loop {
+            match st.entries.get_mut(&page) {
+                None => {
+                    st.entries.insert(
+                        page,
+                        Entry {
+                            state: EntryState::Acquiring,
+                            mode,
+                            refcount: 0,
+                            negotiation_pending: false,
+                        },
+                    );
+                    drop(st);
+                    self.stats.fusion_acquires.inc();
+                    let this = Arc::clone(self);
+                    let wake = Arc::clone(parker);
+                    parker.spawn_blocking(Box::new(move || {
+                        let res = this.fusion.acquire(this.node, page, mode, this.timeout);
+                        let shard = this.shard(page);
+                        let mut st = shard.state.lock();
+                        let mut surprise_grant = false;
+                        match res {
+                            Ok(()) => match st.entries.get_mut(&page) {
+                                Some(e) => {
+                                    // Install as a lazily retained hold; the
+                                    // woken transaction re-grants locally.
+                                    e.state = EntryState::Held;
+                                    e.mode = mode;
+                                }
+                                // crash_clear raced the fusion call (see the
+                                // blocking path): hand the grant back.
+                                None => surprise_grant = true,
+                            },
+                            Err(e) => {
+                                st.entries.remove(&page);
+                                wake.set_error(e);
+                            }
+                        }
+                        notify_shard(st, shard);
+                        if surprise_grant {
+                            this.fusion.release(this.node, page);
+                            wake.set_error(PmpError::NodeUnavailable { node: this.node });
+                        }
+                        wake.wake();
+                    }));
+                    // Guaranteed wake from the pool job (the fusion acquire
+                    // has its own timeout) — no deadline timer needed.
+                    return Err(PmpError::WouldBlock);
+                }
+                Some(entry) => match entry.state {
+                    EntryState::Acquiring => {
+                        self.park_on_shard(&mut st, parker, page)?;
+                        return Err(PmpError::WouldBlock);
+                    }
+                    EntryState::Held => {
+                        let can_local = entry.mode.covers(mode)
+                            && !entry.negotiation_pending
+                            && (self.lazy || entry.refcount > 0);
+                        if can_local {
+                            entry.refcount += 1;
+                            self.stats.local_grants.inc();
+                            parker.clear_plock_wait();
+                            return Ok(PLockGuard {
+                                owner: self.as_ref(),
+                                page,
+                                mode,
+                            });
+                        }
+                        if entry.refcount == 0 {
+                            // Drain it ourselves, inline: the hook force and
+                            // the release RPC are bounded (no peer waits).
+                            let mode_held = entry.mode;
+                            entry.state = EntryState::Acquiring;
+                            drop(st);
+                            self.hand_back(page, mode_held);
+                            st = shard.state.lock();
+                            shard.cv.notify_all();
+                        } else {
+                            self.park_on_shard(&mut st, parker, page)?;
+                            return Err(PmpError::WouldBlock);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Register `parker` on the shard's waker list, keeping the lock-wait
+    /// deadline across park/wake cycles. Fails with `LockWaitTimeout` once
+    /// the deadline has passed (the waker is then *not* registered).
+    fn park_on_shard(
+        &self,
+        st: &mut TrackedMutexGuard<'_, ShardState>,
+        parker: &Arc<Parker>,
+        page: PageId,
+    ) -> Result<()> {
+        // lint: allow(raw-instant): lock-wait timeout deadline
+        let now = Instant::now();
+        let deadline = match parker.plock_wait() {
+            Some((p, dl)) if p == page => {
+                if now >= dl {
+                    parker.clear_plock_wait();
+                    return Err(PmpError::LockWaitTimeout);
+                }
+                dl
+            }
+            _ => {
+                let dl = now + self.timeout;
+                parker.set_plock_wait(page, dl);
+                dl
+            }
+        };
+        let w = Arc::clone(parker);
+        st.wakers.push(Box::new(move || w.wake()));
+        // Safety net: peers' notify sites cover every grant/release, but a
+        // crashed peer's `crash_clear` could race our registration; the
+        // timer turns a lost wake into a timeout instead of a hang.
+        parker.park_deadline(deadline);
+        Ok(())
+    }
+
     /// Drop one reference; if it was the last and a negotiation is pending
     /// (or lazy release is disabled), hand the lock back to Lock Fusion.
     fn unref(&self, page: PageId) {
         let shard = self.shard(page);
-        let mut entries = shard.entries.lock();
-        let Some(entry) = entries.get_mut(&page) else {
+        let mut st = shard.state.lock();
+        let Some(entry) = st.entries.get_mut(&page) else {
             return;
         };
         debug_assert!(entry.refcount > 0, "unref of unreferenced plock");
@@ -262,36 +449,47 @@ impl LocalPLocks {
         }
         let must_release = entry.negotiation_pending || !self.lazy;
         if !must_release {
-            return; // lazy retention
+            // Lazy retention keeps the lock, but a local acquirer that needs
+            // a *stronger* mode than the held one waits for exactly this
+            // refcount-to-zero edge so it can hand the entry back and retry
+            // through fusion. Without a notify here that waiter sleeps until
+            // its lock-wait deadline (condvar waiter) or backstop timer
+            // (parked transaction) and surfaces a spurious timeout.
+            notify_shard(st, shard);
+            return;
         }
         if !self.lazy {
             self.stats.eager_releases.inc();
         }
         let mode = entry.mode;
         entry.state = EntryState::Acquiring; // block local grants while we release
-        drop(entries);
+        drop(st);
         self.hand_back(page, mode);
         shard.cv.notify_all();
     }
 
     /// Push-then-release: run the engine hook (log force + DBP push for
-    /// dirty pages), tell fusion, drop the local entry.
+    /// dirty pages), tell fusion, drop the local entry. Wakes the shard —
+    /// a removed entry is exactly what parked acquirers wait for.
     fn hand_back(&self, page: PageId, _mode: PLockMode) {
         let hook = self.hook.lock().clone();
         if let Some(hook) = &hook {
             hook.before_release(page);
         }
         self.fusion.release(self.node, page);
-        self.shard(page).entries.lock().remove(&page);
+        let shard = self.shard(page);
+        let mut st = shard.state.lock();
+        st.entries.remove(&page);
+        notify_shard(st, shard);
     }
 
     /// Number of pages currently held/retained (diagnostics).
     pub fn held_count(&self) -> usize {
-        self.shards.iter().map(|s| s.entries.lock().len()).sum()
+        self.shards.iter().map(|s| s.state.lock().entries.len()).sum()
     }
 
     pub fn is_retained(&self, page: PageId) -> bool {
-        self.shard(page).entries.lock().contains_key(&page)
+        self.shard(page).state.lock().entries.contains_key(&page)
     }
 
     /// Hand back every idle (refcount-zero) lock to Lock Fusion — used to
@@ -306,8 +504,8 @@ impl LocalPLocks {
             // racing the marked entries is safe: fusion's release tolerates
             // missing state and the entry remove below no-ops if gone.
             let victims: Vec<PageId> = {
-                let mut entries = shard.entries.lock();
-                entries
+                let mut st = shard.state.lock();
+                st.entries
                     .iter_mut()
                     .filter(|(_, e)| e.state == EntryState::Held && e.refcount == 0)
                     .map(|(&page, entry)| {
@@ -326,12 +524,11 @@ impl LocalPLocks {
                 }
             }
             self.fusion.release_batch(self.node, &victims);
-            let mut entries = shard.entries.lock();
+            let mut st = shard.state.lock();
             for page in victims {
-                entries.remove(&page);
+                st.entries.remove(&page);
             }
-            drop(entries);
-            shard.cv.notify_all();
+            notify_shard(st, shard);
         }
     }
 
@@ -340,8 +537,9 @@ impl LocalPLocks {
     /// `PLockFusion::release_all`.
     pub fn crash_clear(&self) {
         for shard in self.shards.iter() {
-            shard.entries.lock().clear();
-            shard.cv.notify_all();
+            let mut st = shard.state.lock();
+            st.entries.clear();
+            notify_shard(st, shard);
         }
     }
 }
@@ -362,8 +560,8 @@ impl ReleaseRequester for NegotiationHandler {
     fn request_release(&self, page: PageId, _wanted: PLockMode) {
         let locks = &self.locks;
         let shard = locks.shard(page);
-        let mut entries = shard.entries.lock();
-        let Some(entry) = entries.get_mut(&page) else {
+        let mut st = shard.state.lock();
+        let Some(entry) = st.entries.get_mut(&page) else {
             return; // already gone
         };
         match entry.state {
@@ -377,7 +575,7 @@ impl ReleaseRequester for NegotiationHandler {
                     locks.stats.negotiated_releases.inc();
                     let mode = entry.mode;
                     entry.state = EntryState::Acquiring;
-                    drop(entries);
+                    drop(st);
                     locks.hand_back(page, mode);
                     shard.cv.notify_all();
                 }

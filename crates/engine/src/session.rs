@@ -1,0 +1,460 @@
+//! The async `Session` surface over the parkable scheduler.
+//!
+//! An [`AsyncSession`] is one client connection: a queue of operations
+//! drained by a single **actor** task on the node's [`Scheduler`]. Each
+//! `begin/get/put/scan/commit` call enqueues an [`Op`] and returns a
+//! [`DbFuture`] immediately; the actor runs the operation on a scheduler
+//! worker and completes the future when the engine answers. When a
+//! statement hits a wait — a page load in flight, a PLock held remotely, a
+//! CTS lease refill, the group-commit window — it returns
+//! [`PmpError::WouldBlock`] up to the actor, which parks (releasing the
+//! worker thread) and re-runs the statement after the wake. This is what
+//! lets a 2-worker node keep hundreds of transactions open at once.
+//!
+//! Ordering: operations of one session run strictly in submission order
+//! (it is a single actor); operations of different sessions interleave
+//! freely across the worker pool.
+//!
+//! The blocking shim is [`DbFuture::wait`]: synchronous callers (the
+//! existing `pmp_core::Session`, tests, probes) submit and immediately
+//! wait, which charges the same latency as the old direct call path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pmp_common::sync::{LockClass, TrackedMutex};
+use pmp_common::{Cts, PmpError, Result, TableId};
+use pmp_io::Completion;
+
+use crate::node::NodeEngine;
+use crate::row::RowValue;
+use crate::scheduler::{self, Parker, StepResult};
+use crate::txn::{Txn, TxnStatus};
+
+/// Session op queue (submission side vs. actor side).
+const SESSION_OPS: LockClass = LockClass::new("engine.session.ops");
+
+/// An engine-driven future: resolved by the session actor when the
+/// operation completes. Cheap to poll; `wait` is the blocking shim.
+pub struct DbFuture<T> {
+    done: Completion<Result<T>>,
+}
+
+impl<T: Clone> DbFuture<T> {
+    fn new() -> (Self, Completion<Result<T>>) {
+        let done = Completion::new();
+        (
+            DbFuture {
+                done: done.clone(),
+            },
+            done,
+        )
+    }
+
+    /// Non-blocking poll; the result can be taken exactly once.
+    pub fn try_take(&self) -> Option<Result<T>> {
+        self.done.try_take()
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.done.is_ready()
+    }
+
+    /// Register a callback to run when the result lands (or immediately if
+    /// it already did). At most one callback; a second replaces the first.
+    pub fn on_ready(&self, f: Box<dyn FnOnce() + Send>) {
+        self.done.set_notify(f);
+    }
+
+    /// The blocking shim for synchronous callers. Never call this from a
+    /// scheduler worker: the actor that would resolve the future may be
+    /// scheduled behind the caller.
+    pub fn wait(self) -> Result<T> {
+        // lint: allow(blocking-wait-in-scheduler): this IS the documented blocking shim; it runs on client threads, not scheduler workers
+        self.done.wait()
+    }
+}
+
+/// One queued session operation, carrying its result slot.
+enum Op {
+    Begin(Completion<Result<()>>),
+    Get(TableId, u64, Completion<Result<Option<RowValue>>>),
+    GetForUpdate(TableId, u64, Completion<Result<Option<RowValue>>>),
+    Insert(TableId, u64, RowValue, Completion<Result<()>>),
+    Update(TableId, u64, RowValue, Completion<Result<()>>),
+    Delete(TableId, u64, Completion<Result<()>>),
+    Scan(TableId, u64, usize, Completion<Result<Vec<(u64, RowValue)>>>),
+    Commit(Completion<Result<Cts>>),
+    Rollback(Completion<Result<()>>),
+    Close(Completion<Result<()>>),
+}
+
+impl Op {
+    /// Resolve the op's future with an error (session closed, wait failed).
+    fn fail(self, e: PmpError) {
+        match self {
+            Op::Begin(d) => d.complete(Err(e)),
+            Op::Get(_, _, d) => d.complete(Err(e)),
+            Op::GetForUpdate(_, _, d) => d.complete(Err(e)),
+            Op::Insert(_, _, _, d) => d.complete(Err(e)),
+            Op::Update(_, _, _, d) => d.complete(Err(e)),
+            Op::Delete(_, _, d) => d.complete(Err(e)),
+            Op::Scan(_, _, _, d) => d.complete(Err(e)),
+            Op::Commit(d) => d.complete(Err(e)),
+            Op::Rollback(d) => d.complete(Err(e)),
+            Op::Close(d) => d.complete(Err(e)),
+        }
+    }
+
+    /// Whether a failed wait aborts the whole transaction (write-class ops
+    /// follow `write_row`'s fatal-error semantics; reads only fail the
+    /// statement).
+    fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Op::GetForUpdate(..) | Op::Insert(..) | Op::Update(..) | Op::Delete(..) | Op::Commit(_)
+        )
+    }
+}
+
+/// What the actor did with one op.
+enum OpOutcome {
+    /// Future resolved; move on to the next queued op.
+    Completed,
+    /// The op registered a waker and must re-run after the wake.
+    Parked(Op),
+    /// `Close` processed: the actor is done.
+    Closed,
+}
+
+/// A client connection whose operations run asynchronously on the node's
+/// scheduler. Explicit transactions only: `begin` … statements … `commit`
+/// or `rollback`. Dropping the session closes it (rolling back any open
+/// transaction on the actor).
+pub struct AsyncSession {
+    queue: Arc<TrackedMutex<VecDeque<Op>>>,
+    parker: Arc<Parker>,
+    closed: AtomicBool,
+}
+
+impl std::fmt::Debug for AsyncSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSession")
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl AsyncSession {
+    /// Open a session on `engine`: spawns the actor task on the node's
+    /// scheduler.
+    pub fn open(engine: &Arc<NodeEngine>) -> AsyncSession {
+        let queue = Arc::new(TrackedMutex::new(SESSION_OPS, VecDeque::new()));
+        let q = Arc::clone(&queue);
+        let eng = Arc::clone(engine);
+        let mut txn: Option<Txn> = None;
+        let mut running: Option<Op> = None;
+        let parker = engine.sched.spawn(Box::new(move || {
+            loop {
+                let (op, resumed) = match running.take() {
+                    Some(op) => (op, true),
+                    None => match q.lock().pop_front() {
+                        Some(op) => (op, false),
+                        None => return StepResult::Parked,
+                    },
+                };
+                let parker = scheduler::current_parker();
+                let wait_err = match &parker {
+                    // A fresh op discards errors left by waits an earlier
+                    // (timed-out) statement abandoned; only a resumed op
+                    // owns what is in the slot.
+                    Some(p) if resumed => p.take_error(),
+                    Some(p) => {
+                        let _ = p.take_error();
+                        None
+                    }
+                    None => None,
+                };
+                match run_op(&eng, &mut txn, op, wait_err) {
+                    OpOutcome::Completed => {}
+                    OpOutcome::Parked(op) => {
+                        running = Some(op);
+                        return StepResult::Parked;
+                    }
+                    OpOutcome::Closed => {
+                        let rest: Vec<Op> = q.lock().drain(..).collect();
+                        for op in rest {
+                            op.fail(PmpError::aborted("session closed"));
+                        }
+                        return StepResult::Done;
+                    }
+                }
+            }
+        }));
+        AsyncSession {
+            queue,
+            parker,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn submit(&self, op: Op) {
+        if self.closed.load(Ordering::Acquire) {
+            op.fail(PmpError::aborted("session closed"));
+            return;
+        }
+        self.queue.lock().push_back(op);
+        self.parker.wake();
+    }
+
+    pub fn begin(&self) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Begin(done));
+        fut
+    }
+
+    pub fn get(&self, table: TableId, key: u64) -> DbFuture<Option<RowValue>> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Get(table, key, done));
+        fut
+    }
+
+    pub fn get_for_update(&self, table: TableId, key: u64) -> DbFuture<Option<RowValue>> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::GetForUpdate(table, key, done));
+        fut
+    }
+
+    pub fn insert(&self, table: TableId, key: u64, value: RowValue) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Insert(table, key, value, done));
+        fut
+    }
+
+    pub fn update(&self, table: TableId, key: u64, value: RowValue) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Update(table, key, value, done));
+        fut
+    }
+
+    pub fn delete(&self, table: TableId, key: u64) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Delete(table, key, done));
+        fut
+    }
+
+    pub fn scan(&self, table: TableId, from: u64, limit: usize) -> DbFuture<Vec<(u64, RowValue)>> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Scan(table, from, limit, done));
+        fut
+    }
+
+    pub fn commit(&self) -> DbFuture<Cts> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Commit(done));
+        fut
+    }
+
+    pub fn rollback(&self) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Rollback(done));
+        fut
+    }
+
+    /// Close the session: any open transaction rolls back on the actor,
+    /// later-queued ops fail, and the actor task retires.
+    pub fn close(&self) -> DbFuture<()> {
+        let (fut, done) = DbFuture::new();
+        self.submit(Op::Close(done));
+        self.closed.store(true, Ordering::Release);
+        fut
+    }
+}
+
+impl Drop for AsyncSession {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::Acquire) {
+            // Fire-and-forget close so the actor task does not leak.
+            let (_fut, done) = DbFuture::new();
+            self.queue.lock().push_back(Op::Close(done));
+            self.parker.wake();
+        }
+    }
+}
+
+fn no_txn() -> PmpError {
+    PmpError::aborted("no open transaction")
+}
+
+/// Run one op against the session's transaction. `wait_err` is an error a
+/// wait source delivered while the op was parked (failed page load, failed
+/// PLock negotiation): write-class ops abort the transaction on it, reads
+/// only fail the statement — mirroring the blocking call path.
+fn run_op(
+    engine: &Arc<NodeEngine>,
+    txn: &mut Option<Txn>,
+    op: Op,
+    wait_err: Option<PmpError>,
+) -> OpOutcome {
+    if let Some(e) = wait_err {
+        if op.is_write() {
+            if let Some(t) = txn.take() {
+                // Best effort; a dead node refuses the undo writes and
+                // recovery finishes the job.
+                let _ = t.rollback();
+            }
+        }
+        op.fail(e);
+        return OpOutcome::Completed;
+    }
+    match op {
+        Op::Begin(done) => {
+            if txn.is_some() {
+                done.complete(Err(PmpError::aborted("transaction already open")));
+            } else {
+                match engine.begin() {
+                    Ok(t) => {
+                        *txn = Some(t);
+                        done.complete(Ok(()));
+                    }
+                    Err(e) => done.complete(Err(e)),
+                }
+            }
+            OpOutcome::Completed
+        }
+        Op::Get(table, key, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.get(table, key) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::Get(table, key, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::GetForUpdate(table, key, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.get_for_update(table, key) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::GetForUpdate(table, key, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::Insert(table, key, value, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.insert(table, key, value.clone()) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::Insert(table, key, value, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::Update(table, key, value, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.update(table, key, value.clone()) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::Update(table, key, value, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::Delete(table, key, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.delete(table, key) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::Delete(table, key, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::Scan(table, from, limit, done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.scan(table, from, limit) {
+                Err(PmpError::WouldBlock) => {
+                    t.set_retry_resume();
+                    OpOutcome::Parked(Op::Scan(table, from, limit, done))
+                }
+                r => finish_stmt(txn, done, r),
+            }
+        }
+        Op::Commit(done) => {
+            let Some(t) = txn.as_mut() else {
+                done.complete(Err(no_txn()));
+                return OpOutcome::Completed;
+            };
+            match t.commit_step() {
+                // Parked mid-pipeline; `commit_stage` records where the
+                // re-run resumes (no statement retry flag: commit is not a
+                // statement).
+                Err(PmpError::WouldBlock) => OpOutcome::Parked(Op::Commit(done)),
+                Ok(cts) => {
+                    *txn = None;
+                    done.complete(Ok(cts));
+                    OpOutcome::Completed
+                }
+                Err(e) => {
+                    // Dropping the still-active txn runs the best-effort
+                    // RAII rollback, same as the consuming blocking commit.
+                    *txn = None;
+                    done.complete(Err(e));
+                    OpOutcome::Completed
+                }
+            }
+        }
+        Op::Rollback(done) => {
+            // Rollback never parks (parking is disabled inside), so this
+            // resolves in one run.
+            match txn.take() {
+                Some(t) => done.complete(t.rollback()),
+                None => done.complete(Err(no_txn())),
+            }
+            OpOutcome::Completed
+        }
+        Op::Close(done) => {
+            if let Some(t) = txn.take() {
+                let _ = t.rollback();
+            }
+            done.complete(Ok(()));
+            OpOutcome::Closed
+        }
+    }
+}
+
+/// Resolve a finished statement: if it ended the transaction (fatal errors
+/// roll back inside `write_row`), drop the `Txn` so later ops see "no open
+/// transaction" instead of "transaction already finished".
+fn finish_stmt<T: Clone>(
+    txn: &mut Option<Txn>,
+    done: Completion<Result<T>>,
+    r: Result<T>,
+) -> OpOutcome {
+    if txn.as_ref().map(|t| t.status() != TxnStatus::Active) == Some(true) {
+        *txn = None;
+    }
+    done.complete(r);
+    OpOutcome::Completed
+}

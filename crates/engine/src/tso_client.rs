@@ -11,9 +11,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
 use pmp_common::{Counter, Cts};
 
+use pmp_io::Completion;
 use pmp_pmfs::TxnFusion;
 
 /// Linear-Lamport coalescing state. The TSO fetch itself (one-sided read,
@@ -44,7 +45,6 @@ struct State {
 /// FAA, and a remainder orphaned by a racing round becomes a permanent
 /// *gap* — safe, because a timestamp no row ever carries reads as
 /// "nothing committed here".
-#[derive(Debug)]
 struct LeaseState {
     /// A leader's FAA is in flight; arrivals queue for the next round.
     refilling: bool,
@@ -59,6 +59,44 @@ struct LeaseState {
     end: u64,
     /// Requesters parked on the lease condvar (sizes the next grant).
     waiters: u64,
+    /// Async committers parked on an in-flight round: arrival round plus
+    /// the callback that hands them their timestamp. The same eligibility
+    /// rule as condvar waiters applies (arrival round ≤ distributed
+    /// round); the distributing leader serves them directly and fires the
+    /// callbacks with the lease lock dropped.
+    callbacks: Vec<(u64, GrantCallback)>,
+}
+
+/// Fired with a parked async committer's timestamp once a lease round
+/// eligible to serve it is distributed.
+type GrantCallback = Box<dyn FnOnce(Cts) + Send>;
+
+impl std::fmt::Debug for LeaseState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseState")
+            .field("refilling", &self.refilling)
+            .field("round_id", &self.round_id)
+            .field("dist_round", &self.dist_round)
+            .field("next", &self.next)
+            .field("end", &self.end)
+            .field("waiters", &self.waiters)
+            .field("callbacks", &self.callbacks.len())
+            .finish()
+    }
+}
+
+/// Result of a non-blocking commit-timestamp request.
+#[derive(Debug)]
+pub enum CtsGrant {
+    /// The timestamp was available without waiting (lease hit, or this
+    /// caller led a refill round inline — one bounded remote FAA).
+    Ready(Cts),
+    /// A refill FAA led by another committer is in flight; the completion
+    /// delivers this caller's timestamp when an eligible round is
+    /// distributed. Never blocks indefinitely: every in-flight round is
+    /// followed by a distribution, and distributing leaders keep leading
+    /// follow-up rounds while parked callbacks remain.
+    Pending(Completion<Cts>),
 }
 
 /// Per-node TSO client.
@@ -115,6 +153,7 @@ impl TsoClient {
                     next: 0,
                     end: 0,
                     waiters: 0,
+                    callbacks: Vec::new(),
                 },
             ),
             lease_cv: TrackedCondvar::new(),
@@ -198,28 +237,109 @@ impl TsoClient {
             }
             if !st.refilling {
                 // Lead the next round on behalf of everyone parked.
-                let round = st.round_id;
-                let grant = (1 + st.waiters).min(self.lease_max).max(1);
-                st.round_id += 1;
-                st.refilling = true;
-                drop(st);
-                // The FAA is a charge point: lease lock dropped.
-                let first = self.fusion.lease_cts(grant);
-                self.lease_grants.inc();
-                st = self.lease.lock();
-                st.refilling = false;
-                st.dist_round = round;
-                // Leader takes the range's first value; the rest goes to
-                // the parked waiters the grant was sized for. A remainder
-                // orphaned by the next round's overwrite is a gap — safe.
-                st.next = first.0 + 1;
-                st.end = first.0 + grant;
-                self.lease_cv.notify_all();
-                return first;
+                return self.lead_rounds(st);
             }
             st.waiters += 1;
             self.lease_cv.wait(&mut st);
             st.waiters -= 1;
+        }
+    }
+
+    /// Non-blocking commit-timestamp allocation for the async scheduler.
+    ///
+    /// Same protocol as [`commit_cts`](Self::commit_cts), minus the condvar
+    /// park: a lease hit or an uncontended inline lead returns
+    /// [`CtsGrant::Ready`] (the lead is one bounded remote FAA — acceptable
+    /// on a scheduler worker); if a refill is already in flight the caller
+    /// is registered as a parked callback and gets [`CtsGrant::Pending`],
+    /// whose completion the distributing leader fulfils.
+    pub fn commit_cts_deferred(&self) -> CtsGrant {
+        if self.lease_max <= 1 {
+            return CtsGrant::Ready(self.fusion.next_cts());
+        }
+        let mut st = self.lease.lock();
+        let my_round = st.round_id;
+        if my_round <= st.dist_round && st.next < st.end {
+            let cts = Cts(st.next);
+            st.next += 1;
+            self.lease_hits.inc();
+            return CtsGrant::Ready(cts);
+        }
+        if st.refilling {
+            let completion = Completion::new();
+            let done = completion.clone();
+            st.callbacks
+                .push((my_round, Box::new(move |cts| done.complete(cts))));
+            return CtsGrant::Pending(completion);
+        }
+        CtsGrant::Ready(self.lead_rounds(st))
+    }
+
+    /// Lead lease refill rounds until every parked async callback has been
+    /// served. Called with the lease lock held and no refill in flight;
+    /// returns the first round's first value — the leader's own timestamp —
+    /// with the lock released.
+    ///
+    /// Each round's FAA is sized to current demand (leader + condvar
+    /// waiters + eligible callbacks, capped at `lease_max`). Distribution
+    /// order: leader first, then eligible callbacks (arrival round ≤ the
+    /// distributed round, FIFO), then the condvar waiters are woken to pull
+    /// the remainder themselves. Callbacks fire with the lease lock
+    /// dropped. Callbacks left over — range exhausted, or registered while
+    /// this round's FAA was in flight — make the leader loop and lead a
+    /// follow-up round, unless a woken waiter already took over leading.
+    fn lead_rounds<'a>(&'a self, mut st: TrackedMutexGuard<'a, LeaseState>) -> Cts {
+        let mut own: Option<Cts> = None;
+        loop {
+            let round = st.round_id;
+            let eligible = st.callbacks.iter().filter(|(r, _)| *r <= round).count() as u64;
+            let demand = own.is_none() as u64 + st.waiters + eligible;
+            let grant = demand.min(self.lease_max).max(1);
+            st.round_id += 1;
+            st.refilling = true;
+            drop(st);
+            // The FAA is a charge point: lease lock dropped.
+            let first = self.fusion.lease_cts(grant);
+            self.lease_grants.inc();
+            let mut fire: Vec<(GrantCallback, Cts)> = Vec::new();
+            st = self.lease.lock();
+            st.refilling = false;
+            st.dist_round = round;
+            // A remainder orphaned by the next round's overwrite is a
+            // permanent gap — safe (see [`LeaseState`]).
+            st.next = first.0;
+            st.end = first.0 + grant;
+            if own.is_none() {
+                // Leader takes the range's first value.
+                own = Some(Cts(st.next));
+                st.next += 1;
+            }
+            let mut i = 0;
+            while i < st.callbacks.len() && st.next < st.end {
+                if st.callbacks[i].0 <= round {
+                    let (_, cb) = st.callbacks.remove(i);
+                    fire.push((cb, Cts(st.next)));
+                    st.next += 1;
+                    self.lease_hits.inc();
+                } else {
+                    i += 1;
+                }
+            }
+            self.lease_cv.notify_all();
+            let done = st.callbacks.is_empty();
+            drop(st);
+            for (cb, cts) in fire {
+                cb(cts);
+            }
+            if done {
+                return own.expect("first round always serves the leader");
+            }
+            st = self.lease.lock();
+            if st.refilling || st.callbacks.is_empty() {
+                // A woken waiter became the next leader (its round will
+                // serve the remaining callbacks), or they are gone.
+                return own.expect("first round always serves the leader");
+            }
         }
     }
 }
@@ -371,6 +491,50 @@ mod tests {
         for h in storm {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn deferred_commit_is_ready_when_uncontended() {
+        let (fusion, c) = leasing_client(8);
+        let mut last = Cts(0);
+        for _ in 0..5 {
+            match c.commit_cts_deferred() {
+                CtsGrant::Ready(cts) => {
+                    assert!(cts > last, "inline leads stay ordered");
+                    last = cts;
+                }
+                CtsGrant::Pending(_) => panic!("no refill in flight → must be Ready"),
+            }
+        }
+        // Uncontended: every call led its own size-1 round inline.
+        assert_eq!(c.lease_grants.get(), 5);
+        assert_eq!(c.lease_hits.get(), 0);
+        assert_eq!(fusion.current_cts(), last, "no timestamps left reserved");
+    }
+
+    #[test]
+    fn deferred_commit_parked_behind_refill_is_served_by_next_leader() {
+        let (_, c) = leasing_client(8);
+        // Simulate a round-0 FAA in flight: arrivals must park for round 1.
+        {
+            let mut st = c.lease.lock();
+            st.refilling = true;
+            st.round_id = 1;
+        }
+        let pending = match c.commit_cts_deferred() {
+            CtsGrant::Pending(p) => p,
+            CtsGrant::Ready(_) => panic!("refill in flight → must park"),
+        };
+        assert!(!pending.is_ready());
+        // The simulated leader vanishes (crash-style); the next blocking
+        // committer leads round 1 and must serve the parked callback.
+        c.lease.lock().refilling = false;
+        let leader_cts = c.commit_cts();
+        let cb_cts = pending.try_take().expect("leader distribution serves callbacks");
+        assert_ne!(cb_cts, leader_cts);
+        assert!(cb_cts > Cts(0));
+        assert_eq!(c.lease_hits.get(), 1, "callback grant counts as a lease hit");
+        assert!(c.lease.lock().callbacks.is_empty());
     }
 
     #[test]

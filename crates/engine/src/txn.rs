@@ -5,7 +5,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pmp_common::{Cts, GlobalTrxId, PageId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN};
+use pmp_common::{
+    Cts, GlobalTrxId, Lsn, PageId, PmpError, Result, TableId, CSN_INIT, CSN_MAX, CSN_MIN,
+};
+use pmp_io::Completion;
 use pmp_pmfs::WaitOutcome;
 use pmp_rdma::Locality;
 
@@ -14,9 +17,17 @@ use crate::node::NodeEngine;
 use crate::page::Page;
 use crate::redo::{RedoOp, RedoRecord};
 use crate::row::{index_key, IndexKey, Row, RowHeader, RowValue};
+use crate::scheduler;
 use crate::shared::{TableKind, TableMeta};
+use crate::tso_client::CtsGrant;
 use crate::undo::{UndoPtr, UndoRecord};
 use crate::version_store::{PrevLink, Resolved, StoredVersion};
+use crate::wal::ForceOutcome;
+
+/// Safety-net deadline for a commit parked on the WAL group-commit window:
+/// the durable callback (or the crash drain) always wakes us, but a lost
+/// wake must surface as a re-check rather than a hang.
+const WAL_PARK_BACKSTOP: Duration = Duration::from_millis(100);
 
 /// Transaction lifecycle state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,6 +60,30 @@ pub struct Txn {
     /// changed, because a crash in between truncated this transaction's
     /// redo even when the commit record itself landed durably after.
     log_epoch: u64,
+    /// Set by the session actor before re-running a statement that parked
+    /// (`WouldBlock`): the re-run keeps its snapshot and statement charge.
+    retry_resume: bool,
+    /// Row writes already applied by the current statement, so a re-run
+    /// after a park replays their results instead of re-applying them
+    /// (a parked GSI write must not re-insert the primary row).
+    stmt_results: Vec<Option<RowValue>>,
+    /// How many of `stmt_results` the current (re-)run has consumed.
+    stmt_replay: usize,
+    /// Where an in-flight commit parked, so the re-run resumes mid-pipeline.
+    commit_stage: CommitStage,
+    /// A deferred CTS grant the commit is parked on.
+    cts_waiter: Option<Completion<Cts>>,
+}
+
+/// Commit pipeline position (crossed only forward; each park resumes here).
+#[derive(Clone, Copy, Debug)]
+enum CommitStage {
+    /// Nothing done yet: the CTS must be allocated.
+    Start,
+    /// CTS allocated; the commit record still has to be logged.
+    HaveCts(Cts),
+    /// Commit record logged; waiting for it to become durable.
+    Logged { cts: Cts, end: Lsn },
 }
 
 impl std::fmt::Debug for Txn {
@@ -83,7 +118,19 @@ impl Txn {
             undo_head: UndoPtr::NULL,
             undo_all: Vec::new(),
             log_epoch,
+            retry_resume: false,
+            stmt_results: Vec::new(),
+            stmt_replay: 0,
+            commit_stage: CommitStage::Start,
+            cts_waiter: None,
         }
+    }
+
+    /// Mark the next statement run as the resumption of a parked one: it
+    /// keeps the current snapshot (and statement charge) and replays row
+    /// writes the interrupted run already applied.
+    pub(crate) fn set_retry_resume(&mut self) {
+        self.retry_resume = true;
     }
 
     pub fn status(&self) -> TxnStatus {
@@ -106,7 +153,19 @@ impl Txn {
     /// Statement boundary: under read committed every statement takes a
     /// fresh snapshot; under snapshot isolation the begin-time snapshot
     /// stays (§5.1 runs read committed).
-    fn statement_begin(&self) {
+    ///
+    /// A resumption of a parked statement is *not* a new statement: it
+    /// keeps the snapshot (re-reading one mid-statement would break
+    /// statement atomicity) and replays, rather than re-applies, the row
+    /// writes the interrupted run already performed.
+    fn statement_begin(&mut self) {
+        if self.retry_resume {
+            self.retry_resume = false;
+            self.stmt_replay = 0;
+            return;
+        }
+        self.stmt_results.clear();
+        self.stmt_replay = 0;
         self.engine.shared.fabric.charge_statement();
         if self.engine.cfg.read_committed {
             let cts = self.engine.tso.snapshot();
@@ -384,16 +443,34 @@ impl Txn {
         new_value: Option<RowValue>,
         op: WriteOp,
     ) -> Result<Result<Option<RowValue>>> {
+        // A resumed statement replays writes its interrupted run already
+        // applied (the statement's write_row sequence is deterministic, so
+        // positions line up). Without this, a statement parked on its GSI
+        // write would re-insert its primary row on the re-run.
+        if self.stmt_replay < self.stmt_results.len() {
+            let cached = self.stmt_results[self.stmt_replay].clone();
+            self.stmt_replay += 1;
+            return Ok(Ok(cached));
+        }
         loop {
             let outcome = self.try_write_row(meta, key, new_value.clone(), op);
             match outcome {
                 // Row-level failures (dup key, not found) leave the
                 // transaction active; the caller decides what they mean.
-                Ok(WriteResult::Done(row_result)) => return Ok(row_result),
+                Ok(WriteResult::Done(row_result)) => {
+                    if let Ok(v) = &row_result {
+                        self.stmt_results.push(v.clone());
+                        self.stmt_replay = self.stmt_results.len();
+                    }
+                    return Ok(row_result);
+                }
                 Ok(WriteResult::Conflict(holder)) => {
                     self.engine.stats.lock_waits.inc();
                     self.wait_for(holder)?;
                 }
+                // A park is not a failure: the scheduler re-runs the
+                // statement once the wait source fires. No rollback.
+                Err(PmpError::WouldBlock) => return Err(PmpError::WouldBlock),
                 Err(e) => {
                     // Lock timeouts and engine failures abort the whole
                     // transaction (2PL cannot partially release).
@@ -569,6 +646,21 @@ impl Txn {
     /// Commit: CTS from the TSO, durable commit record (group commit), TIT
     /// publication, CTS backfill, waiter notification (§4.1, Figure 6).
     pub fn commit(mut self) -> Result<Cts> {
+        // Off the scheduler every park point falls back to blocking, so a
+        // single step runs the whole pipeline.
+        self.commit_step()
+    }
+
+    /// One commit attempt, resumable. On a scheduler worker the two waits —
+    /// the deferred CTS grant and the group-commit wal force — park the
+    /// transaction ([`PmpError::WouldBlock`]) instead of blocking a thread;
+    /// `commit_stage` records where the re-run resumes. Off the scheduler
+    /// the same code runs the pipeline synchronously in one call.
+    ///
+    /// Stage latency histograms only see stages that completed without
+    /// parking (a parked stage's wait happens off-thread); the async
+    /// connection sweep in EXPERIMENTS.md reads tps, not stage means.
+    pub(crate) fn commit_step(&mut self) -> Result<Cts> {
         self.ensure_active()?;
         if self.writes.is_empty() {
             self.status = TxnStatus::Committed;
@@ -576,64 +668,129 @@ impl Txn {
             return Ok(self.snapshot_cts());
         }
         let engine = Arc::clone(&self.engine);
-        // lint: allow(raw-instant): commit-stage latency metering (histograms)
-        let t0 = std::time::Instant::now();
-        let cts = engine.tso.commit_cts();
-        // lint: allow(raw-instant): commit-stage latency metering (histograms)
-        let t1 = std::time::Instant::now();
-        engine.stats.commit_cts_ns.record(t1 - t0);
         let gid = self.gid;
-        let end = engine.wal.log_atomic(|_| {
-            vec![RedoRecord {
-                llsn: pmp_common::Llsn::ZERO,
-                page: pmp_common::PageId::NULL,
-                table: TableId(0),
-                op: RedoOp::Commit { trx: gid, cts },
-            }]
-        });
-        let forced = engine.wal.force(end);
-        // lint: allow(raw-instant): commit-stage latency metering (histograms)
-        let t2 = std::time::Instant::now();
-        engine.stats.commit_wal_force_ns.record(t2 - t1);
-        if forced < end {
-            // A crash truncated the stream beneath the commit record: it
-            // can never become durable, so the commit must not be
-            // acknowledged — the caller would see Ok for a transaction
-            // recovery is about to roll back.
-            return Err(PmpError::NodeUnavailable { node: engine.node });
-        }
-        if engine.wal.stream().epoch() != self.log_epoch {
-            // The stream crashed at some point during this transaction.
-            // Even with the commit record durable (truncation reuses byte
-            // offsets, so post-crash appends can carry the watermark past
-            // `end`), redo written before the crash is gone — acknowledging
-            // would report durable a transaction recovery cannot replay.
-            return Err(PmpError::NodeUnavailable { node: engine.node });
-        }
-        // CTS publish + ref-flag collection: one doorbell batch against our
-        // own TIT slot. Taking the refs *before* backfill is safe: the CTS
-        // lands in the same batch ahead of the swap, so a waiter that our
-        // swap misses observes the published CTS on its double-check and
-        // never blocks.
-        let refs = engine
-            .tit
-            .commit_and_take_refs(&engine.shared.fabric, gid.slot, cts);
-        // lint: allow(raw-instant): commit-stage latency metering (histograms)
-        let t3 = std::time::Instant::now();
-        engine.stats.commit_tit_ns.record(t3 - t2);
+        loop {
+            match self.commit_stage {
+                CommitStage::Start => {
+                    // lint: allow(raw-instant): commit-stage latency metering (histograms)
+                    let t0 = std::time::Instant::now();
+                    let cts = if let Some(w) = self.cts_waiter.take() {
+                        match w.try_take() {
+                            Some(cts) => cts, // the parked grant arrived
+                            None => match scheduler::async_parker() {
+                                Some(parker) => {
+                                    // Spurious wake: re-arm and park again.
+                                    let wk = Arc::clone(&parker);
+                                    w.set_notify(Box::new(move || wk.wake()));
+                                    self.cts_waiter = Some(w);
+                                    return Err(PmpError::WouldBlock);
+                                }
+                                // Scheduler stopped mid-wait: the lease
+                                // leader still fires the grant — block on it.
+                                None => w.wait(),
+                            },
+                        }
+                    } else if let Some(parker) = scheduler::async_parker() {
+                        match engine.tso.commit_cts_deferred() {
+                            CtsGrant::Ready(cts) => {
+                                engine.stats.commit_cts_ns.record(t0.elapsed());
+                                cts
+                            }
+                            CtsGrant::Pending(w) => {
+                                let wk = Arc::clone(&parker);
+                                w.set_notify(Box::new(move || wk.wake()));
+                                self.cts_waiter = Some(w);
+                                return Err(PmpError::WouldBlock);
+                            }
+                        }
+                    } else {
+                        let cts = engine.tso.commit_cts();
+                        engine.stats.commit_cts_ns.record(t0.elapsed());
+                        cts
+                    };
+                    self.commit_stage = CommitStage::HaveCts(cts);
+                }
+                CommitStage::HaveCts(cts) => {
+                    let end = engine.wal.log_atomic(|_| {
+                        vec![RedoRecord {
+                            llsn: pmp_common::Llsn::ZERO,
+                            page: pmp_common::PageId::NULL,
+                            table: TableId(0),
+                            op: RedoOp::Commit { trx: gid, cts },
+                        }]
+                    });
+                    self.commit_stage = CommitStage::Logged { cts, end };
+                }
+                CommitStage::Logged { cts, end } => {
+                    // lint: allow(raw-instant): commit-stage latency metering (histograms)
+                    let t1 = std::time::Instant::now();
+                    let forced = if let Some(parker) = scheduler::async_parker() {
+                        let wk = Arc::clone(&parker);
+                        match engine.wal.force_async(end, Box::new(move |_| wk.wake())) {
+                            ForceOutcome::Durable(achieved) => {
+                                engine.stats.commit_wal_force_ns.record(t1.elapsed());
+                                achieved
+                            }
+                            ForceOutcome::Pending => {
+                                // The durable callback (or the crash drain)
+                                // wakes us; the timer only covers lost wakes.
+                                // lint: allow(raw-instant): park backstop deadline
+                                let at = std::time::Instant::now() + WAL_PARK_BACKSTOP;
+                                parker.park_deadline(at);
+                                return Err(PmpError::WouldBlock);
+                            }
+                        }
+                    } else {
+                        let forced = engine.wal.force(end);
+                        engine.stats.commit_wal_force_ns.record(t1.elapsed());
+                        forced
+                    };
+                    if forced < end {
+                        // A crash truncated the stream beneath the commit
+                        // record: it can never become durable, so the commit
+                        // must not be acknowledged — the caller would see Ok
+                        // for a transaction recovery is about to roll back.
+                        return Err(PmpError::NodeUnavailable { node: engine.node });
+                    }
+                    if engine.wal.stream().epoch() != self.log_epoch {
+                        // The stream crashed at some point during this
+                        // transaction. Even with the commit record durable
+                        // (truncation reuses byte offsets, so post-crash
+                        // appends can carry the watermark past `end`), redo
+                        // written before the crash is gone — acknowledging
+                        // would report durable a transaction recovery cannot
+                        // replay.
+                        return Err(PmpError::NodeUnavailable { node: engine.node });
+                    }
+                    // CTS publish + ref-flag collection: one doorbell batch
+                    // against our own TIT slot. Taking the refs *before*
+                    // backfill is safe: the CTS lands in the same batch ahead
+                    // of the swap, so a waiter that our swap misses observes
+                    // the published CTS on its double-check and never blocks.
+                    // lint: allow(raw-instant): commit-stage latency metering (histograms)
+                    let t2 = std::time::Instant::now();
+                    let refs = engine
+                        .tit
+                        .commit_and_take_refs(&engine.shared.fabric, gid.slot, cts);
+                    // lint: allow(raw-instant): commit-stage latency metering (histograms)
+                    let t3 = std::time::Instant::now();
+                    engine.stats.commit_tit_ns.record(t3 - t2);
 
-        if engine.cfg.cts_backfill {
-            self.backfill_cts(cts);
-            // lint: allow(raw-instant): commit-stage latency metering (histograms)
-            engine.stats.commit_backfill_ns.record(t3.elapsed());
-        }
+                    if engine.cfg.cts_backfill {
+                        self.backfill_cts(cts);
+                        // lint: allow(raw-instant): commit-stage latency metering (histograms)
+                        engine.stats.commit_backfill_ns.record(t3.elapsed());
+                    }
 
-        if refs > 0 {
-            engine.shared.pmfs.rlock.notify_finished(gid);
+                    if refs > 0 {
+                        engine.shared.pmfs.rlock.notify_finished(gid);
+                    }
+                    self.status = TxnStatus::Committed;
+                    engine.finish_committed(gid, cts, std::mem::take(&mut self.undo_all));
+                    return Ok(cts);
+                }
+            }
         }
-        self.status = TxnStatus::Committed;
-        engine.finish_committed(gid, cts, std::mem::take(&mut self.undo_all));
-        Ok(cts)
     }
 
     /// Best-effort commit-time CTS backfill: "it updates the CTS in the
@@ -694,6 +851,15 @@ impl Txn {
     }
 
     fn rollback_internal(&mut self) -> Result<()> {
+        // Rollback never parks, even on a scheduler worker: re-running a
+        // half-applied undo replay through the statement retry machinery
+        // would interleave it with fresh statement state. Undo touches pages
+        // this transaction just wrote (PLocks lazily retained, frames warm),
+        // so the blocking fallbacks are short and bounded.
+        scheduler::with_parking_disabled(|| self.rollback_body())
+    }
+
+    fn rollback_body(&mut self) -> Result<()> {
         if self.status != TxnStatus::Active {
             return Ok(());
         }

@@ -124,6 +124,8 @@ pub struct VersionStoreStats {
     pub fills: Counter,
     /// Versions dropped by the byte-budget (oldest-CTS-first) eviction.
     pub evictions: Counter,
+    /// Versions dropped by the min-active-snapshot GC pass.
+    pub gc_evictions: Counter,
     /// Page fences (DBP invalidation / fresh load / crash) that dropped
     /// at least one chain.
     pub invalidations: Counter,
@@ -267,6 +269,41 @@ impl VersionStore {
         if dropped {
             self.stats.invalidations.inc();
         }
+    }
+
+    /// Garbage-collect versions no live snapshot can need: `floor` is the
+    /// cluster-wide minimum active snapshot (the TIT min-view broadcast).
+    /// In each chain (newest CTS first) everything *strictly older* than
+    /// the newest version visible at `floor` is dead — a snapshot at or
+    /// above the floor resolves at that version or a newer one, and no
+    /// snapshot below the floor exists. Chains whose versions are all newer
+    /// than the floor are untouched.
+    pub fn gc_below(&self, floor: Cts) {
+        if !self.enabled() {
+            return;
+        }
+        let mut dropped = 0u64;
+        for shard in self.shards.iter() {
+            let mut s = shard.write();
+            let Shard {
+                pages,
+                bytes,
+                by_age,
+            } = &mut *s;
+            for (page, chains) in pages.iter_mut() {
+                for (key, chain) in chains.iter_mut() {
+                    let Some(pos) = chain.iter().position(|v| v.cts.visible_at(floor)) else {
+                        continue; // everything is newer than the floor
+                    };
+                    for v in chain.drain(pos + 1..) {
+                        *bytes -= version_bytes(&v);
+                        by_age.remove(&age_key(*page, *key, &v));
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        self.stats.gc_evictions.add(dropped);
     }
 
     /// Drop everything (node crash: the store is volatile node-local state).
@@ -564,6 +601,52 @@ mod tests {
         ));
         assert_eq!(vs.len(), 0);
         assert_eq!(vs.stats.hits.get() + vs.stats.misses.get(), 0);
+    }
+
+    #[test]
+    fn gc_below_keeps_floor_version_and_drops_older() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(
+            PAGE,
+            KEY,
+            vec![
+                ver(1, 5, PrevLink::Root, 1),
+                ver(2, 10, PrevLink::Link(ptr(1)), 2),
+                ver(3, 20, PrevLink::Link(ptr(2)), 3),
+            ],
+        );
+        // Floor 12: version 2 (cts 10) is the newest one a floor snapshot
+        // can see — it survives; version 1 is dead.
+        vs.gc_below(Cts(12));
+        assert_eq!(vs.stats.gc_evictions.get(), 1);
+        assert_eq!(vs.len(), 2);
+        match vs.resolve(PAGE, KEY, ptr(3), Cts(12)) {
+            Resolved::Value(Some(v)) => assert_eq!(v.col(0), 2),
+            other => panic!("floor version must survive GC, got {other:?}"),
+        }
+        assert!(matches!(
+            vs.resolve(PAGE, KEY, ptr(3), Cts(5)),
+            Resolved::Miss
+        ));
+        // Accounting stays consistent: budget eviction still works after GC.
+        let bytes_after = vs.bytes();
+        assert!(bytes_after > 0);
+    }
+
+    #[test]
+    fn gc_below_leaves_all_newer_chains_alone() {
+        let vs = VersionStore::new(1 << 20);
+        vs.publish(
+            PAGE,
+            KEY,
+            vec![
+                ver(1, 50, PrevLink::Root, 1),
+                ver(2, 60, PrevLink::Link(ptr(1)), 2),
+            ],
+        );
+        vs.gc_below(Cts(10));
+        assert_eq!(vs.stats.gc_evictions.get(), 0);
+        assert_eq!(vs.len(), 2);
     }
 
     #[test]

@@ -482,6 +482,63 @@ fn crash_inside_collect_window_never_acks_truncated_commits() {
 }
 
 #[test]
+fn async_commit_parked_in_group_window_is_never_acked_if_truncated() {
+    use pmp_engine::AsyncSession;
+
+    // The async variant of the collect-window race: commits park on the
+    // scheduler while the group leader gathers followers. A crash inside
+    // the window truncates the log tail; `drain_pending_on_crash` wakes the
+    // parked commits with the truncated watermark, and each must judge its
+    // OWN record against it. Every future must RESOLVE (no ack may hang on
+    // a wake that will never come), and every Ok must survive recovery.
+    for round in 0..6u64 {
+        let mut config = ClusterConfig::test(1);
+        config.engine.wal_group_window_us = 500;
+        let (shared, engines) = cluster_with(config);
+        let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+        let sessions: Vec<AsyncSession> =
+            (0..8).map(|_| AsyncSession::open(&engines[0])).collect();
+        let commits: Vec<(u64, _)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let k = round * 1_000 + i as u64;
+                let _ = s.begin();
+                let _ = s.insert(t, k, v(k));
+                (k, s.commit())
+            })
+            .collect();
+        // Land the crash while commits are (likely) parked in the window.
+        std::thread::sleep(Duration::from_micros(300));
+        engines[0].crash();
+
+        let mut acked = Vec::new();
+        for (k, fut) in commits {
+            // `wait` must return: truncated records get an Err via the
+            // crash drain (or the park backstop), never a silent hang.
+            if fut.wait().is_ok() {
+                acked.push(k);
+            }
+        }
+        for s in &sessions {
+            let _ = s.close().wait();
+        }
+
+        let (recovered, _) = recover_node(&shared, NodeId(0)).unwrap();
+        let mut check = recovered.begin().unwrap();
+        for &k in &acked {
+            assert_eq!(
+                check.get(t, k).unwrap(),
+                Some(v(k)),
+                "round {round}: async commit of key {k} acked but lost in crash"
+            );
+        }
+        check.commit().unwrap();
+    }
+}
+
+#[test]
 fn lone_committer_escapes_the_group_window_after_adaptation() {
     use std::time::Instant;
 

@@ -1,0 +1,199 @@
+//! Async-session / scheduler integration tests: the open-transaction
+//! ceiling on a tiny worker pool, park/wake on cross-node PLock conflicts,
+//! and the min-active-snapshot version-store GC.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmp_common::{ClusterConfig, NodeId};
+use pmp_engine::row::RowValue;
+use pmp_engine::shared::Shared;
+use pmp_engine::{AsyncSession, NodeEngine};
+
+fn cluster_with(config: ClusterConfig) -> (Arc<Shared>, Vec<Arc<NodeEngine>>) {
+    let shared = Shared::new(config);
+    let engines = (0..config.nodes)
+        .map(|i| NodeEngine::start(Arc::clone(&shared), NodeId(i as u16)))
+        .collect();
+    (shared, engines)
+}
+
+fn v(x: u64) -> RowValue {
+    RowValue::new(vec![x])
+}
+
+/// The tentpole acceptance check: 256 sessions on a 2-worker scheduler all
+/// hold transactions open at the same time. With blocking sessions the
+/// ceiling would be the thread count; parked transactions hold no thread,
+/// so the ceiling is the TIT, not the pool.
+#[test]
+fn hammer_256_sessions_on_two_workers_holds_all_open() {
+    const SESSIONS: u64 = 256;
+    let mut config = ClusterConfig::test(1);
+    config.engine.sched_workers = 2;
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    let sessions: Vec<AsyncSession> =
+        (0..SESSIONS).map(|_| AsyncSession::open(&engines[0])).collect();
+
+    // Phase 1: every session begins and writes one distinct row. Only after
+    // ALL inserts resolve do we commit anything, so at the barrier below
+    // exactly 256 transactions are open concurrently.
+    let pending: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let _ = s.begin();
+            s.insert(t, i as u64, v(i as u64))
+        })
+        .collect();
+    for (i, fut) in pending.into_iter().enumerate() {
+        fut.wait().unwrap_or_else(|e| panic!("insert {i}: {e:?}"));
+    }
+
+    let open = engines[0].stats.open_txns.get();
+    assert_eq!(open, SESSIONS, "all sessions must be open at the barrier");
+    let hwm = engines[0].stats.open_txns.hwm();
+    assert!(
+        hwm >= SESSIONS,
+        "open-txn high-water mark {hwm} below the session count"
+    );
+    let sched = engines[0].sched.stats();
+    assert!(
+        sched.tasks.hwm() >= SESSIONS,
+        "each session is one actor task, hwm {}",
+        sched.tasks.hwm()
+    );
+
+    // Phase 2: commit everything and verify.
+    let commits: Vec<_> = sessions.iter().map(|s| s.commit()).collect();
+    for (i, fut) in commits.into_iter().enumerate() {
+        fut.wait().unwrap_or_else(|e| panic!("commit {i}: {e:?}"));
+    }
+    assert_eq!(engines[0].stats.open_txns.get(), 0);
+    for s in &sessions {
+        s.close().wait().unwrap();
+    }
+    let mut check = engines[0].begin().unwrap();
+    for k in 0..SESSIONS {
+        assert_eq!(check.get(t, k).unwrap(), Some(v(k)), "key {k}");
+    }
+    check.commit().unwrap();
+}
+
+/// A transaction parked on a PLock that another node holds lazily must wake
+/// when the lazy holder releases it through negotiation — without burning a
+/// worker thread while it waits.
+#[test]
+fn txn_parked_on_remote_plock_wakes_on_lazy_release() {
+    let mut config = ClusterConfig::test(2);
+    config.engine.lazy_plock_release = true;
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+
+    // Node 0 writes the row and commits; lazy mode keeps its X PLock.
+    let mut holder = engines[0].begin().unwrap();
+    holder.insert(t, 1, v(10)).unwrap();
+    holder.commit().unwrap();
+
+    // Node 1 updates the same row through an async session: the PLock
+    // conflict negotiates a release from node 0; meanwhile the actor parks.
+    let s = AsyncSession::open(&engines[1]);
+    s.begin().wait().unwrap();
+    s.update(t, 1, v(20)).wait().unwrap();
+    s.commit().wait().unwrap();
+    s.close().wait().unwrap();
+
+    let mut check = engines[0].begin().unwrap();
+    assert_eq!(check.get(t, 1).unwrap(), Some(v(20)));
+    check.commit().unwrap();
+    let negotiations = shared.pmfs.plock.stats().negotiations.get();
+    assert!(
+        negotiations > 0,
+        "the conflicting update must have negotiated the lazy lock away"
+    );
+}
+
+/// Two async sessions on different nodes contending on one row: the loser
+/// parks (scheduler-level wait), the winner's commit wakes it, and both
+/// updates land in some serial order.
+#[test]
+fn contending_async_sessions_serialize_on_one_row() {
+    let (shared, engines) = cluster_with(ClusterConfig::test(2));
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(0)).unwrap();
+    setup.commit().unwrap();
+
+    let a = AsyncSession::open(&engines[0]);
+    let b = AsyncSession::open(&engines[1]);
+    a.begin().wait().unwrap();
+    b.begin().wait().unwrap();
+    // A takes the row lock; B's update must wait for A's commit.
+    a.get_for_update(t, 1).wait().unwrap();
+    let blocked = b.update(t, 1, v(200));
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(
+        !blocked.is_ready(),
+        "B's conflicting update resolved while A still held the row"
+    );
+    a.update(t, 1, v(100)).wait().unwrap();
+    a.commit().wait().unwrap();
+    blocked.wait().unwrap();
+    b.commit().wait().unwrap();
+    a.close().wait().unwrap();
+    b.close().wait().unwrap();
+
+    let mut check = engines[0].begin().unwrap();
+    assert_eq!(check.get(t, 1).unwrap(), Some(v(200)), "last writer wins");
+    check.commit().unwrap();
+}
+
+/// The min-view broadcast feeds the version-store GC: once every snapshot
+/// that could see an old version is gone, the background pass drops it and
+/// counts the eviction.
+#[test]
+fn version_store_gc_drops_versions_below_min_active_snapshot() {
+    let mut config = ClusterConfig::test(1);
+    // Snapshot isolation pins the reader's begin-time snapshot; under the
+    // default read committed the re-read below would just see the newest
+    // version and never touch the old chain.
+    config.engine.read_committed = false;
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+    let mut setup = engines[0].begin().unwrap();
+    setup.insert(t, 1, v(1)).unwrap();
+    setup.commit().unwrap();
+
+    // An old reader pins its snapshot, then the row advances twice.
+    let mut reader = engines[0].begin().unwrap();
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(1)));
+    for x in [2u64, 3] {
+        let mut w = engines[0].begin().unwrap();
+        w.update(t, 1, v(x)).unwrap();
+        w.commit().unwrap();
+    }
+    // The reader's re-read reconstructs the old version, filling the store
+    // with versions only its (old) snapshot still needs.
+    assert_eq!(reader.get(t, 1).unwrap(), Some(v(1)));
+    reader.commit().unwrap();
+
+    // With the old snapshot retired, the min-view tick GCs the stale
+    // versions. Poll rather than sleep a fixed amount: the broadcast runs
+    // every `min_view_interval_ms`.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stats = &engines[0].version_store.stats;
+    while stats.gc_evictions.get() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        stats.gc_evictions.get() > 0,
+        "min-view GC never dropped the superseded versions"
+    );
+
+    // Current data is untouched.
+    let mut check = engines[0].begin().unwrap();
+    assert_eq!(check.get(t, 1).unwrap(), Some(v(3)));
+    check.commit().unwrap();
+}

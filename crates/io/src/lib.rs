@@ -118,10 +118,19 @@ pub struct Completion<T> {
     inner: Arc<CompletionInner<T>>,
 }
 
-#[derive(Debug)]
 struct CompletionInner<T> {
     slot: TrackedMutex<Option<T>>,
     cv: TrackedCondvar,
+    /// Waker-style notification: runs exactly once, after the value lands.
+    notify: TrackedMutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CompletionInner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionInner")
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T> Clone for Completion<T> {
@@ -144,6 +153,7 @@ impl<T> Completion<T> {
             inner: Arc::new(CompletionInner {
                 slot: TrackedMutex::new(IO_COMPLETION, None),
                 cv: TrackedCondvar::new(),
+                notify: TrackedMutex::new(IO_COMPLETION, None),
             }),
         }
     }
@@ -157,11 +167,37 @@ impl<T> Completion<T> {
         }
         drop(slot);
         self.inner.cv.notify_all();
+        // Publish-then-take pairs with `set_notify`'s store-then-check, so
+        // exactly one side runs the waker no matter how the calls interleave.
+        if let Some(f) = self.inner.notify.lock().take() {
+            f();
+        }
+    }
+
+    /// Register a waker that runs once the value is delivered (immediately
+    /// if it already has been). At most one waker is held; registering a
+    /// second replaces the first. Runs on the completing thread — keep it
+    /// cheap and non-blocking (enqueue a parked continuation, poke a
+    /// condvar), exactly like an io_uring eventfd wakeup.
+    pub fn set_notify(&self, f: Box<dyn FnOnce() + Send>) {
+        *self.inner.notify.lock() = Some(f);
+        if self.inner.slot.lock().is_some() {
+            // Value landed before (or while) we registered: claim the waker
+            // back — the completer may have already taken and run it.
+            if let Some(f) = self.inner.notify.lock().take() {
+                f();
+            }
+        }
     }
 
     /// Non-blocking poll; takes the value if it has been delivered.
     pub fn try_take(&self) -> Option<T> {
         self.inner.slot.lock().take()
+    }
+
+    /// True once the value has been delivered (without consuming it).
+    pub fn is_ready(&self) -> bool {
+        self.inner.slot.lock().is_some()
     }
 
     /// Block until the value is delivered. This is a charge point: under
@@ -313,6 +349,26 @@ impl<P: Clone + Send + Sync + 'static> RingCore<P> {
                     return false;
                 }
                 self.sq_cv.wait(&mut sq);
+            }
+            // Adaptive batch window: with work queued but the batch not yet
+            // full, linger briefly for more submissions so the single
+            // round-trip charge below covers a fuller batch. One bounded
+            // wait only — the window must not add latency proportional to
+            // queue churn. The condvar releases the SQ lock while waiting,
+            // so submitters are not blocked out of the window.
+            if block
+                && self.cfg.batch_window_us > 0
+                && !sq.stopped
+                && sq.queue.len() < self.cfg.batch_limit.max(1)
+            {
+                let window = std::time::Duration::from_micros(self.cfg.batch_window_us);
+                let _ = self.sq_cv.wait_for(&mut sq, window);
+                if sq.queue.is_empty() {
+                    // Everything was drained by a peer worker while we
+                    // lingered; go back to idle instead of charging for
+                    // an empty batch.
+                    return !sq.stopped;
+                }
             }
             let n = sq.queue.len().min(self.cfg.batch_limit.max(1));
             sq.queue.drain(..n).collect()
@@ -791,6 +847,76 @@ mod tests {
         assert!(done.try_take().is_none());
         ring.drive();
         assert_eq!(done.try_take(), Some(3));
+    }
+
+    #[test]
+    fn set_notify_fires_on_completion() {
+        let done: Completion<u32> = Completion::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        done.set_notify(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "no value, no waker");
+        done.complete(7);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        done.complete(8);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "waker is one-shot");
+        assert_eq!(done.try_take(), Some(7), "first delivery wins");
+    }
+
+    #[test]
+    fn set_notify_after_completion_runs_immediately() {
+        let done: Completion<u32> = Completion::new();
+        done.complete(1);
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        done.set_notify(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "late registration must observe the already-landed value"
+        );
+        assert!(done.is_ready());
+    }
+
+    #[test]
+    fn batch_window_gathers_fuller_batches() {
+        // With the window enabled a lone worker that wakes on the first
+        // submission lingers long enough for the rest of the burst to land,
+        // so the whole burst completes in far fewer charged batches.
+        let st = storage(StorageLatencyConfig::disabled());
+        let id = st.page_store().allocate_page_id();
+        st.page_store()
+            .write(id, Arc::new("w".to_string()))
+            .unwrap();
+        let ring = IoRing::new(
+            Arc::clone(&st),
+            IoRingConfig {
+                workers: 1,
+                batch_limit: 32,
+                batch_window_us: 20_000,
+                ..IoRingConfig::default()
+            },
+        );
+        let mut tokens = Vec::new();
+        for i in 0..16 {
+            tokens.push(
+                ring.submit(SqeOp::ReadPage(id), i)
+                    .expect("submit within capacity"),
+            );
+        }
+        for _ in 0..16 {
+            let cqe = ring.wait_cqe().expect("ring is live");
+            assert!(matches!(cqe.result.unwrap(), CqePayload::Page(Some(_))));
+        }
+        assert!(
+            ring.stats().batches.get() < 16,
+            "window must fold the burst into fewer batches (got {})",
+            ring.stats().batches.get()
+        );
     }
 
     #[test]

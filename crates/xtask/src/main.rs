@@ -29,6 +29,15 @@
 //!   charge at flush). Bare `loop` / `while` bodies are exempt so CAS
 //!   retry loops stay idiomatic, and batch receivers (`batch.write_u64`)
 //!   never match.
+//! * `blocking-wait-in-scheduler` — condvar waits (`.wait(` /
+//!   `.wait_until(`) and `precise_wait_ns` are forbidden in the transaction
+//!   scheduler and session actor (`engine/src/scheduler.rs`,
+//!   `engine/src/session.rs`): a scheduler worker that blocks in place
+//!   defeats parking — the whole point is that a waiting transaction
+//!   releases its thread. The documented exceptions (idle-worker run-queue
+//!   park, timer thread, helper-pool idle wait, the `DbFuture::wait`
+//!   client-side shim) each carry an inline allow naming why that thread
+//!   may block.
 //! * `undo-reconstruction` — direct undo-chain reads (`undo.read(…)`) are
 //!   forbidden in engine library code outside `txn.rs` and `undo.rs`:
 //!   version reconstruction must flow through `txn::visible_version` so
@@ -49,7 +58,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 8] = [
+const RULES: [&str; 9] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
@@ -58,6 +67,7 @@ const RULES: [&str; 8] = [
     "direct-page-read",
     "sequential-fanout",
     "undo-reconstruction",
+    "blocking-wait-in-scheduler",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
@@ -91,6 +101,16 @@ const FANOUT_BANNED: [&str; 2] = ["crates/pmfs/src/", "crates/engine/src/"];
 /// The simulated-latency charge point is the one legitimate home of real
 /// sleeps and real clock reads.
 const CLOCK_EXEMPT: &str = "crates/rdma/src/clock.rs";
+
+/// Files where in-place blocking waits defeat the parking design: a
+/// scheduler worker or session actor that blocks holds a thread a parked
+/// transaction was supposed to release. Every legitimate block (idle-worker
+/// park, timer thread, helper pool, the client-side `DbFuture::wait` shim)
+/// must say so with an inline allow.
+const SCHED_BLOCKING_BANNED: [&str; 2] = [
+    "crates/engine/src/scheduler.rs",
+    "crates/engine/src/session.rs",
+];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Violation {
@@ -191,6 +211,7 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let page_read_banned = rel_path.starts_with(PAGE_READ_BANNED);
     let undo_walk_banned =
         rel_path.starts_with(UNDO_WALK_BANNED) && !UNDO_WALK_ALLOWED_FILES.contains(&rel_path);
+    let sched_blocking_banned = SCHED_BLOCKING_BANNED.contains(&rel_path);
 
     let mut file_allows: Vec<&'static str> = Vec::new();
     for line in &lines {
@@ -350,6 +371,21 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
             while for_stack.last().is_some_and(|&d| depth < d) {
                 for_stack.pop();
             }
+        }
+
+        if sched_blocking_banned
+            && (code.contains(".wait(")
+                || code.contains(".wait_until(")
+                || code.contains("precise_wait_ns"))
+        {
+            report(
+                "blocking-wait-in-scheduler",
+                "in-place blocking wait on a scheduler/session path; parked \
+                 transactions must release their worker thread — park on the \
+                 scheduler (or add a documented allow naming why this thread \
+                 may block)"
+                    .into(),
+            );
         }
 
         if contains_token(code, "unsafe") && !code.trim_start().starts_with("#[") {
@@ -725,6 +761,39 @@ mod tests {
                            fabric.write_u64(p, 1, Locality::Remote);\n\
                        }\n";
         assert!(rules_hit("crates/pmfs/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn blocking_wait_flagged_only_in_scheduler_files() {
+        for src in [
+            "self.cv.wait(&mut q);\n",
+            "let _ = self.timer_cv.wait_until(&mut t, at);\n",
+            "precise_wait_ns(self.window_ns);\n",
+        ] {
+            assert_eq!(
+                rules_hit("crates/engine/src/scheduler.rs", src),
+                vec!["blocking-wait-in-scheduler"],
+                "{src}"
+            );
+            assert_eq!(
+                rules_hit("crates/engine/src/session.rs", src),
+                vec!["blocking-wait-in-scheduler"],
+                "{src}"
+            );
+        }
+        // Other engine files keep their existing blocking idioms (the
+        // bounded fallbacks when no parker is installed).
+        assert!(rules_hit("crates/engine/src/txn.rs", "w.wait()\n").is_empty());
+        assert!(rules_hit("crates/engine/src/wal.rs", "precise_wait_ns(n);\n").is_empty());
+        // The documented shim suppresses with a written reason.
+        let shim = "// lint: allow(blocking-wait-in-scheduler): client-side shim\n\
+                    self.done.wait()\n";
+        assert!(rules_hit("crates/engine/src/session.rs", shim).is_empty());
+        let no_reason = "self.cv.wait(&mut q); // lint: allow(blocking-wait-in-scheduler):\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/scheduler.rs", no_reason),
+            vec!["blocking-wait-in-scheduler"]
+        );
     }
 
     #[test]
