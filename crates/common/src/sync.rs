@@ -39,7 +39,42 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Deterministic model-checker runtime (`model` feature; DESIGN.md §14).
+/// The tracked primitives below become yield points driven by its scheduler.
+#[cfg(feature = "model")]
+#[path = "sync_model.rs"]
+pub mod model;
+
+#[cfg(not(feature = "model"))]
 pub use parking_lot::WaitTimeoutResult;
+
+/// Under `model`, timeouts are scheduler decisions, not wall-clock events,
+/// so the result type is our own (parking_lot's has no public constructor).
+/// Mirrors the `timed_out()` surface every caller uses.
+#[cfg(feature = "model")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+#[cfg(feature = "model")]
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Explicit yield point for the model checker: marks an ordering-sensitive
+/// step between lock acquisitions (an atomic publish, a CAS protocol step)
+/// where the deterministic scheduler may preempt. Compiles to nothing
+/// without the `model` feature; a no-op for threads outside a model run.
+#[inline]
+pub fn sched_point(label: &'static str) {
+    #[cfg(feature = "model")]
+    if model::intercept() {
+        model::yield_point("sched_point", label);
+    }
+    #[cfg(not(feature = "model"))]
+    let _ = label;
+}
 
 /// Identity of a lock *class*: one name per lock role, shared by every
 /// instance of that role (e.g. all 16 LBP shard locks are one class).
@@ -315,7 +350,7 @@ mod imp {
 /// latency-under-lock checked when the `sanitize` feature is on, a plain
 /// pass-through otherwise.
 pub struct TrackedMutex<T> {
-    #[cfg(feature = "sanitize")]
+    #[cfg(any(feature = "sanitize", feature = "model"))]
     class: LockClass,
     inner: parking_lot::Mutex<T>,
 }
@@ -323,12 +358,31 @@ pub struct TrackedMutex<T> {
 impl<T> TrackedMutex<T> {
     #[inline]
     pub fn new(class: LockClass, value: T) -> Self {
-        #[cfg(not(feature = "sanitize"))]
+        #[cfg(not(any(feature = "sanitize", feature = "model")))]
         let _ = class;
         TrackedMutex {
-            #[cfg(feature = "sanitize")]
+            #[cfg(any(feature = "sanitize", feature = "model"))]
             class,
             inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Under `model`, acquisition is a yield point and blocking is virtual:
+    /// a failed `try_lock` parks the thread in the model scheduler until the
+    /// holder's guard drop releases the address, so the checker sees (and
+    /// controls) every contended handoff.
+    #[cfg(feature = "model")]
+    fn lock_model(&self) -> parking_lot::MutexGuard<'_, T> {
+        let addr = model::addr_of(&self.inner);
+        model::yield_point("mutex.lock", self.class.name());
+        loop {
+            if !model::intercept() {
+                return self.inner.lock();
+            }
+            if let Some(g) = self.inner.try_lock() {
+                return g;
+            }
+            model::block_self(addr, false, self.class.name());
         }
     }
 
@@ -336,12 +390,24 @@ impl<T> TrackedMutex<T> {
     pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
         #[cfg(feature = "sanitize")]
         imp::on_blocking_acquire(self.class);
+        #[cfg(feature = "model")]
+        let inner = if model::intercept() {
+            self.lock_model()
+        } else {
+            self.inner.lock()
+        };
+        #[cfg(not(feature = "model"))]
         let inner = self.inner.lock();
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         TrackedMutexGuard {
-            #[cfg(feature = "sanitize")]
+            #[cfg(any(feature = "sanitize", feature = "model"))]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         }
     }
@@ -350,12 +416,21 @@ impl<T> TrackedMutex<T> {
     /// edge (a try-lock can never be the blocked side of a deadlock).
     #[inline]
     pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if model::intercept() {
+            model::yield_point("mutex.try_lock", self.class.name());
+        }
         let inner = self.inner.try_lock()?;
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         Some(TrackedMutexGuard {
-            #[cfg(feature = "sanitize")]
+            #[cfg(any(feature = "sanitize", feature = "model"))]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         })
     }
@@ -368,8 +443,16 @@ impl<T: fmt::Debug> fmt::Debug for TrackedMutex<T> {
 }
 
 pub struct TrackedMutexGuard<'a, T> {
-    #[cfg(feature = "sanitize")]
+    #[cfg(any(feature = "sanitize", feature = "model"))]
     class: LockClass,
+    /// Under `model` the guard keeps the lock address (for release
+    /// notification) and holds the inner guard in an `Option` so a condvar
+    /// wait can physically release and reacquire it.
+    #[cfg(feature = "model")]
+    lock: &'a parking_lot::Mutex<T>,
+    #[cfg(feature = "model")]
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    #[cfg(not(feature = "model"))]
     inner: parking_lot::MutexGuard<'a, T>,
 }
 
@@ -377,21 +460,41 @@ impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_ref().expect("guard released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &self.inner
+        }
     }
 }
 
 impl<T> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_mut().expect("guard released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &mut self.inner
+        }
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "model"))]
 impl<T> Drop for TrackedMutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "sanitize")]
         imp::pop_held(self.class);
+        #[cfg(feature = "model")]
+        if model::thread_active() {
+            drop(self.inner.take());
+            model::resource_released(model::addr_of(self.lock));
+        }
     }
 }
 
@@ -399,7 +502,7 @@ impl<T> Drop for TrackedMutexGuard<'_, T> {
 /// acquisitions are tracked identically for ordering purposes: a blocked
 /// reader behind a queued writer deadlocks exactly like a blocked writer.
 pub struct TrackedRwLock<T> {
-    #[cfg(feature = "sanitize")]
+    #[cfg(any(feature = "sanitize", feature = "model"))]
     class: LockClass,
     inner: parking_lot::RwLock<T>,
 }
@@ -407,12 +510,42 @@ pub struct TrackedRwLock<T> {
 impl<T> TrackedRwLock<T> {
     #[inline]
     pub fn new(class: LockClass, value: T) -> Self {
-        #[cfg(not(feature = "sanitize"))]
+        #[cfg(not(any(feature = "sanitize", feature = "model")))]
         let _ = class;
         TrackedRwLock {
-            #[cfg(feature = "sanitize")]
+            #[cfg(any(feature = "sanitize", feature = "model"))]
             class,
             inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    #[cfg(feature = "model")]
+    fn read_model(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        let addr = model::addr_of(&self.inner);
+        model::yield_point("rwlock.read", self.class.name());
+        loop {
+            if !model::intercept() {
+                return self.inner.read();
+            }
+            if let Some(g) = self.inner.try_read() {
+                return g;
+            }
+            model::block_self(addr, false, self.class.name());
+        }
+    }
+
+    #[cfg(feature = "model")]
+    fn write_model(&self) -> parking_lot::RwLockWriteGuard<'_, T> {
+        let addr = model::addr_of(&self.inner);
+        model::yield_point("rwlock.write", self.class.name());
+        loop {
+            if !model::intercept() {
+                return self.inner.write();
+            }
+            if let Some(g) = self.inner.try_write() {
+                return g;
+            }
+            model::block_self(addr, false, self.class.name());
         }
     }
 
@@ -420,12 +553,24 @@ impl<T> TrackedRwLock<T> {
     pub fn read(&self) -> TrackedReadGuard<'_, T> {
         #[cfg(feature = "sanitize")]
         imp::on_blocking_acquire(self.class);
+        #[cfg(feature = "model")]
+        let inner = if model::intercept() {
+            self.read_model()
+        } else {
+            self.inner.read()
+        };
+        #[cfg(not(feature = "model"))]
         let inner = self.inner.read();
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         TrackedReadGuard {
             #[cfg(feature = "sanitize")]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         }
     }
@@ -434,36 +579,66 @@ impl<T> TrackedRwLock<T> {
     pub fn write(&self) -> TrackedWriteGuard<'_, T> {
         #[cfg(feature = "sanitize")]
         imp::on_blocking_acquire(self.class);
+        #[cfg(feature = "model")]
+        let inner = if model::intercept() {
+            self.write_model()
+        } else {
+            self.inner.write()
+        };
+        #[cfg(not(feature = "model"))]
         let inner = self.inner.write();
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         TrackedWriteGuard {
             #[cfg(feature = "sanitize")]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         }
     }
 
     #[inline]
     pub fn try_read(&self) -> Option<TrackedReadGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if model::intercept() {
+            model::yield_point("rwlock.try_read", self.class.name());
+        }
         let inner = self.inner.try_read()?;
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         Some(TrackedReadGuard {
             #[cfg(feature = "sanitize")]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         })
     }
 
     #[inline]
     pub fn try_write(&self) -> Option<TrackedWriteGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if model::intercept() {
+            model::yield_point("rwlock.try_write", self.class.name());
+        }
         let inner = self.inner.try_write()?;
         #[cfg(feature = "sanitize")]
         imp::push_held(self.class);
         Some(TrackedWriteGuard {
             #[cfg(feature = "sanitize")]
             class: self.class,
+            #[cfg(feature = "model")]
+            lock: &self.inner,
+            #[cfg(feature = "model")]
+            inner: Some(inner),
+            #[cfg(not(feature = "model"))]
             inner,
         })
     }
@@ -478,6 +653,11 @@ impl<T: fmt::Debug> fmt::Debug for TrackedRwLock<T> {
 pub struct TrackedReadGuard<'a, T> {
     #[cfg(feature = "sanitize")]
     class: LockClass,
+    #[cfg(feature = "model")]
+    lock: &'a parking_lot::RwLock<T>,
+    #[cfg(feature = "model")]
+    inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    #[cfg(not(feature = "model"))]
     inner: parking_lot::RwLockReadGuard<'a, T>,
 }
 
@@ -485,20 +665,38 @@ impl<T> std::ops::Deref for TrackedReadGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_ref().expect("guard released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &self.inner
+        }
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "model"))]
 impl<T> Drop for TrackedReadGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "sanitize")]
         imp::pop_held(self.class);
+        #[cfg(feature = "model")]
+        if model::thread_active() {
+            drop(self.inner.take());
+            model::resource_released(model::addr_of(self.lock));
+        }
     }
 }
 
 pub struct TrackedWriteGuard<'a, T> {
     #[cfg(feature = "sanitize")]
     class: LockClass,
+    #[cfg(feature = "model")]
+    lock: &'a parking_lot::RwLock<T>,
+    #[cfg(feature = "model")]
+    inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    #[cfg(not(feature = "model"))]
     inner: parking_lot::RwLockWriteGuard<'a, T>,
 }
 
@@ -506,21 +704,41 @@ impl<T> std::ops::Deref for TrackedWriteGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_ref().expect("guard released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &self.inner
+        }
     }
 }
 
 impl<T> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_mut().expect("guard released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &mut self.inner
+        }
     }
 }
 
-#[cfg(feature = "sanitize")]
+#[cfg(any(feature = "sanitize", feature = "model"))]
 impl<T> Drop for TrackedWriteGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "sanitize")]
         imp::pop_held(self.class);
+        #[cfg(feature = "model")]
+        if model::thread_active() {
+            drop(self.inner.take());
+            model::resource_released(model::addr_of(self.lock));
+        }
     }
 }
 
@@ -541,10 +759,52 @@ impl TrackedCondvar {
         }
     }
 
+    /// Model-checked wait: physically release the mutex (waking its model
+    /// waiters), register on this condvar's FIFO, park in the scheduler,
+    /// then reacquire like a real waiter. Timeouts are deterministic — they
+    /// fire only when the schedule has nothing else to run.
+    #[cfg(feature = "model")]
+    fn wait_model<T>(&self, guard: &mut TrackedMutexGuard<'_, T>, timeoutable: bool) -> bool {
+        let cv_addr = model::addr_of(&self.inner);
+        let m_addr = model::addr_of(guard.lock);
+        drop(guard.inner.take().expect("guard released"));
+        let timed_out = model::cv_wait(cv_addr, m_addr, timeoutable, guard.class.name());
+        let inner = loop {
+            if !model::intercept() {
+                break guard.lock.lock();
+            }
+            if let Some(g) = guard.lock.try_lock() {
+                break g;
+            }
+            model::block_self(m_addr, false, guard.class.name());
+        };
+        guard.inner = Some(inner);
+        timed_out
+    }
+
     #[inline]
     pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
         #[cfg(feature = "sanitize")]
         imp::pop_held(guard.class);
+        #[cfg(feature = "model")]
+        match model::thread_status() {
+            model::Status::Active => {
+                self.wait_model(guard, false);
+            }
+            // An untimed wait during teardown would sleep forever (the
+            // notifier may already be gone): unwind this thread instead.
+            // (A wait reached from a Drop during unwind returns instead —
+            // a second panic would abort the process.)
+            model::Status::Teardown => {
+                if !std::thread::panicking() {
+                    model::teardown_abort()
+                }
+            }
+            model::Status::NotModel => self
+                .inner
+                .wait(guard.inner.as_mut().expect("guard released")),
+        }
+        #[cfg(not(feature = "model"))]
         self.inner.wait(&mut guard.inner);
         #[cfg(feature = "sanitize")]
         {
@@ -561,6 +821,22 @@ impl TrackedCondvar {
     ) -> WaitTimeoutResult {
         #[cfg(feature = "sanitize")]
         imp::pop_held(guard.class);
+        #[cfg(feature = "model")]
+        let res = match model::thread_status() {
+            model::Status::Active => WaitTimeoutResult(self.wait_model(guard, true)),
+            model::Status::Teardown => {
+                if !std::thread::panicking() {
+                    model::teardown_abort()
+                }
+                WaitTimeoutResult(true)
+            }
+            model::Status::NotModel => WaitTimeoutResult(
+                self.inner
+                    .wait_for(guard.inner.as_mut().expect("guard released"), timeout)
+                    .timed_out(),
+            ),
+        };
+        #[cfg(not(feature = "model"))]
         let res = self.inner.wait_for(&mut guard.inner, timeout);
         #[cfg(feature = "sanitize")]
         {
@@ -578,6 +854,22 @@ impl TrackedCondvar {
     ) -> WaitTimeoutResult {
         #[cfg(feature = "sanitize")]
         imp::pop_held(guard.class);
+        #[cfg(feature = "model")]
+        let res = match model::thread_status() {
+            model::Status::Active => WaitTimeoutResult(self.wait_model(guard, true)),
+            model::Status::Teardown => {
+                if !std::thread::panicking() {
+                    model::teardown_abort()
+                }
+                WaitTimeoutResult(true)
+            }
+            model::Status::NotModel => WaitTimeoutResult(
+                self.inner
+                    .wait_until(guard.inner.as_mut().expect("guard released"), deadline)
+                    .timed_out(),
+            ),
+        };
+        #[cfg(not(feature = "model"))]
         let res = self.inner.wait_until(&mut guard.inner, deadline);
         #[cfg(feature = "sanitize")]
         {
@@ -589,11 +881,19 @@ impl TrackedCondvar {
 
     #[inline]
     pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        if model::intercept() {
+            model::cv_notify(model::addr_of(&self.inner), false, "condvar.notify_one");
+        }
         self.inner.notify_one();
     }
 
     #[inline]
     pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        if model::intercept() {
+            model::cv_notify(model::addr_of(&self.inner), true, "condvar.notify_all");
+        }
         self.inner.notify_all();
     }
 }

@@ -13,8 +13,8 @@ use pmp_engine::{AsyncSession, NodeEngine};
 use crate::session::Session;
 use crate::stats::{
     BufferFusionSection, CommitStagesSection, FabricSection, IoSection, LockFusionSection,
-    NodeSection, ReadPathSection, RowWaitsSection, SchedulerSection, StatsSnapshot,
-    StorageSection, WalGroupSection,
+    NodeSection, ReadPathSection, RowWaitsSection, SchedulerSection, StatsSnapshot, StorageSection,
+    WalGroupSection,
 };
 
 /// Cluster node roster (admin paths: scale-out/in, stats, recovery).

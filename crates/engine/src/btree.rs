@@ -23,6 +23,7 @@
 //! (§4.3.1): S to read a page, X to modify it, structure changes hold their
 //! X PLocks for the duration of the mini-transaction.
 
+use pmp_common::sync::sched_point;
 use pmp_common::{GlobalTrxId, PageId, PmpError, Result, TableId};
 use pmp_pmfs::PLockMode;
 
@@ -361,6 +362,7 @@ fn split_page(
         // "missing from shared storage". (Root splits already install the
         // children under the root's latch for the same reason.)
         engine.install_new_page(right);
+        sched_point("btree.split.install-window");
         drop(page);
         (separator, new_id, parent_level)
         // `_guard` drops: the split mini-transaction is complete.

@@ -238,7 +238,7 @@ impl Lbp {
         loop {
             match map.get(&page_id) {
                 Some(Slot::Ready(frame)) => {
-                    frame.referenced.store(true, Ordering::Relaxed);
+                    frame.referenced.store(true, Ordering::Relaxed); // lint: allow(relaxed-atomic): advisory clock-hand reference bit; a stale read only skews eviction choice
                     if frame.is_valid() {
                         self.stats.hits.inc();
                     } else {
@@ -251,10 +251,10 @@ impl Lbp {
                 }
                 None => {
                     self.stats.misses.inc();
-                    let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+                    let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic ticket allocator
                     let gen = self.wipe_gen.load(Ordering::SeqCst);
                     map.insert(page_id, Slot::Loading { ticket, gen });
-                    self.len.fetch_add(1, Ordering::Relaxed);
+                    self.len.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
                     return Lookup::MustLoad(LoadTicket(ticket));
                 }
             }
@@ -273,16 +273,16 @@ impl Lbp {
         let mut map = shard.map.lock();
         match map.get(&page_id) {
             Some(Slot::Ready(frame)) => {
-                frame.referenced.store(true, Ordering::Relaxed);
+                frame.referenced.store(true, Ordering::Relaxed); // lint: allow(relaxed-atomic): advisory clock-hand reference bit; a stale read only skews eviction choice
                 None
             }
             Some(Slot::Loading { .. }) => None,
             None => {
                 self.stats.misses.inc();
-                let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+                let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic ticket allocator
                 let gen = self.wipe_gen.load(Ordering::SeqCst);
                 map.insert(page_id, Slot::Loading { ticket, gen });
-                self.len.fetch_add(1, Ordering::Relaxed);
+                self.len.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
                 Some(LoadTicket(ticket))
             }
         }
@@ -328,7 +328,7 @@ impl Lbp {
                     // appointment: drop the sentinel rather than install into
                     // a pool that must come out empty.
                     map.remove(&page_id);
-                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.len.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
                     shard.load_cv.notify_all();
                     Frame::new(page, valid)
                 }
@@ -359,7 +359,7 @@ impl Lbp {
         let mut map = shard.map.lock();
         if matches!(map.get(&page_id), Some(Slot::Loading { ticket: t, .. }) if *t == ticket.0) {
             map.remove(&page_id);
-            self.len.fetch_sub(1, Ordering::Relaxed);
+            self.len.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
         }
         shard.load_cv.notify_all();
     }
@@ -377,7 +377,7 @@ impl Lbp {
         let shard = self.shard(page_id);
         let mut map = shard.map.lock();
         if map.remove(&page_id).is_some() {
-            self.len.fetch_sub(1, Ordering::Relaxed);
+            self.len.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
         }
         shard.load_cv.notify_all();
     }
@@ -394,7 +394,7 @@ impl Lbp {
             let mut map = shard.map.lock();
             let removed = map.len();
             map.clear();
-            self.len.fetch_sub(removed, Ordering::Relaxed);
+            self.len.fetch_sub(removed, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
             shard.load_cv.notify_all();
         }
         self.wipe_end();
@@ -412,7 +412,7 @@ impl Lbp {
     }
 
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Relaxed) // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
     }
 
     pub fn is_empty(&self) -> bool {
@@ -448,7 +448,7 @@ impl Lbp {
     /// from Buffer Fusion.
     pub fn evict(&self, want: usize) -> Vec<PageId> {
         let mut evicted = Vec::new();
-        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed);
+        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): advisory clock-hand cursor; any start position is valid
         for i in 0..SHARD_COUNT {
             if evicted.len() >= want {
                 break;
@@ -464,6 +464,7 @@ impl Lbp {
                     continue;
                 };
                 if frame.referenced.swap(false, Ordering::Relaxed) {
+                    // lint: allow(relaxed-atomic): advisory clock-hand reference bit; a stale read only skews eviction choice
                     continue; // second chance
                 }
                 if frame.is_dirty() {
@@ -473,7 +474,7 @@ impl Lbp {
                     continue; // in active use
                 }
                 map.remove(&id);
-                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.len.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): approximate occupancy counter; readers tolerate slack
                 self.stats.evictions.inc();
                 evicted.push(id);
             }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pmp_common::sync::{LockClass, Shutdown, TrackedMutex, TrackedRwLock};
+use pmp_common::sync::{sched_point, LockClass, Shutdown, TrackedMutex, TrackedRwLock};
 use pmp_common::{
     Counter, Cts, EngineConfig, Gauge, GlobalTrxId, LatencyHistogram, NodeId, PageId, PmpError,
     Result, SlotId, TrxId, CSN_MAX,
@@ -133,7 +133,7 @@ impl std::fmt::Debug for NodeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeEngine")
             .field("node", &self.node)
-            .field("alive", &self.alive.load(Ordering::Relaxed))
+            .field("alive", &self.alive.load(Ordering::Relaxed)) // lint: allow(relaxed-atomic): Debug snapshot only
             .finish_non_exhaustive()
     }
 }
@@ -336,8 +336,7 @@ impl NodeEngine {
                 SqeOp::ReadPage(page_id),
                 page_id.0,
                 Box::new(move |cqe| {
-                    if let Err(e) = Self::complete_storage_load(&weak, page_id, ticket, flag, cqe)
-                    {
+                    if let Err(e) = Self::complete_storage_load(&weak, page_id, ticket, flag, cqe) {
                         parker.set_error(e);
                     }
                     parker.wake();
@@ -503,6 +502,7 @@ impl NodeEngine {
         // flag): fence the page's version chains before adopting the newer
         // image (DESIGN.md §12).
         self.version_store.invalidate_page(page_id);
+        sched_point("dbp.refresh.fence-adopt");
         let buffer = &self.shared.pmfs.buffer;
         let (page, llsn) = match buffer.fetch(self.node, page_id) {
             Some(hit) => {
@@ -613,10 +613,10 @@ impl NodeEngine {
         if self.draining.load(Ordering::Acquire) {
             return Err(PmpError::NodeUnavailable { node: self.node });
         }
-        let trx_id = TrxId(self.next_trx.fetch_add(1, Ordering::Relaxed));
-        // Slot exhaustion: wait on the TIT free-list condvar (woken by every
-        // release) instead of polling — a freed slot is picked up
-        // immediately rather than after a fixed poll interval.
+        let trx_id = TrxId(self.next_trx.fetch_add(1, Ordering::Relaxed)); // lint: allow(relaxed-atomic): monotonic transaction-id allocator
+                                                                           // Slot exhaustion: wait on the TIT free-list condvar (woken by every
+                                                                           // release) instead of polling — a freed slot is picked up
+                                                                           // immediately rather than after a fixed poll interval.
         let (slot, version) = self
             .tit
             .allocate_timeout(Duration::from_millis(self.cfg.lock_wait_timeout_ms))
@@ -766,7 +766,7 @@ impl NodeEngine {
             .keys()
             .map(|t| t.0)
             .min()
-            .unwrap_or_else(|| self.next_trx.load(Ordering::Relaxed));
+            .unwrap_or_else(|| self.next_trx.load(Ordering::Relaxed)); // lint: allow(relaxed-atomic): monotonic allocator; a stale (lower) read keeps min-active conservative
         self.tit.publish_min_active_trx(min_active);
 
         // Refresh our cache of peers' published values: every peer's cell

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
+use pmp_common::sync::{sched_point, LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
 use pmp_pmfs::{PLockFusion, PLockMode, ReleaseRequester};
 
@@ -427,6 +427,7 @@ impl LocalPLocks {
         };
         let w = Arc::clone(parker);
         st.wakers.push(Box::new(move || w.wake()));
+        sched_point("plock.wait.register-backstop");
         // Safety net: peers' notify sites cover every grant/release, but a
         // crashed peer's `crash_clear` could race our registration; the
         // timer turns a lost wake into a timeout instead of a hang.
@@ -444,6 +445,7 @@ impl LocalPLocks {
         };
         debug_assert!(entry.refcount > 0, "unref of unreferenced plock");
         entry.refcount -= 1;
+        sched_point("plock.unref.zero-edge");
         if entry.refcount > 0 {
             return;
         }
@@ -485,7 +487,10 @@ impl LocalPLocks {
 
     /// Number of pages currently held/retained (diagnostics).
     pub fn held_count(&self) -> usize {
-        self.shards.iter().map(|s| s.state.lock().entries.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().entries.len())
+            .sum()
     }
 
     pub fn is_retained(&self, page: PageId) -> bool {

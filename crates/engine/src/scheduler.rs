@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 // lint: allow(raw-instant): deadline timers are scheduler infrastructure, not modelled latency
 use std::time::Instant;
 
-use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
+use pmp_common::sync::{sched_point, LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, Gauge, PageId, PmpError};
 
 /// Run-queue of ready continuations.
@@ -217,7 +217,7 @@ struct ParkerSlot {
 impl std::fmt::Debug for Parker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Parker")
-            .field("state", &self.state.load(Ordering::Relaxed))
+            .field("state", &self.state.load(Ordering::Relaxed)) // lint: allow(relaxed-atomic): Debug snapshot only
             .finish_non_exhaustive()
     }
 }
@@ -228,6 +228,7 @@ impl Parker {
     /// is never lost (publish-then-check, see module docs).
     pub fn wake(self: &Arc<Self>) {
         let prev = self.state.swap(NOTIFIED, Ordering::AcqRel);
+        sched_point("sched.wake.swap-window");
         if prev != PARKED {
             return;
         }
@@ -277,17 +278,27 @@ impl Parker {
     pub fn park_deadline(self: &Arc<Self>, at: Instant) {
         if let Some(s) = self.sched.upgrade() {
             if !s.stopped.load(Ordering::Acquire) {
+                sched_point("sched.park-deadline.stop-window");
                 let mut t = s.timers.lock();
-                t.seq += 1;
-                let seq = t.seq;
-                t.heap.push(Reverse(TimerEntry {
-                    at,
-                    seq,
-                    parker: Arc::clone(self),
-                }));
-                drop(t);
-                s.timer_cv.notify_all();
-                return;
+                // Re-check under the heap lock: `stop` may have flagged,
+                // woken the timer thread, and joined it between the load
+                // above and this acquisition. An entry pushed now would
+                // land in a heap nobody drains and the backstop would
+                // never fire (modelled by crates/model/tests/parker_timer.rs).
+                // `stop` also drains the heap after the join, so an entry
+                // pushed before its drain is still fired.
+                if !s.stopped.load(Ordering::Acquire) {
+                    t.seq += 1;
+                    let seq = t.seq;
+                    t.heap.push(Reverse(TimerEntry {
+                        at,
+                        seq,
+                        parker: Arc::clone(self),
+                    }));
+                    drop(t);
+                    s.timer_cv.notify_all();
+                    return;
+                }
             }
         }
         // Stopped or gone: wake immediately. The re-run sees `can_park()
@@ -395,6 +406,7 @@ impl SchedInner {
                 StepResult::Parked => {
                     self.stats.parks.inc();
                     parker.slot.lock().step = Some(step);
+                    sched_point("sched.park.publish-window");
                     if parker
                         .state
                         .compare_exchange(RUNNING, PARKED, Ordering::AcqRel, Ordering::Acquire)
@@ -427,12 +439,7 @@ impl SchedInner {
                     }
                     // lint: allow(raw-instant): timer infrastructure
                     let now = Instant::now();
-                    while t
-                        .heap
-                        .peek()
-                        .map(|Reverse(e)| e.at <= now)
-                        .unwrap_or(false)
-                    {
+                    while t.heap.peek().map(|Reverse(e)| e.at <= now).unwrap_or(false) {
                         let Reverse(e) = t.heap.pop().expect("peeked entry");
                         due.push(e.parker);
                     }
@@ -523,7 +530,7 @@ pub struct Scheduler {
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("stopped", &self.inner.stopped.load(Ordering::Relaxed))
+            .field("stopped", &self.inner.stopped.load(Ordering::Relaxed)) // lint: allow(relaxed-atomic): Debug snapshot only
             .finish_non_exhaustive()
     }
 }
@@ -587,6 +594,20 @@ impl Scheduler {
         for h in handles {
             let _ = h.join();
         }
+        // Fire deadlines that raced in after the timer thread's final
+        // drain: `park_deadline` can pass its pre-lock `stopped` check,
+        // lose the CPU across this whole join, and push into the dead
+        // heap. Draining here (after the join, under the same lock the
+        // push takes) closes that window — the parker's re-run sees
+        // `can_park() == false` and completes on the blocking path.
+        let straggling_timers: Vec<Arc<Parker>> = {
+            let mut t = self.inner.timers.lock();
+            t.heap.drain().map(|Reverse(e)| e.parker).collect()
+        };
+        for p in straggling_timers {
+            self.inner.stats.timer_fires.inc();
+            p.wake();
+        }
         // Wait for lazily-spawned helper threads to finish their (bounded)
         // jobs and exit.
         {
@@ -610,7 +631,6 @@ impl Scheduler {
             }
         }
     }
-
 }
 
 impl Drop for Scheduler {
@@ -786,6 +806,51 @@ mod tests {
             "stop must fire the pending timer and finish the task inline"
         );
         assert_eq!(sched.stats().tasks.get(), 0);
+    }
+
+    #[test]
+    fn park_deadline_racing_stop_is_not_lost() {
+        // Regression for the stop/park_deadline window: a deadline armed
+        // concurrently with `stop` must still fire, even when the push
+        // lands after the timer thread's final drain. The deterministic
+        // reproduction lives in crates/model/tests/parker_timer.rs; this
+        // is the real-clock stress variant.
+        for _ in 0..200 {
+            let sched = Scheduler::new(1);
+            let runs = Arc::new(AtomicUsize::new(0));
+            let r = Arc::clone(&runs);
+            let gate = Arc::new(AtomicBool::new(false));
+            let g = Arc::clone(&gate);
+            let parker = sched.spawn(Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+                if g.load(Ordering::SeqCst) {
+                    StepResult::Done
+                } else {
+                    StepResult::Parked
+                }
+            }));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while parker.state.load(Ordering::Acquire) != PARKED {
+                assert!(Instant::now() < deadline, "task never parked");
+                std::thread::yield_now();
+            }
+            gate.store(true, Ordering::SeqCst);
+            let p = Arc::clone(&parker);
+            let arm = std::thread::spawn(move || {
+                // Far-future deadline: only a stop-side drain can fire it.
+                p.park_deadline(Instant::now() + Duration::from_secs(3600));
+            });
+            sched.stop();
+            arm.join().unwrap();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while runs.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    Instant::now() < deadline,
+                    "deadline armed during stop never fired; task stranded"
+                );
+                std::thread::yield_now();
+            }
+        }
     }
 
     #[test]

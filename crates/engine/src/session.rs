@@ -44,12 +44,7 @@ pub struct DbFuture<T> {
 impl<T: Clone> DbFuture<T> {
     fn new() -> (Self, Completion<Result<T>>) {
         let done = Completion::new();
-        (
-            DbFuture {
-                done: done.clone(),
-            },
-            done,
-        )
+        (DbFuture { done: done.clone() }, done)
     }
 
     /// Non-blocking poll; the result can be taken exactly once.
@@ -84,7 +79,12 @@ enum Op {
     Insert(TableId, u64, RowValue, Completion<Result<()>>),
     Update(TableId, u64, RowValue, Completion<Result<()>>),
     Delete(TableId, u64, Completion<Result<()>>),
-    Scan(TableId, u64, usize, Completion<Result<Vec<(u64, RowValue)>>>),
+    Scan(
+        TableId,
+        u64,
+        usize,
+        Completion<Result<Vec<(u64, RowValue)>>>,
+    ),
     Commit(Completion<Result<Cts>>),
     Rollback(Completion<Result<()>>),
     Close(Completion<Result<()>>),
@@ -141,7 +141,7 @@ pub struct AsyncSession {
 impl std::fmt::Debug for AsyncSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncSession")
-            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("closed", &self.closed.load(Ordering::Relaxed)) // lint: allow(relaxed-atomic): Debug snapshot only
             .finish_non_exhaustive()
     }
 }

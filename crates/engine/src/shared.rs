@@ -74,7 +74,7 @@ impl Catalog {
     }
 
     pub fn allocate_id(&self) -> TableId {
-        TableId(self.next_id.fetch_add(1, Ordering::Relaxed))
+        TableId(self.next_id.fetch_add(1, Ordering::Relaxed)) // lint: allow(relaxed-atomic): monotonic table-id allocator
     }
 
     pub fn register(&self, meta: TableMeta) -> Arc<TableMeta> {
@@ -104,7 +104,7 @@ impl Catalog {
 
     /// Ensure the id allocator stays ahead of an externally imported id.
     pub fn bump_next_id(&self, seen: TableId) {
-        let _ = self.next_id.fetch_max(seen.0 + 1, Ordering::Relaxed);
+        let _ = self.next_id.fetch_max(seen.0 + 1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic allocator bump; fetch_max keeps it ahead regardless of order
     }
 }
 

@@ -530,10 +530,16 @@ mod tests {
         // committer leads round 1 and must serve the parked callback.
         c.lease.lock().refilling = false;
         let leader_cts = c.commit_cts();
-        let cb_cts = pending.try_take().expect("leader distribution serves callbacks");
+        let cb_cts = pending
+            .try_take()
+            .expect("leader distribution serves callbacks");
         assert_ne!(cb_cts, leader_cts);
         assert!(cb_cts > Cts(0));
-        assert_eq!(c.lease_hits.get(), 1, "callback grant counts as a lease hit");
+        assert_eq!(
+            c.lease_hits.get(),
+            1,
+            "callback grant counts as a lease hit"
+        );
         assert!(c.lease.lock().callbacks.is_empty());
     }
 

@@ -109,7 +109,7 @@ impl UndoStore {
     /// undo segment). Returns the new pointer.
     pub fn append(&self, node: NodeId, record: UndoRecord) -> UndoPtr {
         self.appends.inc();
-        let seq = self.next_seq[node.as_usize()].fetch_add(1, Ordering::Relaxed);
+        let seq = self.next_seq[node.as_usize()].fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic per-node undo sequence allocator
         let ptr = UndoPtr { node, seq };
         self.shard(ptr).write().insert(ptr, Arc::new(record));
         ptr
@@ -119,7 +119,7 @@ impl UndoStore {
     pub fn restore(&self, ptr: UndoPtr, record: UndoRecord) {
         let seqs = &self.next_seq[ptr.node.as_usize()];
         // Keep the allocator ahead of everything restored.
-        seqs.fetch_max(ptr.seq + 1, Ordering::Relaxed);
+        seqs.fetch_max(ptr.seq + 1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic allocator bump; fetch_max keeps it ahead regardless of order
         self.shard(ptr).write().insert(ptr, Arc::new(record));
     }
 

@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pmp_common::sync::{LockClass, TrackedMutex};
+use pmp_common::sync::{sched_point, LockClass, TrackedMutex};
 use pmp_common::{Counter, Llsn, Lsn};
 use pmp_rdma::precise_wait_ns;
 use pmp_storage::LogStream;
@@ -202,13 +202,14 @@ impl Wal {
         // mutex while it holds it.
         self.pending_max.fetch_max(target.0, Ordering::Release);
         self.arrivals.fetch_add(1, Ordering::Release);
+        sched_point("wal.force.announce-window");
         let _g = self.sync_mutex.lock();
         let durable = self.stream.durable_lsn();
         if durable >= target {
             // A leader's batch covered us; concurrency is live, so re-arm
             // the collect window if emptiness had disabled it.
             self.group.riders.inc();
-            self.empty_streak.store(0, Ordering::Relaxed);
+            self.empty_streak.store(0, Ordering::Relaxed); // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
             drop(_g);
             self.rescue_orphans();
             return durable;
@@ -294,15 +295,16 @@ impl Wal {
         if self.window_ns > 0
             && self.pending_max.load(Ordering::Acquire) <= target.0
             && self.empty_streak.load(Ordering::Relaxed) < EMPTY_WINDOW_LIMIT
+        // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
         {
             let before = self.arrivals.load(Ordering::Acquire);
             self.group.windows_waited.inc();
             precise_wait_ns(self.window_ns);
             if self.arrivals.load(Ordering::Acquire) == before {
                 self.group.empty_windows.inc();
-                self.empty_streak.fetch_add(1, Ordering::Relaxed);
+                self.empty_streak.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
             } else {
-                self.empty_streak.store(0, Ordering::Relaxed);
+                self.empty_streak.store(0, Ordering::Relaxed); // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
             }
         }
         let mut fire: Vec<(ForceCallback, Lsn)> = Vec::new();
@@ -319,6 +321,7 @@ impl Wal {
             // the stream underneath us — durability can then never reach
             // `target`, and retrying would spin (charging an fsync per lap)
             // forever.
+            sched_point("wal.lead-sync.window");
             let achieved = self.stream.sync_to(group_target);
             let unsatisfied = {
                 let mut cbs = self.pending_cbs.lock();
@@ -371,7 +374,7 @@ impl Wal {
         // the mutex with unsatisfied entries on the list, so once we are
         // registered either some leader fires us or our own try_lock below
         // succeeds and we lead.
-        let id = self.next_cb_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_cb_id.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed-atomic): monotonic callback-id allocator
         self.pending_cbs.lock().push(PendingForce {
             id,
             target,
@@ -611,6 +614,7 @@ mod tests {
             return;
         }
         if w.empty_streak.load(Ordering::Relaxed) >= EMPTY_WINDOW_LIMIT {
+            // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
             // The burst's serialized tail re-tripped the streak with lone
             // commits *after* the last rider (common on one CPU): the
             // window is legitimately disabled again, so there is nothing

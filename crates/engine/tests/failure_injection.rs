@@ -497,8 +497,7 @@ fn async_commit_parked_in_group_window_is_never_acked_if_truncated() {
         let (shared, engines) = cluster_with(config);
         let t = shared.create_table("t", 1, &[]).unwrap().id;
 
-        let sessions: Vec<AsyncSession> =
-            (0..8).map(|_| AsyncSession::open(&engines[0])).collect();
+        let sessions: Vec<AsyncSession> = (0..8).map(|_| AsyncSession::open(&engines[0])).collect();
         let commits: Vec<(u64, _)> = sessions
             .iter()
             .enumerate()

@@ -34,8 +34,9 @@ fn hammer_256_sessions_on_two_workers_holds_all_open() {
     let (shared, engines) = cluster_with(config);
     let t = shared.create_table("t", 1, &[]).unwrap().id;
 
-    let sessions: Vec<AsyncSession> =
-        (0..SESSIONS).map(|_| AsyncSession::open(&engines[0])).collect();
+    let sessions: Vec<AsyncSession> = (0..SESSIONS)
+        .map(|_| AsyncSession::open(&engines[0]))
+        .collect();
 
     // Phase 1: every session begins and writes one distinct row. Only after
     // ALL inserts resolve do we commit anything, so at the barrier below

@@ -1,0 +1,569 @@
+//! Schedule exploration, replay, minimization, and trace rendering over the
+//! `pmp_common::sync::model` runtime.
+
+use std::fmt::Write as _;
+
+pub use pmp_common::sync::model::{run, spawn, Chooser, Event, Failure, RunResult};
+pub use pmp_common::sync::sched_point;
+
+/// Default per-schedule step budget. Scenarios are small (tens of yield
+/// points per thread); hitting this means a livelock.
+pub const DEFAULT_MAX_STEPS: usize = 5_000;
+
+/// SplitMix64: tiny, seedable, and good enough to spread schedules. The
+/// workspace has no real `rand` in this environment, and the checker must
+/// not depend on one — determinism from the seed is the whole point.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Uniform random walk: every branch point picks uniformly among the
+/// runnable candidates. Cheap, surprisingly effective for shallow races.
+pub struct RandomChooser {
+    rng: SplitMix64,
+}
+
+impl RandomChooser {
+    pub fn new(seed: u64) -> Self {
+        RandomChooser {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, candidates: &[usize]) -> usize {
+        self.rng.below(candidates.len())
+    }
+}
+
+/// PCT-style priority chooser (Burckhardt et al.): each thread gets a
+/// random static priority; the highest-priority runnable thread always
+/// runs, except at `depth - 1` randomly placed change points where the
+/// current leader is demoted below everyone. Finds any bug of preemption
+/// depth `d` with probability ≥ 1/(n·k^(d-1)) per schedule.
+pub struct PctChooser {
+    rng: SplitMix64,
+    /// `priorities[tid]` — higher runs first; assigned lazily on first
+    /// sight so the chooser needs no thread-count up front.
+    priorities: Vec<Option<u64>>,
+    /// Branch-point indices at which the leader is demoted.
+    change_points: Vec<usize>,
+    /// Monotonically decreasing "lowest so far", for demotions.
+    floor: u64,
+    calls: usize,
+}
+
+impl PctChooser {
+    /// `horizon` is the schedule-length estimate the change points are
+    /// sampled from (use the scenario's typical step count, e.g. 256).
+    pub fn new(seed: u64, depth: usize, horizon: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut change_points = Vec::new();
+        for _ in 1..depth.max(1) {
+            change_points.push(rng.below(horizon.max(1)));
+        }
+        PctChooser {
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            floor: 1 << 32,
+            calls: 0,
+        }
+    }
+
+    fn priority(&mut self, tid: usize) -> u64 {
+        if tid >= self.priorities.len() {
+            self.priorities.resize(tid + 1, None);
+        }
+        if self.priorities[tid].is_none() {
+            // Static priorities start above the demotion floor.
+            self.priorities[tid] = Some((1 << 33) + self.rng.next_u64() % (1 << 32));
+        }
+        self.priorities[tid].unwrap()
+    }
+}
+
+impl Chooser for PctChooser {
+    fn choose(&mut self, candidates: &[usize]) -> usize {
+        let call = self.calls;
+        self.calls += 1;
+        let leader = (0..candidates.len())
+            .max_by_key(|&i| self.priority(candidates[i]))
+            .unwrap_or(0);
+        if self.change_points.contains(&call) {
+            // Demote the leader below every priority handed out so far and
+            // fall through to the new leader.
+            self.floor -= 1;
+            let tid = candidates[leader];
+            self.priorities[tid] = Some(self.floor);
+            return (0..candidates.len())
+                .max_by_key(|&i| self.priority(candidates[i]))
+                .unwrap_or(0);
+        }
+        leader
+    }
+}
+
+/// Replays a recorded decision vector (the `chosen` column of
+/// `RunResult::decisions`). Past the end — or if the schedule diverges and
+/// a recorded choice is out of range — it picks the first candidate, so a
+/// prefix is enough to steer a run back into a failing region.
+pub struct ReplayChooser {
+    schedule: Vec<u8>,
+    idx: usize,
+}
+
+impl ReplayChooser {
+    pub fn new(schedule: Vec<u8>) -> Self {
+        ReplayChooser { schedule, idx: 0 }
+    }
+}
+
+impl Chooser for ReplayChooser {
+    fn choose(&mut self, candidates: &[usize]) -> usize {
+        let i = self.idx;
+        self.idx += 1;
+        self.schedule
+            .get(i)
+            .map(|&c| (c as usize).min(candidates.len() - 1))
+            .unwrap_or(0)
+    }
+}
+
+/// Replay a checked-in schedule against a scenario.
+pub fn replay<F: FnOnce()>(schedule: &[u8], max_steps: usize, f: F) -> RunResult {
+    run(
+        Box::new(ReplayChooser::new(schedule.to_vec())),
+        max_steps,
+        f,
+    )
+}
+
+/// Exploration strategy.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// `schedules` independent uniform random walks seeded from `seed`.
+    Random { seed: u64, schedules: usize },
+    /// `schedules` PCT priority schedules with `depth` preemption points.
+    Pct {
+        seed: u64,
+        depth: usize,
+        schedules: usize,
+    },
+    /// Depth-first enumeration of every branch-point decision, bounded by
+    /// `max_schedules`. Complete for scenarios whose tree fits the bound.
+    Exhaustive { max_schedules: usize },
+}
+
+/// A failing schedule, ready to minimize / check in / render.
+#[derive(Debug)]
+pub struct Found {
+    pub result: RunResult,
+    /// The decision vector that produced it (feed to [`replay`]).
+    pub schedule: Vec<u8>,
+    /// Human description of how it was found ("random seed 17", …).
+    pub how: String,
+}
+
+/// Outcome of an exploration sweep.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// First failure found, if any (the sweep stops at the first).
+    pub failure: Option<Found>,
+    /// True only for [`Mode::Exhaustive`] sweeps that enumerated the whole
+    /// tree within their bound.
+    pub complete: bool,
+}
+
+pub struct Explorer {
+    pub mode: Mode,
+    pub max_steps: usize,
+}
+
+impl Explorer {
+    pub fn new(mode: Mode) -> Self {
+        Explorer {
+            mode,
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Run the sweep, stopping at the first failing schedule.
+    pub fn explore<F: Fn()>(&self, scenario: F) -> Exploration {
+        match self.mode {
+            Mode::Random { seed, schedules } => {
+                for i in 0..schedules {
+                    let s = seed.wrapping_add(i as u64);
+                    let res = run(Box::new(RandomChooser::new(s)), self.max_steps, || {
+                        scenario()
+                    });
+                    if res.failure.is_some() {
+                        let schedule = res.decisions.iter().map(|&(_, c)| c).collect();
+                        return Exploration {
+                            schedules: i + 1,
+                            failure: Some(Found {
+                                result: res,
+                                schedule,
+                                how: format!("random seed {s}"),
+                            }),
+                            complete: false,
+                        };
+                    }
+                }
+                Exploration {
+                    schedules,
+                    failure: None,
+                    complete: false,
+                }
+            }
+            Mode::Pct {
+                seed,
+                depth,
+                schedules,
+            } => {
+                for i in 0..schedules {
+                    let s = seed.wrapping_add(i as u64);
+                    // Corpus scenarios have tens of branch points, not
+                    // hundreds; a tight horizon keeps the change points
+                    // inside the actual schedule so preemptions land where
+                    // they can matter.
+                    let chooser = PctChooser::new(s, depth, 64);
+                    let res = run(Box::new(chooser), self.max_steps, || scenario());
+                    if res.failure.is_some() {
+                        let schedule = res.decisions.iter().map(|&(_, c)| c).collect();
+                        return Exploration {
+                            schedules: i + 1,
+                            failure: Some(Found {
+                                result: res,
+                                schedule,
+                                how: format!("pct seed {s} depth {depth}"),
+                            }),
+                            complete: false,
+                        };
+                    }
+                }
+                Exploration {
+                    schedules,
+                    failure: None,
+                    complete: false,
+                }
+            }
+            Mode::Exhaustive { max_schedules } => {
+                let mut prefix: Vec<u8> = Vec::new();
+                let mut n = 0usize;
+                loop {
+                    let res = run(
+                        Box::new(ReplayChooser::new(prefix.clone())),
+                        self.max_steps,
+                        || scenario(),
+                    );
+                    n += 1;
+                    if res.failure.is_some() {
+                        let schedule = res.decisions.iter().map(|&(_, c)| c).collect();
+                        return Exploration {
+                            schedules: n,
+                            failure: Some(Found {
+                                result: res,
+                                schedule,
+                                how: format!("exhaustive schedule #{n}"),
+                            }),
+                            complete: false,
+                        };
+                    }
+                    // DFS successor: bump the deepest decision that still
+                    // has an unexplored sibling, truncate the rest.
+                    let next = res
+                        .decisions
+                        .iter()
+                        .rposition(|&(options, chosen)| chosen + 1 < options);
+                    match next {
+                        Some(i) if n < max_schedules => {
+                            prefix = res.decisions[..i].iter().map(|&(_, c)| c).collect();
+                            prefix.push(res.decisions[i].1 + 1);
+                        }
+                        Some(_) => {
+                            return Exploration {
+                                schedules: n,
+                                failure: None,
+                                complete: false,
+                            }
+                        }
+                        None => {
+                            return Exploration {
+                                schedules: n,
+                                failure: None,
+                                complete: true,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Greedily shrink a failing schedule while it still produces a failure of
+/// the same kind: drop a tail, then repeatedly try removing or lowering
+/// individual decisions to fixpoint. The result is what gets checked in as
+/// a regression seed.
+pub fn minimize<F: Fn()>(schedule: &[u8], kind: &str, max_steps: usize, scenario: F) -> Vec<u8> {
+    let still_fails = |cand: &[u8]| {
+        let res = replay(cand, max_steps, || scenario());
+        res.failure.map(|f| f.kind() == kind).unwrap_or(false)
+    };
+    let mut best = schedule.to_vec();
+    loop {
+        let mut changed = false;
+        // Tail truncation (biggest wins first).
+        while !best.is_empty() && still_fails(&best[..best.len() - 1]) {
+            best.pop();
+            changed = true;
+        }
+        // Single-decision removal.
+        let mut i = 0;
+        while i < best.len() {
+            let mut cand = best.clone();
+            cand.remove(i);
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Lower decisions toward 0 (prefer first-candidate choices).
+        for i in 0..best.len() {
+            while best[i] > 0 {
+                let mut cand = best.clone();
+                cand[i] -= 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return best;
+        }
+    }
+}
+
+/// Render a failing schedule for humans: the failure, the decision vector
+/// (the replay seed), the full thread × yield-point history, and each
+/// thread's final step — for a two-party race, those last two lines are the
+/// racing acquisition sites.
+pub fn render_trace(res: &RunResult) -> String {
+    let mut out = String::new();
+    let name =
+        |tid: usize| -> &str { res.thread_names.get(tid).map(String::as_str).unwrap_or("?") };
+    match &res.failure {
+        Some(f) => {
+            let _ = writeln!(out, "failure: {f:?}");
+        }
+        None => {
+            let _ = writeln!(out, "schedule completed without failure");
+        }
+    }
+    let seed: Vec<u8> = res.decisions.iter().map(|&(_, c)| c).collect();
+    let _ = writeln!(out, "replay seed: {seed:?}");
+    let _ = writeln!(out, "steps: {}", res.steps);
+    let _ = writeln!(out, "trace (thread: op what):");
+    for ev in &res.trace {
+        let _ = writeln!(
+            out,
+            "  t{} {:<12} {:<16} {}",
+            ev.tid,
+            name(ev.tid),
+            ev.op,
+            ev.what
+        );
+    }
+    let _ = writeln!(out, "last step per thread:");
+    for tid in 0..res.thread_names.len() {
+        if let Some(ev) = res.trace.iter().rev().find(|e| e.tid == tid) {
+            let _ = writeln!(
+                out,
+                "  t{} {:<12} {:<16} {}",
+                tid,
+                name(tid),
+                ev.op,
+                ev.what
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_common::sync::{LockClass, TrackedMutex};
+    use std::sync::Arc;
+
+    #[test]
+    fn random_walk_finds_double_claim() {
+        let expl = Explorer::new(Mode::Random {
+            seed: 7,
+            schedules: 200,
+        });
+        let exploration = expl.explore(claim_race_scenario);
+        let found = exploration.failure.expect("random walk finds the race");
+        assert!(matches!(found.result.failure, Some(Failure::Panic { .. })));
+        // The recorded schedule replays to the same failure kind.
+        let again = replay(&found.schedule, DEFAULT_MAX_STEPS, claim_race_scenario);
+        assert!(matches!(again.failure, Some(Failure::Panic { .. })));
+    }
+
+    /// Two threads racing an unsynchronized check-then-set around a
+    /// sched_point: every strategy must find the interleaving where both
+    /// observe `claimed == false`.
+    fn claim_race_scenario() {
+        let slot = Arc::new(TrackedMutex::new(LockClass::new("model.test.slot"), false));
+        let winners = Arc::new(TrackedMutex::new(
+            LockClass::new("model.test.winners"),
+            0u32,
+        ));
+        for t in 0..2 {
+            let slot = Arc::clone(&slot);
+            let winners = Arc::clone(&winners);
+            spawn(&format!("claimer-{t}"), move || {
+                let free = { !*slot.lock() };
+                if free {
+                    sched_point("claim.window");
+                    *slot.lock() = true;
+                    let mut w = winners.lock();
+                    *w += 1;
+                    assert!(*w <= 1, "both claimers won the slot");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn exhaustive_enumerates_and_finds_it() {
+        let expl = Explorer::new(Mode::Exhaustive {
+            max_schedules: 5_000,
+        });
+        let exploration = expl.explore(claim_race_scenario);
+        assert!(
+            exploration.failure.is_some(),
+            "exhaustive search must find the race ({} schedules, complete={})",
+            exploration.schedules,
+            exploration.complete
+        );
+    }
+
+    #[test]
+    fn pct_finds_it_at_depth_two() {
+        let expl = Explorer::new(Mode::Pct {
+            seed: 3,
+            depth: 2,
+            schedules: 500,
+        });
+        let exploration = expl.explore(claim_race_scenario);
+        assert!(exploration.failure.is_some(), "pct(d=2) finds the race");
+    }
+
+    #[test]
+    fn minimized_schedule_still_fails_and_is_shorter() {
+        let expl = Explorer::new(Mode::Random {
+            seed: 11,
+            schedules: 500,
+        });
+        let found = expl
+            .explore(claim_race_scenario)
+            .failure
+            .expect("race found");
+        let min = minimize(
+            &found.schedule,
+            "panic",
+            DEFAULT_MAX_STEPS,
+            claim_race_scenario,
+        );
+        assert!(min.len() <= found.schedule.len());
+        let res = replay(&min, DEFAULT_MAX_STEPS, claim_race_scenario);
+        assert!(
+            matches!(res.failure, Some(Failure::Panic { .. })),
+            "minimized schedule lost the failure: {}",
+            render_trace(&res)
+        );
+    }
+
+    #[test]
+    fn clean_scenario_explores_exhaustively_without_failure() {
+        // Same shape but properly locked: check-then-set under one guard.
+        let scenario = || {
+            let slot = Arc::new(TrackedMutex::new(LockClass::new("model.test.slot2"), false));
+            let winners = Arc::new(TrackedMutex::new(
+                LockClass::new("model.test.winners2"),
+                0u32,
+            ));
+            for t in 0..2 {
+                let slot = Arc::clone(&slot);
+                let winners = Arc::clone(&winners);
+                spawn(&format!("claimer-{t}"), move || {
+                    let mut s = slot.lock();
+                    if !*s {
+                        *s = true;
+                        drop(s);
+                        let mut w = winners.lock();
+                        *w += 1;
+                        assert!(*w <= 1, "both claimers won the slot");
+                    }
+                });
+            }
+        };
+        let expl = Explorer::new(Mode::Exhaustive {
+            max_schedules: 20_000,
+        });
+        let exploration = expl.explore(scenario);
+        assert!(exploration.failure.is_none());
+        assert!(
+            exploration.complete,
+            "fixed scenario should be exhaustively verified ({} schedules)",
+            exploration.schedules
+        );
+    }
+
+    #[test]
+    fn render_trace_names_the_racing_sites() {
+        let expl = Explorer::new(Mode::Random {
+            seed: 7,
+            schedules: 500,
+        });
+        let found = expl
+            .explore(claim_race_scenario)
+            .failure
+            .expect("race found");
+        let txt = render_trace(&found.result);
+        assert!(txt.contains("replay seed"));
+        assert!(txt.contains("claim.window"));
+        assert!(txt.contains("last step per thread"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `pmp-model` — deterministic concurrency model checking for the
+//! PolarDB-MP reproduction (DESIGN.md §14).
+//!
+//! The runtime (cooperative scheduler, virtual blocking, deterministic
+//! timeouts) lives in `pmp_common::sync::model` so the tracked primitives
+//! can reach it without a dependency cycle; this crate supplies the
+//! *exploration* half:
+//!
+//! * [`RandomChooser`] — seeded uniform random walk over the schedule tree,
+//! * [`PctChooser`] — PCT-style priority schedules with `d` preemption
+//!   points (finds depth-`d` ordering bugs with provable probability),
+//! * [`Explorer`] with [`Mode::Exhaustive`] — bounded DFS over every
+//!   branch-point decision for small scenarios,
+//! * [`replay`] / [`ReplayChooser`] — single-seed reproduction from a
+//!   recorded decision vector,
+//! * [`minimize`] — greedy schedule shrinking for check-in-able regression
+//!   seeds,
+//! * [`render_trace`] — failing-schedule printer: thread × yield-point
+//!   history plus each thread's last step (the racing acquisition sites).
+//!
+//! The scenario corpus lives in `crates/model/tests/`; every scenario is an
+//! executable model of one historically racy engine hot spot, with the
+//! buggy pre-fix variant kept alongside the fixed one as a regression
+//! oracle.
+//!
+//! Everything is feature-gated: without `--features model` this crate is
+//! empty and costs nothing.
+
+#[cfg(feature = "model")]
+mod checker;
+
+#[cfg(feature = "model")]
+pub use checker::*;

@@ -1,0 +1,221 @@
+//! Scenario: scheduler park/wake vs the deadline-timer backstop at stop().
+//!
+//! Models `engine/scheduler.rs`: a parked task's only wake source is a
+//! deadline timer armed via `park_deadline`, while another thread runs
+//! `Scheduler::stop` (set `stopped`, wake the timer thread, join it, drain
+//! stragglers).
+//!
+//! The pre-fix engine checked `stopped` *outside* the timer-heap lock, so
+//! the interleaving
+//!
+//! 1. `park_deadline` samples `stopped == false`,
+//! 2. `stop` sets `stopped`, the timer thread drains an empty heap and
+//!    exits, `stop` joins it and returns,
+//! 3. `park_deadline` pushes into the now-dead heap,
+//!
+//! leaves the parked task waiting on a timer that can never fire — the
+//! model reports it as a [`Failure::Deadlock`]. The fix (this PR, in
+//! `engine/scheduler.rs`) re-checks `stopped` under the heap lock and has
+//! `stop` drain-and-wake whatever is left after joining the timer thread;
+//! the fixed variant here mirrors both halves.
+
+#![cfg(feature = "model")]
+
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
+use pmp_model::{
+    render_trace, replay, sched_point, spawn, Explorer, Failure, Mode, DEFAULT_MAX_STEPS,
+};
+use std::sync::Arc;
+
+const TIMERS: LockClass = LockClass::new("model.sched.timers");
+const PSTATE: LockClass = LockClass::new("model.sched.parker");
+
+const EMPTY: u8 = 0;
+const NOTIFIED: u8 = 2;
+
+struct TimerState {
+    stopped: bool,
+    /// Armed backstop deadlines (parker ids; one parker here).
+    heap: Vec<u32>,
+    timer_exited: bool,
+}
+
+struct World {
+    timers: TrackedMutex<TimerState>,
+    timer_cv: TrackedCondvar,
+    parker: TrackedMutex<u8>,
+    parker_cv: TrackedCondvar,
+}
+
+fn wake(w: &World) {
+    let mut s = w.parker.lock();
+    *s = NOTIFIED;
+    w.parker_cv.notify_all();
+}
+
+/// `Parker::park_deadline`. The deadline itself is far in the future; the
+/// only in-model fire paths are the drains at stop time, which is exactly
+/// the shutdown guarantee under test.
+fn park_deadline(w: &World, fixed: bool) {
+    if fixed {
+        // Post-fix: decide under the same lock the drains hold.
+        let mut t = w.timers.lock();
+        if t.stopped {
+            drop(t);
+            wake(w);
+        } else {
+            t.heap.push(1);
+            w.timer_cv.notify_all();
+        }
+    } else {
+        // Pre-fix: `stopped` sampled outside the heap lock (the engine
+        // used an atomic load), then the push — the historical window.
+        let stopped = w.timers.lock().stopped;
+        if !stopped {
+            sched_point("parker.deadline-window");
+            w.timers.lock().heap.push(1);
+            w.timer_cv.notify_all();
+        } else {
+            wake(w);
+        }
+    }
+}
+
+fn scenario(fixed: bool) {
+    let w = Arc::new(World {
+        timers: TrackedMutex::new(
+            TIMERS,
+            TimerState {
+                stopped: false,
+                heap: Vec::new(),
+                timer_exited: false,
+            },
+        ),
+        timer_cv: TrackedCondvar::new(),
+        parker: TrackedMutex::new(PSTATE, EMPTY),
+        parker_cv: TrackedCondvar::new(),
+    });
+
+    // The parked task: its only wake source is the timer backstop.
+    {
+        let w = Arc::clone(&w);
+        spawn("task", move || {
+            let mut s = w.parker.lock();
+            while *s != NOTIFIED {
+                w.parker_cv.wait(&mut s);
+            }
+        });
+    }
+
+    {
+        let w = Arc::clone(&w);
+        spawn("deadline", move || park_deadline(&w, fixed));
+    }
+
+    // `SchedInner::timer_loop`: sleeps until stop (deadlines are distant),
+    // then fires everything outstanding and exits.
+    {
+        let w = Arc::clone(&w);
+        spawn("timer", move || {
+            let due = {
+                let mut t = w.timers.lock();
+                while !t.stopped {
+                    w.timer_cv.wait(&mut t);
+                }
+                let due = std::mem::take(&mut t.heap);
+                t.timer_exited = true;
+                w.timer_cv.notify_all();
+                due
+            };
+            for _ in due {
+                wake(&w);
+            }
+        });
+    }
+
+    // `Scheduler::stop`: flag, wake the timer thread, join it, and (fixed)
+    // drain-and-wake whatever raced in after the timer thread's drain.
+    {
+        let w = Arc::clone(&w);
+        spawn("stopper", move || {
+            let due = {
+                let mut t = w.timers.lock();
+                t.stopped = true;
+                w.timer_cv.notify_all();
+                while !t.timer_exited {
+                    w.timer_cv.wait(&mut t);
+                }
+                if fixed {
+                    std::mem::take(&mut t.heap)
+                } else {
+                    Vec::new()
+                }
+            };
+            for _ in due {
+                wake(&w);
+            }
+        });
+    }
+}
+
+#[test]
+fn fixed_stop_survives_random_sweep() {
+    let expl = Explorer::new(Mode::Random {
+        seed: 0x5c4ed,
+        schedules: 300,
+    });
+    let out = expl.explore(|| scenario(true));
+    assert!(
+        out.failure.is_none(),
+        "fixed stop must leave no parked task behind:\n{}",
+        render_trace(&out.failure.unwrap().result)
+    );
+}
+
+#[test]
+fn fixed_stop_survives_pct_sweep() {
+    let expl = Explorer::new(Mode::Pct {
+        seed: 0x5c4,
+        depth: 3,
+        schedules: 300,
+    });
+    assert!(expl.explore(|| scenario(true)).failure.is_none());
+}
+
+#[test]
+fn prefix_stop_loses_the_backstop_wake() {
+    let expl = Explorer::new(Mode::Random {
+        seed: 0x5c5,
+        schedules: 1_000,
+    });
+    let found = expl
+        .explore(|| scenario(false))
+        .failure
+        .expect("pre-fix stop must strand the parked task");
+    match &found.result.failure {
+        Some(Failure::Deadlock { blocked }) => {
+            assert!(
+                blocked.iter().any(|b| b.contains("task")),
+                "deadlock does not strand the task: {blocked:?}"
+            );
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+    // Single-seed reproduction from the recorded schedule.
+    let res = replay(&found.schedule, DEFAULT_MAX_STEPS, || scenario(false));
+    assert!(
+        matches!(res.failure, Some(Failure::Deadlock { .. })),
+        "schedule did not replay:\n{}",
+        render_trace(&res)
+    );
+}
+
+#[test]
+#[ignore = "longer randomized sweep; run explicitly with --ignored"]
+fn long_randomized_sweep() {
+    let expl = Explorer::new(Mode::Random {
+        seed: 0x5cff,
+        schedules: 20_000,
+    });
+    assert!(expl.explore(|| scenario(true)).failure.is_none());
+}

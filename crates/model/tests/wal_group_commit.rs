@@ -1,0 +1,168 @@
+//! Scenario: WAL group-commit window vs crash truncation.
+//!
+//! Models the leader/rider group-commit protocol from `engine/wal.rs`: a
+//! committer appends, then forces its LSN; one force caller becomes the
+//! sync leader (writes the tail out with the lock dropped), the rest ride
+//! on the condvar. A crash can land while the leader is off-lock in the
+//! sync window.
+//!
+//! Two properties:
+//! * **No crash-hang**: once `crashed` is set, every force call must return
+//!   (with an error) rather than retry forever. The buggy variant keeps
+//!   re-electing a leader whose sync can never advance `durable`, which the
+//!   model flags as a [`Failure::StepLimit`] livelock.
+//! * **Acked ⊆ durable**: a committer whose force returned `Ok` asserts its
+//!   LSN is actually durable — a sync window cut short by the crash must
+//!   not ack.
+
+#![cfg(feature = "model")]
+
+use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
+use pmp_model::{render_trace, sched_point, spawn, Explorer, Failure, Mode};
+use std::sync::Arc;
+
+const WAL: LockClass = LockClass::new("model.wal.state");
+
+#[derive(Default)]
+struct Wal {
+    tail: u64,
+    durable: u64,
+    syncing: bool,
+    crashed: bool,
+}
+
+struct Shared {
+    wal: TrackedMutex<Wal>,
+    cv: TrackedCondvar,
+}
+
+fn append(sh: &Shared) -> u64 {
+    let mut g = sh.wal.lock();
+    g.tail += 1;
+    g.tail
+}
+
+/// Force `lsn` durable. `fixed` controls whether a crash aborts the wait
+/// (post-fix) or the caller keeps retrying the window (pre-fix hang).
+fn force(sh: &Shared, lsn: u64, fixed: bool) -> Result<(), ()> {
+    let mut g: TrackedMutexGuard<'_, Wal> = sh.wal.lock();
+    loop {
+        if g.durable >= lsn {
+            return Ok(());
+        }
+        if g.crashed && fixed {
+            return Err(());
+        }
+        if !g.syncing {
+            // Become the sync leader: snapshot the tail, write it out with
+            // the lock dropped (the historical crash window), re-take the
+            // lock and publish.
+            g.syncing = true;
+            let to = g.tail;
+            drop(g);
+            sched_point("wal.sync-window");
+            g = sh.wal.lock();
+            g.syncing = false;
+            if !g.crashed {
+                g.durable = g.durable.max(to);
+            }
+            sh.cv.notify_all();
+        } else {
+            // Ride: wait for the leader's publish (or the crash broadcast).
+            sh.cv.wait(&mut g);
+        }
+    }
+}
+
+fn scenario(fixed: bool) {
+    let sh = Arc::new(Shared {
+        wal: TrackedMutex::new(WAL, Wal::default()),
+        cv: TrackedCondvar::new(),
+    });
+
+    for t in 0..2 {
+        let sh = Arc::clone(&sh);
+        spawn(&format!("committer-{t}"), move || {
+            let lsn = append(&sh);
+            if force(&sh, lsn, fixed).is_ok() {
+                let g = sh.wal.lock();
+                assert!(
+                    g.durable >= lsn,
+                    "acked commit not durable: lsn={lsn} durable={}",
+                    g.durable
+                );
+            }
+        });
+    }
+
+    {
+        let sh = Arc::clone(&sh);
+        spawn("crasher", move || {
+            sched_point("wal.crash-point");
+            let mut g = sh.wal.lock();
+            g.crashed = true;
+            // Truncate the unsynced tail back to the durable prefix.
+            g.tail = g.durable;
+            sh.cv.notify_all();
+        });
+    }
+}
+
+/// The retry loop is tight, so a modest budget separates livelock from the
+/// legitimate schedules (tens of steps).
+const STEP_BUDGET: usize = 800;
+
+#[test]
+fn fixed_force_survives_random_sweep() {
+    let mut expl = Explorer::new(Mode::Random {
+        seed: 0x3a1,
+        schedules: 300,
+    });
+    expl.max_steps = STEP_BUDGET;
+    let out = expl.explore(|| scenario(true));
+    assert!(
+        out.failure.is_none(),
+        "fixed force must neither hang nor over-ack:\n{}",
+        render_trace(&out.failure.unwrap().result)
+    );
+}
+
+#[test]
+fn fixed_force_survives_pct_sweep() {
+    let mut expl = Explorer::new(Mode::Pct {
+        seed: 0x3a2,
+        depth: 3,
+        schedules: 300,
+    });
+    expl.max_steps = STEP_BUDGET;
+    assert!(expl.explore(|| scenario(true)).failure.is_none());
+}
+
+#[test]
+fn buggy_force_livelocks_after_crash() {
+    let mut expl = Explorer::new(Mode::Random {
+        seed: 0x3a3,
+        schedules: 500,
+    });
+    expl.max_steps = STEP_BUDGET;
+    let found = expl
+        .explore(|| scenario(false))
+        .failure
+        .expect("pre-fix force must be caught retrying forever after the crash");
+    assert!(
+        matches!(found.result.failure, Some(Failure::StepLimit { .. })),
+        "expected a step-limit livelock, got:\n{}",
+        render_trace(&found.result)
+    );
+}
+
+#[test]
+#[ignore = "longer randomized sweep; run explicitly with --ignored"]
+fn long_randomized_sweep() {
+    let mut expl = Explorer::new(Mode::Random {
+        seed: 0x3aff,
+        schedules: 10_000,
+    });
+    expl.max_steps = STEP_BUDGET;
+    assert!(expl.explore(|| scenario(true)).failure.is_none());
+}

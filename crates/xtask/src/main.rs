@@ -58,7 +58,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 9] = [
+const RULES: [&str; 10] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
@@ -68,6 +68,7 @@ const RULES: [&str; 9] = [
     "sequential-fanout",
     "undo-reconstruction",
     "blocking-wait-in-scheduler",
+    "relaxed-atomic",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
@@ -111,6 +112,14 @@ const SCHED_BLOCKING_BANNED: [&str; 2] = [
     "crates/engine/src/scheduler.rs",
     "crates/engine/src/session.rs",
 ];
+
+/// `Ordering::Relaxed` needs a justification where cross-thread protocols
+/// live: the engine, and the tracked-sync layer itself. Relaxed is correct
+/// for monotonic counters and statistics, but on a flag or handoff it is
+/// exactly the kind of bug the model checker exists to catch — each use
+/// must say which kind it is.
+const RELAXED_BANNED_DIR: &str = "crates/engine/src/";
+const RELAXED_BANNED_FILES: [&str; 1] = ["crates/common/src/sync.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Violation {
@@ -212,6 +221,8 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let undo_walk_banned =
         rel_path.starts_with(UNDO_WALK_BANNED) && !UNDO_WALK_ALLOWED_FILES.contains(&rel_path);
     let sched_blocking_banned = SCHED_BLOCKING_BANNED.contains(&rel_path);
+    let relaxed_banned =
+        rel_path.starts_with(RELAXED_BANNED_DIR) || RELAXED_BANNED_FILES.contains(&rel_path);
 
     let mut file_allows: Vec<&'static str> = Vec::new();
     for line in &lines {
@@ -384,6 +395,17 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
                  transactions must release their worker thread — park on the \
                  scheduler (or add a documented allow naming why this thread \
                  may block)"
+                    .into(),
+            );
+        }
+
+        if relaxed_banned && code.contains("Ordering::Relaxed") {
+            report(
+                "relaxed-atomic",
+                "Ordering::Relaxed on an engine/sync atomic; if this is a \
+                 statistic or monotonic counter say so with an allow, \
+                 otherwise use Acquire/Release — a relaxed flag or handoff \
+                 is invisible to other threads' ordering"
                     .into(),
             );
         }
@@ -793,6 +815,35 @@ mod tests {
         assert_eq!(
             rules_hit("crates/engine/src/scheduler.rs", no_reason),
             vec!["blocking-wait-in-scheduler"]
+        );
+    }
+
+    #[test]
+    fn relaxed_atomic_needs_justification_in_engine_and_sync() {
+        let bad = "self.stopped.store(true, Ordering::Relaxed);\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/tso_client.rs", bad),
+            vec!["relaxed-atomic"]
+        );
+        assert_eq!(
+            rules_hit("crates/common/src/sync.rs", bad),
+            vec!["relaxed-atomic"]
+        );
+        // Outside the scoped paths the rule does not apply.
+        assert!(rules_hit("crates/rdma/src/fabric.rs", bad).is_empty());
+        assert!(rules_hit("crates/common/src/hist.rs", bad).is_empty());
+        // A documented counter is fine, same line or preceding line.
+        let ok = "self.hits.fetch_add(1, Ordering::Relaxed); \
+                  // lint: allow(relaxed-atomic): statistics counter\n";
+        assert!(rules_hit("crates/engine/src/lbp.rs", ok).is_empty());
+        let prev = "// lint: allow(relaxed-atomic): monotonic id allocator\n\
+                    let id = self.next.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(rules_hit("crates/engine/src/wal.rs", prev).is_empty());
+        // An allow without a reason still reports.
+        let no_reason = "x.load(Ordering::Relaxed); // lint: allow(relaxed-atomic):\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/node.rs", no_reason),
+            vec!["relaxed-atomic"]
         );
     }
 
