@@ -180,9 +180,9 @@ mod tests {
 
     #[test]
     fn lock_cache_regrants_and_releases() {
-        let fusion = Arc::new(PLockFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
-        ))));
+        let fusion = Arc::new(PLockFusion::new(Arc::new(
+            pmp_repl::ReplicatedFabric::single(Arc::new(Fabric::new(LatencyConfig::disabled()))),
+        )));
         let cache = LockCache::new(NodeId(1), Arc::clone(&fusion), Duration::from_secs(1));
         let p = PageId(9);
         cache.acquire(p, PLockMode::S).unwrap();

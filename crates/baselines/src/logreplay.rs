@@ -143,7 +143,10 @@ const COMPACT_THRESHOLD: usize = 256;
 impl LogReplayCluster {
     pub fn new(nodes: usize, latency: LatencyConfig, storage: StorageLatencyConfig) -> Self {
         let fabric = Arc::new(Fabric::new(latency));
-        let plock = Arc::new(PLockFusion::new(Arc::clone(&fabric)));
+        // Baselines run unreplicated: the facade is a passthrough.
+        let plock = Arc::new(PLockFusion::new(Arc::new(
+            pmp_repl::ReplicatedFabric::single(Arc::clone(&fabric)),
+        )));
         LogReplayCluster {
             latency_scale: if latency.enabled { latency.scale } else { 0.0 },
             storage_cfg: storage,

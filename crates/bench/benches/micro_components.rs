@@ -17,14 +17,21 @@ use pmp_engine::page::Page;
 use pmp_engine::redo::{RedoOp, RedoRecord};
 use pmp_pmfs::{BufferFusion, PLockFusion, PLockMode, TitRegion, TxnFusion};
 use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 use pmp_storage::PageStore;
 
 fn realistic_fabric() -> Arc<Fabric> {
     Arc::new(Fabric::new(LatencyConfig::realistic()))
 }
 
+/// Unreplicated facade (`replicas = 1`): the micro costs below are the raw
+/// fusion-verb charges, without replication fan-out.
+fn realistic_repl() -> Arc<ReplicatedFabric> {
+    Arc::new(ReplicatedFabric::single(realistic_fabric()))
+}
+
 fn bench_tso(c: &mut Criterion) {
-    let fusion = TxnFusion::new(realistic_fabric());
+    let fusion = TxnFusion::new(realistic_repl());
     c.bench_function("tso/next_cts (one-sided FAA)", |b| {
         b.iter(|| std::hint::black_box(fusion.next_cts()))
     });
@@ -34,8 +41,9 @@ fn bench_tso(c: &mut Criterion) {
 }
 
 fn bench_tit(c: &mut Criterion) {
-    let fusion = TxnFusion::new(realistic_fabric());
-    let region = Arc::new(TitRegion::new(NodeId(1), 128));
+    let repl = realistic_repl();
+    let fusion = TxnFusion::new(Arc::clone(&repl));
+    let region = Arc::new(TitRegion::new(repl, NodeId(1), 128));
     fusion.register_region(Arc::clone(&region));
     let (slot, version) = region.allocate().unwrap();
     region.commit(slot, Cts(42));
@@ -55,8 +63,7 @@ fn bench_tit(c: &mut Criterion) {
 
 fn bench_plock(c: &mut Criterion) {
     use pmp_engine::plock_local::{LocalPLocks, NegotiationHandler};
-    let fabric = realistic_fabric();
-    let fusion = Arc::new(PLockFusion::new(Arc::clone(&fabric)));
+    let fusion = Arc::new(PLockFusion::new(realistic_repl()));
     let lazy = LocalPLocks::new(NodeId(1), Arc::clone(&fusion), true, Duration::from_secs(1));
     fusion.register_node(NodeId(1), NegotiationHandler::new(Arc::clone(&lazy)));
     // Prime: hold once so re-grants are local.
@@ -78,8 +85,7 @@ fn bench_plock(c: &mut Criterion) {
 }
 
 fn bench_page_transfer(c: &mut Criterion) {
-    let fabric = realistic_fabric();
-    let dbp: BufferFusion<Page> = BufferFusion::new(Arc::clone(&fabric), 4096, 16 * 1024);
+    let dbp: BufferFusion<Page> = BufferFusion::new(realistic_repl(), 4096, 16 * 1024);
     let page = Arc::new(Page::new_leaf(PageId(7)));
     let flag = Arc::new(std::sync::atomic::AtomicBool::new(true));
     dbp.register_push(NodeId(1), PageId(7), Arc::clone(&page), Llsn(1), flag);
@@ -122,11 +128,10 @@ fn bench_undo(c: &mut Criterion) {
 fn bench_ref_flag(c: &mut Criterion) {
     use pmp_pmfs::TitRegion;
     use pmp_rdma::Locality;
-    let fabric = realistic_fabric();
-    let region = TitRegion::new(NodeId(1), 16);
+    let region = TitRegion::new(realistic_repl(), NodeId(1), 16);
     let (slot, _) = region.allocate().unwrap();
     c.bench_function("rlock/ref-flag FAA (Figure 6 step 1)", |b| {
-        b.iter(|| std::hint::black_box(region.add_ref(&fabric, slot, Locality::Remote)))
+        b.iter(|| std::hint::black_box(region.add_ref(slot, Locality::Remote)))
     });
 }
 

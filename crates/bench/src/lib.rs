@@ -651,4 +651,100 @@ mod tests {
             cluster.shutdown();
         }
     }
+
+    /// PMFS replication probe (EXPERIMENTS.md §PMFS replication): commit
+    /// latency with fusion-server writes fanned to 1/2/3 replicas, the time
+    /// to resync a crashed PMFS replica back to UP, and node-crash recovery
+    /// time while a replica is down (recovery re-seats TIT/PLock/TSO/DBP
+    /// state through the surviving replicas).
+    #[test]
+    #[ignore] // probe: replication write overhead + crash-recovery time
+    fn pmfs_crash_recovery_probe() {
+        const COMMITS: u64 = 300;
+        const DEGRADED: u64 = 50;
+
+        let mut report = Report::new(
+            "pmfs_replication",
+            "PMFS replication: write overhead and recovery (latency scale 1)",
+        );
+        let mut base_mean_us = 0.0;
+        for (replicas, quorum) in [(1usize, 1usize), (2, 1), (3, 2)] {
+            let mut config = ClusterConfig::bench(2, 1.0);
+            config.replicas = replicas;
+            config.repl_quorum = quorum;
+            let cluster = Cluster::builder().config(config).build();
+            let t = cluster.create_table("t", 1, &[]).unwrap();
+            let e0 = cluster.node(0);
+
+            // Write-latency overhead: every PMFS verb in the commit path
+            // (CTS fetch, TIT publish, lock fan-out) now writes R replicas.
+            let mut lat_us: Vec<u64> = Vec::with_capacity(COMMITS as usize);
+            for k in 0..COMMITS {
+                let start = std::time::Instant::now();
+                commit_one_key(&e0, t, k);
+                lat_us.push(start.elapsed().as_micros() as u64);
+            }
+            lat_us.sort_unstable();
+            let mean_us = lat_us.iter().sum::<u64>() as f64 / lat_us.len() as f64;
+            if replicas == 1 {
+                base_mean_us = mean_us;
+            }
+            let overhead = if base_mean_us > 0.0 {
+                format!("{:+5.1}%", (mean_us / base_mean_us - 1.0) * 100.0)
+            } else {
+                "    -".into()
+            };
+
+            // PMFS-replica crash: commit through the degraded group, then
+            // time the JOINING→UP resync (copy-back by max version tag).
+            let victim = replicas - 1;
+            let mut committed = COMMITS;
+            let replica_resync = if replicas > 1 {
+                assert!(cluster.crash_pmfs_replica(victim), "replica must die");
+                for k in COMMITS..COMMITS + DEGRADED {
+                    commit_one_key(&e0, t, k);
+                }
+                committed += DEGRADED;
+                let start = std::time::Instant::now();
+                assert!(cluster.recover_pmfs_replica(victim));
+                format!("{:>8.2?}", start.elapsed())
+            } else {
+                "     n/a".into()
+            };
+
+            // Node crash with one replica down (where the group allows it):
+            // ARIES replay plus re-seating TIT/PLock/TSO through survivors.
+            if replicas > 2 {
+                assert!(cluster.crash_pmfs_replica(victim));
+            }
+            cluster.crash_node(0);
+            let start = std::time::Instant::now();
+            let rec = cluster.recover_node(0).expect("node recovery");
+            let node_recovery = start.elapsed();
+            if replicas > 2 {
+                assert!(cluster.recover_pmfs_replica(victim));
+            }
+
+            let snap = cluster.stats();
+            report.line(format!(
+                "replicas={replicas} quorum={quorum} | commit mean={mean_us:>6.0}us \
+                 p50={}us p99={}us ({overhead} vs R=1) | replica resync: {replica_resync} \
+                 | node recovery{}: {:>8.2?} (scanned={} applied={}) \
+                 | repl writes/commit={:.1}",
+                lat_us[lat_us.len() / 2],
+                lat_us[lat_us.len() * 99 / 100],
+                if replicas > 2 {
+                    " (1 replica down)"
+                } else {
+                    ""
+                },
+                node_recovery,
+                rec.records_scanned,
+                rec.page_records_applied,
+                snap.repl.replicated_writes as f64 / committed as f64,
+            ));
+            cluster.shutdown();
+        }
+        report.save();
+    }
 }

@@ -272,6 +272,13 @@ pub struct ClusterConfig {
     pub dbp_capacity: usize,
     /// Interval of the Lock Fusion deadlock detector in ms (§4.3.2).
     pub deadlock_interval_ms: u64,
+    /// PMFS replica count (DESIGN.md §15). With 1 the fusion server is a
+    /// passive singleton; with 2–3 every PMFS write fans in place to each
+    /// replica (SWARM-style) and acked state survives a replica crash.
+    pub replicas: usize,
+    /// Minimum number of live PMFS replicas required to keep serving.
+    /// `replicas = 3, repl_quorum = 2` survives any single replica crash.
+    pub repl_quorum: usize,
 }
 
 impl ClusterConfig {
@@ -284,6 +291,8 @@ impl ClusterConfig {
             engine: EngineConfig::default(),
             dbp_capacity: 262_144,
             deadlock_interval_ms: 5,
+            replicas: 1,
+            repl_quorum: 1,
         }
     }
 
@@ -297,6 +306,8 @@ impl ClusterConfig {
             engine: EngineConfig::default(),
             dbp_capacity: 262_144,
             deadlock_interval_ms: 5,
+            replicas: 1,
+            repl_quorum: 1,
         }
     }
 }

@@ -13,8 +13,8 @@ use pmp_engine::{AsyncSession, NodeEngine};
 use crate::session::Session;
 use crate::stats::{
     BufferFusionSection, CommitStagesSection, FabricSection, IoSection, LockFusionSection,
-    NodeSection, ReadPathSection, RowWaitsSection, SchedulerSection, StatsSnapshot, StorageSection,
-    WalGroupSection,
+    NodeSection, ReadPathSection, ReplSection, RowWaitsSection, SchedulerSection, StatsSnapshot,
+    StorageSection, WalGroupSection,
 };
 
 /// Cluster node roster (admin paths: scale-out/in, stats, recovery).
@@ -286,6 +286,19 @@ impl Cluster {
                 rpcs: f.rpcs.get(),
                 batched_ops: f.batched_ops.get(),
             },
+            repl: {
+                let rp = sh.repl.snapshot();
+                ReplSection {
+                    replicas: rp.replicas as u64,
+                    alive: rp.alive as u64,
+                    replicated_writes: rp.replicated_writes,
+                    single_replica_reads: rp.single_replica_reads,
+                    majority_reads: rp.majority_reads,
+                    conflicts_resolved: rp.conflicts_resolved,
+                    evictions: rp.evictions,
+                    recoveries: rp.recoveries,
+                }
+            },
         }
     }
 
@@ -322,6 +335,23 @@ impl Cluster {
     /// Crash node `i` (volatile state lost, fusion-side locks frozen).
     pub fn crash_node(&self, i: usize) {
         self.node(i).crash();
+    }
+
+    /// Crash PMFS replica `i`: its health flips to down (counted as an
+    /// eviction) and its copy of every replicated cell is scrambled, so
+    /// any read that consulted it alone would see garbage. With
+    /// `replicas = 3, repl_quorum = 2` the cluster keeps serving from the
+    /// survivors. Returns false if `i` is out of range or already down.
+    pub fn crash_pmfs_replica(&self, i: usize) -> bool {
+        self.shared.repl.crash_replica(i)
+    }
+
+    /// Re-seat PMFS replica `i` from the survivors: every replicated cell
+    /// (TIT slots, TSO high-water mark, PLock cells, DBP directory tags)
+    /// is copied back from the freshest live copy, then the replica
+    /// rejoins the write fan-out. Returns false if `i` was not down.
+    pub fn recover_pmfs_replica(&self, i: usize) -> bool {
+        self.shared.repl.recover_replica(i)
     }
 
     /// Recover a crashed node in place. Returns recovery statistics.
@@ -525,6 +555,8 @@ mod tests {
             "row waits",
             "storage:",
             "batched_ops=",
+            "repl:",
+            "replicated_writes=",
         ] {
             assert!(
                 report.contains(needle),

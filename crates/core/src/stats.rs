@@ -20,6 +20,7 @@ pub struct StatsSnapshot {
     pub row_waits: RowWaitsSection,
     pub storage: StorageSection,
     pub fabric: FabricSection,
+    pub repl: ReplSection,
 }
 
 /// One primary node's meters.
@@ -154,6 +155,26 @@ pub struct FabricSection {
     pub batched_ops: u64,
 }
 
+/// PMFS replication layer (DESIGN.md §15).
+#[derive(Debug, Clone, Default)]
+pub struct ReplSection {
+    /// Configured replica count and how many are currently up.
+    pub replicas: u64,
+    pub alive: u64,
+    /// Mutations fanned to backups (0 when `replicas = 1`).
+    pub replicated_writes: u64,
+    /// Reads served from one replica (the fast path).
+    pub single_replica_reads: u64,
+    /// Reads that sampled a quorum of replicas.
+    pub majority_reads: u64,
+    /// Majority reads that saw divergent replicas and resolved by tag.
+    pub conflicts_resolved: u64,
+    /// Replicas marked down after a crash.
+    pub evictions: u64,
+    /// Replicas re-seated from survivors.
+    pub recoveries: u64,
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "nodes: {}", self.nodes.len())?;
@@ -225,6 +246,13 @@ impl fmt::Display for StatsSnapshot {
             "storage: page_reads={} page_writes={} | fabric: reads={} writes={} atomics={} rpcs={} batched_ops={}",
             st.page_reads, st.page_writes,
             fb.reads, fb.writes, fb.atomics, fb.rpcs, fb.batched_ops,
+        )?;
+        let rp = &self.repl;
+        writeln!(
+            f,
+            "repl: replicas={} alive={} replicated_writes={} single_replica_reads={} majority_reads={} conflicts_resolved={} evictions={} recoveries={}",
+            rp.replicas, rp.alive, rp.replicated_writes, rp.single_replica_reads,
+            rp.majority_reads, rp.conflicts_resolved, rp.evictions, rp.recoveries,
         )?;
         Ok(())
     }

@@ -463,8 +463,8 @@ impl Lbp {
                 let Some(Slot::Ready(frame)) = map.get(&id) else {
                     continue;
                 };
+                // lint: allow(relaxed-atomic): advisory clock-hand reference bit; a stale read only skews eviction choice
                 if frame.referenced.swap(false, Ordering::Relaxed) {
-                    // lint: allow(relaxed-atomic): advisory clock-hand reference bit; a stale read only skews eviction choice
                     continue; // second chance
                 }
                 if frame.is_dirty() {

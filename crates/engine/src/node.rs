@@ -193,7 +193,11 @@ impl NodeEngine {
 
     fn build(shared: Arc<Shared>, node: NodeId) -> Arc<NodeEngine> {
         let cfg = shared.config.engine;
-        let tit = Arc::new(TitRegion::new(node, cfg.tit_slots));
+        let tit = Arc::new(TitRegion::new(
+            Arc::clone(&shared.repl),
+            node,
+            cfg.tit_slots,
+        ));
 
         let plocks = LocalPLocks::new(
             node,
@@ -613,6 +617,19 @@ impl NodeEngine {
         if self.draining.load(Ordering::Acquire) {
             return Err(PmpError::NodeUnavailable { node: self.node });
         }
+        // PMFS quorum gate: with too many replicas down every fusion verb
+        // would read a potentially-stale minority — refuse new transactions
+        // until an operator re-seats a replica (DESIGN.md §15).
+        if !self.shared.repl.quorum_ok() {
+            return Err(PmpError::FusionUnavailable {
+                detail: format!(
+                    "PMFS replica quorum lost ({}/{} alive, quorum {})",
+                    self.shared.repl.alive_replicas(),
+                    self.shared.repl.replicas(),
+                    self.shared.repl.quorum(),
+                ),
+            });
+        }
         let trx_id = TrxId(self.next_trx.fetch_add(1, Ordering::Relaxed)); // lint: allow(relaxed-atomic): monotonic transaction-id allocator
                                                                            // Slot exhaustion: wait on the TIT free-list condvar (woken by every
                                                                            // release) instead of polling — a freed slot is picked up
@@ -771,7 +788,7 @@ impl NodeEngine {
 
         // Refresh our cache of peers' published values: every peer's cell
         // reads through one doorbell batch (one charged round trip).
-        let mut batch = self.shared.fabric.batch();
+        let mut batch = self.shared.repl.batch();
         for peer in fusion.nodes() {
             if peer == self.node {
                 continue;

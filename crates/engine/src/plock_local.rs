@@ -598,9 +598,9 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn setup(lazy: bool) -> (Arc<PLockFusion>, Arc<LocalPLocks>, Arc<LocalPLocks>) {
-        let fusion = Arc::new(PLockFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
-        ))));
+        let fusion = Arc::new(PLockFusion::new(Arc::new(
+            pmp_repl::ReplicatedFabric::single(Arc::new(Fabric::new(LatencyConfig::disabled()))),
+        )));
         let a = LocalPLocks::new(NodeId(1), Arc::clone(&fusion), lazy, Duration::from_secs(5));
         let b = LocalPLocks::new(NodeId(2), Arc::clone(&fusion), lazy, Duration::from_secs(5));
         fusion.register_node(NodeId(1), NegotiationHandler::new(Arc::clone(&a)));

@@ -10,6 +10,7 @@ use pmp_common::{ClusterConfig, PageId, PmpError, Result, TableId};
 use pmp_pmfs::buffer::EvictionSink;
 use pmp_pmfs::Pmfs;
 use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 use pmp_storage::SharedStorage;
 
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -129,6 +130,9 @@ impl EvictionSink<Page> for StorageSink {
 pub struct Shared {
     pub config: ClusterConfig,
     pub fabric: Arc<Fabric>,
+    /// Replication facade every PMFS verb goes through (DESIGN.md §15).
+    /// With `config.replicas = 1` it is a transparent passthrough.
+    pub repl: Arc<ReplicatedFabric>,
     pub pmfs: Pmfs<Page>,
     pub storage: Arc<SharedStorage<Page>>,
     pub undo: Arc<UndoStore>,
@@ -138,14 +142,20 @@ pub struct Shared {
 impl Shared {
     pub fn new(config: ClusterConfig) -> Arc<Self> {
         let fabric = Arc::new(Fabric::new(config.latency));
+        let repl = Arc::new(ReplicatedFabric::new(
+            Arc::clone(&fabric),
+            config.replicas,
+            config.repl_quorum,
+        ));
         let storage = Arc::new(SharedStorage::new(config.storage_latency));
-        let pmfs = Pmfs::new(Arc::clone(&fabric), config.dbp_capacity, PAGE_BYTES);
+        let pmfs = Pmfs::new(Arc::clone(&repl), config.dbp_capacity, PAGE_BYTES);
         pmfs.buffer.set_eviction_sink(Arc::new(StorageSink {
             storage: Arc::clone(&storage),
         }));
         Arc::new(Shared {
             config,
             fabric,
+            repl,
             pmfs,
             storage,
             undo: Arc::new(UndoStore::new()),

@@ -295,7 +295,7 @@ impl Standby {
             .pmfs
             .txn
             .tso()
-            .advance_to(&fresh.fabric, pmp_common::Cts(st.stats.max_cts));
+            .advance_to(&fresh.repl, pmp_common::Cts(st.stats.max_cts));
         for (id, page) in &st.pages {
             fresh
                 .storage

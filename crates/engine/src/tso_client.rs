@@ -349,19 +349,22 @@ mod tests {
     use super::*;
     use pmp_common::LatencyConfig;
     use pmp_rdma::Fabric;
+    use pmp_repl::ReplicatedFabric;
+
+    fn fusion_on(latency: LatencyConfig) -> Arc<TxnFusion> {
+        Arc::new(TxnFusion::new(Arc::new(ReplicatedFabric::single(
+            Arc::new(Fabric::new(latency)),
+        ))))
+    }
 
     fn client(lamport: bool) -> (Arc<TxnFusion>, TsoClient) {
-        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
-        ))));
+        let fusion = fusion_on(LatencyConfig::disabled());
         let c = TsoClient::new(Arc::clone(&fusion), lamport, 1);
         (fusion, c)
     }
 
     fn leasing_client(lease_max: u64) -> (Arc<TxnFusion>, TsoClient) {
-        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
-        ))));
+        let fusion = fusion_on(LatencyConfig::disabled());
         let c = TsoClient::new(Arc::clone(&fusion), true, lease_max);
         (fusion, c)
     }
@@ -387,13 +390,13 @@ mod tests {
     #[test]
     fn concurrent_snapshots_coalesce_fetches() {
         use std::thread;
-        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
+        let fusion = fusion_on(
             // A visible fetch latency widens the coalescing window.
             LatencyConfig {
                 one_sided_read_ns: 50_000,
                 ..LatencyConfig::realistic()
             },
-        ))));
+        );
         let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 1));
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -463,9 +466,7 @@ mod tests {
         // issued *after* a current_cts read always returns a larger value.
         // A held-range lease breaks this (the storm's reservation would sit
         // below the snapshot and later commits would dip under it).
-        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
-        ))));
+        let fusion = fusion_on(LatencyConfig::disabled());
         let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 16));
         let stop = Arc::new(AtomicBool::new(false));
         let storm: Vec<_> = (0..4)
@@ -547,13 +548,13 @@ mod tests {
     fn concurrent_leased_commits_coalesce_and_stay_unique() {
         use std::collections::HashSet;
         use std::thread;
-        let fusion = Arc::new(TxnFusion::new(Arc::new(Fabric::new(
+        let fusion = fusion_on(
             // A visible FAA latency widens each round's collect window.
             LatencyConfig {
                 atomic_ns: 60_000,
                 ..LatencyConfig::realistic()
             },
-        ))));
+        );
         let c = Arc::new(TsoClient::new(Arc::clone(&fusion), true, 16));
         let handles: Vec<_> = (0..8)
             .map(|_| {

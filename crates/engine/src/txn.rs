@@ -613,7 +613,7 @@ impl Txn {
         } else {
             Locality::Remote
         };
-        let version = region.add_ref(&engine.shared.fabric, holder.slot, locality);
+        let version = region.add_ref(holder.slot, locality);
         if version != holder.version {
             return Ok(()); // slot reused ⇒ holder finished ⇒ retry now
         }
@@ -769,10 +769,7 @@ impl Txn {
                     // the published CTS on its double-check and never blocks.
                     // lint: allow(raw-instant): commit-stage latency metering (histograms)
                     let t2 = std::time::Instant::now();
-                    let refs =
-                        engine
-                            .tit
-                            .commit_and_take_refs(&engine.shared.fabric, gid.slot, cts);
+                    let refs = engine.tit.commit_and_take_refs(gid.slot, cts);
                     // lint: allow(raw-instant): commit-stage latency metering (histograms)
                     let t3 = std::time::Instant::now();
                     engine.stats.commit_tit_ns.record(t3 - t2);

@@ -294,8 +294,8 @@ impl Wal {
         //   reappear.
         if self.window_ns > 0
             && self.pending_max.load(Ordering::Acquire) <= target.0
+            // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
             && self.empty_streak.load(Ordering::Relaxed) < EMPTY_WINDOW_LIMIT
-        // lint: allow(relaxed-atomic): adaptive group-commit heuristic; a stale read costs one extra empty window
         {
             let before = self.arrivals.load(Ordering::Acquire);
             self.group.windows_waited.inc();

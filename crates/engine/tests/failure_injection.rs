@@ -538,6 +538,149 @@ fn async_commit_parked_in_group_window_is_never_acked_if_truncated() {
 }
 
 #[test]
+fn acked_commits_survive_pmfs_replica_crash_mid_commit() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    // SWARM-style PMFS replication (DESIGN.md §15): with replicas = 3 and
+    // quorum = 2, killing any single PMFS replica mid-workload loses no
+    // acknowledged commit — TIT slots, the TSO high-water mark and lock
+    // state live on in the two survivors. Each round crashes a different
+    // replica while committers are in flight, then ALSO crashes the engine
+    // node and recovers it with the replica still down: recovery re-seats
+    // transaction state through the surviving replicas.
+    for round in 0..6u64 {
+        let victim = (round % 3) as usize;
+        let mut config = ClusterConfig::test(1);
+        config.replicas = 3;
+        config.repl_quorum = 2;
+        let (shared, engines) = cluster_with(config);
+        let t = shared.create_table("t", 1, &[]).unwrap().id;
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(4));
+
+        let writers: Vec<_> = (0..3u64)
+            .map(|w| {
+                let engine = Arc::clone(&engines[0]);
+                let acked = Arc::clone(&acked);
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut k = round * 100_000 + w * 10_000;
+                    while !stop.load(Ordering::Relaxed) {
+                        k += 1;
+                        let committed = engine
+                            .begin()
+                            .and_then(|mut txn| {
+                                txn.insert(t, k, v(k))?;
+                                txn.commit()
+                            })
+                            .is_ok();
+                        if committed {
+                            acked.lock().unwrap().push(k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Let the committers build momentum, then kill a PMFS replica
+        // mid-stream and let them keep committing against the survivors.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(shared.repl.crash_replica(victim), "round {round}");
+        std::thread::sleep(Duration::from_millis(2));
+        stop.store(true, Ordering::Relaxed);
+        for wtr in writers {
+            wtr.join().unwrap();
+        }
+        let keys = acked.lock().unwrap().clone();
+        assert!(!keys.is_empty(), "round {round}: no commit ever landed");
+
+        // Crash the node too: recovery must rebuild from WAL + the two
+        // surviving PMFS replicas (the third is still scrambled).
+        engines[0].crash();
+        let (recovered, _) = recover_node(&shared, NodeId(0)).unwrap();
+        let mut check = recovered.begin().unwrap();
+        for &k in &keys {
+            assert_eq!(
+                check.get(t, k).unwrap(),
+                Some(v(k)),
+                "round {round}: acked commit of key {k} lost to replica {victim} crash"
+            );
+        }
+        check.commit().unwrap();
+
+        // Re-seat the dead replica from the survivors and keep working.
+        assert!(shared.repl.recover_replica(victim), "round {round}");
+        let probe = round * 100_000 + 99_999;
+        let mut txn = recovered.begin().unwrap();
+        txn.insert(t, probe, v(probe)).unwrap();
+        txn.commit().unwrap();
+        let snap = shared.repl.snapshot();
+        assert_eq!(snap.evictions, 1, "round {round}");
+        assert_eq!(snap.recoveries, 1, "round {round}");
+    }
+}
+
+#[test]
+fn losing_pmfs_quorum_refuses_new_transactions_until_reseat() {
+    let mut config = ClusterConfig::test(1);
+    config.replicas = 3;
+    config.repl_quorum = 2;
+    let (shared, engines) = cluster_with(config);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+    let mut txn = engines[0].begin().unwrap();
+    txn.insert(t, 1, v(1)).unwrap();
+    txn.commit().unwrap();
+
+    // One replica down: still at quorum, service continues.
+    assert!(shared.repl.crash_replica(0));
+    let mut txn = engines[0].begin().unwrap();
+    txn.insert(t, 2, v(2)).unwrap();
+    txn.commit().unwrap();
+
+    // Two down: below quorum — new transactions are refused loudly
+    // rather than run against a single possibly-stale copy.
+    assert!(shared.repl.crash_replica(1));
+    let err = engines[0].begin().map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, PmpError::FusionUnavailable { .. }),
+        "quorum loss must surface as FusionUnavailable, got {err:?}"
+    );
+
+    // Re-seating one replica restores quorum; nothing acked was lost.
+    assert!(shared.repl.recover_replica(0));
+    let mut check = engines[0].begin().unwrap();
+    assert_eq!(check.get(t, 1).unwrap(), Some(v(1)));
+    assert_eq!(check.get(t, 2).unwrap(), Some(v(2)));
+    check.commit().unwrap();
+}
+
+#[test]
+fn replicas_one_keeps_the_unreplicated_fast_path() {
+    // The default configuration (replicas = 1) must behave exactly like
+    // the pre-replication code: no fan-out writes, no majority reads, and
+    // crash_replica refuses to kill the only copy.
+    let (shared, engines) = cluster(1);
+    let t = shared.create_table("t", 1, &[]).unwrap().id;
+    let mut txn = engines[0].begin().unwrap();
+    txn.insert(t, 1, v(1)).unwrap();
+    txn.commit().unwrap();
+
+    assert!(
+        !shared.repl.crash_replica(0),
+        "the sole replica must not be crashable"
+    );
+    let snap = shared.repl.snapshot();
+    assert_eq!(snap.replicas, 1);
+    assert_eq!(snap.replicated_writes, 0, "R=1 never fans out");
+    assert_eq!(snap.majority_reads, 0, "R=1 never majority-reads");
+    assert_eq!(snap.evictions, 0);
+}
+
+#[test]
 fn lone_committer_escapes_the_group_window_after_adaptation() {
     use std::time::Instant;
 

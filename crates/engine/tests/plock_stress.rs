@@ -18,6 +18,7 @@ use pmp_common::{LatencyConfig, NodeId, PageId};
 use pmp_engine::plock_local::{LocalPLocks, NegotiationHandler};
 use pmp_pmfs::{PLockFusion, PLockMode};
 use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -68,7 +69,9 @@ impl Ghost {
 #[test]
 fn cross_node_exclusion_holds_under_stress() {
     let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
-    let fusion = Arc::new(PLockFusion::new(Arc::clone(&fabric)));
+    let fusion = Arc::new(PLockFusion::new(Arc::new(ReplicatedFabric::single(
+        Arc::clone(&fabric),
+    ))));
     let locals: Vec<Arc<LocalPLocks>> = (0..NODES)
         .map(|n| {
             let l = LocalPLocks::new(
@@ -149,7 +152,9 @@ fn negotiation_storm_converges() {
     // a negotiation-driven transfer. The protocol must neither deadlock
     // nor starve either side.
     let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
-    let fusion = Arc::new(PLockFusion::new(Arc::clone(&fabric)));
+    let fusion = Arc::new(PLockFusion::new(Arc::new(ReplicatedFabric::single(
+        Arc::clone(&fabric),
+    ))));
     let locals: Vec<Arc<LocalPLocks>> = (0..2)
         .map(|n| {
             let l = LocalPLocks::new(

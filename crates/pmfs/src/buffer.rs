@@ -24,7 +24,8 @@ use std::sync::Arc;
 
 use pmp_common::sync::{LockClass, TrackedMutex};
 use pmp_common::{Counter, Llsn, NodeId, PageId};
-use pmp_rdma::{Fabric, Locality};
+use pmp_rdma::Locality;
+use pmp_repl::ReplicatedFabric;
 
 /// DBP directory shards. Every op touches exactly one shard.
 const DBP_SHARD: LockClass = LockClass::new("pmfs.dbp.shard");
@@ -77,8 +78,14 @@ pub struct BufferFusionStats {
 const SHARDS: usize = 64;
 
 /// The Buffer Fusion service and its distributed buffer pool.
+///
+/// Page payloads written into the DBP go through
+/// [`ReplicatedFabric::bulk_write`], which lands the bytes on every live
+/// PMFS replica; the directory metadata (holders, valid-flag addresses) is
+/// RPC-served and shipped to the backups via `replicate_mutation`
+/// (DESIGN.md §15).
 pub struct BufferFusion<P> {
-    fabric: Arc<Fabric>,
+    repl: Arc<ReplicatedFabric>,
     shards: Vec<TrackedMutex<Shard<P>>>,
     per_shard_capacity: usize,
     page_bytes: usize,
@@ -96,9 +103,9 @@ impl<P> std::fmt::Debug for BufferFusion<P> {
 }
 
 impl<P: Send + Sync + 'static> BufferFusion<P> {
-    pub fn new(fabric: Arc<Fabric>, capacity: usize, page_bytes: usize) -> Self {
+    pub fn new(repl: Arc<ReplicatedFabric>, capacity: usize, page_bytes: usize) -> Self {
         BufferFusion {
-            fabric,
+            repl,
             shards: (0..SHARDS)
                 .map(|_| {
                     TrackedMutex::new(
@@ -140,7 +147,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
         page_id: PageId,
         valid_flag: Arc<AtomicBool>,
     ) -> Option<(Arc<P>, Llsn)> {
-        self.fabric.rpc(32, || {
+        let out = self.repl.rpc(32, || {
             let mut shard = self.shard(page_id).lock();
             match shard.entries.get_mut(&page_id) {
                 Some(entry) => {
@@ -148,7 +155,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
                     upsert_holder(entry, caller, valid_flag);
                     let out = (Arc::clone(&entry.page), entry.llsn);
                     drop(shard);
-                    self.fabric.bulk_read(self.page_bytes, Locality::Remote);
+                    self.repl.bulk_read(self.page_bytes, Locality::Remote);
                     Some(out)
                 }
                 None => {
@@ -156,7 +163,13 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
                     None
                 }
             }
-        })
+        });
+        if out.is_some() {
+            // The holder registration mutated the directory: ship it to the
+            // PMFS backups.
+            self.repl.replicate_mutation(32);
+        }
+        out
     }
 
     /// After a storage read on a DBP miss, the loading node registers the
@@ -173,7 +186,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
         llsn: Llsn,
         valid_flag: Arc<AtomicBool>,
     ) -> (Arc<P>, Llsn) {
-        let result = self.fabric.rpc(32, || {
+        let result = self.repl.rpc(32, || {
             let mut shard = self.shard(page_id).lock();
             match shard.entries.get_mut(&page_id) {
                 Some(entry) => {
@@ -201,7 +214,10 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
                 }
             }
         });
-        self.fabric.bulk_write(self.page_bytes, Locality::Remote);
+        // The page payload lands on every live replica; the new directory
+        // entry rides along.
+        self.repl.bulk_write(self.page_bytes, Locality::Remote);
+        self.repl.replicate_mutation(32);
         self.stats.pushes.inc();
         self.maybe_evict(page_id);
         result
@@ -221,7 +237,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             }
             (Arc::clone(&entry.page), entry.llsn)
         };
-        self.fabric.bulk_read(self.page_bytes, Locality::Remote);
+        self.repl.bulk_read(self.page_bytes, Locality::Remote);
         Some(out)
     }
 
@@ -229,7 +245,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
     /// invalidates every other holder's copy. The caller must hold the
     /// page's exclusive PLock, which serializes pushes per page.
     pub fn push(&self, caller: NodeId, page_id: PageId, page: Arc<P>, llsn: Llsn) {
-        self.fabric.bulk_write(self.page_bytes, Locality::Remote);
+        self.repl.bulk_write(self.page_bytes, Locality::Remote);
         self.stats.pushes.inc();
         let flags_to_clear: Vec<Arc<AtomicBool>> = {
             let mut shard = self.shard(page_id).lock();
@@ -268,8 +284,9 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             }
         };
         // One doorbell batch invalidates every other holder: N flag writes,
-        // one charged round trip (posted outside the shard lock).
-        let mut batch = self.fabric.batch();
+        // one charged round trip (posted outside the shard lock). The flags
+        // are node-owned memory, not PMFS state — they don't replicate.
+        let mut batch = self.repl.batch();
         for flag in &flags_to_clear {
             self.stats.invalidations.inc();
             batch.write_flag(flag, false, Locality::Remote);
@@ -280,11 +297,12 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
 
     /// Drop the caller from a page's holder list (LBP eviction notice).
     pub fn unregister(&self, caller: NodeId, page_id: PageId) {
-        self.fabric.rpc(16, || {
+        self.repl.rpc(16, || {
             if let Some(entry) = self.shard(page_id).lock().entries.get_mut(&page_id) {
                 entry.holders.retain(|h| h.node != caller);
             }
         });
+        self.repl.replicate_mutation(16);
     }
 
     /// Current DBP contents for a page without any charge (recovery uses
@@ -319,7 +337,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             };
             // One doorbell batch per drained shard covers every holder of
             // every dropped page.
-            let mut batch = self.fabric.batch();
+            let mut batch = self.repl.batch();
             for entry in &drained {
                 for h in &entry.holders {
                     self.stats.invalidations.inc();
@@ -410,7 +428,7 @@ impl<P: Send + Sync + 'static> BufferFusion<P> {
             // would have nowhere to flow through: clear their flags (one
             // doorbell batch, posted outside the shard lock).
             if !flags_to_clear.is_empty() {
-                let mut batch = self.fabric.batch();
+                let mut batch = self.repl.batch();
                 for flag in &flags_to_clear {
                     self.stats.invalidations.inc();
                     batch.write_flag(flag, false, Locality::Remote);
@@ -442,7 +460,9 @@ mod tests {
 
     fn bf(capacity: usize) -> Bf {
         BufferFusion::new(
-            Arc::new(Fabric::new(LatencyConfig::disabled())),
+            Arc::new(ReplicatedFabric::single(Arc::new(pmp_rdma::Fabric::new(
+                LatencyConfig::disabled(),
+            )))),
             capacity,
             16 * 1024,
         )

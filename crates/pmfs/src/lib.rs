@@ -15,9 +15,12 @@
 //!   wait-info side of the embedded row-locking protocol, plus wait-for
 //!   deadlock detection.
 //!
-//! In production PMFS runs replicated across multiple memory nodes; here it
-//! is a passive set of shared-memory structures reached through the
-//! simulated fabric, which is exactly how the primary nodes perceive it.
+//! In production PMFS runs replicated across multiple memory nodes; all four
+//! services reach registered memory through a
+//! [`pmp_repl::ReplicatedFabric`], which fans writes in place to every
+//! configured replica (SWARM-style, DESIGN.md §15). With `replicas = 1` the
+//! facade degenerates to the raw fabric — a passive singleton, which is
+//! exactly how the primary nodes perceive it either way.
 
 pub mod buffer;
 pub mod plock;
@@ -28,10 +31,11 @@ pub mod txn_fusion;
 
 use std::sync::Arc;
 
-use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 
 pub use buffer::{BufferFusion, BufferFusionStats};
 pub use plock::{PLockFusion, PLockMode, ReleaseRequester};
+pub use pmp_repl::{ReplBatch, ReplCell, ReplSnapshot, ReplStats};
 pub use rlock::{RLockFusion, WaitCell, WaitOutcome};
 pub use tit::{SlotSnapshot, TitRegion};
 pub use tso::Tso;
@@ -41,6 +45,7 @@ pub use txn_fusion::TxnFusion;
 /// the distributed buffer pool.
 #[derive(Debug)]
 pub struct Pmfs<P> {
+    pub repl: Arc<ReplicatedFabric>,
     pub txn: Arc<TxnFusion>,
     pub buffer: Arc<BufferFusion<P>>,
     pub plock: Arc<PLockFusion>,
@@ -48,18 +53,20 @@ pub struct Pmfs<P> {
 }
 
 impl<P: Send + Sync + 'static> Pmfs<P> {
-    /// Build a fusion server on `fabric`. `dbp_capacity` is the distributed
-    /// buffer pool size in pages; `page_bytes` the fixed page transfer size.
-    pub fn new(fabric: Arc<Fabric>, dbp_capacity: usize, page_bytes: usize) -> Self {
+    /// Build a fusion server on the replication facade `repl`.
+    /// `dbp_capacity` is the distributed buffer pool size in pages;
+    /// `page_bytes` the fixed page transfer size.
+    pub fn new(repl: Arc<ReplicatedFabric>, dbp_capacity: usize, page_bytes: usize) -> Self {
         Pmfs {
-            txn: Arc::new(TxnFusion::new(Arc::clone(&fabric))),
+            txn: Arc::new(TxnFusion::new(Arc::clone(&repl))),
             buffer: Arc::new(BufferFusion::new(
-                Arc::clone(&fabric),
+                Arc::clone(&repl),
                 dbp_capacity,
                 page_bytes,
             )),
-            plock: Arc::new(PLockFusion::new(Arc::clone(&fabric))),
-            rlock: Arc::new(RLockFusion::new(fabric)),
+            plock: Arc::new(PLockFusion::new(Arc::clone(&repl))),
+            rlock: Arc::new(RLockFusion::new(Arc::clone(&repl))),
+            repl,
         }
     }
 }
@@ -67,6 +74,7 @@ impl<P: Send + Sync + 'static> Pmfs<P> {
 impl<P> Clone for Pmfs<P> {
     fn clone(&self) -> Self {
         Pmfs {
+            repl: Arc::clone(&self.repl),
             txn: Arc::clone(&self.txn),
             buffer: Arc::clone(&self.buffer),
             plock: Arc::clone(&self.plock),

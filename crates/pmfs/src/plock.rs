@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use pmp_common::{Counter, NodeId, PageId, PmpError, Result};
-use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 
 /// Lock-table shard maps. Ordered before `pmfs.plock.grant_cell` (FIFO
 /// grants signal cells under the shard lock).
@@ -153,8 +153,13 @@ pub struct PLockStats {
 const SHARDS: usize = 64;
 
 /// The Lock Fusion PLock table.
+///
+/// The table itself is RPC-served in-process state; its mutations are
+/// shipped to the PMFS backups via
+/// [`ReplicatedFabric::replicate_mutation`], so at `replicas > 1` every
+/// grant/release survives a replica crash without a re-seat (DESIGN.md §15).
 pub struct PLockFusion {
-    fabric: Arc<Fabric>,
+    repl: Arc<ReplicatedFabric>,
     shards: Vec<TrackedMutex<HashMap<PageId, PLockState>>>,
     requesters: TrackedRwLock<HashMap<NodeId, Arc<dyn ReleaseRequester>>>,
     stats: PLockStats,
@@ -169,9 +174,9 @@ impl std::fmt::Debug for PLockFusion {
 }
 
 impl PLockFusion {
-    pub fn new(fabric: Arc<Fabric>) -> Self {
+    pub fn new(repl: Arc<ReplicatedFabric>) -> Self {
         PLockFusion {
-            fabric,
+            repl,
             shards: (0..SHARDS)
                 .map(|_| TrackedMutex::new(PLOCK_SHARD, HashMap::new()))
                 .collect(),
@@ -215,7 +220,9 @@ impl PLockFusion {
         timeout: Duration,
     ) -> Result<()> {
         self.stats.acquires.inc();
-        self.fabric.rpc(32, || ());
+        self.repl.rpc(32, || ());
+        // The grant/queue mutation below lands on every PMFS backup.
+        self.repl.replicate_mutation(32);
 
         let (cell, conflicting) = {
             let mut shard = self.shard(page).lock();
@@ -295,7 +302,7 @@ impl PLockFusion {
         // Fusion → node nudges: one-way messages, no reply needed. All of
         // them post through one doorbell batch (one charged round trip),
         // then the handlers run with the charge already paid.
-        let mut batch = self.fabric.batch();
+        let mut batch = self.repl.batch();
         for _ in &handlers {
             self.stats.negotiations.inc();
             batch.one_way_message(32);
@@ -309,7 +316,8 @@ impl PLockFusion {
     /// Release `node`'s PLock on `page` and grant to waiters FIFO.
     pub fn release(&self, node: NodeId, page: PageId) {
         self.stats.releases.inc();
-        self.fabric.rpc(32, || ());
+        self.repl.rpc(32, || ());
+        self.repl.replicate_mutation(32);
         self.release_inner(node, page);
     }
 
@@ -321,12 +329,14 @@ impl PLockFusion {
         if pages.is_empty() {
             return;
         }
-        let mut batch = self.fabric.batch();
+        let mut batch = self.repl.batch();
         for _ in pages {
             self.stats.releases.inc();
             batch.rpc_message(32);
         }
         batch.flush();
+        // One doorbell ships the whole sweep's table mutation to the backups.
+        self.repl.replicate_mutation(32 * pages.len());
         for &page in pages {
             self.release_inner(node, page);
         }
@@ -430,12 +440,13 @@ mod tests {
     use super::*;
     use parking_lot::Mutex;
     use pmp_common::LatencyConfig;
+    use pmp_rdma::Fabric;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
 
     fn fusion() -> Arc<PLockFusion> {
-        Arc::new(PLockFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
+        Arc::new(PLockFusion::new(Arc::new(ReplicatedFabric::single(
+            Arc::new(Fabric::new(LatencyConfig::disabled())),
         ))))
     }
 

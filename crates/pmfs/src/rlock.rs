@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, GlobalTrxId};
-use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 
 /// Per-waiter cell state. Signalled under `pmfs.rlock.waits` (the
 /// wait-info table is consulted to find the cell), never the reverse.
@@ -102,8 +102,12 @@ pub struct RLockStats {
 }
 
 /// The Lock Fusion wait-info table + wait-for graph.
+///
+/// RPC-served in-process state; its mutations are shipped to the PMFS
+/// backups via [`ReplicatedFabric::replicate_mutation`] so the wait graph
+/// survives a replica crash (DESIGN.md §15).
 pub struct RLockFusion {
-    fabric: Arc<Fabric>,
+    repl: Arc<ReplicatedFabric>,
     /// holder → the transactions waiting for it.
     waits: TrackedMutex<HashMap<GlobalTrxId, Vec<Waiter>>>,
     /// waiter → holder (each transaction waits for at most one row at a
@@ -121,9 +125,9 @@ impl std::fmt::Debug for RLockFusion {
 }
 
 impl RLockFusion {
-    pub fn new(fabric: Arc<Fabric>) -> Self {
+    pub fn new(repl: Arc<ReplicatedFabric>) -> Self {
         RLockFusion {
-            fabric,
+            repl,
             waits: TrackedMutex::new(RLOCK_WAITS, HashMap::new()),
             edges: TrackedMutex::new(RLOCK_EDGES, HashMap::new()),
             stats: RLockStats::default(),
@@ -138,7 +142,7 @@ impl RLockFusion {
     /// cell to block on. RPC-priced.
     pub fn register_wait(&self, waiter: GlobalTrxId, holder: GlobalTrxId) -> Arc<WaitCell> {
         self.stats.waits_registered.inc();
-        self.fabric.rpc(64, || {
+        let cell = self.repl.rpc(64, || {
             let cell = WaitCell::new();
             self.waits.lock().entry(holder).or_default().push(Waiter {
                 trx: waiter,
@@ -146,7 +150,10 @@ impl RLockFusion {
             });
             self.edges.lock().insert(waiter, holder);
             cell
-        })
+        });
+        // The new wait edge lands on every PMFS backup.
+        self.repl.replicate_mutation(64);
+        cell
     }
 
     /// Drop a registered wait (timeout, or the engine's double-check found
@@ -171,7 +178,7 @@ impl RLockFusion {
     /// retries its row lock. RPC-priced.
     pub fn notify_finished(&self, holder: GlobalTrxId) {
         self.stats.commit_notifications.inc();
-        self.fabric.rpc(32, || {
+        self.repl.rpc(32, || {
             let waiters = self.waits.lock().remove(&holder).unwrap_or_default();
             let mut edges = self.edges.lock();
             for w in &waiters {
@@ -184,7 +191,8 @@ impl RLockFusion {
                 self.stats.wakeups.inc();
                 w.cell.signal(WaitOutcome::Granted);
             }
-        })
+        });
+        self.repl.replicate_mutation(32);
     }
 
     /// One pass of wait-for-graph cycle detection. Every cycle found aborts
@@ -268,11 +276,12 @@ impl RLockFusion {
 mod tests {
     use super::*;
     use pmp_common::{LatencyConfig, NodeId, SlotId, TrxId};
+    use pmp_rdma::Fabric;
     use std::thread;
 
     fn fusion() -> Arc<RLockFusion> {
-        Arc::new(RLockFusion::new(Arc::new(Fabric::new(
-            LatencyConfig::disabled(),
+        Arc::new(RLockFusion::new(Arc::new(ReplicatedFabric::single(
+            Arc::new(Fabric::new(LatencyConfig::disabled())),
         ))))
     }
 

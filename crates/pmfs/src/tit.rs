@@ -10,14 +10,21 @@
 //! Remote nodes read slots with a single one-sided RDMA READ. In-process we
 //! model the single-verb atomicity with a seqlock-style retry on the version
 //! field, but charge exactly one fabric read per snapshot.
+//!
+//! Every word lives in a [`ReplCell`]: with `replicas = 1` each verb is
+//! exactly the raw fabric verb; with more, commits and version bumps land in
+//! place on every PMFS replica, so a replica crash never loses an
+//! acknowledged CTS and recovery re-seats the directory from the survivors
+//! (DESIGN.md §15).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use pmp_common::sync::{LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Cts, NodeId, SlotId, CSN_INIT};
-use pmp_rdma::{Fabric, FabricBatch, Locality};
+use pmp_rdma::Locality;
+use pmp_repl::{ReplBatch, ReplCell, ReplicatedFabric};
 
 /// Free-list lock class; never nests with anything (pure local allocator).
 const TIT_FREE: LockClass = LockClass::new("pmfs.tit.free");
@@ -25,11 +32,11 @@ const TIT_FREE: LockClass = LockClass::new("pmfs.tit.free");
 #[derive(Debug)]
 struct TitSlot {
     /// Commit timestamp; `CSN_INIT` while the transaction is active.
-    cts: AtomicU64,
+    cts: Arc<ReplCell>,
     /// Incremented on every reuse of the slot.
-    version: AtomicU64,
+    version: Arc<ReplCell>,
     /// Number of transactions waiting for this one to release row locks.
-    refs: AtomicU64,
+    refs: Arc<ReplCell>,
 }
 
 /// A consistent snapshot of one TIT slot as seen by a (possibly remote)
@@ -41,9 +48,10 @@ pub struct SlotSnapshot {
     pub refs: u64,
 }
 
-/// One node's TIT region in registered memory.
+/// One node's TIT region in (replicated) registered memory.
 #[derive(Debug)]
 pub struct TitRegion {
+    repl: Arc<ReplicatedFabric>,
     node: NodeId,
     slots: Vec<TitSlot>,
     free: TrackedMutex<VecDeque<SlotId>>,
@@ -55,33 +63,39 @@ pub struct TitRegion {
     /// Broadcast target: the global minimum view CTS, written remotely by
     /// Transaction Fusion and read locally by the recycler (§4.1 "TIT
     /// recycle").
-    global_min_view: AtomicU64,
+    global_min_view: Arc<ReplCell>,
     /// Published minimum active local transaction id; peers read it remotely
     /// to short-circuit lock-word liveness checks (§4.3.2).
-    min_active_trx: AtomicU64,
+    min_active_trx: Arc<ReplCell>,
 }
 
 impl TitRegion {
-    pub fn new(node: NodeId, slot_count: usize) -> Self {
+    pub fn new(repl: Arc<ReplicatedFabric>, node: NodeId, slot_count: usize) -> Self {
         assert!(slot_count > 0);
         TitRegion {
             node,
             slots: (0..slot_count)
                 .map(|_| TitSlot {
-                    cts: AtomicU64::new(CSN_INIT.0),
-                    version: AtomicU64::new(0),
-                    refs: AtomicU64::new(0),
+                    cts: repl.cell(CSN_INIT.0),
+                    version: repl.cell(0),
+                    refs: repl.cell(0),
                 })
                 .collect(),
             free: TrackedMutex::new(TIT_FREE, (0..slot_count as u32).map(SlotId).collect()),
             free_cv: TrackedCondvar::new(),
-            global_min_view: AtomicU64::new(CSN_INIT.0),
-            min_active_trx: AtomicU64::new(0),
+            global_min_view: repl.cell(CSN_INIT.0),
+            min_active_trx: repl.cell(0),
+            repl,
         }
     }
 
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The replication facade this region's cells live on.
+    pub fn repl(&self) -> &Arc<ReplicatedFabric> {
+        &self.repl
     }
 
     pub fn slot_count(&self) -> usize {
@@ -128,18 +142,16 @@ impl TitRegion {
         // Version bump *before* resetting CTS so a concurrent remote reader
         // holding the old version never mistakes the new INIT for the old
         // transaction still being active (seqlock discipline).
-        let version = slot.version.fetch_add(1, Ordering::AcqRel) + 1;
-        slot.refs.store(0, Ordering::Release);
-        slot.cts.store(CSN_INIT.0, Ordering::Release);
+        let version = self.repl.fetch_add_local(&slot.version, 1) + 1;
+        self.repl.store(&slot.refs, 0);
+        self.repl.store(&slot.cts, CSN_INIT.0);
         (slot_id, version)
     }
 
     /// Record the commit timestamp (owning node, local store).
     pub fn commit(&self, slot: SlotId, cts: Cts) {
         debug_assert!(!cts.is_init());
-        self.slots[slot.0 as usize]
-            .cts
-            .store(cts.0, Ordering::Release);
+        self.repl.store(&self.slots[slot.0 as usize].cts, cts.0);
     }
 
     /// Return a slot to the free list. Called by the background recycler
@@ -148,9 +160,8 @@ impl TitRegion {
     pub fn release(&self, slot: SlotId) {
         // Bump the version immediately so any stale reference reads as
         // "slot reused ⇒ transaction finished" (Algorithm 1 line 13-15).
-        self.slots[slot.0 as usize]
-            .version
-            .fetch_add(1, Ordering::AcqRel);
+        self.repl
+            .fetch_add_local(&self.slots[slot.0 as usize].version, 1);
         self.free.lock().push_back(slot);
         // One slot back → one waiter can proceed.
         self.free_cv.notify_one();
@@ -158,9 +169,9 @@ impl TitRegion {
 
     /// Read a slot, paying exactly one one-sided fabric read when remote.
     /// The seqlock retry models the single-verb atomicity of real RDMA.
-    pub fn read_slot(&self, fabric: &Fabric, slot: SlotId, locality: Locality) -> SlotSnapshot {
+    pub fn read_slot(&self, slot: SlotId, locality: Locality) -> SlotSnapshot {
         // One charged verb per snapshot regardless of internal retries.
-        fabric.bulk_read(24, locality);
+        self.repl.bulk_read(24, locality);
         self.snapshot_slot(slot)
     }
 
@@ -169,7 +180,7 @@ impl TitRegion {
     /// moves at post time), the latency is charged once at flush.
     pub fn read_slot_batched(
         &self,
-        batch: &mut FabricBatch<'_>,
+        batch: &mut ReplBatch<'_>,
         slot: SlotId,
         locality: Locality,
     ) -> SlotSnapshot {
@@ -180,10 +191,10 @@ impl TitRegion {
     fn snapshot_slot(&self, slot: SlotId) -> SlotSnapshot {
         let s = &self.slots[slot.0 as usize];
         loop {
-            let v0 = s.version.load(Ordering::Acquire);
-            let cts = s.cts.load(Ordering::Acquire);
-            let refs = s.refs.load(Ordering::Acquire);
-            let v1 = s.version.load(Ordering::Acquire);
+            let v0 = self.repl.load(&s.version);
+            let cts = self.repl.load(&s.cts);
+            let refs = self.repl.load(&s.refs);
+            let v1 = self.repl.load(&s.version);
             if v0 == v1 {
                 return SlotSnapshot {
                     cts: Cts(cts),
@@ -199,15 +210,15 @@ impl TitRegion {
     /// fetch-and-add announcing "someone is waiting for your locks"
     /// (Figure 6 step 1). Returns the version observed so the caller can
     /// detect slot reuse.
-    pub fn add_ref(&self, fabric: &Fabric, slot: SlotId, locality: Locality) -> u64 {
+    pub fn add_ref(&self, slot: SlotId, locality: Locality) -> u64 {
         let s = &self.slots[slot.0 as usize];
-        fabric.fetch_add_u64(&s.refs, 1, locality);
-        s.version.load(Ordering::Acquire)
+        self.repl.fetch_add_u64(&s.refs, 1, locality);
+        self.repl.load(&s.version)
     }
 
     /// Read and clear the ref flag at commit time (owning node, local).
     pub fn take_refs(&self, slot: SlotId) -> u64 {
-        self.slots[slot.0 as usize].refs.swap(0, Ordering::AcqRel)
+        self.repl.swap_local(&self.slots[slot.0 as usize].refs, 0)
     }
 
     /// Commit-time CTS publish + ref-flag collection as one doorbell batch:
@@ -219,42 +230,43 @@ impl TitRegion {
     /// (a) is seen by the swap — the committer will notify it — or (b)
     /// raced past the swap, in which case its own double-check of `trx_cts`
     /// observes the already-published CTS and it never blocks.
-    pub fn commit_and_take_refs(&self, fabric: &Fabric, slot: SlotId, cts: Cts) -> u64 {
+    pub fn commit_and_take_refs(&self, slot: SlotId, cts: Cts) -> u64 {
         debug_assert!(!cts.is_init());
         let s = &self.slots[slot.0 as usize];
-        let mut batch = fabric.batch();
-        batch.write_u64(&s.cts, cts.0, Locality::Local);
-        let refs = batch.swap_u64(&s.refs, 0, Locality::Local);
+        let mut batch = self.repl.batch();
+        batch.write_cell(&s.cts, cts.0, Locality::Local);
+        let refs = batch.swap_cell(&s.refs, 0, Locality::Local);
         batch.flush();
         refs
     }
 
     /// Write the broadcast global-min-view cell (remote write from
     /// Transaction Fusion).
-    pub fn store_global_min_view(&self, fabric: &Fabric, cts: Cts) {
-        fabric.write_u64(&self.global_min_view, cts.0, Locality::Remote);
+    pub fn store_global_min_view(&self, cts: Cts) {
+        self.repl
+            .write_u64(&self.global_min_view, cts.0, Locality::Remote);
     }
 
     /// Post the global-min-view broadcast write into a doorbell batch
     /// instead of paying a standalone remote write — used by Transaction
     /// Fusion's all-regions fan-out.
-    pub fn post_global_min_view(&self, batch: &mut FabricBatch<'_>, cts: Cts) {
-        batch.write_u64(&self.global_min_view, cts.0, Locality::Remote);
+    pub fn post_global_min_view(&self, batch: &mut ReplBatch<'_>, cts: Cts) {
+        batch.write_cell(&self.global_min_view, cts.0, Locality::Remote);
     }
 
     /// Read the broadcast global-min-view cell (owning node, local).
     pub fn load_global_min_view(&self) -> Cts {
-        Cts(self.global_min_view.load(Ordering::Acquire))
+        Cts(self.repl.load(&self.global_min_view))
     }
 
     /// Publish this node's minimum active local transaction id.
     pub fn publish_min_active_trx(&self, trx_id: u64) {
-        self.min_active_trx.store(trx_id, Ordering::Release);
+        self.repl.store(&self.min_active_trx, trx_id);
     }
 
     /// Read a peer's published minimum active transaction id.
-    pub fn read_min_active_trx(&self, fabric: &Fabric, locality: Locality) -> u64 {
-        fabric.read_u64(&self.min_active_trx, locality)
+    pub fn read_min_active_trx(&self, locality: Locality) -> u64 {
+        self.repl.read_u64(&self.min_active_trx, locality)
     }
 
     /// [`read_min_active_trx`](Self::read_min_active_trx) posted into a
@@ -262,10 +274,10 @@ impl TitRegion {
     /// cell in one charged round trip.
     pub fn read_min_active_trx_batched(
         &self,
-        batch: &mut FabricBatch<'_>,
+        batch: &mut ReplBatch<'_>,
         locality: Locality,
     ) -> u64 {
-        batch.read_u64(&self.min_active_trx, locality)
+        batch.read_cell(&self.min_active_trx, locality)
     }
 
     /// Recycle every in-use slot whose CTS is valid and strictly older than
@@ -275,7 +287,7 @@ impl TitRegion {
         let mut freed = Vec::new();
         for &slot_id in in_use {
             let s = &self.slots[slot_id.0 as usize];
-            let cts = Cts(s.cts.load(Ordering::Acquire));
+            let cts = Cts(self.repl.load(&s.cts));
             if !cts.is_init() && cts < global_min {
                 self.release(slot_id);
                 freed.push(slot_id);
@@ -289,35 +301,41 @@ impl TitRegion {
 mod tests {
     use super::*;
     use pmp_common::LatencyConfig;
+    use pmp_rdma::Fabric;
 
-    fn region() -> (Fabric, TitRegion) {
-        (
-            Fabric::new(LatencyConfig::disabled()),
-            TitRegion::new(NodeId(0), 8),
-        )
+    fn single() -> Arc<ReplicatedFabric> {
+        Arc::new(ReplicatedFabric::single(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))))
+    }
+
+    fn region() -> (Arc<ReplicatedFabric>, TitRegion) {
+        let repl = single();
+        let tit = TitRegion::new(Arc::clone(&repl), NodeId(0), 8);
+        (repl, tit)
     }
 
     #[test]
     fn allocate_commit_read_roundtrip() {
-        let (fabric, tit) = region();
+        let (_, tit) = region();
         let (slot, version) = tit.allocate().unwrap();
-        let snap = tit.read_slot(&fabric, slot, Locality::Local);
+        let snap = tit.read_slot(slot, Locality::Local);
         assert_eq!(snap.version, version);
         assert!(snap.cts.is_init(), "fresh slot must read as active");
 
         tit.commit(slot, Cts(42));
-        let snap = tit.read_slot(&fabric, slot, Locality::Remote);
+        let snap = tit.read_slot(slot, Locality::Remote);
         assert_eq!(snap.cts, Cts(42));
         assert_eq!(snap.version, version);
     }
 
     #[test]
     fn release_bumps_version_for_stale_readers() {
-        let (fabric, tit) = region();
+        let (_, tit) = region();
         let (slot, version) = tit.allocate().unwrap();
         tit.commit(slot, Cts(10));
         tit.release(slot);
-        let snap = tit.read_slot(&fabric, slot, Locality::Remote);
+        let snap = tit.read_slot(slot, Locality::Remote);
         assert_ne!(
             snap.version, version,
             "a reused slot must be detectable via version mismatch"
@@ -349,8 +367,7 @@ mod tests {
 
     #[test]
     fn allocate_timeout_wakes_on_release() {
-        use std::sync::Arc;
-        let tit = Arc::new(TitRegion::new(NodeId(0), 1));
+        let tit = Arc::new(TitRegion::new(single(), NodeId(0), 1));
         let (held, _) = tit.allocate().unwrap();
         assert_eq!(tit.free_slots(), 0);
         let tit2 = Arc::clone(&tit);
@@ -368,29 +385,29 @@ mod tests {
 
     #[test]
     fn ref_flag_accumulates_and_clears() {
-        let (fabric, tit) = region();
+        let (_, tit) = region();
         let (slot, _) = tit.allocate().unwrap();
-        tit.add_ref(&fabric, slot, Locality::Remote);
-        tit.add_ref(&fabric, slot, Locality::Remote);
+        tit.add_ref(slot, Locality::Remote);
+        tit.add_ref(slot, Locality::Remote);
         assert_eq!(tit.take_refs(slot), 2);
         assert_eq!(tit.take_refs(slot), 0, "take must clear");
     }
 
     #[test]
     fn commit_and_take_refs_publishes_then_collects() {
-        let (fabric, tit) = region();
+        let (repl, tit) = region();
         let (slot, version) = tit.allocate().unwrap();
-        tit.add_ref(&fabric, slot, Locality::Remote);
-        tit.add_ref(&fabric, slot, Locality::Remote);
-        let before_ops = fabric.stats().batched_ops.get();
-        let refs = tit.commit_and_take_refs(&fabric, slot, Cts(42));
+        tit.add_ref(slot, Locality::Remote);
+        tit.add_ref(slot, Locality::Remote);
+        let before_ops = repl.fabric().stats().batched_ops.get();
+        let refs = tit.commit_and_take_refs(slot, Cts(42));
         assert_eq!(refs, 2);
-        let snap = tit.read_slot(&fabric, slot, Locality::Local);
+        let snap = tit.read_slot(slot, Locality::Local);
         assert_eq!(snap.cts, Cts(42));
         assert_eq!(snap.version, version);
         assert_eq!(snap.refs, 0, "the batch's swap must clear the flag");
         assert_eq!(
-            fabric.stats().batched_ops.get(),
+            repl.fabric().stats().batched_ops.get(),
             before_ops + 2,
             "CTS write + refs swap post as one doorbell batch"
         );
@@ -399,9 +416,8 @@ mod tests {
     #[test]
     fn seqlock_snapshot_stays_consistent_through_batch() {
         use std::sync::atomic::{AtomicBool, Ordering};
-        use std::sync::Arc;
-        let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
-        let tit = Arc::new(TitRegion::new(NodeId(0), 1));
+        let repl = single();
+        let tit = Arc::new(TitRegion::new(Arc::clone(&repl), NodeId(0), 1));
         let stop = Arc::new(AtomicBool::new(false));
         // Writer churns the one slot: allocate (odd version, CTS=INIT),
         // commit CTS = version + 100, release (even version).
@@ -417,7 +433,7 @@ mod tests {
             })
         };
         for _ in 0..20_000 {
-            let mut b = fabric.batch();
+            let mut b = repl.batch();
             let snap = tit.read_slot_batched(&mut b, SlotId(0), Locality::Remote);
             b.flush();
             // The CTS committed under version v is exactly v + 100, and
@@ -453,17 +469,16 @@ mod tests {
 
     #[test]
     fn min_view_broadcast_cells() {
-        let (fabric, tit) = region();
-        tit.store_global_min_view(&fabric, Cts(99));
+        let (_, tit) = region();
+        tit.store_global_min_view(Cts(99));
         assert_eq!(tit.load_global_min_view(), Cts(99));
         tit.publish_min_active_trx(1234);
-        assert_eq!(tit.read_min_active_trx(&fabric, Locality::Remote), 1234);
+        assert_eq!(tit.read_min_active_trx(Locality::Remote), 1234);
     }
 
     #[test]
     fn concurrent_allocate_release_is_consistent() {
-        use std::sync::Arc;
-        let tit = Arc::new(TitRegion::new(NodeId(1), 64));
+        let tit = Arc::new(TitRegion::new(single(), NodeId(1), 64));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let tit = Arc::clone(&tit);
@@ -481,5 +496,24 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(tit.free_slots(), 64);
+    }
+
+    #[test]
+    fn committed_cts_survives_a_replica_crash_and_recovery() {
+        let repl = Arc::new(ReplicatedFabric::new(
+            Arc::new(Fabric::new(LatencyConfig::disabled())),
+            3,
+            2,
+        ));
+        let tit = TitRegion::new(Arc::clone(&repl), NodeId(0), 4);
+        let (slot, version) = tit.allocate().unwrap();
+        tit.commit(slot, Cts(77));
+        for victim in 0..3 {
+            assert!(repl.crash_replica(victim));
+            let snap = tit.read_slot(slot, Locality::Remote);
+            assert_eq!(snap.cts, Cts(77), "acked CTS lost in replica {victim}");
+            assert_eq!(snap.version, version);
+            assert!(repl.recover_replica(victim));
+        }
     }
 }

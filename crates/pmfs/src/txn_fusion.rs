@@ -8,6 +8,7 @@ use std::sync::Arc;
 use pmp_common::sync::{LockClass, TrackedRwLock};
 use pmp_common::{Cts, GlobalTrxId, NodeId, CSN_INIT, CSN_MAX, CSN_MIN};
 use pmp_rdma::{Fabric, Locality};
+use pmp_repl::ReplicatedFabric;
 
 /// Node → TIT-region directory (written once per node at startup).
 const TXN_REGIONS: LockClass = LockClass::new("pmfs.txnfusion.regions");
@@ -24,9 +25,13 @@ use crate::tso::Tso;
 /// starting address of its TIT with other nodes"), after which any node can
 /// resolve a [`GlobalTrxId`] to the owning region and read the slot with a
 /// one-sided verb — no RPC on the visibility path.
+///
+/// All fabric traffic goes through the [`ReplicatedFabric`], so with
+/// `replicas > 1` the TSO high-water mark and every TIT word survive a PMFS
+/// replica crash (DESIGN.md §15).
 #[derive(Debug)]
 pub struct TxnFusion {
-    fabric: Arc<Fabric>,
+    repl: Arc<ReplicatedFabric>,
     tso: Tso,
     regions: TrackedRwLock<HashMap<NodeId, Arc<TitRegion>>>,
     /// Latest minimal view reported by each node.
@@ -35,10 +40,10 @@ pub struct TxnFusion {
 }
 
 impl TxnFusion {
-    pub fn new(fabric: Arc<Fabric>) -> Self {
+    pub fn new(repl: Arc<ReplicatedFabric>) -> Self {
         TxnFusion {
-            fabric,
-            tso: Tso::new(),
+            tso: Tso::new(&repl),
+            repl,
             regions: TrackedRwLock::new(TXN_REGIONS, HashMap::new()),
             node_views: TrackedRwLock::new(TXN_NODE_VIEWS, HashMap::new()),
             global_min_view: AtomicU64::new(CSN_INIT.0),
@@ -46,7 +51,12 @@ impl TxnFusion {
     }
 
     pub fn fabric(&self) -> &Arc<Fabric> {
-        &self.fabric
+        self.repl.fabric()
+    }
+
+    /// The replication facade the fusion state lives on.
+    pub fn repl(&self) -> &Arc<ReplicatedFabric> {
+        &self.repl
     }
 
     pub fn tso(&self) -> &Tso {
@@ -55,18 +65,18 @@ impl TxnFusion {
 
     /// Allocate a commit timestamp (one-sided FAA on the TSO).
     pub fn next_cts(&self) -> Cts {
-        self.tso.next_cts(&self.fabric)
+        self.tso.next_cts(&self.repl)
     }
 
     /// Reserve a contiguous lease of `count` commit timestamps with one
     /// FAA; returns the first of the range (see [`Tso::lease`]).
     pub fn lease_cts(&self, count: u64) -> Cts {
-        self.tso.lease(&self.fabric, count)
+        self.tso.lease(&self.repl, count)
     }
 
     /// Read the current timestamp for a read view (one-sided read).
     pub fn current_cts(&self) -> Cts {
-        self.tso.current_cts(&self.fabric)
+        self.tso.current_cts(&self.repl)
     }
 
     /// Register (or re-register after recovery) a node's TIT region.
@@ -113,7 +123,7 @@ impl TxnFusion {
         } else {
             Locality::Remote
         };
-        let snap = region.read_slot(&self.fabric, gid.slot, locality);
+        let snap = region.read_slot(gid.slot, locality);
         if snap.version != gid.version {
             return CSN_MIN;
         }
@@ -144,7 +154,7 @@ impl TxnFusion {
         let regions: Vec<Arc<TitRegion>> = self.regions.read().values().cloned().collect();
         // One doorbell batch covers the whole fan-out: N broadcast writes,
         // one charged round trip (posted outside the directory lock).
-        let mut batch = self.fabric.batch();
+        let mut batch = self.repl.batch();
         for r in &regions {
             r.post_global_min_view(&mut batch, global);
         }
@@ -163,11 +173,13 @@ mod tests {
     use pmp_common::{LatencyConfig, SlotId, TrxId};
 
     fn fusion_with_nodes(n: u16) -> (Arc<TxnFusion>, Vec<Arc<TitRegion>>) {
-        let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
-        let fusion = Arc::new(TxnFusion::new(fabric));
+        let repl = Arc::new(ReplicatedFabric::single(Arc::new(Fabric::new(
+            LatencyConfig::disabled(),
+        ))));
+        let fusion = Arc::new(TxnFusion::new(Arc::clone(&repl)));
         let regions: Vec<_> = (0..n)
             .map(|i| {
-                let r = Arc::new(TitRegion::new(NodeId(i), 16));
+                let r = Arc::new(TitRegion::new(Arc::clone(&repl), NodeId(i), 16));
                 fusion.register_region(Arc::clone(&r));
                 r
             })
@@ -259,5 +271,26 @@ mod tests {
         fusion.trx_cts(NodeId(0), g); // remote
         fusion.trx_cts(NodeId(1), g); // local — still metered, not charged
         assert_eq!(fusion.fabric().stats().reads.get(), before + 2);
+    }
+
+    #[test]
+    fn fusion_state_survives_a_replica_crash() {
+        let repl = Arc::new(ReplicatedFabric::new(
+            Arc::new(Fabric::new(LatencyConfig::disabled())),
+            3,
+            2,
+        ));
+        let fusion = TxnFusion::new(Arc::clone(&repl));
+        let region = Arc::new(TitRegion::new(Arc::clone(&repl), NodeId(0), 8));
+        fusion.register_region(Arc::clone(&region));
+        let (slot, version) = region.allocate().unwrap();
+        let cts = fusion.next_cts();
+        region.commit(slot, cts);
+        assert!(repl.crash_replica(1));
+        let g = gid(0, slot, version);
+        assert_eq!(fusion.trx_cts(NodeId(1), g), cts);
+        assert!(fusion.next_cts() > cts, "TSO must not rewind");
+        assert!(repl.recover_replica(1));
+        assert_eq!(fusion.trx_cts(NodeId(1), g), cts);
     }
 }

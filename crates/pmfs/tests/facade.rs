@@ -6,14 +6,16 @@ use std::sync::Arc;
 use pmp_common::{Cts, LatencyConfig, Llsn, NodeId, PageId};
 use pmp_pmfs::{Pmfs, TitRegion};
 use pmp_rdma::Fabric;
+use pmp_repl::ReplicatedFabric;
 
 #[test]
 fn facade_wires_all_three_services_over_one_fabric() {
     let fabric = Arc::new(Fabric::new(LatencyConfig::disabled()));
-    let pmfs: Pmfs<String> = Pmfs::new(Arc::clone(&fabric), 1024, 16 * 1024);
+    let repl = Arc::new(ReplicatedFabric::single(Arc::clone(&fabric)));
+    let pmfs: Pmfs<String> = Pmfs::new(Arc::clone(&repl), 1024, 16 * 1024);
 
     // Transaction Fusion: TSO + TIT directory.
-    let region = Arc::new(TitRegion::new(NodeId(0), 8));
+    let region = Arc::new(TitRegion::new(Arc::clone(&repl), NodeId(0), 8));
     pmfs.txn.register_region(Arc::clone(&region));
     let c1 = pmfs.txn.next_cts();
     let c2 = pmfs.txn.next_cts();
