@@ -425,6 +425,81 @@ fn bench_visibility(c: &mut Criterion) {
     });
 }
 
+/// A 16KiB page image that is `noise_pct`% incompressible xorshift noise,
+/// the rest the structured repetition a slotted heap page shows.
+fn image_with_noise(noise_pct: usize) -> Vec<u8> {
+    let len = 16 * 1024;
+    let noise = len * noise_pct / 100;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    (0..len)
+        .map(|i| {
+            if i < noise {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            } else {
+                ((i / 64) % 7) as u8
+            }
+        })
+        .collect()
+}
+
+fn bench_compression(c: &mut Criterion) {
+    use pmp_common::{Compression, CompressionConfig};
+    use pmp_storage::{Codec, SharedStorage};
+
+    // Codec CPU throughput alone (no simulated storage latency), swept
+    // across compressibility.
+    for noise in [0usize, 50, 100] {
+        let raw = image_with_noise(noise);
+        let codec = Codec::new(Compression::Lz4Like);
+        let comp = codec.compress(&raw);
+        let ratio = raw.len() as f64 / comp.len() as f64;
+        c.bench_function(
+            &format!("storage/compression codec compress 16KiB ({noise}% noise, ratio {ratio:.1})"),
+            |b| b.iter(|| std::hint::black_box(codec.compress(&raw))),
+        );
+        c.bench_function(
+            &format!("storage/compression codec decompress 16KiB ({noise}% noise)"),
+            |b| b.iter(|| std::hint::black_box(codec.decompress(&comp, raw.len()).unwrap())),
+        );
+    }
+
+    // Charged storage path at latency scale 1: base + per-compressed-byte
+    // bandwidth term + codec CPU. Fresh writes install a new slot, in-place
+    // updates ride the delta region, reads pay physical bytes.
+    for noise in [0usize, 50, 100] {
+        let raw = image_with_noise(noise);
+        for (label, cfg) in [
+            ("Off", CompressionConfig::off()),
+            ("Lz4Like", CompressionConfig::lz4()),
+        ] {
+            let storage: SharedStorage<Vec<u8>> =
+                SharedStorage::new_with_compression(StorageLatencyConfig::realistic(), cfg);
+            let hot = storage.page_store().allocate_page_id();
+            storage.write_page(hot, Arc::new(raw.clone())).unwrap();
+            c.bench_function(
+                &format!("storage/compression fresh write 16KiB {noise}% noise ({label})"),
+                |b| {
+                    b.iter(|| {
+                        let id = storage.page_store().allocate_page_id();
+                        storage.write_page(id, Arc::new(raw.clone())).unwrap()
+                    })
+                },
+            );
+            c.bench_function(
+                &format!("storage/compression in-place update 16KiB {noise}% noise ({label})"),
+                |b| b.iter(|| storage.write_page(hot, Arc::new(raw.clone())).unwrap()),
+            );
+            c.bench_function(
+                &format!("storage/compression read 16KiB {noise}% noise ({label})"),
+                |b| b.iter(|| std::hint::black_box(storage.page_store().read(hot).unwrap())),
+            );
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -433,6 +508,6 @@ criterion_group! {
         .sample_size(20);
     targets = bench_tso, bench_tit, bench_plock, bench_page_transfer,
               bench_undo, bench_ref_flag, bench_llsn_recovery,
-              bench_lbp_contention, bench_visibility
+              bench_lbp_contention, bench_visibility, bench_compression
 }
 criterion_main!(benches);

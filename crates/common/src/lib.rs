@@ -18,7 +18,10 @@ pub mod ids;
 pub mod sync;
 pub mod timestamp;
 
-pub use config::{ClusterConfig, EngineConfig, IoRingConfig, LatencyConfig, StorageLatencyConfig};
+pub use config::{
+    ClusterConfig, Compression, CompressionConfig, EngineConfig, IoRingConfig, LatencyConfig,
+    StorageLatencyConfig,
+};
 pub use error::{PmpError, Result};
 pub use hist::{Counter, Gauge, LatencyHistogram};
 pub use ids::{GlobalTrxId, IndexId, NodeId, PageId, SlotId, TableId, TrxId};

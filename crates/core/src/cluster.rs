@@ -14,12 +14,13 @@ use crate::session::Session;
 use crate::stats::{
     BufferFusionSection, CommitStagesSection, FabricSection, IoSection, LockFusionSection,
     NodeSection, ReadPathSection, ReplSection, RowWaitsSection, SchedulerSection, StatsSnapshot,
-    StorageSection, WalGroupSection,
+    StorageSection, WalBytesSection, WalGroupSection,
 };
 
 /// Cluster node roster (admin paths: scale-out/in, stats, recovery).
 const CLUSTER_NODES: LockClass = LockClass::new("core.cluster.nodes");
-/// Deadlock-detector thread handle (taken once at shutdown).
+/// Background thread handles (deadlock detector, replica re-seat
+/// monitor), taken once at shutdown.
 const CLUSTER_DETECTOR: LockClass = LockClass::new("core.cluster.detector");
 
 /// Builder for [`Cluster`].
@@ -63,7 +64,7 @@ pub struct Cluster {
     shared: Arc<Shared>,
     nodes: TrackedMutex<Vec<Arc<NodeEngine>>>,
     stop: Arc<Shutdown>,
-    detector: TrackedMutex<Option<JoinHandle<()>>>,
+    background: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -88,7 +89,8 @@ impl Cluster {
             .collect();
 
         let stop = Arc::new(Shutdown::new());
-        let detector = {
+        let mut background = Vec::new();
+        background.push({
             let rlock = Arc::clone(&shared.pmfs.rlock);
             let stop = Arc::clone(&stop);
             let interval = Duration::from_millis(config.deadlock_interval_ms);
@@ -100,13 +102,44 @@ impl Cluster {
                     }
                 }
             })
-        };
+        });
+        // PMFS replica re-seat monitor (DESIGN.md §15): a replica that
+        // stays Down across one full suspicion window is re-provisioned
+        // from the survivors via the same resync path operators use.
+        // Disabled at `repl_suspicion_ms = 0` (the default) and trivially
+        // at R=1, where there is nothing to re-seat from.
+        if config.repl_suspicion_ms > 0 && config.replicas > 1 {
+            let repl = Arc::clone(&shared.repl);
+            let stop = Arc::clone(&stop);
+            let window = Duration::from_millis(config.repl_suspicion_ms);
+            background.push(std::thread::spawn(move || {
+                // Two-strike suspicion: re-seat only a replica seen Down on
+                // two consecutive polls, so a crash-then-prompt-operator-fix
+                // blip never races the monitor into a redundant resync.
+                let mut suspect = vec![false; repl.replicas()];
+                while !stop.is_triggered() {
+                    if stop.sleep_until_triggered(window) {
+                        break;
+                    }
+                    let down = repl.down_replicas();
+                    for (i, s) in suspect.iter_mut().enumerate() {
+                        let is_down = down.contains(&i);
+                        if is_down && *s {
+                            repl.auto_reseat_replica(i);
+                            *s = false;
+                        } else {
+                            *s = is_down;
+                        }
+                    }
+                }
+            }));
+        }
 
         Arc::new(Cluster {
             shared,
             nodes: TrackedMutex::new(CLUSTER_NODES, nodes),
             stop,
-            detector: TrackedMutex::new(CLUSTER_DETECTOR, Some(detector)),
+            background: TrackedMutex::new(CLUSTER_DETECTOR, background),
         })
     }
 
@@ -224,6 +257,14 @@ impl Cluster {
                         windows_waited: g.windows_waited.get(),
                         empty_windows: g.empty_windows.get(),
                     },
+                    wal_bytes: {
+                        let stream = node.wal.stream();
+                        WalBytesSection {
+                            logical_bytes: stream.logical_byte_count(),
+                            physical_bytes: stream.physical_byte_count(),
+                            synced_bytes: stream.synced_byte_count(),
+                        }
+                    },
                     read_path: ReadPathSection {
                         version_hits: v.hits.get(),
                         version_misses: v.misses.get(),
@@ -275,9 +316,21 @@ impl Cluster {
                 wakeups: r.wakeups.get(),
                 deadlocks: r.deadlocks.get(),
             },
-            storage: StorageSection {
-                page_reads: st.page_reads.get(),
-                page_writes: st.page_writes.get(),
+            storage: {
+                let log = sh.storage.log_totals();
+                StorageSection {
+                    page_reads: st.page_reads.get(),
+                    page_writes: st.page_writes.get(),
+                    page_logical_bytes: st.page_logical_bytes.get(),
+                    page_physical_bytes: st.page_physical_bytes.get(),
+                    delta_writes: st.delta_writes.get(),
+                    recompressions: st.recompressions.get(),
+                    log_logical_bytes: log.logical_bytes,
+                    log_physical_bytes: log.physical_bytes,
+                    // Page-store charges (direct + ring batches) plus every
+                    // stream's direct read/sync charges.
+                    charged_io_ns: st.charged_io_ns.get() + log.charged_ns,
+                }
             },
             fabric: FabricSection {
                 reads: f.reads.get(),
@@ -297,6 +350,7 @@ impl Cluster {
                     conflicts_resolved: rp.conflicts_resolved,
                     evictions: rp.evictions,
                     recoveries: rp.recoveries,
+                    auto_reseats: rp.auto_reseats,
                 }
             },
         }
@@ -394,7 +448,7 @@ impl Cluster {
     /// usable for reads but no new background work runs.
     pub fn shutdown(&self) {
         self.stop.trigger();
-        if let Some(t) = self.detector.lock().take() {
+        for t in self.background.lock().drain(..) {
             let _ = t.join();
         }
         for node in self.nodes.lock().iter() {
@@ -534,6 +588,35 @@ mod tests {
     }
 
     #[test]
+    fn suspicion_monitor_reseats_crashed_pmfs_replica() {
+        let mut config = ClusterConfig::test(1);
+        config.replicas = 3;
+        config.repl_quorum = 2;
+        config.repl_suspicion_ms = 10;
+        let c = Cluster::builder().config(config).build();
+        let t = c.create_table("t", 1, &[]).unwrap();
+        c.session(0).insert(t, 1, v(&[1])).unwrap();
+
+        assert!(c.crash_pmfs_replica(1), "replica must die");
+        // Two-strike suspicion: the monitor re-seats after observing the
+        // replica down on two consecutive 10ms polls. Poll generously —
+        // CI boxes stall.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while c.stats().repl.auto_reseats == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "monitor never re-seated the replica"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let rp = c.stats().repl;
+        assert_eq!(rp.alive, 3, "replica back in the write fan-out");
+        assert!(rp.recoveries >= 1);
+        // The re-seated replica serves correct data.
+        assert_eq!(c.session(0).get(t, 1).unwrap(), Some(v(&[1])));
+    }
+
+    #[test]
     fn stats_report_mentions_every_section() {
         let c = Cluster::builder().nodes(2).build();
         let t = c.create_table("t", 1, &[]).unwrap();
@@ -554,9 +637,15 @@ mod tests {
             "lock fusion",
             "row waits",
             "storage:",
+            "node 0 wal bytes:",
+            "storage bytes:",
+            "page_ratio=",
+            "storage bandwidth:",
+            "effective_mb_per_s=",
             "batched_ops=",
             "repl:",
             "replicated_writes=",
+            "auto_reseats=",
         ] {
             assert!(
                 report.contains(needle),

@@ -41,6 +41,7 @@ pub struct NodeSection {
     pub io: IoSection,
     pub commit_stages: CommitStagesSection,
     pub wal_group: WalGroupSection,
+    pub wal_bytes: WalBytesSection,
     pub read_path: ReadPathSection,
     pub scheduler: SchedulerSection,
 }
@@ -143,6 +144,69 @@ pub struct RowWaitsSection {
 pub struct StorageSection {
     pub page_reads: u64,
     pub page_writes: u64,
+    /// Raw (pre-codec) bytes of page images written.
+    pub page_logical_bytes: u64,
+    /// Post-codec page bytes that actually landed on storage.
+    pub page_physical_bytes: u64,
+    /// Page writes absorbed by a slot's uncompressed delta region.
+    pub delta_writes: u64,
+    /// Delta-region overflows that forced a full page recompress.
+    pub recompressions: u64,
+    /// Raw redo bytes appended across every node's stream.
+    pub log_logical_bytes: u64,
+    /// Post-codec redo bytes on storage (== logical when `log_comp` off).
+    pub log_physical_bytes: u64,
+    /// Total simulated storage time charged cluster-wide (ns): page-store
+    /// charges, io-ring batch charges and direct stream charges.
+    pub charged_io_ns: u64,
+}
+
+impl StorageSection {
+    /// logical ÷ physical; 1.0 while nothing codec-aware was written.
+    pub fn page_ratio(&self) -> f64 {
+        ratio(self.page_logical_bytes, self.page_physical_bytes)
+    }
+
+    pub fn log_ratio(&self) -> f64 {
+        ratio(self.log_logical_bytes, self.log_physical_bytes)
+    }
+
+    /// Effective storage bandwidth in MB/s: logical bytes moved per
+    /// second of charged storage time. Scale-invariant the same way the
+    /// latency model is — compression raises it without touching the
+    /// device profile.
+    pub fn effective_mb_per_s(&self) -> f64 {
+        let logical = (self.page_logical_bytes + self.log_logical_bytes) as f64;
+        if self.charged_io_ns == 0 {
+            return 0.0;
+        }
+        logical * 1000.0 / self.charged_io_ns as f64
+    }
+}
+
+fn ratio(logical: u64, physical: u64) -> f64 {
+    if physical == 0 {
+        1.0
+    } else {
+        logical as f64 / physical as f64
+    }
+}
+
+/// One node's WAL bytes-on-storage meters.
+#[derive(Debug, Clone, Default)]
+pub struct WalBytesSection {
+    /// Raw record bytes appended (pre-framing, pre-codec).
+    pub logical_bytes: u64,
+    /// Bytes actually filled into the stream (frame bytes when framed).
+    pub physical_bytes: u64,
+    /// Physical bytes made durable by syncs so far.
+    pub synced_bytes: u64,
+}
+
+impl WalBytesSection {
+    pub fn ratio(&self) -> f64 {
+        ratio(self.logical_bytes, self.physical_bytes)
+    }
 }
 
 /// Simulated RDMA fabric.
@@ -173,6 +237,8 @@ pub struct ReplSection {
     pub evictions: u64,
     /// Replicas re-seated from survivors.
     pub recoveries: u64,
+    /// Re-seats initiated by the background suspicion monitor.
+    pub auto_reseats: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -205,6 +271,15 @@ impl fmt::Display for StatsSnapshot {
                 f,
                 "  node {i} wal group: batches={} riders={} windows_waited={} empty_windows={}",
                 g.batches, g.riders, g.windows_waited, g.empty_windows,
+            )?;
+            let w = &n.wal_bytes;
+            writeln!(
+                f,
+                "  node {i} wal bytes: logical={} physical={} ratio={:.2} synced={}",
+                w.logical_bytes,
+                w.physical_bytes,
+                w.ratio(),
+                w.synced_bytes,
             )?;
             let v = &n.read_path;
             writeln!(
@@ -247,12 +322,26 @@ impl fmt::Display for StatsSnapshot {
             st.page_reads, st.page_writes,
             fb.reads, fb.writes, fb.atomics, fb.rpcs, fb.batched_ops,
         )?;
+        writeln!(
+            f,
+            "storage bytes: page_logical={} page_physical={} page_ratio={:.2} log_logical={} log_physical={} log_ratio={:.2} delta_writes={} recompressions={}",
+            st.page_logical_bytes, st.page_physical_bytes, st.page_ratio(),
+            st.log_logical_bytes, st.log_physical_bytes, st.log_ratio(),
+            st.delta_writes, st.recompressions,
+        )?;
+        writeln!(
+            f,
+            "storage bandwidth: charged_io_ms={} effective_mb_per_s={:.1}",
+            st.charged_io_ns / 1_000_000,
+            st.effective_mb_per_s(),
+        )?;
         let rp = &self.repl;
         writeln!(
             f,
-            "repl: replicas={} alive={} replicated_writes={} single_replica_reads={} majority_reads={} conflicts_resolved={} evictions={} recoveries={}",
+            "repl: replicas={} alive={} replicated_writes={} single_replica_reads={} majority_reads={} conflicts_resolved={} evictions={} recoveries={} auto_reseats={}",
             rp.replicas, rp.alive, rp.replicated_writes, rp.single_replica_reads,
             rp.majority_reads, rp.conflicts_resolved, rp.evictions, rp.recoveries,
+            rp.auto_reseats,
         )?;
         Ok(())
     }

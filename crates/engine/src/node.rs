@@ -210,7 +210,11 @@ impl NodeEngine {
             .plock
             .register_node(node, NegotiationHandler::new(Arc::clone(&plocks)));
 
-        let wal = Wal::new(shared.storage.redo_stream(node), cfg.wal_group_window_us);
+        let wal = Wal::new_with_compression(
+            shared.storage.redo_stream(node),
+            cfg.wal_group_window_us,
+            shared.config.compression,
+        );
         let tso = TsoClient::new(
             Arc::clone(&shared.pmfs.txn),
             cfg.linear_lamport,

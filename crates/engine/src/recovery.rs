@@ -33,7 +33,7 @@ use pmp_storage::{LogStream, ReadChunk};
 
 use crate::node::NodeEngine;
 use crate::page::{Page, PageKind};
-use crate::redo::{RedoOp, RedoRecord};
+use crate::redo::{LogDecoder, RedoOp, RedoRecord};
 use crate::shared::Shared;
 use crate::txn::apply_undo;
 use crate::undo::UndoPtr;
@@ -116,6 +116,7 @@ pub fn recover_node(
         &engine.io,
         &stream,
         shared.config.engine.recovery_chunk_bytes,
+        LogDecoder::new(shared.config.compression),
         |rec| {
             stats.records_scanned += 1;
             outcomes.note(&rec, &shared.undo);
@@ -223,6 +224,7 @@ fn scan_stream(
     io: &IoRing<Page>,
     stream: &Arc<LogStream>,
     chunk_bytes: usize,
+    dec: LogDecoder,
     mut f: impl FnMut(RedoRecord) -> Result<()>,
 ) -> Result<()> {
     let mut carry: Vec<u8> = Vec::new();
@@ -233,17 +235,22 @@ fn scan_stream(
             return Ok(());
         }
         if chunk.is_empty() {
+            if dec.framed() {
+                // A torn frame at the durable tail: storage lost bytes out
+                // from under the watermark (injected tail truncation). The
+                // frame's length prefix proves it incomplete, its commits
+                // were never acked (`force` covers the whole reservation),
+                // so the clean cut is to stop here.
+                return Ok(());
+            }
+            // Uncompressed streams can't tear: the watermark never advances
+            // into an unfilled reservation.
             return Err(PmpError::internal("torn record at durable log tail"));
         }
         // Overlap: submit the follow-up read before decoding this chunk.
         inflight = io.log_read(stream, chunk.end, chunk_bytes)?;
         carry.extend_from_slice(&chunk.data);
-        let mut offset = 0;
-        while let Some((rec, used)) = RedoRecord::decode_from(&carry[offset..])? {
-            offset += used;
-            f(rec)?;
-        }
-        carry.drain(..offset);
+        dec.drain(&mut carry, &mut f)?;
     }
 }
 
@@ -258,9 +265,22 @@ pub(crate) struct StreamCursor {
     /// Decoded page records waiting for the LLSN bound.
     pub(crate) pending: VecDeque<RedoRecord>,
     pub(crate) exhausted: bool,
+    /// Stream byte format: raw records or compressed frames.
+    pub(crate) dec: LogDecoder,
 }
 
 impl StreamCursor {
+    pub(crate) fn new(node: NodeId, stream: Arc<LogStream>, dec: LogDecoder) -> Self {
+        StreamCursor {
+            node,
+            stream,
+            pos: Lsn::ZERO,
+            carry: Vec::new(),
+            pending: VecDeque::new(),
+            exhausted: false,
+            dec,
+        }
+    }
     /// Does this cursor need another chunk before it can contribute to the
     /// merge?
     pub(crate) fn wants_refill(&self) -> bool {
@@ -277,6 +297,14 @@ impl StreamCursor {
     ) -> Result<()> {
         if chunk.is_empty() {
             if !self.carry.is_empty() {
+                if self.dec.framed() {
+                    // Torn frame at the durable tail (injected storage-side
+                    // truncation): its commits were never acked, skip it
+                    // cleanly. See `scan_stream`.
+                    self.carry.clear();
+                    self.exhausted = true;
+                    return Ok(());
+                }
                 return Err(PmpError::internal(format!(
                     "torn record at tail of {} log",
                     self.node
@@ -287,28 +315,29 @@ impl StreamCursor {
         }
         self.pos = chunk.end;
         self.carry.extend_from_slice(&chunk.data);
-        let mut offset = 0;
-        while let Some((rec, used)) = RedoRecord::decode_from(&self.carry[offset..])? {
-            offset += used;
+        let dec = self.dec;
+        let pending = &mut self.pending;
+        dec.drain(&mut self.carry, &mut |rec| {
             note(&rec);
             if rec.is_page_op() {
-                self.pending.push_back(rec);
+                pending.push_back(rec);
             }
-        }
-        self.carry.drain(..offset);
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Synchronous refill (the standby shipping loop, which reads the
     /// shipped log inline as its own work): read chunks until this cursor
-    /// has page records or the stream is (currently) dry.
+    /// has page records or the stream is (currently) dry. Uses the gather
+    /// read — compressed frames leave dead tails the plain chunk read
+    /// would stop at, one frame per charged round-trip.
     pub(crate) fn refill(
         &mut self,
         chunk_bytes: usize,
         mut note: impl FnMut(&RedoRecord),
     ) -> Result<()> {
         while self.wants_refill() {
-            let chunk = self.stream.read_chunk(self.pos, chunk_bytes);
+            let chunk = self.stream.read_gather(self.pos, chunk_bytes);
             self.ingest(chunk, &mut note)?;
         }
         Ok(())
@@ -411,16 +440,10 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
     // Transient ring: no engines are alive during full-cluster recovery.
     let io: IoRing<Page> = IoRing::new(Arc::clone(&shared.storage), shared.config.engine.io);
     let mut outcomes = TrxOutcomes::default();
+    let dec = LogDecoder::new(shared.config.compression);
     let mut cursors: Vec<StreamCursor> = nodes
         .iter()
-        .map(|&node| StreamCursor {
-            node,
-            stream: shared.storage.redo_stream(node),
-            pos: Lsn::ZERO,
-            carry: Vec::new(),
-            pending: VecDeque::new(),
-            exhausted: false,
-        })
+        .map(|&node| StreamCursor::new(node, shared.storage.redo_stream(node), dec))
         .collect();
 
     let mut cache = RecoveryPages {
@@ -485,7 +508,7 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
     // Persist the recovered pages; engines reload them from storage.
     let pages = std::mem::take(&mut cache.pages);
     for (id, page) in pages {
-        shared.storage.page_store().write(id, Arc::new(page))?;
+        shared.storage.write_page(id, Arc::new(page))?;
     }
     Ok(cache.stats)
 }
@@ -504,16 +527,10 @@ pub fn recover_cluster(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<Recover
 pub fn recover_dbp(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoveryStats> {
     let chunk_bytes = shared.config.engine.recovery_chunk_bytes;
     let io: IoRing<Page> = IoRing::new(Arc::clone(&shared.storage), shared.config.engine.io);
+    let dec = LogDecoder::new(shared.config.compression);
     let mut cursors: Vec<StreamCursor> = nodes
         .iter()
-        .map(|&node| StreamCursor {
-            node,
-            stream: shared.storage.redo_stream(node),
-            pos: Lsn::ZERO,
-            carry: Vec::new(),
-            pending: VecDeque::new(),
-            exhausted: false,
-        })
+        .map(|&node| StreamCursor::new(node, shared.storage.redo_stream(node), dec))
         .collect();
     let mut cache = RecoveryPages {
         io: &io,
@@ -557,7 +574,7 @@ pub fn recover_dbp(shared: &Arc<Shared>, nodes: &[NodeId]) -> Result<RecoverySta
             .map(|stored| stored.llsn >= page.llsn)
             .unwrap_or(false);
         if !keep {
-            shared.storage.page_store().write(id, Arc::new(page))?;
+            shared.storage.write_page(id, Arc::new(page))?;
         }
     }
     Ok(cache.stats)

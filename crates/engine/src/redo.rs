@@ -189,6 +189,17 @@ fn put_page(w: &mut Writer, page: &Page) {
     }
 }
 
+/// The page codec in `pmp-storage` compresses the serialized image, not
+/// the in-memory structure; the redo wire encoding doubles as that image
+/// (it is the only canonical byte form a `Page` has).
+impl pmp_storage::StorageImage for Page {
+    fn storage_image(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_page(&mut w, self);
+        w.into_vec()
+    }
+}
+
 fn get_page(r: &mut Reader<'_>) -> Result<Page> {
     let id = PageId(r.get_u64()?);
     let llsn = Llsn(r.get_u64()?);
@@ -470,6 +481,146 @@ impl RedoRecord {
     }
 }
 
+// ---- compressed log framing --------------------------------------------
+//
+// With `log_comp` on, the WAL wraps each group of records in one frame:
+//
+//   [u32 body_len][u8 codec_tag][u32 raw_len][payload: body_len - 5 bytes]
+//
+// `codec_tag` says whether the payload is the raw record bytes (the codec
+// did not win on this group) or a compressed image of them; `raw_len` is
+// the decoded size either way, so readers can pre-size and validate. The
+// `u32` prefix covers tag + raw_len + payload, mirroring `RedoRecord`'s
+// own length-prefix discipline so the chunked recovery reader can treat a
+// partial frame at the durable tail exactly like a partial record.
+
+/// Payload is the raw record bytes, stored uncompressed.
+const FRAME_RAW: u8 = 0;
+/// Payload is compressed with the cluster's configured codec.
+const FRAME_COMPRESSED: u8 = 1;
+
+/// Frame codec for compressed redo groups.
+pub struct LogFrame;
+
+impl LogFrame {
+    /// Fixed framing bytes around the payload: length prefix + codec tag +
+    /// raw length. The WAL reserves `OVERHEAD + raw_len` per group and
+    /// returns the unused tail to the stream as a dead range.
+    pub const OVERHEAD: usize = 4 + 1 + 4;
+
+    /// Frame `raw` (one group of concatenated records), compressing with
+    /// `codec` when that actually saves bytes. The result never exceeds
+    /// `OVERHEAD + raw.len()`.
+    pub fn encode(codec: &pmp_storage::Codec, raw: &[u8]) -> Vec<u8> {
+        let comp = codec.compress(raw);
+        let (tag, payload) = if comp.len() < raw.len() {
+            (FRAME_COMPRESSED, comp)
+        } else {
+            (FRAME_RAW, raw.to_vec())
+        };
+        let mut out = Vec::with_capacity(Self::OVERHEAD + payload.len());
+        out.extend_from_slice(&((1 + 4 + payload.len()) as u32).to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode one frame from `buf`: returns the raw record bytes and the
+    /// frame's encoded size, or `Ok(None)` when `buf` holds only a partial
+    /// frame (the chunked reader refills — or, at the durable tail, treats
+    /// it as a torn frame and stops cleanly).
+    pub fn decode(codec: &pmp_storage::Codec, buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if body_len < 5 {
+            return Err(PmpError::internal(format!(
+                "bad log frame body length {body_len}"
+            )));
+        }
+        if buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let tag = buf[4];
+        let raw_len = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+        let payload = &buf[9..4 + body_len];
+        let raw = match tag {
+            FRAME_RAW => {
+                if payload.len() != raw_len {
+                    return Err(PmpError::internal("raw log frame length mismatch"));
+                }
+                payload.to_vec()
+            }
+            FRAME_COMPRESSED => codec.decompress(payload, raw_len)?,
+            t => return Err(PmpError::internal(format!("bad log frame tag {t}"))),
+        };
+        Ok(Some((raw, 4 + body_len)))
+    }
+}
+
+/// Incremental decoder over one redo stream's byte format: raw
+/// concatenated records, or [`LogFrame`]-wrapped groups when the stream
+/// was written with `log_comp` on. Recovery and the standby shipping loop
+/// hold one per stream and feed it gathered chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct LogDecoder {
+    framed: bool,
+    codec: pmp_storage::Codec,
+}
+
+impl LogDecoder {
+    pub fn new(comp: pmp_common::CompressionConfig) -> Self {
+        LogDecoder {
+            framed: comp.log_enabled(),
+            codec: pmp_storage::Codec::new(comp.compression),
+        }
+    }
+
+    /// The pre-compression raw-record format.
+    pub fn raw() -> Self {
+        Self::new(pmp_common::CompressionConfig::off())
+    }
+
+    pub fn framed(&self) -> bool {
+        self.framed
+    }
+
+    /// Decode every complete record (or frame of records) at the head of
+    /// `carry`, invoking `f` per record in stream order; consumed bytes are
+    /// drained, any partial tail stays for the next chunk. A frame always
+    /// holds whole records — a record torn *inside* a frame is corruption,
+    /// not a chunk boundary.
+    pub fn drain(
+        &self,
+        carry: &mut Vec<u8>,
+        f: &mut impl FnMut(RedoRecord) -> Result<()>,
+    ) -> Result<()> {
+        let mut offset = 0;
+        if self.framed {
+            while let Some((raw, used)) = LogFrame::decode(&self.codec, &carry[offset..])? {
+                let mut rpos = 0;
+                while let Some((rec, rused)) = RedoRecord::decode_from(&raw[rpos..])? {
+                    rpos += rused;
+                    f(rec)?;
+                }
+                if rpos != raw.len() {
+                    return Err(PmpError::internal("partial record inside a log frame"));
+                }
+                offset += used;
+            }
+        } else {
+            while let Some((rec, used)) = RedoRecord::decode_from(&carry[offset..])? {
+                offset += used;
+                f(rec)?;
+            }
+        }
+        carry.drain(..offset);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,6 +859,54 @@ mod tests {
         let leaf = page.as_leaf();
         assert_eq!(leaf.rows.len(), 1);
         assert_eq!(leaf.rows[0].value, RowValue(vec![999]));
+    }
+
+    #[test]
+    fn log_frame_roundtrips_and_detects_partials() {
+        use pmp_common::Compression;
+        use pmp_storage::Codec;
+        for kind in [
+            Compression::Off,
+            Compression::Lz4Like,
+            Compression::DictLike,
+        ] {
+            let codec = Codec::new(kind);
+            let mut raw = Vec::new();
+            for k in 0..20u128 {
+                RedoRecord {
+                    llsn: Llsn(k as u64 + 1),
+                    page: PageId(1),
+                    table: TableId(1),
+                    op: RedoOp::RemoveRow { key: k },
+                }
+                .encode_into(&mut raw);
+            }
+            let frame = LogFrame::encode(&codec, &raw);
+            assert!(frame.len() <= LogFrame::OVERHEAD + raw.len());
+            if kind != Compression::Off {
+                assert!(
+                    frame.len() < raw.len(),
+                    "repetitive records must compress ({kind:?})"
+                );
+            }
+            let (decoded, used) = LogFrame::decode(&codec, &frame).unwrap().unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(decoded, raw);
+            // Every strict prefix is a partial frame, not an error.
+            for cut in [0usize, 3, 8, frame.len() - 1] {
+                assert!(LogFrame::decode(&codec, &frame[..cut]).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn log_frame_rejects_corrupt_tags() {
+        use pmp_common::Compression;
+        use pmp_storage::Codec;
+        let codec = Codec::new(Compression::Lz4Like);
+        let mut frame = LogFrame::encode(&codec, b"some raw record bytes here");
+        frame[4] = 9; // bogus codec tag
+        assert!(LogFrame::decode(&codec, &frame).is_err());
     }
 
     #[test]

@@ -119,8 +119,7 @@ impl EvictionSink<Page> for StorageSink {
         // Eviction write-back failing would be a storage outage; surface
         // loudly rather than silently dropping the only up-to-date copy.
         self.storage
-            .page_store()
-            .write(page_id, page)
+            .write_page(page_id, page)
             .expect("DBP eviction write-back failed");
     }
 }
@@ -147,7 +146,10 @@ impl Shared {
             config.replicas,
             config.repl_quorum,
         ));
-        let storage = Arc::new(SharedStorage::new(config.storage_latency));
+        let storage = Arc::new(SharedStorage::new_with_compression(
+            config.storage_latency,
+            config.compression,
+        ));
         let pmfs = Pmfs::new(Arc::clone(&repl), config.dbp_capacity, PAGE_BYTES);
         pmfs.buffer.set_eviction_sink(Arc::new(StorageSink {
             storage: Arc::clone(&storage),
@@ -178,8 +180,7 @@ impl Shared {
             let idx_id = self.catalog.allocate_id();
             let root = self.storage.page_store().allocate_page_id();
             self.storage
-                .page_store()
-                .write(root, Arc::new(Page::new_leaf(root)))?;
+                .write_page(root, Arc::new(Page::new_leaf(root)))?;
             indexes.push(IndexRef {
                 table: idx_id,
                 column: col,
@@ -198,8 +199,7 @@ impl Shared {
         let id = self.catalog.allocate_id();
         let root = self.storage.page_store().allocate_page_id();
         self.storage
-            .page_store()
-            .write(root, Arc::new(Page::new_leaf(root)))?;
+            .write_page(root, Arc::new(Page::new_leaf(root)))?;
         // Re-register indexes with the real parent id.
         for idx in &indexes {
             let meta = self.catalog.get(idx.table)?;

@@ -13,11 +13,11 @@
 //! rolled back from the shipped undo records and the page set is written
 //! into a fresh region's shared storage, from which new primaries boot.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use pmp_common::sync::{LockClass, TrackedMutex};
-use pmp_common::{ClusterConfig, GlobalTrxId, Llsn, Lsn, NodeId, PageId, PmpError, Result};
+use pmp_common::{ClusterConfig, GlobalTrxId, Llsn, NodeId, PageId, PmpError, Result};
 
 /// The standby's whole apply state is one mutex by design: `catch_up` is a
 /// single-consumer shipping loop, and the log reads it performs *are* its
@@ -30,7 +30,7 @@ const STANDBY_STATE: LockClass = LockClass::charge_exempt(
 
 use crate::page::{Page, PageKind};
 use crate::recovery::StreamCursor;
-use crate::redo::{RedoOp, RedoRecord};
+use crate::redo::{LogDecoder, RedoOp, RedoRecord};
 use crate::row::{IndexKey, RowValue};
 use crate::shared::{Shared, TableMeta};
 use crate::undo::{UndoPtr, UndoRecord};
@@ -74,16 +74,11 @@ impl Standby {
     /// `nodes`. (In production the shipping crosses regions; here the
     /// standby reads the same durable streams the primaries write.)
     pub fn attach(source: &Arc<Shared>, nodes: &[NodeId]) -> Self {
+        // The standby decodes whatever byte format the primaries ship.
+        let dec = LogDecoder::new(source.config.compression);
         let cursors = nodes
             .iter()
-            .map(|&node| StreamCursor {
-                node,
-                stream: source.storage.redo_stream(node),
-                pos: Lsn::ZERO,
-                carry: Vec::new(),
-                pending: VecDeque::new(),
-                exhausted: false,
-            })
+            .map(|&node| StreamCursor::new(node, source.storage.redo_stream(node), dec))
             .collect();
         Standby {
             source: Arc::clone(source),
@@ -297,10 +292,7 @@ impl Standby {
             .tso()
             .advance_to(&fresh.repl, pmp_common::Cts(st.stats.max_cts));
         for (id, page) in &st.pages {
-            fresh
-                .storage
-                .page_store()
-                .write(*id, Arc::new(page.clone()))?;
+            fresh.storage.write_page(*id, Arc::new(page.clone()))?;
         }
         // Copy catalog metadata (same table ids and root page ids).
         for meta in self.source.catalog.all() {

@@ -19,9 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pmp_common::sync::{sched_point, LockClass, TrackedMutex};
-use pmp_common::{Counter, Llsn, Lsn};
+use pmp_common::{CompressionConfig, Counter, Llsn, Lsn};
 use pmp_rdma::precise_wait_ns;
-use pmp_storage::LogStream;
+use pmp_storage::{Codec, LogStream};
 
 /// LLSN allocation + reservation critical section. Charge-free: encoding
 /// and all storage waits happen outside it.
@@ -36,7 +36,7 @@ const WAL_SYNC: LockClass = LockClass::charge_exempt(
 );
 
 use crate::llsn::LlsnClock;
-use crate::redo::RedoRecord;
+use crate::redo::{LogFrame, RedoRecord};
 
 /// Consecutive empty collect windows after which the leader stops waiting.
 /// Any follower that rides a later fsync re-arms the window, so a lone
@@ -122,10 +122,25 @@ pub struct Wal {
     pending_cbs: TrackedMutex<Vec<PendingForce>>,
     next_cb_id: AtomicU64,
     group: WalGroupStats,
+    /// With `log_comp` on, every group is wrapped in a [`LogFrame`] and
+    /// compressed at fill time (outside the log mutex); the saved tail of
+    /// the reservation is returned to the stream as a dead range.
+    framed: bool,
+    codec: Codec,
 }
 
 impl Wal {
+    /// Uncompressed WAL: groups are raw concatenated records, bit-for-bit
+    /// the pre-compression format.
     pub fn new(stream: Arc<LogStream>, group_window_us: u64) -> Self {
+        Self::new_with_compression(stream, group_window_us, CompressionConfig::off())
+    }
+
+    pub fn new_with_compression(
+        stream: Arc<LogStream>,
+        group_window_us: u64,
+        comp: CompressionConfig,
+    ) -> Self {
         Wal {
             stream,
             log_mutex: TrackedMutex::new(WAL_LOG, ()),
@@ -138,7 +153,14 @@ impl Wal {
             pending_cbs: TrackedMutex::new(WAL_PENDING, Vec::new()),
             next_cb_id: AtomicU64::new(0),
             group: WalGroupStats::default(),
+            framed: comp.log_enabled(),
+            codec: Codec::new(comp.compression),
         }
+    }
+
+    /// Whether groups on this stream are wrapped in [`LogFrame`]s.
+    pub fn framed(&self) -> bool {
+        self.framed
     }
 
     pub fn group_stats(&self) -> &WalGroupStats {
@@ -169,15 +191,32 @@ impl Wal {
             let records = build(&self.llsn);
             debug_assert!(!records.is_empty(), "empty log group");
             let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
-            (records, self.stream.reserve(bytes))
+            let reserve = if self.framed {
+                // Worst case: the codec does not win and the frame stores
+                // the raw bytes. Whatever compression saves comes back as a
+                // dead range at fill time — the reservation size (and with
+                // it the force target) stays deterministic under the mutex.
+                LogFrame::OVERHEAD + bytes
+            } else {
+                bytes
+            };
+            (records, self.stream.reserve(reserve))
         };
-        // Encode outside the log mutex, directly into the reserved range.
+        // Encode (and compress) outside the log mutex, directly into the
+        // reserved range — the critical section stays two counter bumps.
         let mut buf = Vec::with_capacity(reservation.len());
         for rec in &records {
             rec.encode_into(&mut buf);
         }
         let end = reservation.end();
-        self.stream.fill(reservation, &buf);
+        if self.framed {
+            let raw_len = buf.len();
+            let frame = LogFrame::encode(&self.codec, &buf);
+            debug_assert!(frame.len() <= reservation.len());
+            self.stream.fill_prefix(reservation, &frame, raw_len);
+        } else {
+            self.stream.fill(reservation, &buf);
+        }
         end
     }
 
@@ -749,6 +788,93 @@ mod tests {
             "the truncated watermark can never satisfy the lost record"
         );
         assert!(w.pending_cbs.lock().is_empty());
+    }
+
+    fn framed_wal() -> Wal {
+        Wal::new_with_compression(
+            Arc::new(LogStream::new(StorageLatencyConfig::disabled())),
+            0,
+            CompressionConfig::lz4(),
+        )
+    }
+
+    #[test]
+    fn framed_groups_compress_and_roundtrip_through_gather_read() {
+        let w = framed_wal();
+        assert!(w.framed());
+        for batch in 0..10u64 {
+            w.log_atomic(|c| {
+                (0..8)
+                    .map(|k| remove_rec(c.next(), (batch * 8 + k) as u128))
+                    .collect()
+            });
+        }
+        let end = w.stream().end_lsn();
+        assert!(w.force(end) >= end, "force target is the reservation end");
+        assert!(
+            w.stream().physical_byte_count() < w.stream().logical_byte_count(),
+            "repetitive groups must compress: {} physical vs {} logical",
+            w.stream().physical_byte_count(),
+            w.stream().logical_byte_count()
+        );
+        // Recovery-style read: gather across the dead tails, then decode
+        // frame-by-frame and records within each frame.
+        let chunk = w.stream().read_gather_uncharged(Lsn::ZERO, usize::MAX);
+        let codec = Codec::new(pmp_common::Compression::Lz4Like);
+        let mut pos = 0;
+        let mut llsns = Vec::new();
+        while let Some((raw, used)) = LogFrame::decode(&codec, &chunk.data[pos..]).unwrap() {
+            let mut rpos = 0;
+            while let Some((rec, rused)) = RedoRecord::decode_from(&raw[rpos..]).unwrap() {
+                llsns.push(rec.llsn);
+                rpos += rused;
+            }
+            assert_eq!(rpos, raw.len(), "frames hold whole records");
+            pos += used;
+        }
+        assert_eq!(pos, chunk.data.len());
+        assert_eq!(llsns.len(), 80);
+        assert!(
+            llsns.windows(2).all(|w| w[0] < w[1]),
+            "LLSN order preserved"
+        );
+    }
+
+    #[test]
+    fn framed_concurrent_groups_keep_llsn_monotone() {
+        use std::thread;
+        let w = Arc::new(framed_wal());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        let end = w
+                            .log_atomic(|c| vec![remove_rec(c.next(), 0), remove_rec(c.next(), 1)]);
+                        assert!(w.force(end) >= end);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let chunk = w.stream().read_gather_uncharged(Lsn::ZERO, usize::MAX);
+        let codec = Codec::new(pmp_common::Compression::Lz4Like);
+        let mut pos = 0;
+        let mut last = Llsn::ZERO;
+        let mut count = 0;
+        while let Some((raw, used)) = LogFrame::decode(&codec, &chunk.data[pos..]).unwrap() {
+            let mut rpos = 0;
+            while let Some((rec, rused)) = RedoRecord::decode_from(&raw[rpos..]).unwrap() {
+                assert!(rec.llsn > last, "stream order must match LLSN order");
+                last = rec.llsn;
+                rpos += rused;
+                count += 1;
+            }
+            pos += used;
+        }
+        assert_eq!(count, 4 * 100 * 2);
     }
 
     #[test]

@@ -159,7 +159,7 @@ fn llsn_is_monotone_per_page_across_nodes() {
     // exceed any LLSN previously observed for it — spot-checked by
     // scanning redo records per page.
     use pmp_common::Lsn;
-    use pmp_engine::redo::RedoRecord;
+    use pmp_engine::redo::LogDecoder;
     use std::collections::HashMap;
 
     let (shared, engines) = cluster(2);
@@ -184,17 +184,19 @@ fn llsn_is_monotone_per_page_across_nodes() {
     // all records per page by LLSN and verify strict monotonicity (no
     // duplicate LLSN for one page — each page update got a fresh stamp).
     let mut per_page: HashMap<pmp_common::PageId, Vec<u64>> = HashMap::new();
+    let dec = LogDecoder::new(shared.config.compression);
     for node in [NodeId(0), NodeId(1)] {
         let stream = shared.storage.redo_stream(node);
         stream.sync();
-        let chunk = stream.read_chunk(Lsn::ZERO, usize::MAX);
-        let mut pos = 0;
-        while let Some((rec, used)) = RedoRecord::decode_from(&chunk.data[pos..]).unwrap() {
+        let mut carry = stream.read_gather(Lsn::ZERO, usize::MAX).data;
+        dec.drain(&mut carry, &mut |rec| {
             if rec.is_page_op() {
                 per_page.entry(rec.page).or_default().push(rec.llsn.0);
             }
-            pos += used;
-        }
+            Ok(())
+        })
+        .unwrap();
+        assert!(carry.is_empty(), "whole log decodes cleanly");
     }
     for (page, mut llsns) in per_page {
         let len = llsns.len();

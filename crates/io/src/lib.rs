@@ -42,7 +42,7 @@ use std::thread::JoinHandle;
 use pmp_common::sync::{assert_charge_point, LockClass, TrackedCondvar, TrackedMutex};
 use pmp_common::{Counter, Gauge, IoRingConfig, LatencyHistogram, Lsn, PageId, PmpError, Result};
 use pmp_rdma::precise_wait_ns;
-use pmp_storage::{LogStream, ReadChunk, SharedStorage};
+use pmp_storage::{LogStream, ReadChunk, SharedStorage, StorageImage};
 
 /// Submission-queue state (entries + shutdown flag).
 const IO_SQ: LockClass = LockClass::new("io.ring.sq");
@@ -288,9 +288,10 @@ struct RingCore<P> {
     next_token: AtomicU64,
 }
 
-impl<P: Clone + Send + Sync + 'static> RingCore<P> {
-    /// Device cost of one op under the current latency config.
-    fn latency_ns(&self, op: &SqeOp<P>) -> u64 {
+impl<P: Clone + Send + Sync + StorageImage + 'static> RingCore<P> {
+    /// Base device cost of one op (the fixed round-trip), excluding the
+    /// per-byte bandwidth and codec terms added at execution time.
+    fn base_latency_ns(&self, op: &SqeOp<P>) -> u64 {
         match op {
             SqeOp::ReadPage(_) => self.storage.page_store().read_latency_ns(),
             SqeOp::WritePage(..) => self.storage.page_store().write_latency_ns(),
@@ -299,38 +300,60 @@ impl<P: Clone + Send + Sync + 'static> RingCore<P> {
         }
     }
 
-    /// Execute one op with latency already charged for the batch.
-    /// `page_cache` coalesces duplicate same-batch page reads.
+    /// Execute one op; the batch's base round-trip is charged separately.
+    /// `page_cache` coalesces duplicate same-batch page reads. Returns the
+    /// payload plus this op's per-byte cost (bandwidth on *physical* bytes
+    /// moved, codec CPU on raw bytes compressed) — the batch *sums* byte
+    /// terms while taking the *max* base cost: round-trips overlap at the
+    /// device, but the bytes still stream through one pipe.
     fn execute(
         &self,
         op: SqeOp<P>,
         page_cache: &mut HashMap<PageId, Option<Arc<P>>>,
-    ) -> Result<CqePayload<P>> {
+    ) -> (Result<CqePayload<P>>, u64) {
+        let cfg = self.storage.page_store().latency_cfg();
         match op {
             SqeOp::ReadPage(id) => {
                 if let Some(hit) = page_cache.get(&id) {
                     self.stats.coalesced.inc();
-                    return Ok(CqePayload::Page(hit.clone()));
+                    // One transfer serves every coalesced duplicate.
+                    return (Ok(CqePayload::Page(hit.clone())), 0);
                 }
-                let page = self.storage.page_store().read_uncharged(id)?;
+                let bytes = cfg.byte_ns(self.storage.page_store().physical_size(id));
+                let page = match self.storage.page_store().read_uncharged(id) {
+                    Ok(p) => p,
+                    Err(e) => return (Err(e), 0),
+                };
                 page_cache.insert(id, page.clone());
-                Ok(CqePayload::Page(page))
+                (Ok(CqePayload::Page(page)), bytes)
             }
             SqeOp::WritePage(id, data) => {
-                self.storage.page_store().write_uncharged(id, data)?;
+                let cost = match self.storage.write_page_uncharged(id, data) {
+                    Ok(c) => c,
+                    Err(e) => return (Err(e), 0),
+                };
                 // The store now holds newer bytes than any coalesced copy.
                 page_cache.remove(&id);
-                Ok(CqePayload::Written)
+                (
+                    Ok(CqePayload::Written),
+                    cfg.byte_ns(cost.physical_bytes) + cfg.codec_ns(cost.codec_raw_bytes),
+                )
             }
             SqeOp::LogRead {
                 stream,
                 from,
                 max_bytes,
-            } => Ok(CqePayload::Chunk(
-                stream.read_chunk_uncharged(from, max_bytes),
-            )),
+            } => {
+                // Gather read: compressed frames leave a dead tail behind
+                // every group, and a stop-at-hole read would degenerate to
+                // one charged round-trip per frame.
+                let chunk = stream.read_gather_uncharged(from, max_bytes);
+                let bytes = cfg.byte_ns(chunk.data.len());
+                (Ok(CqePayload::Chunk(chunk)), bytes)
+            }
             SqeOp::LogSync { stream, target } => {
-                Ok(CqePayload::Synced(stream.sync_to_uncharged(target)))
+                let (lsn, newly) = stream.sync_to_uncharged_bytes(target);
+                (Ok(CqePayload::Synced(lsn)), cfg.byte_ns(newly as usize))
             }
         }
     }
@@ -378,20 +401,32 @@ impl<P: Clone + Send + Sync + 'static> RingCore<P> {
         self.stats.batches.inc();
 
         // Charge the device round-trip once for the whole batch: requests
-        // submitted together overlap at the device, so the batch costs its
-        // slowest member, not the sum. No ring lock is held here — this is
-        // the charge point the sanitizer guards.
-        let charge = batch
+        // submitted together overlap at the device, so the batch's *base*
+        // cost is its slowest member, not the sum. The per-byte terms
+        // (physical bytes moved + codec CPU) are summed across the batch —
+        // overlapping round-trips still share one data pipe. Execution
+        // happens first (it is what determines the compressed sizes), the
+        // single charge follows with no ring lock held — the charge point
+        // the sanitizer guards — and completions are only delivered after
+        // the full batch cost has elapsed.
+        let base = batch
             .iter()
-            .map(|e| self.latency_ns(&e.op))
+            .map(|e| self.base_latency_ns(&e.op))
             .max()
             .unwrap_or(0);
-        precise_wait_ns(charge);
-
         let mut page_cache: HashMap<PageId, Option<Arc<P>>> = HashMap::new();
+        let mut done = Vec::with_capacity(batch.len());
+        let mut byte_ns = 0u64;
         for mut entry in batch {
             let op = entry.op_take();
-            let result = self.execute(op, &mut page_cache);
+            let (result, extra) = self.execute(op, &mut page_cache);
+            byte_ns += extra;
+            done.push((entry, result));
+        }
+        let charge = base + byte_ns;
+        self.storage.page_store().stats().charged_io_ns.add(charge);
+        precise_wait_ns(charge);
+        for (entry, result) in done {
             self.finish(entry, result);
         }
         true
@@ -454,7 +489,7 @@ impl<P> std::fmt::Debug for IoRing<P> {
     }
 }
 
-impl<P: Clone + Send + Sync + 'static> IoRing<P> {
+impl<P: Clone + Send + Sync + StorageImage + 'static> IoRing<P> {
     pub fn new(storage: Arc<SharedStorage<P>>, cfg: IoRingConfig) -> Self {
         let core = Arc::new(RingCore {
             storage,
@@ -1048,6 +1083,8 @@ mod tests {
             read_ns: 2_000_000,
             write_ns: 2_000_000,
             sync_ns: 1_000_000,
+            per_kib_ns: 0,
+            codec_ns_per_kib: 0,
             scale: 1.0,
             enabled: true,
         });
@@ -1074,6 +1111,48 @@ mod tests {
         assert!(
             elapsed < std::time::Duration::from_millis(12),
             "8×2ms reads must overlap, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn batch_charge_scales_with_physical_bytes() {
+        use pmp_common::CompressionConfig;
+        // Latency model with no base cost: the whole charge is the byte
+        // term, so the counters compare pure bandwidth cost.
+        let cfg = StorageLatencyConfig {
+            read_ns: 0,
+            write_ns: 0,
+            sync_ns: 0,
+            per_kib_ns: 1_024, // 1ns per byte: charge == physical bytes
+            codec_ns_per_kib: 0,
+            scale: 1.0,
+            enabled: true,
+        };
+        let payload = "abcd".repeat(4096); // 16 KiB, highly compressible
+        let mut charged = Vec::new();
+        for comp in [CompressionConfig::off(), CompressionConfig::lz4()] {
+            let st: Arc<SharedStorage<String>> =
+                Arc::new(SharedStorage::new_with_compression(cfg, comp));
+            let ring = manual_ring(&st);
+            let id = st.page_store().allocate_page_id();
+            ring.submit(SqeOp::WritePage(id, Arc::new(payload.clone())), 0)
+                .unwrap();
+            ring.drive();
+            assert!(matches!(
+                ring.reap().unwrap().result.unwrap(),
+                CqePayload::Written
+            ));
+            // Read it back: the read charge follows the stored physical size.
+            ring.submit(SqeOp::ReadPage(id), 1).unwrap();
+            ring.drive();
+            charged.push(st.page_store().stats().charged_io_ns.get());
+        }
+        assert_eq!(charged[0], 2 * 16_384, "Off charges raw bytes both ways");
+        assert!(
+            charged[1] < charged[0] / 4,
+            "compressed write+read must charge  <1/4 of raw, got {} vs {}",
+            charged[1],
+            charged[0]
         );
     }
 

@@ -138,6 +138,9 @@ pub struct ReplStats {
     pub evictions: Counter,
     /// Replicas re-seated by [`ReplicatedFabric::recover_replica`].
     pub recoveries: Counter,
+    /// Re-seats initiated by the background suspicion monitor (a subset
+    /// of `recoveries`), as opposed to operator/test calls.
+    pub auto_reseats: Counter,
 }
 
 /// Plain-data snapshot of [`ReplStats`] plus group membership.
@@ -151,6 +154,7 @@ pub struct ReplSnapshot {
     pub conflicts_resolved: u64,
     pub evictions: u64,
     pub recoveries: u64,
+    pub auto_reseats: u64,
 }
 
 /// The replication facade over the raw fabric. See the crate docs for the
@@ -224,6 +228,7 @@ impl ReplicatedFabric {
             conflicts_resolved: self.stats.conflicts_resolved.get(),
             evictions: self.stats.evictions.get(),
             recoveries: self.stats.recoveries.get(),
+            auto_reseats: self.stats.auto_reseats.get(),
         }
     }
 
@@ -696,6 +701,28 @@ impl ReplicatedFabric {
         self.health[replica].store(HEALTH_UP, Ordering::Release);
         self.stats.recoveries.inc();
         true
+    }
+
+    /// [`recover_replica`](Self::recover_replica) as invoked by the
+    /// background suspicion monitor: same re-seat, plus the
+    /// `auto_reseats` meter so operators can tell self-healing from
+    /// manual intervention.
+    pub fn auto_reseat_replica(&self, replica: usize) -> bool {
+        let ok = self.recover_replica(replica);
+        if ok {
+            self.stats.auto_reseats.inc();
+        }
+        ok
+    }
+
+    /// Replica indices currently marked Down (the monitor's scan surface).
+    pub fn down_replicas(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.load(Ordering::Acquire) == HEALTH_DOWN)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Clone the registry out of its lock (so scramble/resync never hold a

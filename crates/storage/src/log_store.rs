@@ -233,6 +233,16 @@ pub struct LogStream {
     cfg: StorageLatencyConfig,
     appends: Counter,
     syncs: Counter,
+    /// Raw (pre-codec) bytes of the records written to this stream.
+    logical_bytes: Counter,
+    /// Bytes physically occupied on storage (compressed frames + raw data;
+    /// reservation tails released by `fill_prefix` are not counted).
+    physical_bytes: Counter,
+    /// Bytes newly made durable by fsync barriers (the fsync-bytes meter).
+    synced_bytes: Counter,
+    /// Simulated storage time charged directly by this stream (ns); ring
+    /// batch charges are accounted by `pmp-io` into the page-store stats.
+    charged_ns: Counter,
 }
 
 impl LogStream {
@@ -242,6 +252,10 @@ impl LogStream {
             cfg,
             appends: Counter::new(),
             syncs: Counter::new(),
+            logical_bytes: Counter::new(),
+            physical_bytes: Counter::new(),
+            synced_bytes: Counter::new(),
+            charged_ns: Counter::new(),
         }
     }
 
@@ -249,6 +263,8 @@ impl LogStream {
     /// Buffered only — cheap; durability is paid at sync time.
     pub fn append(&self, bytes: &[u8]) -> Lsn {
         self.appends.inc();
+        self.logical_bytes.add(bytes.len() as u64);
+        self.physical_bytes.add(bytes.len() as u64);
         let mut g = self.state.inner.lock();
         let lsn = Lsn(g.data.len() as u64);
         g.data.extend_from_slice(bytes);
@@ -294,20 +310,43 @@ impl LogStream {
     /// length. If the owning node crashed between reserve and fill (the
     /// simulator truncates the stream), the bytes are dropped — exactly as
     /// an unsynced tail would be.
-    pub fn fill(&self, mut res: LogReservation, bytes: &[u8]) {
+    pub fn fill(&self, res: LogReservation, bytes: &[u8]) {
         assert_eq!(bytes.len(), res.len, "fill must match the reserved length");
+        self.fill_prefix(res, bytes, bytes.len());
+    }
+
+    /// Fill the leading `bytes.len()` bytes of a reservation and release the
+    /// durability watermark past the *whole* reserved range; the unwritten
+    /// tail becomes a dead range that readers skip. This is how compressed
+    /// redo frames land: the group reserves worst-case (uncompressed) space
+    /// under the ordering lock, compresses outside it, and gives the saved
+    /// tail back here. `logical_len` is the raw pre-codec byte count, for
+    /// the bytes-on-storage meters.
+    pub fn fill_prefix(&self, mut res: LogReservation, bytes: &[u8], logical_len: usize) {
+        assert!(
+            bytes.len() <= res.len,
+            "fill_prefix exceeds the reserved length"
+        );
         res.filled = true; // defuse the abandonment drop glue
         let mut g = self.state.inner.lock();
         if res.epoch != g.epoch {
             return; // reservation died in a crash; a new one may own the range
         }
         let start = res.start.0 as usize;
-        g.data[start..start + res.len].copy_from_slice(bytes);
+        g.data[start..start + bytes.len()].copy_from_slice(bytes);
         let slot = &mut g.slots[(res.seq % RESERVATION_SLOTS as u64) as usize];
         debug_assert_eq!(slot.state, SlotState::Pending, "reservation filled twice");
         slot.state = SlotState::Filled;
+        if bytes.len() < res.len {
+            g.dead.insert(
+                res.start.0 + bytes.len() as u64,
+                res.start.0 + res.len as u64,
+            );
+        }
         g.advance_head();
         drop(g);
+        self.logical_bytes.add(logical_len as u64);
+        self.physical_bytes.add(bytes.len() as u64);
         self.state.fill_cv.notify_all();
     }
 
@@ -330,31 +369,61 @@ impl LogStream {
         self.state.inner.lock().epoch
     }
 
-    /// Nanoseconds one log read costs under the current latency config.
+    /// Base nanoseconds one log read costs, excluding the per-byte
+    /// bandwidth term charged on the bytes actually returned.
     pub fn read_latency_ns(&self) -> u64 {
         self.cfg.charge_ns(self.cfg.read_ns)
     }
 
-    /// Nanoseconds one fsync barrier costs under the current latency config.
+    /// Base nanoseconds one fsync barrier costs, excluding the byte term
+    /// charged on the bytes the barrier newly persists.
     pub fn sync_latency_ns(&self) -> u64 {
         self.cfg.charge_ns(self.cfg.sync_ns)
     }
 
-    /// Force the completed prefix of the stream to storage. Returns the new
-    /// durable watermark. Always charges one sync latency (the fsync
-    /// round-trip).
-    pub fn sync(&self) -> Lsn {
-        precise_wait_ns(self.sync_latency_ns());
-        self.sync_uncharged()
+    /// Bandwidth cost of moving `bytes` physical bytes of log data.
+    pub fn byte_latency_ns(&self, bytes: usize) -> u64 {
+        self.cfg.byte_ns(bytes)
     }
 
-    /// Completion half of a ring-submitted sync: the `pmp-io` worker has
-    /// already charged the fsync round-trip.
+    /// Force the completed prefix of the stream to storage. Returns the new
+    /// durable watermark. Charges one sync latency (the fsync round-trip)
+    /// plus the bandwidth term for the bytes newly persisted.
+    pub fn sync(&self) -> Lsn {
+        let (lsn, newly) = self.sync_uncharged_bytes();
+        let charge = self.sync_latency_ns() + self.cfg.byte_ns(newly as usize);
+        self.charged_ns.add(charge);
+        precise_wait_ns(charge);
+        lsn
+    }
+
+    /// Completion half of a ring-submitted sync: the `pmp-io` worker
+    /// charges the fsync round-trip at batch granularity.
     pub fn sync_uncharged(&self) -> Lsn {
+        self.sync_uncharged_bytes().0
+    }
+
+    /// [`sync_uncharged`](Self::sync_uncharged) plus the number of *stored*
+    /// bytes the barrier newly made durable (the ring's byte-charging
+    /// input). Dead padding — the unwritten tail a compressed frame leaves
+    /// in its worst-case reservation — holds no data and is never shipped,
+    /// so it is excluded: a compressed WAL fsyncs compressed bytes.
+    pub fn sync_uncharged_bytes(&self) -> (Lsn, u64) {
         self.syncs.inc();
         let mut g = self.state.inner.lock();
+        let before = g.durable;
         g.durable = g.durable.max(g.completed());
-        Lsn(g.durable)
+        // Dead ranges never straddle the durable watermark (both are slot
+        // boundaries), so every range overlapping the new span starts in it.
+        let durable = g.durable;
+        let dead_in_span: u64 = g
+            .dead
+            .range(before..durable)
+            .map(|(&s, &e)| e.min(durable) - s)
+            .sum();
+        let newly = (g.durable - before) - dead_in_span;
+        self.synced_bytes.add(newly);
+        (Lsn(g.durable), newly)
     }
 
     /// Group-commit-friendly sync: if `target` is already durable (some
@@ -368,12 +437,18 @@ impl LogStream {
         self.sync()
     }
 
-    /// `sync_to` with the fsync latency already charged by a ring worker.
+    /// `sync_to` with the fsync latency charged by a ring worker.
     pub fn sync_to_uncharged(&self, target: Lsn) -> Lsn {
+        self.sync_to_uncharged_bytes(target).0
+    }
+
+    /// [`sync_to_uncharged`](Self::sync_to_uncharged) plus the bytes newly
+    /// persisted (0 when another committer's barrier already covered us).
+    pub fn sync_to_uncharged_bytes(&self, target: Lsn) -> (Lsn, u64) {
         if let Some(covered) = self.await_fills_below(target) {
-            return covered;
+            return (covered, 0);
         }
-        self.sync_uncharged()
+        self.sync_uncharged_bytes()
     }
 
     /// Shared front half of `sync_to`: returns `Some(durable)` if `target`
@@ -437,8 +512,11 @@ impl LogStream {
     /// simply skipped, and an empty chunk still means "no durable data at
     /// or after `from`".
     pub fn read_chunk(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
-        precise_wait_ns(self.read_latency_ns());
-        self.read_chunk_uncharged(from, max_bytes)
+        let chunk = self.read_chunk_uncharged(from, max_bytes);
+        let charge = self.read_latency_ns() + self.cfg.byte_ns(chunk.data.len());
+        self.charged_ns.add(charge);
+        precise_wait_ns(charge);
+        chunk
     }
 
     /// Completion half of a ring-submitted log read (latency already
@@ -446,12 +524,15 @@ impl LogStream {
     pub fn read_chunk_uncharged(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
         let g = self.state.inner.lock();
         let mut start = from.0.min(g.durable);
-        // Hop over any dead ranges covering `start` (they can abut).
+        // Hop over any dead ranges covering `start` (they can abut). The
+        // durable clamp doubles as a progress guard: a range ending past
+        // the watermark must not spin us in place.
         while let Some((_, &end)) = g.dead.range(..=start).next_back() {
-            if end <= start {
+            let next = end.min(g.durable);
+            if next <= start {
                 break;
             }
-            start = end.min(g.durable);
+            start = next;
         }
         let next_dead = g
             .dead
@@ -469,12 +550,129 @@ impl LogStream {
         }
     }
 
+    /// Gather read: like [`read_chunk_uncharged`](Self::read_chunk_uncharged)
+    /// but *continues across* dead ranges, concatenating the filled spans
+    /// between them until `max_bytes` of data are collected or the durable
+    /// watermark is reached. With compressed redo frames every group leaves
+    /// a dead tail behind it, so a stop-at-hole read would degenerate to one
+    /// I/O per frame; the ring's `LogRead` uses this instead (one charged
+    /// round-trip per chunk, however many holes it straddles). `end - start`
+    /// may exceed `data.len()` — the skipped holes' LSNs; the next read
+    /// starts at `end` as usual.
+    pub fn read_gather(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
+        let chunk = self.read_gather_uncharged(from, max_bytes);
+        let charge = self.read_latency_ns() + self.cfg.byte_ns(chunk.data.len());
+        self.charged_ns.add(charge);
+        precise_wait_ns(charge);
+        chunk
+    }
+
+    /// Uncharged gather read (the `pmp-io` worker charges at batch
+    /// granularity; `read_gather` is the direct charged form).
+    pub fn read_gather_uncharged(&self, from: Lsn, max_bytes: usize) -> ReadChunk {
+        let g = self.state.inner.lock();
+        let hop = |mut pos: u64| {
+            while let Some((_, &end)) = g.dead.range(..=pos).next_back() {
+                let next = end.min(g.durable);
+                if next <= pos {
+                    break;
+                }
+                pos = next;
+            }
+            pos
+        };
+        let start = hop(from.0.min(g.durable));
+        let mut pos = start;
+        let mut data = Vec::new();
+        while pos < g.durable && data.len() < max_bytes {
+            let next_dead = g
+                .dead
+                .range(pos..)
+                .next()
+                .map(|(&s, _)| s)
+                .unwrap_or(u64::MAX);
+            let span_end = pos
+                .saturating_add((max_bytes - data.len()) as u64)
+                .min(g.durable)
+                .min(next_dead);
+            data.extend_from_slice(&g.data[pos as usize..span_end as usize]);
+            pos = span_end;
+            if pos == next_dead {
+                pos = hop(pos);
+            } else {
+                break; // hit the durable watermark or max_bytes
+            }
+        }
+        ReadChunk {
+            start: Lsn(start),
+            end: Lsn(pos),
+            data,
+        }
+    }
+
+    /// Test-only failure injection: truncate the durable stream `bytes`
+    /// *stored* bytes short, simulating a storage-side tail loss that cuts
+    /// into what the node believed durable (e.g. mid-frame). Dead
+    /// reservation padding holds no stored bytes, so each removed byte
+    /// first skips any dead tail above it — truncating by 1 always
+    /// destroys real frame data, never just a hole. Outstanding
+    /// reservations die and the epoch bumps, exactly as in
+    /// [`crash`](Self::crash).
+    pub fn truncate_durable_for_injection(&self, bytes: u64) {
+        let mut g = self.state.inner.lock();
+        let mut new_durable = g.durable;
+        for _ in 0..bytes {
+            // Skip trailing dead padding (ranges can abut) so the byte we
+            // drop below is a stored one. `e >= new_durable` (not `>`)
+            // catches a range ending exactly at the watermark.
+            while let Some((&s, &e)) = g.dead.range(..new_durable).next_back() {
+                if e >= new_durable && s < new_durable {
+                    new_durable = s;
+                } else {
+                    break;
+                }
+            }
+            if new_durable == 0 {
+                break;
+            }
+            new_durable -= 1;
+        }
+        g.durable = new_durable;
+        g.checkpoint = g.checkpoint.min(new_durable);
+        g.data.truncate(new_durable as usize);
+        g.head = g.tail; // retire every outstanding slot
+        g.dead.split_off(&new_durable);
+        g.epoch += 1;
+        drop(g);
+        self.state.fill_cv.notify_all();
+    }
+
     pub fn append_count(&self) -> u64 {
         self.appends.get()
     }
 
     pub fn sync_count(&self) -> u64 {
         self.syncs.get()
+    }
+
+    /// Raw (pre-codec) bytes written to this stream.
+    pub fn logical_byte_count(&self) -> u64 {
+        self.logical_bytes.get()
+    }
+
+    /// Bytes physically occupying storage (post-codec frames + raw data).
+    pub fn physical_byte_count(&self) -> u64 {
+        self.physical_bytes.get()
+    }
+
+    /// Bytes newly persisted by fsync barriers (the fsync-bytes meter).
+    pub fn synced_byte_count(&self) -> u64 {
+        self.synced_bytes.get()
+    }
+
+    /// Simulated storage time (ns) charged directly by this stream.
+    pub fn charged_io_ns(&self) -> u64 {
+        self.charged_ns.get()
     }
 }
 
@@ -779,5 +977,123 @@ mod tests {
         s.fill(dead, b"WXYZ"); // overlaps the dead range; must be ignored
         s.sync();
         assert_eq!(s.read_chunk(Lsn(0), 100).data, b"abcdef");
+    }
+
+    #[test]
+    fn fill_prefix_dead_ranges_tail_and_watermark_covers_reservation() {
+        let s = stream();
+        let r = s.reserve(10);
+        let end = r.end();
+        s.fill_prefix(r, b"abc", 8); // 3 physical bytes carrying 8 logical
+        assert_eq!(s.sync(), end, "watermark covers the whole reservation");
+        // A plain chunk read stops at the dead tail; the follow-up read
+        // hops over it and lands at the durable end.
+        let chunk = s.read_chunk(Lsn(0), 100);
+        assert_eq!(chunk.data, b"abc");
+        assert_eq!(chunk.end, Lsn(3));
+        let after = s.read_chunk(chunk.end, 100);
+        assert!(after.data.is_empty());
+        assert_eq!(after.end, Lsn(10), "next read hops the dead tail");
+        assert_eq!(s.logical_byte_count(), 8);
+        assert_eq!(s.physical_byte_count(), 3);
+    }
+
+    #[test]
+    fn gather_read_concatenates_spans_across_dead_tails() {
+        let s = stream();
+        for payload in [&b"one"[..], b"two", b"three"] {
+            let r = s.reserve(8); // every frame leaves a dead tail
+            s.fill_prefix(r, payload, payload.len());
+        }
+        s.sync();
+        let chunk = s.read_gather_uncharged(Lsn(0), 1024);
+        assert_eq!(chunk.data, b"onetwothree");
+        assert_eq!(chunk.start, Lsn(0));
+        assert_eq!(chunk.end, Lsn(24), "end covers the skipped holes");
+        // Starting inside a dead range hops forward to live data.
+        let tail = s.read_gather_uncharged(Lsn(4), 1024);
+        assert_eq!(tail.data, b"twothree");
+        // A small budget stops mid-stream and resumes exactly at `end`.
+        let first = s.read_gather_uncharged(Lsn(0), 4);
+        assert_eq!(first.data, b"onet");
+        let rest = s.read_gather_uncharged(first.end, 1024);
+        assert_eq!(rest.data, b"wothree");
+    }
+
+    #[test]
+    fn gather_read_respects_durable_watermark() {
+        let s = stream();
+        s.append(b"live");
+        s.sync();
+        let r = s.reserve(4);
+        let chunk = s.read_gather_uncharged(Lsn(0), 1024);
+        assert_eq!(chunk.data, b"live", "pending reservation is invisible");
+        s.fill(r, b"more");
+        s.sync();
+        assert_eq!(s.read_gather_uncharged(Lsn(0), 1024).data, b"livemore");
+    }
+
+    #[test]
+    fn truncate_durable_injection_cuts_tail_and_kills_reservations() {
+        let s = stream();
+        s.append(b"abcdefgh");
+        s.sync();
+        let stale = s.reserve(4);
+        s.truncate_durable_for_injection(3);
+        assert_eq!(s.durable_lsn(), Lsn(5));
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"abcde");
+        s.fill(stale, b"XXXX"); // stale epoch: inert
+        let fresh = s.reserve(2);
+        assert_eq!(fresh.start(), Lsn(5), "writes restart at the cut");
+        s.fill(fresh, b"fg");
+        s.sync();
+        assert_eq!(s.read_chunk(Lsn(0), 100).data, b"abcdefg");
+    }
+
+    #[test]
+    fn truncate_durable_injection_skips_dead_padding() {
+        let s = stream();
+        s.append(b"abc");
+        let r = s.reserve(8);
+        s.fill_prefix(r, b"XY", 2); // stored [3,5), dead tail [5,11)
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(11));
+        // Removing one byte must cut a *stored* byte: the dead tail is
+        // skipped, so the cut lands inside the frame body, not the hole.
+        s.truncate_durable_for_injection(1);
+        assert_eq!(s.durable_lsn(), Lsn(4));
+        let chunk = s.read_chunk(Lsn(0), 100);
+        assert_eq!(chunk.data, b"abcX");
+        // Reads at and past the cut terminate (no dead-range livelock).
+        assert!(s.read_chunk(Lsn(4), 100).is_empty());
+        assert!(s.read_gather_uncharged(Lsn(4), 100).is_empty());
+    }
+
+    #[test]
+    fn sync_meters_newly_durable_bytes() {
+        let s = stream();
+        s.append(b"abcd");
+        s.sync();
+        assert_eq!(s.synced_byte_count(), 4);
+        s.sync(); // nothing new
+        assert_eq!(s.synced_byte_count(), 4);
+        s.append(b"ef");
+        s.sync();
+        assert_eq!(s.synced_byte_count(), 6);
+    }
+
+    #[test]
+    fn sync_meters_stored_bytes_not_dead_padding() {
+        let s = stream();
+        let r = s.reserve(8);
+        s.fill_prefix(r, b"abc", 3); // stored [0,3), dead tail [3,8)
+        s.append(b"de");
+        s.sync();
+        assert_eq!(s.durable_lsn(), Lsn(10));
+        assert_eq!(
+            s.synced_byte_count(),
+            5,
+            "the fsync bandwidth charge covers stored bytes only"
+        );
     }
 }

@@ -23,6 +23,17 @@ pub struct StorageStats {
     pub log_appends: Counter,
     pub log_syncs: Counter,
     pub log_bytes: Counter,
+    /// Raw (pre-codec) bytes of page images written.
+    pub page_logical_bytes: Counter,
+    /// Post-codec bytes of page images written — what lands on storage.
+    pub page_physical_bytes: Counter,
+    /// Page-slot writes absorbed by the uncompressed delta region.
+    pub delta_writes: Counter,
+    /// Page-slot delta-region overflows that forced a full recompress.
+    pub recompressions: Counter,
+    /// Simulated storage time charged (ns), summed across direct charges
+    /// and `pmp-io` batch charges — the denominator of effective bandwidth.
+    pub charged_io_ns: Counter,
 }
 
 impl StorageStats {
@@ -32,7 +43,21 @@ impl StorageStats {
         self.log_appends.reset();
         self.log_syncs.reset();
         self.log_bytes.reset();
+        self.page_logical_bytes.reset();
+        self.page_physical_bytes.reset();
+        self.delta_writes.reset();
+        self.recompressions.reset();
+        self.charged_io_ns.reset();
     }
+}
+
+/// One stored page: the payload plus the byte sizes its slot occupies
+/// (zero when the page was written through the raw, codec-unaware path).
+#[derive(Debug)]
+struct Stored<P> {
+    page: Arc<P>,
+    logical: u32,
+    physical: u32,
 }
 
 /// A sharded, latency-charging, durable page store generic over the page
@@ -44,7 +69,7 @@ impl StorageStats {
 /// never lose page-store contents.
 #[derive(Debug)]
 pub struct PageStore<P> {
-    shards: Vec<TrackedRwLock<HashMap<PageId, Arc<P>>>>,
+    shards: Vec<TrackedRwLock<HashMap<PageId, Stored<P>>>>,
     next_page: AtomicU64,
     cfg: StorageLatencyConfig,
     stats: StorageStats,
@@ -69,8 +94,12 @@ impl<P: Clone + Send + Sync> PageStore<P> {
         &self.stats
     }
 
-    fn shard(&self, id: PageId) -> &TrackedRwLock<HashMap<PageId, Arc<P>>> {
+    fn shard(&self, id: PageId) -> &TrackedRwLock<HashMap<PageId, Stored<P>>> {
         &self.shards[(id.0 as usize) & (SHARDS - 1)]
+    }
+
+    pub fn latency_cfg(&self) -> &StorageLatencyConfig {
+        &self.cfg
     }
 
     fn check_io(&self) -> Result<()> {
@@ -101,21 +130,50 @@ impl<P: Clone + Send + Sync> PageStore<P> {
         self.next_page.fetch_max(first_free, Ordering::Relaxed);
     }
 
-    /// Nanoseconds one page read costs under the current latency config.
-    /// The io ring charges this at batch granularity instead of per call.
+    /// Base nanoseconds one page read costs under the current latency
+    /// config, excluding the per-byte bandwidth term. The io ring charges
+    /// this at batch granularity instead of per call.
     pub fn read_latency_ns(&self) -> u64 {
         self.cfg.charge_ns(self.cfg.read_ns)
     }
 
-    /// Nanoseconds one page write costs under the current latency config.
+    /// Base nanoseconds one page write costs, excluding the byte term.
     pub fn write_latency_ns(&self) -> u64 {
         self.cfg.charge_ns(self.cfg.write_ns)
     }
 
-    /// Read a page, paying storage read latency. `Ok(None)` if never written.
+    /// Full read cost of `id`: base plus the bandwidth term for the page's
+    /// physical (post-codec) bytes on storage.
+    pub fn read_latency_ns_for(&self, id: PageId) -> u64 {
+        self.cfg
+            .charge_bytes_ns(self.cfg.read_ns, self.physical_size(id))
+    }
+
+    /// Physical bytes `id` occupies on storage (0 when unknown — pages
+    /// written through the raw, codec-unaware path).
+    pub fn physical_size(&self, id: PageId) -> usize {
+        self.shard(id)
+            .read()
+            .get(&id)
+            .map_or(0, |s| s.physical as usize)
+    }
+
+    /// Raw (pre-codec) image bytes `id` carried at its last codec-aware
+    /// write (0 when unknown).
+    pub fn logical_size(&self, id: PageId) -> usize {
+        self.shard(id)
+            .read()
+            .get(&id)
+            .map_or(0, |s| s.logical as usize)
+    }
+
+    /// Read a page, paying storage read latency (base + byte term).
+    /// `Ok(None)` if never written.
     pub fn read(&self, id: PageId) -> Result<Option<Arc<P>>> {
         self.check_io()?;
-        precise_wait_ns(self.read_latency_ns());
+        let charge = self.read_latency_ns_for(id);
+        self.stats.charged_io_ns.add(charge);
+        precise_wait_ns(charge);
         self.read_uncharged(id)
     }
 
@@ -125,21 +183,48 @@ impl<P: Clone + Send + Sync> PageStore<P> {
     pub fn read_uncharged(&self, id: PageId) -> Result<Option<Arc<P>>> {
         self.check_io()?;
         self.stats.page_reads.inc();
-        Ok(self.shard(id).read().get(&id).cloned())
+        Ok(self.shard(id).read().get(&id).map(|s| Arc::clone(&s.page)))
     }
 
-    /// Write (create or replace) a page; durable on return.
+    /// Write (create or replace) a page; durable on return. Codec-unaware:
+    /// charges the flat base cost and records unknown sizes — engine paths
+    /// go through `SharedStorage::write_page` instead (the codec-aware
+    /// wrapper), which is what the `uncompressed-storage-append` lint rule
+    /// enforces.
     pub fn write(&self, id: PageId, page: Arc<P>) -> Result<()> {
         self.check_io()?;
-        precise_wait_ns(self.write_latency_ns());
+        let charge = self.write_latency_ns();
+        self.stats.charged_io_ns.add(charge);
+        precise_wait_ns(charge);
         self.write_uncharged(id, page)
     }
 
     /// Completion half of a ring-submitted write (latency already charged).
     pub fn write_uncharged(&self, id: PageId, page: Arc<P>) -> Result<()> {
+        self.write_sized_uncharged(id, page, 0, 0)
+    }
+
+    /// Write with the codec layer's byte accounting: `logical` is the raw
+    /// image size, `physical` the slot's post-codec footprint.
+    pub fn write_sized_uncharged(
+        &self,
+        id: PageId,
+        page: Arc<P>,
+        logical: usize,
+        physical: usize,
+    ) -> Result<()> {
         self.check_io()?;
         self.stats.page_writes.inc();
-        self.shard(id).write().insert(id, page);
+        self.stats.page_logical_bytes.add(logical as u64);
+        self.stats.page_physical_bytes.add(physical as u64);
+        self.shard(id).write().insert(
+            id,
+            Stored {
+                page,
+                logical: logical as u32,
+                physical: physical as u32,
+            },
+        );
         Ok(())
     }
 
@@ -147,7 +232,9 @@ impl<P: Clone + Send + Sync> PageStore<P> {
     pub fn remove(&self, id: PageId) -> Result<()> {
         self.check_io()?;
         self.stats.page_writes.inc();
-        precise_wait_ns(self.cfg.charge_ns(self.cfg.write_ns));
+        let charge = self.cfg.charge_ns(self.cfg.write_ns);
+        self.stats.charged_io_ns.add(charge);
+        precise_wait_ns(charge);
         self.shard(id).write().remove(&id);
         Ok(())
     }
@@ -201,6 +288,20 @@ mod tests {
         assert_eq!(s.stats().page_reads.get(), 2);
         s.stats().reset();
         assert_eq!(s.stats().page_reads.get(), 0);
+    }
+
+    #[test]
+    fn sized_writes_track_bytes_on_storage() {
+        let s = store();
+        let id = s.allocate_page_id();
+        s.write_sized_uncharged(id, Arc::new("img".into()), 4096, 1024)
+            .unwrap();
+        assert_eq!(s.physical_size(id), 1024);
+        assert_eq!(s.stats().page_logical_bytes.get(), 4096);
+        assert_eq!(s.stats().page_physical_bytes.get(), 1024);
+        // A raw (codec-unaware) rewrite resets the sizes to unknown.
+        s.write(id, Arc::new("raw".into())).unwrap();
+        assert_eq!(s.physical_size(id), 0);
     }
 
     #[test]

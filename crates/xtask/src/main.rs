@@ -65,7 +65,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 11] = [
+const RULES: [&str; 12] = [
     "std-sync",
     "raw-sleep",
     "raw-instant",
@@ -77,6 +77,7 @@ const RULES: [&str; 11] = [
     "blocking-wait-in-scheduler",
     "relaxed-atomic",
     "unreplicated-pmfs-write",
+    "uncompressed-storage-append",
 ];
 
 /// Crates migrated to `pmp_common::sync`; direct `parking_lot` is banned.
@@ -134,6 +135,16 @@ const SCHED_BLOCKING_BANNED: [&str; 2] = [
 /// must say which kind it is.
 const RELAXED_BANNED_DIR: &str = "crates/engine/src/";
 const RELAXED_BANNED_FILES: [&str; 1] = ["crates/common/src/sync.rs"];
+
+/// Engine library code must not push raw bytes at shared storage: page
+/// writes go through `SharedStorage::write_page*` and redo records through
+/// `Wal::log_atomic` — the codec-aware wrappers that keep compression and
+/// the logical/physical byte accounting honest. A raw `PageStore::write` or
+/// `LogStream::append`/`reserve`/`fill` silently stores uncompressed bytes.
+/// `wal.rs` *is* the log wrapper; basebackup-style raw copies carry
+/// documented allows.
+const STORAGE_APPEND_BANNED: &str = "crates/engine/src/";
+const STORAGE_APPEND_ALLOWED_FILES: [&str; 1] = ["crates/engine/src/wal.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Violation {
@@ -238,6 +249,8 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
     let relaxed_banned =
         rel_path.starts_with(RELAXED_BANNED_DIR) || RELAXED_BANNED_FILES.contains(&rel_path);
     let pmfs_repl_banned = rel_path.starts_with(PMFS_REPL_BANNED);
+    let storage_append_banned = rel_path.starts_with(STORAGE_APPEND_BANNED)
+        && !STORAGE_APPEND_ALLOWED_FILES.contains(&rel_path);
 
     let mut file_allows: Vec<&'static str> = Vec::new();
     for line in &lines {
@@ -335,6 +348,41 @@ fn lint_source(rel_path: &str, text: &str) -> Vec<Violation> {
                     "direct-page-read",
                     "direct PageStore::read in engine code; go through the pmp-io ring \
                      (IoRing::read_page / submit_with / prefetch) so loads overlap"
+                        .into(),
+                );
+            }
+        }
+
+        if storage_append_banned {
+            let prev_code = if idx > 0 {
+                strip_comment(lines[idx - 1])
+            } else {
+                ""
+            };
+            // Raw page-store writes, single-line or rustfmt-split chains.
+            let ps_same = code.contains("page_store()")
+                && (code.contains(".write(") || code.contains(".write_sized"));
+            let ps_split = (code.trim_start().starts_with(".write(")
+                || code.trim_start().starts_with(".write_sized"))
+                && prev_code.contains("page_store()");
+            // Raw log-stream append verbs. The receiver must name a stream:
+            // `store.append(` / `undo.append(` (the undo store) never match.
+            let log_same = ["append(", "reserve(", "fill(", "fill_prefix("]
+                .iter()
+                .any(|v| {
+                    code.contains(&format!("stream.{v}")) || code.contains(&format!("stream().{v}"))
+                });
+            let log_split = code.trim_start().starts_with(".append(") && {
+                let prev = prev_code.trim_end();
+                prev.ends_with("stream") || prev.ends_with("stream()")
+            };
+            if ps_same || ps_split || log_same || log_split {
+                report(
+                    "uncompressed-storage-append",
+                    "raw storage append bypasses the compression layer; write \
+                     pages through SharedStorage::write_page and redo through \
+                     Wal::log_atomic (the codec-aware wrappers), or add a \
+                     documented allow for a deliberate raw copy"
                         .into(),
                 );
             }
@@ -735,18 +783,75 @@ mod tests {
             vec!["direct-page-read"]
         );
 
-        // Writes and unrelated reads don't match.
-        assert!(rules_hit(
-            "crates/engine/src/node.rs",
-            "storage.page_store().write(id, page)?;\n"
-        )
-        .is_empty());
+        // Writes belong to uncompressed-storage-append, not this rule;
+        // unrelated reads match nothing.
+        assert_eq!(
+            rules_hit(
+                "crates/engine/src/node.rs",
+                "storage.page_store().write(id, page)?;\n"
+            ),
+            vec!["uncompressed-storage-append"]
+        );
         assert!(rules_hit("crates/engine/src/node.rs", "let x = frame.page.read();\n").is_empty());
 
         // The escape hatch works on the read line.
         let allowed = "let p = storage.page_store().read(id)?; \
                        // lint: allow(direct-page-read): offline tool path\n";
         assert!(rules_hit("crates/engine/src/node.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn uncompressed_storage_append_flagged_in_engine_only() {
+        // Raw page-store writes, single-line and rustfmt-split.
+        let write = "storage.page_store().write(id, page)?;\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/node.rs", write),
+            vec!["uncompressed-storage-append"]
+        );
+        let split = "storage\n    .page_store()\n    .write_sized_uncharged(id, p, l, l);\n";
+        assert_eq!(
+            rules_hit("crates/engine/src/standby.rs", split),
+            vec!["uncompressed-storage-append"]
+        );
+        // Raw log-stream append verbs, including split chains.
+        for src in [
+            "self.stream.append(&bytes);\n",
+            "let res = wal.stream().reserve(len);\n",
+            "self.stream.fill_prefix(res, &frame, raw);\n",
+            "wal.stream()\n    .append(&bytes);\n",
+        ] {
+            assert_eq!(
+                rules_hit("crates/engine/src/node.rs", src),
+                vec!["uncompressed-storage-append"],
+                "{src}"
+            );
+        }
+
+        // The codec-aware wrappers and the undo store never match.
+        assert!(rules_hit(
+            "crates/engine/src/node.rs",
+            "shared.storage.write_page(id, page)?;\n"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            "crates/engine/src/txn.rs",
+            "let ptr = engine.shared.undo.append(node_id, rec);\n"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            "crates/engine/src/undo.rs",
+            "let ptr = store.append(n, r);\n"
+        )
+        .is_empty());
+
+        // wal.rs is the log wrapper; other crates are out of scope.
+        assert!(rules_hit("crates/engine/src/wal.rs", "self.stream.reserve(len);\n").is_empty());
+        assert!(rules_hit("crates/storage/src/lib.rs", write).is_empty());
+
+        // The escape hatch works.
+        let allowed = "storage.page_store().write(id, page)?; \
+                       // lint: allow(uncompressed-storage-append): basebackup raw copy\n";
+        assert!(rules_hit("crates/engine/src/standby.rs", allowed).is_empty());
     }
 
     #[test]
